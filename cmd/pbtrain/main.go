@@ -1,0 +1,166 @@
+// Command pbtrain trains a network on a synthetic dataset with any of the
+// paper's training methods and reports per-epoch validation accuracy plus
+// the pipeline geometry (stage count, per-stage delays, utilization).
+//
+// Usage:
+//
+//	pbtrain -model rn20 -method pb+lwpvd+scd -epochs 8
+//	pbtrain -model mlp -depth 12 -method pb -epochs 4
+//	pbtrain -model vgg11 -method sgdm
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"repro/internal/checkpoint"
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/optim"
+	"repro/internal/partition"
+	"repro/internal/sched"
+)
+
+// mitigations maps method names to presets.
+var mitigations = map[string]core.Mitigation{
+	"pb":            core.None,
+	"pb+scd":        core.SCD,
+	"pb+sc2d":       core.SC2D,
+	"pb+lwpvd":      core.LWPvD,
+	"pb+lwpwd":      core.LWPwD,
+	"pb+lwp2d":      core.LWP2D,
+	"pb+lwpvd+scd":  core.LWPvDSCD,
+	"pb+lwpwd+scd":  core.LWPwDSCD,
+	"pb+spectrain":  core.SpecTrain,
+	"pb+ws":         core.WeightStash,
+	"pb+gradshrink": {GradShrink: 0.9},
+}
+
+func main() {
+	model := flag.String("model", "rn20", "model: rn20|rn32|rn44|rn56|rn110|vgg11|vgg13|vgg16|mlp")
+	method := flag.String("method", "pb+lwpvd+scd", "sgdm or one of: "+keys())
+	epochs := flag.Int("epochs", 8, "training epochs")
+	width := flag.Int("width", 4, "ResNet base width / MLP width scale")
+	depth := flag.Int("depth", 6, "MLP hidden-stage count")
+	size := flag.Int("size", 12, "image size")
+	train := flag.Int("train", 600, "training samples")
+	test := flag.Int("test", 200, "test samples")
+	eta := flag.Float64("eta", 0.05, "reference learning rate (at -refbatch)")
+	mom := flag.Float64("momentum", 0.9, "reference momentum")
+	refBatch := flag.Int("refbatch", 32, "reference batch size the hyperparameters were tuned for")
+	seed := flag.Int64("seed", 1, "random seed")
+	workers := flag.Int("workers", 0, "regroup the pipeline onto this many balanced workers (0 = fine-grained)")
+	ckpt := flag.String("checkpoint", "", "save final weights to this file")
+	flag.Parse()
+
+	var net *nn.Network
+	var trainSet, testSet *data.Dataset
+	switch {
+	case *model == "mlp":
+		trainSet, testSet = data.GaussianBlobs(16, 4, *train, *test, 2.2, 1.3, *seed)
+		net = models.DeepMLP(16, 4**width, *depth, 4, *seed+7)
+	case strings.HasPrefix(*model, "rn"):
+		var d int
+		fmt.Sscanf(*model, "rn%d", &d)
+		cfg := data.CIFAR10Like(*size, *train, *test, *seed)
+		trainSet, testSet = data.GenerateImages(cfg)
+		net = models.ResNet(models.MiniResNet(d, *width, *size, 10, *seed+7))
+	case strings.HasPrefix(*model, "vgg"):
+		var d int
+		fmt.Sscanf(*model, "vgg%d", &d)
+		cfg := data.CIFAR10Like(*size, *train, *test, *seed)
+		trainSet, testSet = data.GenerateImages(cfg)
+		net = models.VGG(models.MiniVGG(d, 64 / *width, *size, 10, *seed+7))
+	default:
+		fmt.Fprintf(os.Stderr, "unknown model %q\n", *model)
+		os.Exit(2)
+	}
+
+	if *workers > 0 {
+		inShape := append([]int{1}, trainSet.Shape...)
+		coarse, ratio := partition.Balance(net, inShape, *workers)
+		fmt.Printf("partitioned %d fine stages onto %d workers (bottleneck/mean cost %.2f)\n",
+			net.NumStages(), coarse.NumStages(), ratio)
+		net = coarse
+	}
+	s := net.NumStages()
+	fmt.Printf("model=%s stages=%d max-delay=%d method=%s\n", *model, s, 2*(s-1), *method)
+
+	rng := rand.New(rand.NewSource(*seed * 31))
+	evalAcc := func() float64 {
+		xs, ys := testSet.Batches(32)
+		_, a := net.Evaluate(xs, ys)
+		return a
+	}
+
+	if *method == "sgdm" {
+		updates := (trainSet.Len() + *refBatch - 1) / *refBatch * *epochs
+		cfg := core.Config{LR: *eta, Momentum: *mom, WeightDecay: 1e-4,
+			Schedule: sched.MultiStep{Base: *eta, Milestones: []int{updates / 2, updates * 3 / 4}, Gamma: 0.1}}
+		tr := core.NewSGDTrainer(net, cfg, *refBatch)
+		for e := 0; e < *epochs; e++ {
+			loss, acc := tr.TrainEpoch(trainSet, trainSet.Perm(rng), nil, rng)
+			fmt.Printf("epoch %2d  train loss %.4f acc %.1f%%  val acc %.1f%%\n",
+				e+1, loss, acc*100, evalAcc()*100)
+		}
+		saveCheckpoint(*ckpt, net)
+		return
+	}
+
+	mit, ok := mitigations[*method]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown method %q; options: sgdm %s\n", *method, keys())
+		os.Exit(2)
+	}
+	eta1, m1 := optim.Scale(*eta, *mom, *refBatch, 1)
+	updates := trainSet.Len() * *epochs
+	cfg := core.Config{LR: eta1, Momentum: m1, WeightDecay: 1e-4, Mitigation: mit,
+		Schedule: sched.MultiStep{Base: eta1, Milestones: []int{updates / 2, updates * 3 / 4}, Gamma: 0.1}}
+	fmt.Printf("Eq.9 scaling: (η=%.3g, m=%.4g) @N=%d → (η=%.3g, m=%.6g) @N=1\n",
+		*eta, *mom, *refBatch, eta1, m1)
+	tr := core.NewPBTrainer(net, cfg)
+	completed := 0
+	for e := 0; e < *epochs; e++ {
+		loss, acc := tr.TrainEpoch(trainSet, trainSet.Perm(rng), nil, rng)
+		completed += trainSet.Len()
+		fmt.Printf("epoch %2d  train loss %.4f acc %.1f%%  val acc %.1f%%\n",
+			e+1, loss, acc*100, evalAcc()*100)
+	}
+	fmt.Printf("pipeline utilization %.3f (fill&drain bound at N=1: %.3f)\n",
+		tr.Utilization(completed), core.UtilizationBound(1, s))
+	fmt.Printf("observed max staleness per stage == 2(S-1-s): %v\n", tr.ObservedDelays()[:min(6, s)])
+	saveCheckpoint(*ckpt, net)
+}
+
+// saveCheckpoint writes final weights when a path was requested.
+func saveCheckpoint(path string, net *nn.Network) {
+	if path == "" {
+		return
+	}
+	if err := checkpoint.Save(path, net, nil, 0, map[string]string{"tool": "pbtrain"}); err != nil {
+		fmt.Fprintf(os.Stderr, "checkpoint: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("saved checkpoint to %s\n", path)
+}
+
+// keys lists available mitigation names.
+func keys() string {
+	out := make([]string, 0, len(mitigations))
+	for k := range mitigations {
+		out = append(out, k)
+	}
+	return strings.Join(out, " ")
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,44 @@
+// coarse_vs_fine: the pipeline-granularity trade-off.
+//
+// The paper takes pipeline granularity to its fine-grained extreme (every
+// layer a stage) to maximize worker specialization, accepting the largest
+// gradient delays. This example uses the load-balancing partitioner
+// (internal/partition, after PipeDream's software balancing that the
+// paper's Appendix A cites) to regroup a ResNet-20 pipeline into fewer,
+// cost-balanced stages and shows the other side of the trade: shorter
+// delays make plain PB accurate again — at one worker it *is* batch-size-1
+// SGDM.
+//
+// Run with: go run ./examples/coarse_vs_fine
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/data"
+	"repro/internal/exp"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/partition"
+)
+
+func main() {
+	const size = 12
+	cfg := data.CIFAR10Like(size, 600, 200, 21)
+	train, test := data.GenerateImages(cfg)
+	inShape := []int{1, 3, size, size}
+
+	fmt.Printf("%-8s %-8s %-10s %-9s %s\n", "workers", "stages", "max delay", "balance", "plain-PB val acc")
+	for _, workers := range []int{31, 8, 4, 1} {
+		var lastRatio float64
+		build := func(seed int64) *nn.Network {
+			net := models.ResNet(models.MiniResNet(20, 4, size, 10, seed))
+			coarse, ratio := partition.Balance(net, inShape, workers)
+			lastRatio = ratio
+			return coarse
+		}
+		r := exp.RunMethod(build, train, test, exp.PB, exp.DefaultRef, 6, nil, 1)
+		fmt.Printf("%-8d %-8d %-10d %-9.2f %.1f%%\n",
+			workers, r.Stages, 2*(r.Stages-1), lastRatio, r.FinalValAcc*100)
+	}
+}

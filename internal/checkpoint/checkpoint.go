@@ -1,0 +1,138 @@
+// Package checkpoint serializes training state — network weights and, when
+// provided, optimizer velocities — so long PB runs can stop and resume. The
+// format is encoding/gob over a versioned envelope keyed by parameter name,
+// which survives refactorings that keep parameter names stable and rejects
+// mismatched architectures loudly.
+package checkpoint
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/nn"
+	"repro/internal/optim"
+)
+
+// Version is bumped on incompatible format changes.
+const Version = 1
+
+// State is the serialized form of a training snapshot.
+type State struct {
+	Version int
+	// Step is the global update step at save time (schedule position).
+	Step int
+	// Weights maps parameter name → values.
+	Weights map[string][]float64
+	// Velocities maps parameter name → momentum buffer (optional).
+	Velocities map[string][]float64
+	// Meta carries free-form run metadata (method name, scale, seed...).
+	Meta map[string]string
+}
+
+// Capture snapshots a network (and optionally one optimizer's velocities;
+// pass nil to skip) into a State.
+func Capture(net *nn.Network, opt *optim.Momentum, step int, meta map[string]string) (*State, error) {
+	st := &State{
+		Version:    Version,
+		Step:       step,
+		Weights:    map[string][]float64{},
+		Velocities: map[string][]float64{},
+		Meta:       meta,
+	}
+	for _, p := range net.Params() {
+		if _, dup := st.Weights[p.Name]; dup {
+			return nil, fmt.Errorf("checkpoint: duplicate parameter name %q", p.Name)
+		}
+		st.Weights[p.Name] = p.Snapshot()
+		if opt != nil {
+			v := opt.Vel(p)
+			vc := make([]float64, len(v))
+			copy(vc, v)
+			st.Velocities[p.Name] = vc
+		}
+	}
+	return st, nil
+}
+
+// Restore loads a State into a network (and optionally optimizer
+// velocities). Every network parameter must be present with matching size.
+func Restore(st *State, net *nn.Network, opt *optim.Momentum) error {
+	if st.Version != Version {
+		return fmt.Errorf("checkpoint: version %d, want %d", st.Version, Version)
+	}
+	for _, p := range net.Params() {
+		w, ok := st.Weights[p.Name]
+		if !ok {
+			return fmt.Errorf("checkpoint: missing parameter %q", p.Name)
+		}
+		if len(w) != p.W.Size() {
+			return fmt.Errorf("checkpoint: parameter %q has %d values, want %d", p.Name, len(w), p.W.Size())
+		}
+		p.SetData(w)
+		if opt != nil {
+			if v, ok := st.Velocities[p.Name]; ok {
+				if len(v) != p.W.Size() {
+					return fmt.Errorf("checkpoint: velocity %q has %d values, want %d", p.Name, len(v), p.W.Size())
+				}
+				copy(opt.Vel(p), v)
+			}
+		}
+	}
+	return nil
+}
+
+// Write encodes a State to w.
+func Write(w io.Writer, st *State) error {
+	return gob.NewEncoder(w).Encode(st)
+}
+
+// Read decodes a State from r.
+func Read(r io.Reader) (*State, error) {
+	var st State
+	if err := gob.NewDecoder(r).Decode(&st); err != nil {
+		return nil, fmt.Errorf("checkpoint: decode: %w", err)
+	}
+	return &st, nil
+}
+
+// Save captures and writes a snapshot to path atomically (tmp + rename).
+func Save(path string, net *nn.Network, opt *optim.Momentum, step int, meta map[string]string) error {
+	st, err := Capture(net, opt, step, meta)
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, st); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// Load reads a snapshot from path and restores it.
+func Load(path string, net *nn.Network, opt *optim.Momentum) (*State, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := Read(f)
+	if err != nil {
+		return nil, err
+	}
+	if err := Restore(st, net, opt); err != nil {
+		return nil, err
+	}
+	return st, nil
+}

@@ -1,0 +1,151 @@
+package checkpoint
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/models"
+	"repro/internal/optim"
+)
+
+func TestRoundTripWeights(t *testing.T) {
+	net := models.DeepMLP(4, 8, 2, 3, 1)
+	st, err := Capture(net, nil, 42, map[string]string{"method": "pb"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, st); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Step != 42 || st2.Meta["method"] != "pb" {
+		t.Fatalf("metadata lost: %+v", st2)
+	}
+	// Mutate and restore.
+	net2 := models.DeepMLP(4, 8, 2, 3, 99)
+	if err := Restore(st2, net2, nil); err != nil {
+		t.Fatal(err)
+	}
+	pa, pb := net.Params(), net2.Params()
+	for i := range pa {
+		if !pa[i].W.AllClose(pb[i].W, 0) {
+			t.Fatal("restored weights differ")
+		}
+	}
+}
+
+func TestRoundTripVelocities(t *testing.T) {
+	net := models.DeepMLP(4, 8, 2, 3, 2)
+	opt := optim.NewMomentum(0.1, 0.9)
+	// Build some velocity state.
+	for _, p := range net.Params() {
+		p.G.Fill(0.5)
+	}
+	opt.Step(net.Params())
+	st, err := Capture(net, opt, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net2 := models.DeepMLP(4, 8, 2, 3, 2)
+	opt2 := optim.NewMomentum(0.1, 0.9)
+	if err := Restore(st, net2, opt2); err != nil {
+		t.Fatal(err)
+	}
+	p1, p2 := net.Params(), net2.Params()
+	for i := range p1 {
+		v1, v2 := opt.Vel(p1[i]), opt2.Vel(p2[i])
+		for j := range v1 {
+			if v1[j] != v2[j] {
+				t.Fatal("velocities differ after restore")
+			}
+		}
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ckpt.gob")
+	net := models.DeepMLP(4, 8, 2, 3, 3)
+	if err := Save(path, net, nil, 7, nil); err != nil {
+		t.Fatal(err)
+	}
+	net2 := models.DeepMLP(4, 8, 2, 3, 30)
+	st, err := Load(path, net2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Step != 7 {
+		t.Fatalf("step %d", st.Step)
+	}
+	pa, pb := net.Params(), net2.Params()
+	for i := range pa {
+		if !pa[i].W.AllClose(pb[i].W, 0) {
+			t.Fatal("file round trip lost weights")
+		}
+	}
+}
+
+func TestRestoreRejectsMismatchedArch(t *testing.T) {
+	net := models.DeepMLP(4, 8, 2, 3, 4)
+	st, _ := Capture(net, nil, 0, nil)
+	other := models.DeepMLP(4, 16, 2, 3, 4) // wider: size mismatch
+	if err := Restore(st, other, nil); err == nil {
+		t.Fatal("expected size-mismatch error")
+	}
+	deeper := models.DeepMLP(4, 8, 3, 3, 4) // extra layer: missing params
+	if err := Restore(st, deeper, nil); err == nil {
+		t.Fatal("expected missing-parameter error")
+	}
+}
+
+func TestRestoreRejectsWrongVersion(t *testing.T) {
+	net := models.DeepMLP(4, 8, 1, 2, 5)
+	st, _ := Capture(net, nil, 0, nil)
+	st.Version = 99
+	if err := Restore(st, net, nil); err == nil {
+		t.Fatal("expected version error")
+	}
+}
+
+func TestResumeProducesSameTrajectory(t *testing.T) {
+	// Train 1 epoch, checkpoint, train another epoch — must equal an
+	// uninterrupted 2-epoch run (weights + velocities both restored).
+	seed := int64(6)
+	train, _ := data.GaussianBlobs(6, 3, 48, 0, 1, 0.5, seed)
+
+	// Uninterrupted run.
+	netA := models.DeepMLP(6, 8, 2, 3, seed)
+	sgdA := core.NewSGDTrainer(netA, core.Config{LR: 0.05, Momentum: 0.9}, 8)
+	sgdA.TrainEpoch(train, nil, nil, nil)
+	sgdA.TrainEpoch(train, nil, nil, nil)
+
+	// Interrupted run: epoch, save, restore into a fresh net, epoch.
+	netB := models.DeepMLP(6, 8, 2, 3, seed)
+	cfg := core.Config{LR: 0.05, Momentum: 0.9}
+	sgdB := core.NewSGDTrainer(netB, cfg, 8)
+	sgdB.TrainEpoch(train, nil, nil, nil)
+	st, err := Capture(netB, sgdB.Optimizer(), 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	netC := models.DeepMLP(6, 8, 2, 3, seed+1) // different init, will be overwritten
+	sgdC := core.NewSGDTrainer(netC, cfg, 8)
+	if err := Restore(st, netC, sgdC.Optimizer()); err != nil {
+		t.Fatal(err)
+	}
+	sgdC.TrainEpoch(train, nil, nil, nil)
+
+	pa, pc := netA.Params(), netC.Params()
+	for i := range pa {
+		if !pa[i].W.AllClose(pc[i].W, 1e-12) {
+			t.Fatal("resumed trajectory deviates from uninterrupted run")
+		}
+	}
+}

@@ -1,0 +1,250 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/nn"
+	"repro/internal/optim"
+	"repro/internal/tensor"
+)
+
+// ParallelPBTrainer is a concurrent implementation of pipelined
+// backpropagation: every stage runs on its own goroutine — its own
+// "worker", as in the paper's hardware model (Fig. 1) — exchanging
+// activations and gradients with its neighbors through channels. Workers
+// advance in lockstep pipeline steps (a barrier per step), which makes the
+// engine's weight trajectory bit-identical to the sequential PBTrainer;
+// tests assert this equivalence. On a multi-core host the stage
+// computations of one step run genuinely in parallel.
+//
+// The lockstep barrier models the paper's synchronous pipeline hardware; it
+// is not an optimization for throughput on small models (channel overhead
+// dominates tiny stages) but demonstrates that the engine's semantics are
+// worker-local: each stage touches only its own parameters, optimizer state
+// and context queue.
+type ParallelPBTrainer struct {
+	inner *PBTrainer
+	// workers' synchronization.
+	start   []chan phase
+	done    []chan struct{}
+	stopped bool
+	wg      sync.WaitGroup
+	// per-step shared buffers (written by neighbors, read next step).
+	nextFwd []*inflight
+	nextBwd []*nn.Packet
+	// same-step loss handoff (last stage forward → last stage backward).
+	lossGrad *nn.Packet
+	result   *Result
+}
+
+// phase tells a worker which half-step to execute.
+type phase int
+
+const (
+	phaseForward phase = iota
+	phaseBackward
+	phaseStop
+)
+
+// NewParallelPBTrainer builds the concurrent engine around the same stage
+// state as NewPBTrainer.
+func NewParallelPBTrainer(net *nn.Network, cfg Config) *ParallelPBTrainer {
+	t := &ParallelPBTrainer{inner: NewPBTrainer(net, cfg)}
+	s := len(t.inner.stages)
+	t.start = make([]chan phase, s)
+	t.done = make([]chan struct{}, s)
+	t.nextFwd = make([]*inflight, s)
+	t.nextBwd = make([]*nn.Packet, s)
+	for i := 0; i < s; i++ {
+		t.start[i] = make(chan phase)
+		t.done[i] = make(chan struct{})
+		t.wg.Add(1)
+		go t.worker(i)
+	}
+	return t
+}
+
+// worker is the per-stage goroutine: it waits for a phase signal, performs
+// its forward or backward half-step touching only stage-local state and its
+// slot in the shared next-step buffers, and reports completion.
+func (t *ParallelPBTrainer) worker(i int) {
+	defer t.wg.Done()
+	for ph := range t.start[i] {
+		switch ph {
+		case phaseForward:
+			t.forwardStage(i)
+		case phaseBackward:
+			t.backwardStage(i)
+		case phaseStop:
+			t.done[i] <- struct{}{}
+			return
+		}
+		t.done[i] <- struct{}{}
+	}
+}
+
+// forwardStage mirrors PBTrainer.Step's forward sweep for one stage.
+func (t *ParallelPBTrainer) forwardStage(i int) {
+	in := t.inner.fwd[i]
+	if in == nil {
+		return
+	}
+	t.inner.fwd[i] = nil
+	st := t.inner.stages[i]
+
+	var usedWeights [][]float64
+	horizon, form := t.inner.forwardHorizon(i)
+	var out *nn.Packet
+	var ctx any
+	if horizon > 0 && len(st.params) > 0 {
+		pred := make([][]float64, len(st.params))
+		for j, p := range st.params {
+			pred[j] = st.opt.Predict(p, form, horizon)
+		}
+		old := swapIn(st.params, pred)
+		out, ctx = st.stage.Forward(in.packet)
+		swapIn(st.params, old)
+		if t.inner.Cfg.Mitigation.WeightStash {
+			usedWeights = pred
+		}
+	} else {
+		if t.inner.Cfg.Mitigation.WeightStash && len(st.params) > 0 {
+			usedWeights = make([][]float64, len(st.params))
+			for j, p := range st.params {
+				usedWeights[j] = p.Snapshot()
+			}
+		}
+		out, ctx = st.stage.Forward(in.packet)
+	}
+	st.push(ctx, usedWeights, in.id)
+	if i < len(t.inner.stages)-1 {
+		t.nextFwd[i+1] = &inflight{packet: out, label: in.label, id: in.id}
+		return
+	}
+	loss, dl := t.inner.Net.Head.Loss(out.X, []int{in.label})
+	correct := nn.Accuracy(out.X, []int{in.label}) == 1
+	t.lossGrad = nn.NewPacket(dl)
+	t.result = &Result{ID: in.id, Loss: loss, Correct: correct}
+}
+
+// backwardStage mirrors PBTrainer.Step's backward sweep for one stage.
+func (t *ParallelPBTrainer) backwardStage(i int) {
+	var dIn *nn.Packet
+	if i == len(t.inner.stages)-1 {
+		dIn = t.lossGrad
+		t.lossGrad = nil
+	} else {
+		dIn = t.inner.bwd[i]
+		t.inner.bwd[i] = nil
+	}
+	if dIn == nil {
+		return
+	}
+	st := t.inner.stages[i]
+	c := st.pop()
+	bwdHorizon := t.inner.backwardHorizon(i)
+	var dx *nn.Packet
+	switch {
+	case c.stash != nil && len(st.params) > 0:
+		old := swapIn(st.params, c.stash)
+		dx = st.stage.Backward(dIn, c.ctx)
+		swapIn(st.params, old)
+	case bwdHorizon > 0 && len(st.params) > 0:
+		pred := make([][]float64, len(st.params))
+		for j, p := range st.params {
+			pred[j] = st.opt.Predict(p, optim.LWPVelocity, bwdHorizon)
+		}
+		old := swapIn(st.params, pred)
+		dx = st.stage.Backward(dIn, c.ctx)
+		swapIn(st.params, old)
+	default:
+		dx = st.stage.Backward(dIn, c.ctx)
+	}
+	if gap := st.updates - c.fwdUpdates; gap > st.maxObserved {
+		st.maxObserved = gap
+	}
+	if len(st.params) > 0 {
+		if g := t.inner.Cfg.Mitigation.GradShrink; g > 0 {
+			optim.ShrinkGradients(st.params, g, float64(st.delay))
+		}
+		st.opt.LR = t.inner.Cfg.lrAt(t.inner.updateStep)
+		st.opt.Step(st.params)
+	}
+	st.updates++
+	if i == 0 {
+		t.inner.outstanding--
+	} else {
+		t.nextBwd[i-1] = dx
+	}
+}
+
+// Push queues a sample for the next step.
+func (t *ParallelPBTrainer) Push(x *tensor.Tensor, label int) { t.inner.Push(x, label) }
+
+// Outstanding reports in-flight samples.
+func (t *ParallelPBTrainer) Outstanding() int { return t.inner.outstanding }
+
+// Step advances all workers through one lockstep pipeline step and returns
+// the completed sample's result, if any.
+func (t *ParallelPBTrainer) Step() *Result {
+	if t.stopped {
+		panic("core: Step after Close")
+	}
+	if t.inner.pending != nil {
+		t.inner.fwd[0] = t.inner.pending
+		t.inner.pending = nil
+	}
+	t.result = nil
+	// Forward half-step: all workers in parallel.
+	t.signalAll(phaseForward)
+	// Backward half-step.
+	t.signalAll(phaseBackward)
+	// Rotate buffers.
+	copy(t.inner.fwd, t.nextFwd)
+	copy(t.inner.bwd, t.nextBwd)
+	for i := range t.nextFwd {
+		t.nextFwd[i] = nil
+		t.nextBwd[i] = nil
+	}
+	t.inner.step++
+	t.inner.updateStep++
+	t.inner.Steps++
+	return t.result
+}
+
+// signalAll releases every worker into a phase and waits for completion.
+func (t *ParallelPBTrainer) signalAll(ph phase) {
+	for i := range t.start {
+		t.start[i] <- ph
+	}
+	for i := range t.done {
+		<-t.done[i]
+	}
+}
+
+// Drain completes all in-flight samples.
+func (t *ParallelPBTrainer) Drain() []*Result {
+	var rs []*Result
+	for t.inner.outstanding > 0 {
+		if r := t.Step(); r != nil {
+			rs = append(rs, r)
+		}
+	}
+	return rs
+}
+
+// Close terminates the worker goroutines. The trainer is unusable after.
+func (t *ParallelPBTrainer) Close() {
+	if t.stopped {
+		return
+	}
+	t.stopped = true
+	t.signalAll(phaseStop)
+	t.wg.Wait()
+}
+
+// Delays exposes the per-stage delays (for tests and tooling).
+func (t *ParallelPBTrainer) Delays() []int { return t.inner.Delays() }
+
+// ObservedDelays exposes the measured staleness per stage.
+func (t *ParallelPBTrainer) ObservedDelays() []int { return t.inner.ObservedDelays() }

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/models"
+)
+
+func TestParallelMatchesSequential(t *testing.T) {
+	// The goroutine-per-stage engine must produce a bit-identical weight
+	// trajectory to the sequential engine: the lockstep barrier makes the
+	// schedules equal and stage computations are worker-local.
+	for _, mit := range []Mitigation{None, SCD, LWPvDSCD, WeightStash, SpecTrain} {
+		seed := int64(80)
+		train, _ := data.GaussianBlobs(6, 3, 60, 0, 1, 0.5, seed)
+		netSeq := models.DeepMLP(6, 8, 3, 3, seed)
+		netPar := models.DeepMLP(6, 8, 3, 3, seed)
+		cfg := ScaledConfig(0.1, 0.9, 16, 1)
+		cfg.Mitigation = mit
+
+		seq := NewPBTrainer(netSeq, cfg)
+		par := NewParallelPBTrainer(netPar, cfg)
+		defer par.Close()
+
+		for i := 0; i < train.Len(); i++ {
+			x, y := train.Sample(i)
+			x2 := x.Clone()
+			seq.Push(x, y)
+			par.Push(x2, y)
+			rs := seq.Step()
+			rp := par.Step()
+			if (rs == nil) != (rp == nil) {
+				t.Fatalf("%s: completion mismatch at sample %d", mit.Name(), i)
+			}
+			if rs != nil && (rs.Loss != rp.Loss || rs.Correct != rp.Correct) {
+				t.Fatalf("%s: result mismatch at sample %d: %v vs %v", mit.Name(), i, rs, rp)
+			}
+		}
+		seq.Drain()
+		par.Drain()
+
+		ps, pp := netSeq.Params(), netPar.Params()
+		for i := range ps {
+			if !ps[i].W.AllClose(pp[i].W, 0) {
+				t.Fatalf("%s: parallel engine deviates at %s", mit.Name(), ps[i].Name)
+			}
+		}
+	}
+}
+
+func TestParallelObservedDelays(t *testing.T) {
+	seed := int64(81)
+	train, _ := data.GaussianBlobs(6, 3, 60, 0, 1, 0.5, seed)
+	net := models.DeepMLP(6, 8, 4, 3, seed)
+	par := NewParallelPBTrainer(net, Config{LR: 0.001, Momentum: 0.5})
+	defer par.Close()
+	for i := 0; i < train.Len(); i++ {
+		x, y := train.Sample(i)
+		par.Push(x, y)
+		par.Step()
+	}
+	par.Drain()
+	want := par.Delays()
+	got := par.ObservedDelays()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("stage %d observed %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestParallelCloseIdempotent(t *testing.T) {
+	net := models.DeepMLP(4, 4, 2, 2, 1)
+	par := NewParallelPBTrainer(net, Config{LR: 0.01, Momentum: 0})
+	par.Close()
+	par.Close() // second close must be a no-op
+}
+
+func TestParallelStepAfterClosePanics(t *testing.T) {
+	net := models.DeepMLP(4, 4, 2, 2, 1)
+	par := NewParallelPBTrainer(net, Config{LR: 0.01, Momentum: 0})
+	par.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on Step after Close")
+		}
+	}()
+	par.Step()
+}
+
+func TestParallelDrainEmpty(t *testing.T) {
+	net := models.DeepMLP(4, 4, 2, 2, 1)
+	par := NewParallelPBTrainer(net, Config{LR: 0.01, Momentum: 0})
+	defer par.Close()
+	if rs := par.Drain(); len(rs) != 0 {
+		t.Fatal("drain of empty pipeline returned results")
+	}
+	if par.Outstanding() != 0 {
+		t.Fatal("outstanding nonzero on fresh trainer")
+	}
+}

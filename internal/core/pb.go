@@ -1,0 +1,387 @@
+package core
+
+import (
+	"math/rand"
+
+	"repro/internal/data"
+	"repro/internal/metrics"
+	"repro/internal/nn"
+	"repro/internal/optim"
+	"repro/internal/tensor"
+)
+
+// stageCtx is the per-sample state a stage keeps between its forward and
+// backward pass: the layer contexts, optionally the weights used on the
+// forward pass (for stashing), and the stage's update counter at forward
+// time (for staleness measurement).
+type stageCtx struct {
+	ctx        any
+	stash      [][]float64
+	fwdUpdates int
+	id         int
+}
+
+// stageState is the runtime state of one pipeline stage.
+type stageState struct {
+	stage   nn.Stage
+	params  []*nn.Param
+	opt     *optim.Momentum
+	delay   int
+	queue   []stageCtx
+	updates int
+	// maxObserved tracks the largest forward→backward update gap seen, which
+	// tests compare against the analytic D_s = 2(S−1−s).
+	maxObserved int
+}
+
+// inflight is a sample travelling forward through the pipeline.
+type inflight struct {
+	packet *nn.Packet
+	label  int
+	id     int
+}
+
+// Result summarizes one completed training sample.
+type Result struct {
+	ID      int
+	Loss    float64
+	Correct bool
+}
+
+// PBTrainer trains a network with fine-grained pipelined backpropagation at
+// update size one. Construct with NewPBTrainer; feed samples with Push and
+// advance with Step, or use TrainEpoch for the common loop.
+type PBTrainer struct {
+	Net    *nn.Network
+	Cfg    Config
+	stages []*stageState
+	fwd    []*inflight
+	bwd    []*nn.Packet
+	// lossGrad carries the same-step backward input of the last stage.
+	pending     *inflight
+	outstanding int
+	nextID      int
+	step        int
+	updateStep  int
+	// Steps counts pipeline steps, used for utilization accounting.
+	Steps int
+}
+
+// NewPBTrainer builds the engine. The network's stages become pipeline
+// stages; per-stage delays and mitigation coefficients are fixed at
+// construction from the pipeline geometry.
+func NewPBTrainer(net *nn.Network, cfg Config) *PBTrainer {
+	s := net.NumStages()
+	delays := StageDelays(s)
+	t := &PBTrainer{Net: net, Cfg: cfg}
+	for i, st := range net.Stages {
+		ss := &stageState{stage: st, params: st.Params(), delay: delays[i]}
+		o := optim.NewMomentum(cfg.LR, cfg.Momentum)
+		o.WeightDecay = cfg.WeightDecay
+		o.A, o.B = 1, 0
+		if cfg.Mitigation.SC {
+			scale := cfg.Mitigation.SCScale
+			if scale == 0 {
+				scale = 1
+			}
+			o.A, o.B = optim.SpikeCoefficients(cfg.Momentum, scale*float64(delays[i]))
+		}
+		if cfg.Mitigation.LWP && cfg.Mitigation.LWPForm == optim.LWPWeight {
+			o.TrackPrev = true
+		}
+		ss.opt = o
+		t.stages = append(t.stages, ss)
+	}
+	t.fwd = make([]*inflight, s)
+	t.bwd = make([]*nn.Packet, s)
+	return t
+}
+
+// NumStages returns the pipeline depth S.
+func (t *PBTrainer) NumStages() int { return len(t.stages) }
+
+// Delays returns the per-stage gradient delays.
+func (t *PBTrainer) Delays() []int {
+	d := make([]int, len(t.stages))
+	for i, s := range t.stages {
+		d[i] = s.delay
+	}
+	return d
+}
+
+// ObservedDelays returns the maximum forward→backward update gap measured
+// per stage since construction.
+func (t *PBTrainer) ObservedDelays() []int {
+	d := make([]int, len(t.stages))
+	for i, s := range t.stages {
+		d[i] = s.maxObserved
+	}
+	return d
+}
+
+// Outstanding returns the number of samples currently in the pipeline.
+func (t *PBTrainer) Outstanding() int { return t.outstanding }
+
+// Push queues a sample to enter the pipeline on the next Step. It panics if
+// a sample is already pending (one sample enters per step).
+func (t *PBTrainer) Push(x *tensor.Tensor, label int) {
+	if t.pending != nil {
+		panic("core: Push called twice without Step")
+	}
+	t.pending = &inflight{packet: nn.NewPacket(x), label: label, id: t.nextID}
+	t.nextID++
+	t.outstanding++
+}
+
+// forwardHorizon returns the weight-prediction horizon used at the forward
+// pass of stage s, or 0 for none.
+func (t *PBTrainer) forwardHorizon(s int) (float64, optim.LWPForm) {
+	mit := t.Cfg.Mitigation
+	if mit.SpecTrain {
+		// Vertical sync: predict to the sample's final update time,
+		// 2(S−1)−s steps ahead of this forward pass (Appendix C).
+		return float64(2*(len(t.stages)-1) - s), optim.LWPVelocity
+	}
+	if mit.LWP {
+		scale := mit.LWPScale
+		if scale == 0 {
+			scale = 1
+		}
+		return scale * float64(t.stages[s].delay), mit.LWPForm
+	}
+	return 0, optim.LWPVelocity
+}
+
+// backwardHorizon returns the prediction horizon used at the backward pass
+// (SpecTrain only).
+func (t *PBTrainer) backwardHorizon(s int) float64 {
+	if t.Cfg.Mitigation.SpecTrain {
+		return float64(s)
+	}
+	return 0
+}
+
+// swapIn replaces stage parameters with the provided data slices, returning
+// the originals for restoration.
+func swapIn(params []*nn.Param, datas [][]float64) [][]float64 {
+	old := make([][]float64, len(params))
+	for i, p := range params {
+		old[i] = p.SwapData(datas[i])
+	}
+	return old
+}
+
+// Step advances the pipeline by one step: every stage performs its forward
+// and backward transformation and applies at most one weight update. It
+// returns the result of the sample whose loss was computed this step, if
+// any.
+func (t *PBTrainer) Step() *Result {
+	s := len(t.stages)
+	nextFwd := make([]*inflight, s)
+	nextBwd := make([]*nn.Packet, s)
+	var result *Result
+	var lossGrad *nn.Packet
+
+	if t.pending != nil {
+		t.fwd[0] = t.pending
+		t.pending = nil
+	}
+
+	// Forward sweep. Stage s processes the activation that arrived this
+	// step; its output arrives at stage s+1 on the next step.
+	for i := 0; i < s; i++ {
+		in := t.fwd[i]
+		if in == nil {
+			continue
+		}
+		t.fwd[i] = nil
+		st := t.stages[i]
+
+		var usedWeights [][]float64
+		horizon, form := t.forwardHorizon(i)
+		if horizon > 0 && len(st.params) > 0 {
+			pred := make([][]float64, len(st.params))
+			for j, p := range st.params {
+				pred[j] = st.opt.Predict(p, form, horizon)
+			}
+			old := swapIn(st.params, pred)
+			out, ctx := st.stage.Forward(in.packet)
+			swapIn(st.params, old)
+			if t.Cfg.Mitigation.WeightStash {
+				usedWeights = pred
+			}
+			st.push(ctx, usedWeights, in.id)
+			t.route(i, out, in, nextFwd, &lossGrad, &result)
+			continue
+		}
+		if t.Cfg.Mitigation.WeightStash && len(st.params) > 0 {
+			usedWeights = make([][]float64, len(st.params))
+			for j, p := range st.params {
+				usedWeights[j] = p.Snapshot()
+			}
+		}
+		out, ctx := st.stage.Forward(in.packet)
+		st.push(ctx, usedWeights, in.id)
+		t.route(i, out, in, nextFwd, &lossGrad, &result)
+	}
+
+	// Backward sweep. Stage s consumes the gradient that arrived this step
+	// (for the last stage: the loss gradient computed this very step) and
+	// updates its weights immediately — update size one, no draining.
+	for i := s - 1; i >= 0; i-- {
+		var dIn *nn.Packet
+		if i == s-1 {
+			dIn = lossGrad
+		} else {
+			dIn = t.bwd[i]
+			t.bwd[i] = nil
+		}
+		if dIn == nil {
+			continue
+		}
+		st := t.stages[i]
+		c := st.pop()
+
+		useStash := c.stash != nil
+		bwdHorizon := t.backwardHorizon(i)
+		var dx *nn.Packet
+		switch {
+		case useStash && len(st.params) > 0:
+			old := swapIn(st.params, c.stash)
+			dx = st.stage.Backward(dIn, c.ctx)
+			swapIn(st.params, old)
+		case bwdHorizon > 0 && len(st.params) > 0:
+			pred := make([][]float64, len(st.params))
+			for j, p := range st.params {
+				pred[j] = st.opt.Predict(p, optim.LWPVelocity, bwdHorizon)
+			}
+			old := swapIn(st.params, pred)
+			dx = st.stage.Backward(dIn, c.ctx)
+			swapIn(st.params, old)
+		default:
+			dx = st.stage.Backward(dIn, c.ctx)
+		}
+
+		if gap := st.updates - c.fwdUpdates; gap > st.maxObserved {
+			st.maxObserved = gap
+		}
+		if len(st.params) > 0 {
+			if g := t.Cfg.Mitigation.GradShrink; g > 0 {
+				optim.ShrinkGradients(st.params, g, float64(st.delay))
+			}
+			st.opt.LR = t.Cfg.lrAt(t.updateStep)
+			st.opt.Step(st.params)
+		}
+		st.updates++
+		if i == 0 {
+			t.outstanding--
+		} else {
+			nextBwd[i-1] = dx
+		}
+	}
+
+	t.fwd = nextFwd
+	t.bwd = nextBwd
+	t.step++
+	t.updateStep++
+	t.Steps++
+	return result
+}
+
+// route delivers a stage's forward output: to the next stage's input slot,
+// or — at the last stage — through the loss head, producing the same-step
+// backward input.
+func (t *PBTrainer) route(i int, out *nn.Packet, in *inflight, nextFwd []*inflight,
+	lossGrad **nn.Packet, result **Result) {
+	if i < len(t.stages)-1 {
+		nextFwd[i+1] = &inflight{packet: out, label: in.label, id: in.id}
+		return
+	}
+	loss, dl := t.Net.Head.Loss(out.X, []int{in.label})
+	correct := nn.Accuracy(out.X, []int{in.label}) == 1
+	*lossGrad = nn.NewPacket(dl)
+	*result = &Result{ID: in.id, Loss: loss, Correct: correct}
+}
+
+// push appends a context to the stage FIFO.
+func (s *stageState) push(ctx any, stash [][]float64, id int) {
+	s.queue = append(s.queue, stageCtx{ctx: ctx, stash: stash, fwdUpdates: s.updates, id: id})
+}
+
+// pop removes the oldest context (samples complete in order).
+func (s *stageState) pop() stageCtx {
+	if len(s.queue) == 0 {
+		panic("core: backward with empty context queue at stage " + s.stage.Name())
+	}
+	c := s.queue[0]
+	s.queue = s.queue[1:]
+	return c
+}
+
+// Drain advances the pipeline without feeding new samples until every
+// in-flight sample has completed, returning their results.
+func (t *PBTrainer) Drain() []*Result {
+	var rs []*Result
+	for t.outstanding > 0 {
+		if r := t.Step(); r != nil {
+			rs = append(rs, r)
+		}
+	}
+	return rs
+}
+
+// TrainEpoch feeds one epoch of the dataset (in the order of perm, or
+// sequentially if perm is nil) through the pipeline, draining at the end,
+// and returns the mean training loss and accuracy. aug may be nil.
+func (t *PBTrainer) TrainEpoch(ds *data.Dataset, perm []int, aug data.Augmenter, rng *rand.Rand) (meanLoss, acc float64) {
+	var lossMeter metrics.Meter
+	correct, count := 0, 0
+	record := func(r *Result) {
+		if r == nil {
+			return
+		}
+		lossMeter.Add(r.Loss, 1)
+		count++
+		if r.Correct {
+			correct++
+		}
+	}
+	n := ds.Len()
+	for i := 0; i < n; i++ {
+		idx := i
+		if perm != nil {
+			idx = perm[i]
+		}
+		sample := ds.Samples[idx]
+		if aug != nil {
+			sample = aug.Apply(sample, rng)
+		}
+		shape := append([]int{1}, ds.Shape...)
+		x := tensor.New(shape...)
+		copy(x.Data, sample)
+		t.Push(x, ds.Labels[idx])
+		record(t.Step())
+	}
+	for _, r := range t.Drain() {
+		record(r)
+	}
+	if count == 0 {
+		return 0, 0
+	}
+	return lossMeter.Mean(), float64(correct) / float64(count)
+}
+
+// Utilization returns the fraction of fully utilized worker steps over the
+// trainer's lifetime: each of the S workers can do one forward plus one
+// backward per step; a completed sample contributes 2S work units.
+func (t *PBTrainer) Utilization(samplesCompleted int) float64 {
+	if t.Steps == 0 {
+		return 0
+	}
+	capacity := float64(2 * len(t.stages) * t.Steps)
+	return float64(2*len(t.stages)*samplesCompleted) / capacity
+}
+
+// StageOptimizer exposes stage i's optimizer (for checkpointing and
+// inspection). Stage optimizers are independent; see DESIGN.md.
+func (t *PBTrainer) StageOptimizer(i int) *optim.Momentum { return t.stages[i].opt }

@@ -1,0 +1,47 @@
+package data
+
+import "math/rand"
+
+// Augmenter produces a randomized training view of a sample. The paper's
+// CIFAR experiments use 4-pixel pad-and-crop plus horizontal flips
+// (He et al. 2016a); PadCropFlip reproduces that at any image size.
+type Augmenter interface {
+	Apply(sample []float64, rng *rand.Rand) []float64
+}
+
+// NoAugment passes samples through unchanged.
+type NoAugment struct{}
+
+// Apply implements Augmenter.
+func (NoAugment) Apply(sample []float64, _ *rand.Rand) []float64 { return sample }
+
+// PadCropFlip zero-pads each side by Pad pixels, takes a random crop back to
+// the original size, and flips horizontally with probability one half.
+type PadCropFlip struct {
+	Channels, Size, Pad int
+}
+
+// Apply implements Augmenter.
+func (a PadCropFlip) Apply(sample []float64, rng *rand.Rand) []float64 {
+	c, s, p := a.Channels, a.Size, a.Pad
+	dx := rng.Intn(2*p+1) - p
+	dy := rng.Intn(2*p+1) - p
+	flip := rng.Intn(2) == 1
+	out := make([]float64, len(sample))
+	for ch := 0; ch < c; ch++ {
+		base := ch * s * s
+		for y := 0; y < s; y++ {
+			sy := y + dy
+			for x := 0; x < s; x++ {
+				sx := x + dx
+				if flip {
+					sx = s - 1 - sx
+				}
+				if sx >= 0 && sx < s && sy >= 0 && sy < s {
+					out[base+y*s+x] = sample[base+sy*s+sx]
+				}
+			}
+		}
+	}
+	return out
+}

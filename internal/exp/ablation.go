@@ -1,0 +1,119 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/delaysim"
+	"repro/internal/metrics"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/sched"
+)
+
+// AblationWarmup tests the Section 5 discussion claim that a learning-rate
+// warmup can stabilize PB training (the weights change fastest — and delays
+// hurt most — at the start of training). It compares plain PB with and
+// without a linear warmup over the first epoch, and the combined mitigation
+// for reference.
+func AblationWarmup(w io.Writer, s Scale) {
+	train, test, aug := cifarTask(s, 1010)
+	build := func(seed int64) *nn.Network {
+		return models.ResNet(models.MiniResNet(20, s.Width, s.ImageSize, 10, seed))
+	}
+	fmt.Fprintf(w, "Ablation — LR warmup for PB (Section 5 discussion; scale=%s)\n", s.Name)
+	tab := metrics.NewTable("Method", "Warmup", "ValAcc")
+	for _, warm := range []bool{false, true} {
+		for _, m := range []MethodSpec{PB, {Name: "PB+LWPvD+SCD", Mit: core.LWPvDSCD}} {
+			net := build(1)
+			cfg := core.ScaledConfig(DefaultRef.Eta, DefaultRef.Momentum, DefaultRef.RefBatch, 1)
+			cfg.WeightDecay = DefaultRef.WeightDecay
+			cfg.Mitigation = m.Mit
+			total := train.Len() * s.Epochs
+			var schedule sched.Schedule = sched.MultiStep{Base: cfg.LR,
+				Milestones: []int{total / 2, total * 3 / 4}, Gamma: 0.1}
+			if warm {
+				schedule = sched.Warmup{Inner: schedule, Steps: train.Len()}
+			}
+			cfg.Schedule = schedule
+			tr := core.NewPBTrainer(net, cfg)
+			rng := newRNG(17)
+			for e := 0; e < s.Epochs; e++ {
+				tr.TrainEpoch(train, train.Perm(rng), aug, rng)
+			}
+			xs, ys := test.Batches(32)
+			_, acc := net.Evaluate(xs, ys)
+			tab.AddRow(m.Name, warm, fmt.Sprintf("%.1f%%", acc*100))
+		}
+	}
+	fmt.Fprint(w, tab.String())
+}
+
+// AblationGradShrink compares the Gradient Shrinking baseline of Zhuang et
+// al. (2019) — gradients scaled by γ^D per stage — against the paper's
+// mitigations on the Fig. 8 workload.
+func AblationGradShrink(w io.Writer, s Scale) {
+	train, test, aug := cifarTask(s, 1111)
+	build := func(seed int64) *nn.Network {
+		return models.ResNet(models.MiniResNet(20, s.Width, s.ImageSize, 10, seed))
+	}
+	fmt.Fprintf(w, "Ablation — Gradient Shrinking baseline (Zhuang et al.; scale=%s)\n", s.Name)
+	methods := []MethodSpec{
+		PB,
+		{Name: "PB+GradShrink γ=0.99", Mit: core.Mitigation{GradShrink: 0.99}},
+		{Name: "PB+GradShrink γ=0.95", Mit: core.Mitigation{GradShrink: 0.95}},
+		{Name: "PB+SCD", Mit: core.SCD},
+		{Name: "PB+LWPvD+SCD", Mit: core.LWPvDSCD},
+	}
+	tab := metrics.NewTable("Method", "ValAcc")
+	for _, m := range methods {
+		r := RunMethod(build, train, test, m, DefaultRef, s.Epochs, aug, 1)
+		tab.AddRow(m.Name, fmt.Sprintf("%.1f%%", r.FinalValAcc*100))
+	}
+	fmt.Fprint(w, tab.String())
+}
+
+// AblationAdamDelay tests the Section 5 conjecture that adaptive optimizers
+// increase delay tolerance: SGDM vs Adam across delays in the constant-delay
+// simulator.
+func AblationAdamDelay(w io.Writer, s Scale) {
+	train, test, build := delayTask(s, 1212)
+	fmt.Fprintf(w, "Ablation — Adam vs SGDM delay tolerance (Section 5 discussion; scale=%s)\n", s.Name)
+	eta, m, batch := fig10Hyper()
+	tab := metrics.NewTable("delay", "SGDM", "Adam")
+	for _, d := range []int{0, 4, 8, 16} {
+		sgdm := delayRunMean(build, train, test, delaysim.Config{
+			Delay: d, Consistent: true, LR: eta, Momentum: m, BatchSize: batch},
+			s.Epochs+5, s.Seeds+2)
+		adam := delayRunMean(build, train, test, delaysim.Config{
+			Delay: d, Consistent: true, UseAdam: true, LR: 0.003, BatchSize: batch},
+			s.Epochs+5, s.Seeds+2)
+		tab.AddRow(d, fmt.Sprintf("%.1f%%", sgdm), fmt.Sprintf("%.1f%%", adam))
+	}
+	fmt.Fprint(w, tab.String())
+}
+
+// AblationASGD exercises the Appendix G.2 extension: random (asynchronous
+// SGD style) delays with the same mean as a constant delay, with and
+// without spike compensation sized for the mean delay.
+func AblationASGD(w io.Writer, s Scale) {
+	train, test, build := delayTask(s, 1313)
+	eta, m, batch := fig10Hyper()
+	fmt.Fprintf(w, "Ablation — ASGD-style random delays (Appendix G.2 extension; scale=%s)\n", s.Name)
+	tab := metrics.NewTable("mean delay", "constant D", "random U[0,2D]", "random + SCD")
+	for _, d := range []int{2, 4, 8} {
+		constant := delayRunMean(build, train, test, delaysim.Config{
+			Delay: d, Consistent: true, LR: eta, Momentum: m, BatchSize: batch},
+			s.Epochs+5, s.Seeds+2)
+		random := delayRunMean(build, train, test, delaysim.Config{
+			Delay: d, JitterDelay: true, Consistent: true, LR: eta, Momentum: m, BatchSize: batch},
+			s.Epochs+5, s.Seeds+2)
+		randomSC := delayRunMean(build, train, test, delaysim.Config{
+			Delay: d, JitterDelay: true, Consistent: true, LR: eta, Momentum: m, BatchSize: batch, SC: true},
+			s.Epochs+5, s.Seeds+2)
+		tab.AddRow(d, fmt.Sprintf("%.1f%%", constant), fmt.Sprintf("%.1f%%", random),
+			fmt.Sprintf("%.1f%%", randomSC))
+	}
+	fmt.Fprint(w, tab.String())
+}

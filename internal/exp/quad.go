@@ -1,0 +1,253 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/metrics"
+	"repro/internal/optim"
+	"repro/internal/quadratic"
+	"repro/internal/schedviz"
+)
+
+// Fig2Utilization reproduces the Fig. 2 / Eq. 1 motivation: worker
+// utilization of fill-and-drain SGD vs pipelined backpropagation across
+// pipeline depths and batch sizes, plus a small schedule diagram.
+func Fig2Utilization(w io.Writer, s Scale) {
+	fmt.Fprintln(w, "Fig. 2 / Eq. 1 — pipeline utilization: fill&drain vs pipelined backpropagation")
+	rows := schedviz.UtilizationTable([]int{4, 16, 34, 78, 169}, []int{1, 8, 32, 256})
+	tab := metrics.NewTable("STAGES", "BATCH", "FILL&DRAIN", "EQ.1 BOUND", "PIPELINED")
+	for _, r := range rows {
+		tab.AddRow(r.Stages, r.Batch,
+			fmt.Sprintf("%.3f", r.FillDrainUtil),
+			fmt.Sprintf("%.3f", r.Bound),
+			fmt.Sprintf("%.3f", r.PipelineUtil))
+	}
+	fmt.Fprint(w, tab.String())
+	fmt.Fprintln(w, "\nSchedule diagrams (F=forward, B=backward, X=both, .=idle):")
+	fmt.Fprintln(w, "fill&drain, S=4, N=2, two batches:")
+	fmt.Fprint(w, schedviz.FillDrain(4, 2, 2).String())
+	fmt.Fprintln(w, "pipelined backpropagation, S=4:")
+	fmt.Fprint(w, schedviz.Pipelined(4, 12).String())
+}
+
+// Fig3ImpulseResponse reproduces Fig. 3: the contribution of one gradient to
+// the weight updates over time — no delay, delayed, and delayed with spike
+// compensation.
+func Fig3ImpulseResponse(w io.Writer, s Scale) {
+	m, d, steps := 0.9, 8, 32
+	fmt.Fprintf(w, "Fig. 3 — impulse response (m=%.1f, D=%d)\n", m, d)
+	base := quadratic.ImpulseResponse(m, 0, 1, 0, steps)
+	delayed := quadratic.ImpulseResponse(m, d, 1, 0, steps)
+	a, b := optim.SpikeCoefficients(m, float64(d))
+	sc := quadratic.ImpulseResponse(m, d, a, b, steps)
+	series := []metrics.Series{
+		{Name: "no delay", X: ramp(steps), Y: base},
+		{Name: fmt.Sprintf("delay %d", d), X: ramp(steps), Y: delayed},
+		{Name: "delay + SCD (spike at arrival)", X: ramp(steps), Y: sc},
+	}
+	fmt.Fprint(w, metrics.AsciiPlot(series, 64, 12, false))
+	fmt.Fprintf(w, "total contribution: no-delay %.4f, SCD %.4f (preserved), delayed-without-SC %.4f (shifted only)\n",
+		quadratic.ImpulseTotal(base, m, 0, 1),
+		quadratic.ImpulseTotal(sc, m, d, a),
+		quadratic.ImpulseTotal(delayed, m, d, 1))
+}
+
+// ramp returns [0, 1, ..., n-1] as floats.
+func ramp(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = float64(i)
+	}
+	return out
+}
+
+// fig4Panels is the Fig. 4 lineup: method, delay.
+var fig4Panels = []struct {
+	Meth  quadratic.Method
+	Delay int
+	Label string
+}{
+	{quadratic.GDM, 0, "GDM D=0"},
+	{quadratic.GDM, 1, "GDM D=1"},
+	{quadratic.SCD(1), 1, "SCD D=1"},
+	{quadratic.Nesterov, 0, "Nesterov D=0"},
+	{quadratic.LWPD(1), 1, "LWPD D=1"},
+	{quadratic.Combined(1, 1), 1, "LWPwD+SCD D=1"},
+}
+
+// Fig4RootHeatmaps reproduces Fig. 4: |r_max| over the (ηλ, momentum) plane
+// for the six panels, rendered as digit heatmaps (digit = −log10(1−|r|),
+// '#' = unstable) plus the stable-area summary.
+func Fig4RootHeatmaps(w io.Writer, s Scale) {
+	ms := quadratic.MomentumGrid(s.MomentumPoints, 5)
+	els := quadratic.LogSpace(1e-9, 1, s.RatePoints/3)
+	fmt.Fprintln(w, "Fig. 4 — dominant root magnitude heatmaps (rows: momentum 0→1−1e-5 top-down; cols: ηλ=1e-9→1)")
+	fmt.Fprintln(w, "cell digit d means |r_max| ≈ 1−10^(−d) (larger digit = slower); '#' = unstable (|r|≥1)")
+	for _, p := range fig4Panels {
+		g := quadratic.ComputeRateGrid(p.Meth, p.Delay, ms, els)
+		fmt.Fprintf(w, "%s  (stable fraction %.2f)\n", p.Label, g.StableFraction())
+		for i := len(ms) - 1; i >= 0; i-- {
+			fmt.Fprint(w, "  ")
+			for j := range els {
+				r := g.R[i][j]
+				if r >= 1 {
+					fmt.Fprint(w, "#")
+					continue
+				}
+				d := int(math.Min(9, math.Max(0, -math.Log10(1-r))))
+				fmt.Fprintf(w, "%d", d)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}
+
+// Fig5HalflifeVsKappa reproduces Fig. 5: minimum half-life vs condition
+// number for the five methods at delay 1.
+func Fig5HalflifeVsKappa(w io.Writer, s Scale) {
+	fmt.Fprintln(w, "Fig. 5 — minimum error half-life vs condition number (D=1)")
+	ms := quadratic.MomentumGrid(s.MomentumPoints, 5)
+	els := quadratic.LogSpace(1e-9, 4, s.RatePoints)
+	kappas := quadratic.LogSpace(1, 1e6, 13)
+	methods := []struct {
+		label string
+		meth  quadratic.Method
+		d     int
+	}{
+		{"GDM D=1", quadratic.GDM, 1},
+		{"SCD D=1", quadratic.SCD(1), 1},
+		{"LWPD D=1", quadratic.LWPD(1), 1},
+		{"LWPwD+SCD D=1", quadratic.Combined(1, 1), 1},
+		{"GDM D=0", quadratic.GDM, 0},
+	}
+	header := []string{"kappa"}
+	for _, m := range methods {
+		header = append(header, m.label)
+	}
+	tab := metrics.NewTable(header...)
+	grids := make([]*quadratic.RateGrid, len(methods))
+	for i, m := range methods {
+		grids[i] = quadratic.ComputeRateGrid(m.meth, m.d, ms, els)
+	}
+	var series []metrics.Series
+	ys := make([][]float64, len(methods))
+	for _, k := range kappas {
+		row := []any{fmt.Sprintf("%.0e", k)}
+		for i := range methods {
+			r, _, _ := grids[i].BestRate(k)
+			h := quadratic.Halflife(r)
+			ys[i] = append(ys[i], h)
+			row = append(row, fmt.Sprintf("%.3g", h))
+		}
+		tab.AddRow(row...)
+	}
+	fmt.Fprint(w, tab.String())
+	lk := make([]float64, len(kappas))
+	for i, k := range kappas {
+		lk[i] = math.Log10(k)
+	}
+	for i, m := range methods {
+		series = append(series, metrics.Series{Name: m.label, X: lk, Y: ys[i]})
+	}
+	fmt.Fprint(w, metrics.AsciiPlot(series, 60, 14, true))
+}
+
+// Fig6HalflifeVsDelay reproduces Fig. 6: optimal half-life vs delay at
+// κ = 10³ for GDM, LWPD and the combination.
+func Fig6HalflifeVsDelay(w io.Writer, s Scale) {
+	fmt.Fprintln(w, "Fig. 6 — minimum half-life vs delay (κ=1e3)")
+	ms := quadratic.MomentumGrid(s.MomentumPoints, 5)
+	els := quadratic.LogSpace(1e-8, 4, s.RatePoints)
+	delays := []int{0, 2, 4, 8, 12, 16}
+	methods := []struct {
+		label string
+		meth  quadratic.Method
+	}{
+		{"GDM", quadratic.GDM},
+		{"LWPD", quadratic.LWPD(1)},
+		{"LWPwD+SCD", quadratic.Combined(1, 1)},
+	}
+	tab := metrics.NewTable("delay", methods[0].label, methods[1].label, methods[2].label)
+	for _, d := range delays {
+		row := []any{d}
+		for _, m := range methods {
+			g := quadratic.ComputeRateGrid(m.meth, d, ms, els)
+			r, _, _ := g.BestRate(1e3)
+			row = append(row, fmt.Sprintf("%.4g", quadratic.Halflife(r)))
+		}
+		tab.AddRow(row...)
+	}
+	fmt.Fprint(w, tab.String())
+}
+
+// Fig7HorizonMomentum reproduces Fig. 7: half-life vs momentum for LWP with
+// horizons T ∈ {0,3,5,10,20} and the combination, at κ=10³, D=5.
+func Fig7HorizonMomentum(w io.Writer, s Scale) {
+	fmt.Fprintln(w, "Fig. 7 — half-life vs momentum for LWP horizons (κ=1e3, D=5)")
+	d := 5
+	ms := quadratic.MomentumGrid(s.MomentumPoints, 5)
+	els := quadratic.LogSpace(1e-8, 4, s.RatePoints)
+	horizons := []float64{0, 3, 5, 10, 20}
+	header := []string{"momentum"}
+	for _, th := range horizons {
+		header = append(header, fmt.Sprintf("LWP T=%g", th))
+	}
+	header = append(header, "LWPwD+SCD")
+	tab := metrics.NewTable(header...)
+	grids := make([]*quadratic.RateGrid, 0, len(horizons)+1)
+	for _, th := range horizons {
+		grids = append(grids, quadratic.ComputeRateGrid(quadratic.LWPFixed(th), d, ms, els))
+	}
+	grids = append(grids, quadratic.ComputeRateGrid(quadratic.Combined(1, 1), d, ms, els))
+	for mi, m := range ms {
+		row := []any{fmt.Sprintf("%.6f", m)}
+		for _, g := range grids {
+			r, _ := g.BestRateFixedM(1e3, mi)
+			row = append(row, fmt.Sprintf("%.4g", quadratic.Halflife(r)))
+		}
+		tab.AddRow(row...)
+	}
+	fmt.Fprint(w, tab.String())
+}
+
+// Fig12HorizonScaleQuadratic reproduces Fig. 12: half-life vs prediction
+// scale α (T = αD) for (κ, D) ∈ {(1e3,4), (1e3,10), (1e5,4)}.
+func Fig12HorizonScaleQuadratic(w io.Writer, s Scale) {
+	fmt.Fprintln(w, "Fig. 12 — half-life vs LWP prediction scale α (T = αD)")
+	ms := quadratic.MomentumGrid(s.MomentumPoints, 5)
+	els := quadratic.LogSpace(1e-8, 4, s.RatePoints)
+	alphas := []float64{0, 0.5, 1, 1.5, 2, 2.5, 3, 4, 6, 8, 10}
+	cases := []struct {
+		kappa float64
+		d     int
+	}{{1e3, 4}, {1e3, 10}, {1e5, 4}}
+	header := []string{"alpha"}
+	for _, c := range cases {
+		header = append(header, fmt.Sprintf("κ=%.0e D=%d", c.kappa, c.d))
+	}
+	tab := metrics.NewTable(header...)
+	best := make([]float64, len(cases))
+	bestAlpha := make([]float64, len(cases))
+	for i := range best {
+		best[i] = math.Inf(1)
+	}
+	for _, a := range alphas {
+		row := []any{a}
+		for i, c := range cases {
+			g := quadratic.ComputeRateGrid(quadratic.LWPD(a), c.d, ms, els)
+			r, _, _ := g.BestRate(c.kappa)
+			h := quadratic.Halflife(r)
+			if h < best[i] {
+				best[i], bestAlpha[i] = h, a
+			}
+			row = append(row, fmt.Sprintf("%.4g", h))
+		}
+		tab.AddRow(row...)
+	}
+	fmt.Fprint(w, tab.String())
+	for i, c := range cases {
+		fmt.Fprintf(w, "κ=%.0e D=%d: best α = %g (paper: α ≈ 2)\n", c.kappa, c.d, bestAlpha[i])
+	}
+}

@@ -1,0 +1,91 @@
+// Package memmodel quantifies the Appendix A comparison between batch
+// parallelism and pipeline parallelism: where activations and parameters
+// live, per worker and in total. For an L-layer network on W workers,
+// both schemes need O(LW) activation memory in total, but pipeline
+// parallelism spreads it very unevenly (the first worker holds activations
+// for 2W steps, the last for one) and needs only a single copy of the
+// parameters, whereas data parallelism replicates the model W times.
+package memmodel
+
+import (
+	"repro/internal/nn"
+	"repro/internal/partition"
+)
+
+// WorkerMemory is the memory footprint of one worker, in float64 elements.
+type WorkerMemory struct {
+	Activations int
+	Parameters  int
+}
+
+// Total returns activations + parameters.
+func (m WorkerMemory) Total() int { return m.Activations + m.Parameters }
+
+// Report compares the two parallelization schemes for one network.
+type Report struct {
+	Stages int
+	// Pipeline[s] is stage-s's worker in fine-grained PB: it retains one
+	// activation context per in-flight sample, i.e. D_s+1 = 2(S−1−s)+1.
+	Pipeline []WorkerMemory
+	// BatchParallel is any single data-parallel worker (they are
+	// symmetric): all layer activations for its micro-batch plus a full
+	// model replica.
+	BatchParallel WorkerMemory
+}
+
+// Analyze probes the network with the given input shape (batch 1) and
+// builds the report. batchPerWorker scales the data-parallel worker's
+// activation footprint.
+func Analyze(net *nn.Network, inputShape []int, batchPerWorker int) *Report {
+	costs := partition.EstimateCosts(net, inputShape)
+	s := len(costs)
+	r := &Report{Stages: s}
+	totalParams := 0
+	totalActs := 0
+	for _, c := range costs {
+		totalParams += c.Params
+		totalActs += c.Activations
+	}
+	for i, c := range costs {
+		inFlight := 2*(s-1-i) + 1
+		r.Pipeline = append(r.Pipeline, WorkerMemory{
+			Activations: c.Activations * inFlight,
+			Parameters:  c.Params,
+		})
+	}
+	r.BatchParallel = WorkerMemory{
+		Activations: totalActs * batchPerWorker,
+		Parameters:  totalParams,
+	}
+	return r
+}
+
+// PipelineTotals sums the pipeline workers' memory.
+func (r *Report) PipelineTotals() WorkerMemory {
+	var t WorkerMemory
+	for _, w := range r.Pipeline {
+		t.Activations += w.Activations
+		t.Parameters += w.Parameters
+	}
+	return t
+}
+
+// PipelinePeak returns the largest single pipeline worker.
+func (r *Report) PipelinePeak() WorkerMemory {
+	var peak WorkerMemory
+	for _, w := range r.Pipeline {
+		if w.Total() > peak.Total() {
+			peak = w
+		}
+	}
+	return peak
+}
+
+// BatchParallelTotals returns the footprint of `workers` data-parallel
+// workers: activations scale with workers and the model is replicated.
+func (r *Report) BatchParallelTotals(workers int) WorkerMemory {
+	return WorkerMemory{
+		Activations: r.BatchParallel.Activations * workers,
+		Parameters:  r.BatchParallel.Parameters * workers,
+	}
+}

@@ -1,0 +1,67 @@
+package memmodel
+
+import (
+	"testing"
+
+	"repro/internal/models"
+)
+
+func TestAnalyzeResNet(t *testing.T) {
+	net := models.ResNet(models.MiniResNet(20, 4, 8, 10, 1))
+	r := Analyze(net, []int{1, 3, 8, 8}, 1)
+	if r.Stages != net.NumStages() || len(r.Pipeline) != r.Stages {
+		t.Fatalf("report shape: %d stages, %d workers", r.Stages, len(r.Pipeline))
+	}
+	// Pipeline parameters sum to exactly one model copy.
+	totalParams := 0
+	for _, p := range net.Params() {
+		totalParams += p.W.Size()
+	}
+	if got := r.PipelineTotals().Parameters; got != totalParams {
+		t.Fatalf("pipeline params %d, want one model copy %d", got, totalParams)
+	}
+	// Data parallelism replicates the model.
+	if r.BatchParallelTotals(4).Parameters != 4*totalParams {
+		t.Fatal("batch-parallel must replicate parameters per worker")
+	}
+}
+
+func TestEarlyWorkersHoldMoreActivations(t *testing.T) {
+	// Appendix A: the first worker stores activations for 2W steps, the
+	// second for 2(W−1), and so on — per-stage in-flight counts decrease.
+	net := models.DeepMLP(8, 8, 5, 4, 2) // equal-size stages
+	r := Analyze(net, []int{1, 8}, 1)
+	for i := 1; i < len(r.Pipeline); i++ {
+		if r.Pipeline[i].Activations > r.Pipeline[i-1].Activations {
+			t.Fatalf("worker %d holds more activations than worker %d", i, i-1)
+		}
+	}
+	last := r.Pipeline[len(r.Pipeline)-1]
+	if last.Activations <= 0 {
+		t.Fatal("last worker must hold at least one context")
+	}
+}
+
+func TestTotalsComparableOrder(t *testing.T) {
+	// Appendix A: total activation memory is O(LW) in both schemes: with
+	// batchPerWorker=1 and W=S workers, pipeline totals must be within a
+	// small factor of S× the single-copy activation footprint.
+	net := models.DeepMLP(8, 8, 6, 4, 3)
+	r := Analyze(net, []int{1, 8}, 1)
+	s := r.Stages
+	pipeline := r.PipelineTotals().Activations
+	batch := r.BatchParallelTotals(s).Activations
+	// Both ≈ S × (per-model activations); allow a 3x band.
+	if pipeline > 3*batch || batch > 3*pipeline {
+		t.Fatalf("activation totals should be comparable: pipeline %d vs batch %d", pipeline, batch)
+	}
+}
+
+func TestPipelinePeak(t *testing.T) {
+	net := models.DeepMLP(8, 8, 3, 4, 4)
+	r := Analyze(net, []int{1, 8}, 1)
+	peak := r.PipelinePeak()
+	if peak.Total() < r.Pipeline[len(r.Pipeline)-1].Total() {
+		t.Fatal("peak below minimum worker")
+	}
+}

@@ -1,0 +1,302 @@
+// Package models builds the network families the paper evaluates — VGG-11/
+// 13/16 and pre-activation ResNet-20/32/44/56/110 with GroupNorm (batch size
+// one precludes BatchNorm) — plus deep MLP pipelines for the fast sweep
+// experiments. Networks are decomposed into pipeline stages the way the
+// paper's GProp does: convolution + normalization + ReLU fuse into one
+// stage, and the residual sum nodes are stages of their own (Section 4).
+//
+// The builders accept width/resolution scaling so that the paper's
+// depth-accuracy experiments run on a single CPU core; pipeline depth — the
+// independent variable of Table 1 — is preserved per family. Our stage
+// counts differ from the paper's GProp counts by a small framework-specific
+// constant (GProp counted a few extra I/O nodes); EXPERIMENTS.md reports
+// both.
+package models
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/nn"
+)
+
+// blockStart fuses the residual branch point with the first pre-activation
+// conv group of a block, so each block contributes exactly its conv count
+// plus one sum node to the stage count — the paper's decomposition.
+type blockStart struct {
+	push   *nn.PushSkip
+	layers *nn.LayerStage
+	name   string
+}
+
+type blockStartCtx struct {
+	pushCtx, layerCtx any
+}
+
+func (b *blockStart) Name() string { return b.name }
+
+// Forward implements nn.Stage.
+func (b *blockStart) Forward(p *nn.Packet) (*nn.Packet, any) {
+	q, pc := b.push.Forward(p)
+	r, lc := b.layers.Forward(q)
+	return r, blockStartCtx{pushCtx: pc, layerCtx: lc}
+}
+
+// Backward implements nn.Stage.
+func (b *blockStart) Backward(dp *nn.Packet, ctx any) *nn.Packet {
+	c := ctx.(blockStartCtx)
+	dq := b.layers.Backward(dp, c.layerCtx)
+	return b.push.Backward(dq, c.pushCtx)
+}
+
+// Params implements nn.Stage.
+func (b *blockStart) Params() []*nn.Param { return b.layers.Params() }
+
+// MLPConfig describes a deep MLP pipeline: one Dense(+LayerNorm)+ReLU per
+// stage. MLPs make pipelines of arbitrary depth cheap, which the delay and
+// momentum sweeps exploit.
+type MLPConfig struct {
+	In, Classes int
+	Hidden      []int
+	LayerNorm   bool
+	Seed        int64
+}
+
+// MLP builds the network. Stage count = len(Hidden) + 1.
+func MLP(cfg MLPConfig) *nn.Network {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var stages []nn.Stage
+	in := cfg.In
+	for i, h := range cfg.Hidden {
+		name := fmt.Sprintf("fc%d", i+1)
+		layers := []nn.Layer{nn.NewDense(name, in, h, true, rng)}
+		if cfg.LayerNorm {
+			layers = append(layers, nn.NewLayerNorm(name+".ln", h))
+		}
+		layers = append(layers, nn.ReLU{})
+		stages = append(stages, nn.NewLayerStage(name, layers...))
+		in = h
+	}
+	stages = append(stages, nn.NewLayerStage("head", nn.NewDense("head", in, cfg.Classes, true, rng)))
+	return nn.NewNetwork(stages...)
+}
+
+// DeepMLP is a convenience wrapper producing depth equal-width hidden stages.
+func DeepMLP(in, width, depth, classes int, seed int64) *nn.Network {
+	hidden := make([]int, depth)
+	for i := range hidden {
+		hidden[i] = width
+	}
+	return MLP(MLPConfig{In: in, Classes: classes, Hidden: hidden, LayerNorm: true, Seed: seed})
+}
+
+// ResNetConfig describes a pre-activation ResNet (He et al. 2016b) with
+// GroupNorm. BlocksPerGroup n gives the paper's ResNet-(6n+2): n=3 → RN20,
+// 5 → RN32, 7 → RN44, 9 → RN56, 18 → RN110.
+type ResNetConfig struct {
+	Name           string
+	BlocksPerGroup int
+	BaseWidth      int // paper: 16; minis use 4–8
+	InChannels     int
+	InSize         int
+	Classes        int
+	GroupSize      int // GroupNorm group size (paper: 2)
+	Seed           int64
+}
+
+// MiniResNet returns the scaled-down configuration for the given paper
+// depth (20, 32, 44, 56, 110).
+func MiniResNet(depth, width, inSize, classes int, seed int64) ResNetConfig {
+	n := (depth - 2) / 6
+	return ResNetConfig{
+		Name: fmt.Sprintf("RN%d", depth), BlocksPerGroup: n, BaseWidth: width,
+		InChannels: 3, InSize: inSize, Classes: classes, GroupSize: 2, Seed: seed,
+	}
+}
+
+// ResNet builds the network. Stage decomposition per Section 4: stem conv is
+// one stage; each block is [branch+preact conv1] + [preact conv2] + [sum];
+// then final norm+ReLU, global average pool, and the classifier stage.
+// Stage count = 9·BlocksPerGroup + 4.
+func ResNet(cfg ResNetConfig) *nn.Network {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	gn := func(name string, c int) *nn.GroupNorm {
+		return nn.NewGroupNorm(name, c, nn.GroupsForChannels(c, cfg.GroupSize))
+	}
+	var stages []nn.Stage
+	w := cfg.BaseWidth
+	stages = append(stages, nn.NewLayerStage("stem",
+		nn.NewConv2D("stem", cfg.InChannels, w, 3, 1, 1, false, rng)))
+	inC := w
+	blockID := 0
+	for group := 0; group < 3; group++ {
+		outC := cfg.BaseWidth << group
+		for b := 0; b < cfg.BlocksPerGroup; b++ {
+			blockID++
+			stride := 1
+			var short nn.Shortcut = nn.IdentityShortcut{}
+			if group > 0 && b == 0 {
+				stride = 2
+				short = nn.DownsampleShortcut{OutC: outC}
+			}
+			nameA := fmt.Sprintf("b%d.conv1", blockID)
+			nameB := fmt.Sprintf("b%d.conv2", blockID)
+			stages = append(stages, &blockStart{
+				name: nameA,
+				push: nn.NewPushSkip(nameA+".push", short),
+				layers: nn.NewLayerStage(nameA,
+					gn(nameA+".gn", inC), nn.ReLU{},
+					nn.NewConv2D(nameA, inC, outC, 3, stride, 1, false, rng)),
+			})
+			stages = append(stages, nn.NewLayerStage(nameB,
+				gn(nameB+".gn", outC), nn.ReLU{},
+				nn.NewConv2D(nameB, outC, outC, 3, 1, 1, false, rng)))
+			stages = append(stages, nn.NewAddSkip(fmt.Sprintf("b%d.sum", blockID)))
+			inC = outC
+		}
+	}
+	stages = append(stages,
+		nn.NewLayerStage("final.norm", gn("final.gn", inC), nn.ReLU{}),
+		nn.NewLayerStage("gap", nn.GlobalAvgPool{}),
+		nn.NewLayerStage("fc", nn.NewDense("fc", inC, cfg.Classes, true, rng)),
+	)
+	return nn.NewNetwork(stages...)
+}
+
+// VGGConfig describes a VGG-style plain CNN (Simonyan & Zisserman 2014,
+// CIFAR adaptation after Fu 2019) with GroupNorm.
+type VGGConfig struct {
+	Name string
+	// Plan lists channel counts; 0 denotes a 2x2 max-pool.
+	Plan                        []int
+	WidthDiv                    int // divide the standard widths for mini variants
+	InChannels, InSize, Classes int
+	GroupSize                   int
+	Seed                        int64
+}
+
+// vggPlans are the standard VGG feature configurations.
+var vggPlans = map[int][]int{
+	11: {64, 0, 128, 0, 256, 256, 0, 512, 512, 0, 512, 512, 0},
+	13: {64, 64, 0, 128, 128, 0, 256, 256, 0, 512, 512, 0, 512, 512, 0},
+	16: {64, 64, 0, 128, 128, 0, 256, 256, 256, 0, 512, 512, 512, 0, 512, 512, 512, 0},
+}
+
+// MiniVGG returns the scaled-down configuration for VGG-11/13/16.
+func MiniVGG(depth, widthDiv, inSize, classes int, seed int64) VGGConfig {
+	plan, ok := vggPlans[depth]
+	if !ok {
+		panic(fmt.Sprintf("models: no VGG-%d plan", depth))
+	}
+	return VGGConfig{
+		Name: fmt.Sprintf("VGG%d", depth), Plan: plan, WidthDiv: widthDiv,
+		InChannels: 3, InSize: inSize, Classes: classes, GroupSize: 2, Seed: seed,
+	}
+}
+
+// VGG builds the network. Each conv+GN+ReLU is one stage and each max-pool
+// is one stage; pools are skipped once the spatial size reaches 2 (mini
+// inputs are smaller than 32x32). The classifier is GAP + Dense.
+func VGG(cfg VGGConfig) *nn.Network {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	div := cfg.WidthDiv
+	if div == 0 {
+		div = 1
+	}
+	var stages []nn.Stage
+	inC := cfg.InChannels
+	size := cfg.InSize
+	convID := 0
+	poolID := 0
+	for _, p := range cfg.Plan {
+		if p == 0 {
+			if size >= 4 {
+				poolID++
+				stages = append(stages, nn.NewLayerStage(fmt.Sprintf("pool%d", poolID),
+					&nn.MaxPool2D{K: 2, Stride: 2}))
+				size /= 2
+			}
+			continue
+		}
+		convID++
+		outC := p / div
+		if outC < 2 {
+			outC = 2
+		}
+		name := fmt.Sprintf("conv%d", convID)
+		stages = append(stages, nn.NewLayerStage(name,
+			nn.NewConv2D(name, inC, outC, 3, 1, 1, false, rng),
+			nn.NewGroupNorm(name+".gn", outC, nn.GroupsForChannels(outC, cfg.GroupSize)),
+			nn.ReLU{}))
+		inC = outC
+	}
+	stages = append(stages,
+		nn.NewLayerStage("gap", nn.GlobalAvgPool{}),
+		nn.NewLayerStage("fc", nn.NewDense("fc", inC, cfg.Classes, true, rng)),
+	)
+	return nn.NewNetwork(stages...)
+}
+
+// TinyCNN is a minimal two-conv network used by fast unit and integration
+// tests.
+func TinyCNN(inC, inSize, classes int, seed int64) *nn.Network {
+	rng := rand.New(rand.NewSource(seed))
+	w := 4
+	return nn.NewNetwork(
+		nn.NewLayerStage("conv1",
+			nn.NewConv2D("conv1", inC, w, 3, 1, 1, false, rng),
+			nn.NewGroupNorm("gn1", w, 2), nn.ReLU{}),
+		nn.NewLayerStage("conv2",
+			nn.NewConv2D("conv2", w, w, 3, 2, 1, false, rng),
+			nn.NewGroupNorm("gn2", w, 2), nn.ReLU{}),
+		nn.NewLayerStage("head", nn.GlobalAvgPool{}, nn.NewDense("fc", w, classes, true, rng)),
+	)
+}
+
+// NormKind selects the normalization used by SmallCNN — the knob for the
+// Section 5 delay-tolerance comparison across normalizers.
+type NormKind string
+
+// Supported normalization kinds.
+const (
+	NormGroup  NormKind = "gn"   // GroupNorm (the paper's choice at batch 1)
+	NormBatch  NormKind = "bn"   // BatchNorm (reference; needs batches)
+	NormFilter NormKind = "frn"  // Filter Response Normalization + TLU
+	NormWSGN   NormKind = "wsgn" // Weight Standardization + GroupNorm
+	NormNone   NormKind = "none"
+)
+
+// SmallCNN builds a 5-stage convolutional pipeline with the chosen
+// normalization, used by the normalization/delay ablation.
+func SmallCNN(norm NormKind, inC, inSize, width, classes int, seed int64) *nn.Network {
+	rng := rand.New(rand.NewSource(seed))
+	conv := func(name string, in, out, stride int) nn.Layer {
+		if norm == NormWSGN {
+			return nn.NewWSConv2D(name, in, out, 3, stride, 1, false, rng)
+		}
+		return nn.NewConv2D(name, in, out, 3, stride, 1, false, rng)
+	}
+	wrap := func(name string, c int) []nn.Layer {
+		switch norm {
+		case NormGroup, NormWSGN:
+			return []nn.Layer{nn.NewGroupNorm(name+".gn", c, nn.GroupsForChannels(c, 2)), nn.ReLU{}}
+		case NormBatch:
+			return []nn.Layer{nn.NewBatchNorm2D(name+".bn", c), nn.ReLU{}}
+		case NormFilter:
+			return []nn.Layer{nn.NewFRN(name+".frn", c)} // TLU replaces ReLU
+		default:
+			return []nn.Layer{nn.ReLU{}}
+		}
+	}
+	stage := func(name string, in, out, stride int) nn.Stage {
+		layers := append([]nn.Layer{conv(name, in, out, stride)}, wrap(name, out)...)
+		return nn.NewLayerStage(name, layers...)
+	}
+	return nn.NewNetwork(
+		stage("conv1", inC, width, 1),
+		stage("conv2", width, width, 1),
+		stage("conv3", width, 2*width, 2),
+		stage("conv4", 2*width, 2*width, 1),
+		nn.NewLayerStage("head", nn.GlobalAvgPool{}, nn.NewDense("fc", 2*width, classes, true, rng)),
+	)
+}

@@ -1,0 +1,96 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestFRNGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(90))
+	f := NewFRN("frn", 3)
+	tensor.Uniform(f.Gamma.W, 0.5, 1.5, rng)
+	tensor.Normal(f.Beta.W, 0.3, rng)
+	// Mixed thresholds so both TLU branches are exercised.
+	f.Tau.W.Data[0], f.Tau.W.Data[1], f.Tau.W.Data[2] = -2, 0, 0.3
+	x := tensor.New(2, 3, 4, 4)
+	tensor.Normal(x, 1, rng)
+	gradCheckLayer(t, f, x, 1e-4, rng)
+}
+
+func TestFRNNormalizesRMS(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	f := NewFRN("frn", 2)
+	f.Tau.W.Fill(-1e9) // disable TLU clipping for the check
+	x := tensor.New(1, 2, 4, 4)
+	tensor.Normal(x, 7, rng)
+	y, _ := f.Forward(x)
+	for ch := 0; ch < 2; ch++ {
+		seg := y.Data[ch*16 : (ch+1)*16]
+		ms := 0.0
+		for _, v := range seg {
+			ms += v * v
+		}
+		ms /= 16
+		if math.Abs(ms-1) > 1e-2 {
+			t.Fatalf("channel %d mean square %v, want ~1", ch, ms)
+		}
+	}
+}
+
+func TestFRNTLUClips(t *testing.T) {
+	f := NewFRN("frn", 1)
+	f.Tau.W.Data[0] = 0.5
+	x := tensor.FromSlice([]float64{-3, -1, 1, 3}, 1, 1, 2, 2)
+	y, _ := f.Forward(x)
+	for _, v := range y.Data {
+		if v < 0.5 {
+			t.Fatalf("TLU failed to clip: %v", y.Data)
+		}
+	}
+}
+
+func TestWSConvGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	c := NewWSConv2D("ws", 2, 3, 3, 1, 1, true, rng)
+	x := tensor.New(1, 2, 5, 5)
+	tensor.Normal(x, 1, rng)
+	gradCheckLayer(t, c, x, 1e-4, rng)
+}
+
+func TestWSConvWeightsAreStandardized(t *testing.T) {
+	rng := rand.New(rand.NewSource(93))
+	c := NewWSConv2D("ws", 3, 4, 3, 1, 1, false, rng)
+	// Shift the raw weights; the effective filter must be invariant.
+	x := tensor.New(1, 3, 5, 5)
+	tensor.Normal(x, 1, rng)
+	y1, _ := c.Forward(x)
+	for i := range c.Raw.W.Data {
+		c.Raw.W.Data[i] += 5 // uniform shift per filter is removed by WS
+	}
+	y2, _ := c.Forward(x)
+	if !y1.AllClose(y2, 1e-9) {
+		t.Fatal("weight standardization is not shift-invariant")
+	}
+	// Scaling all weights of a filter is also removed (variance norm).
+	for i := range c.Raw.W.Data {
+		c.Raw.W.Data[i] *= 3
+	}
+	y3, _ := c.Forward(x)
+	// Invariance is approximate because of the variance epsilon.
+	if !y1.AllClose(y3, 1e-3) {
+		t.Fatal("weight standardization is not scale-invariant")
+	}
+}
+
+func TestWSConvOutputShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(94))
+	c := NewWSConv2D("ws", 2, 4, 3, 2, 1, false, rng)
+	x := tensor.New(2, 2, 8, 8)
+	y, _ := c.Forward(x)
+	if y.Shape[1] != 4 || y.Shape[2] != 4 || y.Shape[3] != 4 {
+		t.Fatalf("WS conv output %v", y.Shape)
+	}
+}

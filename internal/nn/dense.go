@@ -1,0 +1,135 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Dense is a fully connected layer: y = x·Wᵀ + b with W of shape [Out, In].
+type Dense struct {
+	In, Out  int
+	Weight   *Param
+	Bias     *Param // nil when constructed without bias
+	nameText string
+}
+
+// NewDense constructs a Dense layer with He-normal weight initialization.
+func NewDense(name string, in, out int, bias bool, rng *rand.Rand) *Dense {
+	w := tensor.New(out, in)
+	tensor.HeNormal(w, in, rng)
+	d := &Dense{In: in, Out: out, Weight: NewParam(name+".w", w), nameText: name}
+	if bias {
+		d.Bias = NewParam(name+".b", tensor.New(out))
+	}
+	return d
+}
+
+// Name implements Layer.
+func (d *Dense) Name() string { return d.nameText }
+
+// Forward implements Layer; the context is the input.
+func (d *Dense) Forward(x *tensor.Tensor) (*tensor.Tensor, any) {
+	if len(x.Shape) != 2 || x.Shape[1] != d.In {
+		panic(fmt.Sprintf("nn: dense %s input %v, want [N,%d]", d.nameText, x.Shape, d.In))
+	}
+	y := tensor.MatMulTransB(x, d.Weight.W) // [N,In]·[Out,In]ᵀ = [N,Out]
+	if d.Bias != nil {
+		n := x.Shape[0]
+		for s := 0; s < n; s++ {
+			row := y.Data[s*d.Out : (s+1)*d.Out]
+			for j := 0; j < d.Out; j++ {
+				row[j] += d.Bias.W.Data[j]
+			}
+		}
+	}
+	return y, x
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(dy *tensor.Tensor, ctx any) *tensor.Tensor {
+	x := ctx.(*tensor.Tensor)
+	// dW += dyᵀ·x → [Out, In]
+	d.Weight.G.Add(tensor.MatMulTransA(dy, x))
+	if d.Bias != nil {
+		n := dy.Shape[0]
+		for s := 0; s < n; s++ {
+			row := dy.Data[s*d.Out : (s+1)*d.Out]
+			for j := 0; j < d.Out; j++ {
+				d.Bias.G.Data[j] += row[j]
+			}
+		}
+	}
+	// dx = dy·W → [N, In]
+	return tensor.MatMul(dy, d.Weight.W)
+}
+
+// Params implements Layer.
+func (d *Dense) Params() []*Param {
+	if d.Bias == nil {
+		return []*Param{d.Weight}
+	}
+	return []*Param{d.Weight, d.Bias}
+}
+
+// Conv2D is a 2-D convolution layer with weights [F, C, K, K].
+type Conv2D struct {
+	InC, OutC, K, Stride, Pad int
+	Weight                    *Param
+	Bias                      *Param // nil when constructed without bias
+	nameText                  string
+}
+
+type convCtx struct {
+	cols   []*tensor.Tensor
+	xShape []int
+}
+
+// NewConv2D constructs a Conv2D layer with He-normal initialization.
+func NewConv2D(name string, inC, outC, k, stride, pad int, bias bool, rng *rand.Rand) *Conv2D {
+	w := tensor.New(outC, inC, k, k)
+	tensor.HeNormal(w, inC*k*k, rng)
+	c := &Conv2D{InC: inC, OutC: outC, K: k, Stride: stride, Pad: pad,
+		Weight: NewParam(name+".w", w), nameText: name}
+	if bias {
+		c.Bias = NewParam(name+".b", tensor.New(outC))
+	}
+	return c
+}
+
+// Name implements Layer.
+func (c *Conv2D) Name() string { return c.nameText }
+
+// Forward implements Layer.
+func (c *Conv2D) Forward(x *tensor.Tensor) (*tensor.Tensor, any) {
+	if len(x.Shape) != 4 || x.Shape[1] != c.InC {
+		panic(fmt.Sprintf("nn: conv %s input %v, want [N,%d,H,W]", c.nameText, x.Shape, c.InC))
+	}
+	var b *tensor.Tensor
+	if c.Bias != nil {
+		b = c.Bias.W
+	}
+	y, cols := tensor.Conv2DForward(x, c.Weight.W, b, c.Stride, c.Pad)
+	shape := make([]int, 4)
+	copy(shape, x.Shape)
+	return y, &convCtx{cols: cols, xShape: shape}
+}
+
+// Backward implements Layer.
+func (c *Conv2D) Backward(dy *tensor.Tensor, ctx any) *tensor.Tensor {
+	cc := ctx.(*convCtx)
+	var db *tensor.Tensor
+	if c.Bias != nil {
+		db = c.Bias.G
+	}
+	return tensor.Conv2DBackward(dy, c.Weight.W, cc.cols, c.Weight.G, db, cc.xShape, c.Stride, c.Pad)
+}
+
+// Params implements Layer.
+func (c *Conv2D) Params() []*Param {
+	if c.Bias == nil {
+		return []*Param{c.Weight}
+	}
+	return []*Param{c.Weight, c.Bias}
+}

@@ -1,0 +1,222 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Dropout zeroes activations with probability P during training and scales
+// the survivors by 1/(1−P) (inverted dropout). Used by VGG-style classifier
+// heads; disabled when Training is false.
+type Dropout struct {
+	P        float64
+	Training bool
+	rng      *rand.Rand
+	nameText string
+}
+
+// NewDropout builds a dropout layer with its own deterministic RNG stream.
+func NewDropout(name string, p float64, seed int64) *Dropout {
+	if p < 0 || p >= 1 {
+		panic("nn: dropout probability must be in [0,1)")
+	}
+	return &Dropout{P: p, Training: true, rng: rand.New(rand.NewSource(seed)), nameText: name}
+}
+
+// Name implements Layer.
+func (d *Dropout) Name() string { return d.nameText }
+
+// Forward implements Layer; the context is the mask.
+func (d *Dropout) Forward(x *tensor.Tensor) (*tensor.Tensor, any) {
+	if !d.Training || d.P == 0 {
+		return x, nil
+	}
+	y := tensor.New(x.Shape...)
+	mask := make([]bool, x.Size())
+	scale := 1 / (1 - d.P)
+	for i, v := range x.Data {
+		if d.rng.Float64() >= d.P {
+			mask[i] = true
+			y.Data[i] = v * scale
+		}
+	}
+	return y, mask
+}
+
+// Backward implements Layer.
+func (d *Dropout) Backward(dy *tensor.Tensor, ctx any) *tensor.Tensor {
+	if ctx == nil {
+		return dy
+	}
+	mask := ctx.([]bool)
+	dx := tensor.New(dy.Shape...)
+	scale := 1 / (1 - d.P)
+	for i, v := range dy.Data {
+		if mask[i] {
+			dx.Data[i] = v * scale
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (d *Dropout) Params() []*Param { return nil }
+
+// OnlineNorm is a simplified Online Normalization (Chiley et al. 2019 — the
+// same group as this paper, suggested in Section 5 as a small-batch
+// alternative that may boost delay tolerance). Activations are normalized
+// by exponentially tracked per-channel statistics; the statistics are
+// treated as constants on the backward pass (the full method's control
+// process is approximated away, which is documented behavior here —
+// forward-direction normalization is the part exercised by the delay
+// experiments).
+type OnlineNorm struct {
+	C           int
+	Decay       float64
+	Gamma, Beta *Param
+	mean, varr  []float64
+	warm        bool
+	nameText    string
+}
+
+type onlineNormCtx struct {
+	invStd []float64 // per channel, frozen at forward time
+	xhat   *tensor.Tensor
+	xShape []int
+}
+
+// NewOnlineNorm builds the layer with statistics decay 0.99.
+func NewOnlineNorm(name string, c int) *OnlineNorm {
+	o := &OnlineNorm{C: c, Decay: 0.99, nameText: name}
+	gamma := tensor.New(c)
+	gamma.Fill(1)
+	o.Gamma = NewParam(name+".gamma", gamma)
+	o.Beta = NewParam(name+".beta", tensor.New(c))
+	o.mean = make([]float64, c)
+	o.varr = make([]float64, c)
+	for i := range o.varr {
+		o.varr[i] = 1
+	}
+	return o
+}
+
+// Name implements Layer.
+func (o *OnlineNorm) Name() string { return o.nameText }
+
+// Forward implements Layer.
+func (o *OnlineNorm) Forward(x *tensor.Tensor) (*tensor.Tensor, any) {
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	m := n * h * w
+	y := tensor.New(x.Shape...)
+	xhat := tensor.New(x.Shape...)
+	invStd := make([]float64, c)
+	for ch := 0; ch < c; ch++ {
+		// Current-batch statistics update the trackers first; normalization
+		// then uses the trackers (so a batch of one still works).
+		var mu, va float64
+		for s := 0; s < n; s++ {
+			base := (s*c + ch) * h * w
+			for k := 0; k < h*w; k++ {
+				mu += x.Data[base+k]
+			}
+		}
+		mu /= float64(m)
+		for s := 0; s < n; s++ {
+			base := (s*c + ch) * h * w
+			for k := 0; k < h*w; k++ {
+				dd := x.Data[base+k] - mu
+				va += dd * dd
+			}
+		}
+		va /= float64(m)
+		if o.warm {
+			o.mean[ch] = o.Decay*o.mean[ch] + (1-o.Decay)*mu
+			o.varr[ch] = o.Decay*o.varr[ch] + (1-o.Decay)*va
+		} else {
+			o.mean[ch], o.varr[ch] = mu, va+normEps
+		}
+		is := 1.0 / math.Sqrt(o.varr[ch]+normEps)
+		invStd[ch] = is
+		for s := 0; s < n; s++ {
+			base := (s*c + ch) * h * w
+			for k := 0; k < h*w; k++ {
+				xh := (x.Data[base+k] - o.mean[ch]) * is
+				xhat.Data[base+k] = xh
+				y.Data[base+k] = o.Gamma.W.Data[ch]*xh + o.Beta.W.Data[ch]
+			}
+		}
+	}
+	o.warm = true
+	shape := make([]int, 4)
+	copy(shape, x.Shape)
+	return y, &onlineNormCtx{invStd: invStd, xhat: xhat, xShape: shape}
+}
+
+// Backward implements Layer: statistics are constants, so
+// dx = γ·invStd·dy and the affine parameters receive their usual gradients.
+func (o *OnlineNorm) Backward(dy *tensor.Tensor, ctx any) *tensor.Tensor {
+	cc := ctx.(*onlineNormCtx)
+	n, c, h, w := cc.xShape[0], cc.xShape[1], cc.xShape[2], cc.xShape[3]
+	dx := tensor.New(cc.xShape...)
+	for ch := 0; ch < c; ch++ {
+		g := o.Gamma.W.Data[ch]
+		is := cc.invStd[ch]
+		for s := 0; s < n; s++ {
+			base := (s*c + ch) * h * w
+			for k := 0; k < h*w; k++ {
+				d := dy.Data[base+k]
+				o.Gamma.G.Data[ch] += d * cc.xhat.Data[base+k]
+				o.Beta.G.Data[ch] += d
+				dx.Data[base+k] = d * g * is
+			}
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (o *OnlineNorm) Params() []*Param { return []*Param{o.Gamma, o.Beta} }
+
+// ScaleLayer multiplies activations by a learnable scalar, initialized to
+// Init. Fixup-style normalization-free residual networks (Zhang et al.
+// 2019, cited in Section 5 / Appendix A) use per-branch scalars in place of
+// normalization layers.
+type ScaleLayer struct {
+	S        *Param
+	nameText string
+}
+
+// NewScaleLayer builds the scalar multiplier.
+func NewScaleLayer(name string, initVal float64) *ScaleLayer {
+	s := tensor.New(1)
+	s.Data[0] = initVal
+	return &ScaleLayer{S: NewParam(name+".scale", s), nameText: name}
+}
+
+// Name implements Layer.
+func (l *ScaleLayer) Name() string { return l.nameText }
+
+// Forward implements Layer; the context is the input.
+func (l *ScaleLayer) Forward(x *tensor.Tensor) (*tensor.Tensor, any) {
+	y := x.Clone()
+	y.Scale(l.S.W.Data[0])
+	return y, x
+}
+
+// Backward implements Layer.
+func (l *ScaleLayer) Backward(dy *tensor.Tensor, ctx any) *tensor.Tensor {
+	x := ctx.(*tensor.Tensor)
+	s := 0.0
+	for i := range dy.Data {
+		s += dy.Data[i] * x.Data[i]
+	}
+	l.S.G.Data[0] += s
+	dx := dy.Clone()
+	dx.Scale(l.S.W.Data[0])
+	return dx
+}
+
+// Params implements Layer.
+func (l *ScaleLayer) Params() []*Param { return []*Param{l.S} }

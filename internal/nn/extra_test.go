@@ -1,0 +1,135 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestDropoutEvalIsIdentity(t *testing.T) {
+	d := NewDropout("do", 0.5, 1)
+	d.Training = false
+	x := tensor.FromSlice([]float64{1, 2, 3}, 1, 3)
+	y, ctx := d.Forward(x)
+	if !y.AllClose(x, 0) {
+		t.Fatal("eval-mode dropout must be identity")
+	}
+	dy := tensor.FromSlice([]float64{1, 1, 1}, 1, 3)
+	if dx := d.Backward(dy, ctx); !dx.AllClose(dy, 0) {
+		t.Fatal("eval-mode dropout backward must be identity")
+	}
+}
+
+func TestDropoutMaskAndScaling(t *testing.T) {
+	d := NewDropout("do", 0.5, 2)
+	x := tensor.New(1, 10000)
+	x.Fill(1)
+	y, ctx := d.Forward(x)
+	zeros, twos := 0, 0
+	for _, v := range y.Data {
+		switch {
+		case v == 0:
+			zeros++
+		case math.Abs(v-2) < 1e-12:
+			twos++
+		default:
+			t.Fatalf("unexpected value %v", v)
+		}
+	}
+	if zeros < 4000 || zeros > 6000 {
+		t.Fatalf("drop rate off: %d/10000 zeros", zeros)
+	}
+	// Backward respects the same mask.
+	dy := tensor.New(1, 10000)
+	dy.Fill(1)
+	dx := d.Backward(dy, ctx)
+	for i := range dx.Data {
+		if (y.Data[i] == 0) != (dx.Data[i] == 0) {
+			t.Fatal("backward mask mismatch")
+		}
+	}
+	// Expected value preserved: mean ≈ 1.
+	if m := y.Mean(); math.Abs(m-1) > 0.05 {
+		t.Fatalf("inverted dropout mean %v", m)
+	}
+	_ = twos
+}
+
+func TestDropoutRejectsBadP(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for p=1")
+		}
+	}()
+	NewDropout("do", 1, 1)
+}
+
+func TestOnlineNormNormalizesAndLearns(t *testing.T) {
+	rng := rand.New(rand.NewSource(95))
+	o := NewOnlineNorm("on", 2)
+	x := tensor.New(4, 2, 3, 3)
+	tensor.Normal(x, 3, rng)
+	x.Data[0] += 10
+	y, _ := o.Forward(x)
+	// First call initializes trackers from the batch → output ~ standardized.
+	mu := y.Mean()
+	if math.Abs(mu) > 0.2 {
+		t.Fatalf("first-call mean %v", mu)
+	}
+	// Gradients flow to gamma/beta and inputs.
+	o.Gamma.ZeroGrad()
+	o.Beta.ZeroGrad()
+	_, ctx := o.Forward(x)
+	dy := tensor.New(x.Shape...)
+	tensor.Normal(dy, 1, rng)
+	dx := o.Backward(dy, ctx)
+	if o.Gamma.G.MaxAbs() == 0 || o.Beta.G.MaxAbs() == 0 || dx.MaxAbs() == 0 {
+		t.Fatal("OnlineNorm gradients vanished")
+	}
+}
+
+func TestOnlineNormTracksSlowly(t *testing.T) {
+	rng := rand.New(rand.NewSource(96))
+	o := NewOnlineNorm("on", 1)
+	x := tensor.New(2, 1, 2, 2)
+	tensor.Normal(x, 1, rng)
+	o.Forward(x)
+	m0 := o.mean[0]
+	// A wildly shifted batch moves the tracker only by (1-decay).
+	x2 := x.Clone()
+	for i := range x2.Data {
+		x2.Data[i] += 100
+	}
+	o.Forward(x2)
+	shift := o.mean[0] - m0
+	if shift < 0.5 || shift > 2.5 {
+		t.Fatalf("tracker moved by %v, want ≈ (1-0.99)*100 = 1", shift)
+	}
+}
+
+func TestScaleLayerGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	l := NewScaleLayer("sc", 0.7)
+	x := tensor.New(2, 5)
+	tensor.Normal(x, 1, rng)
+	gradCheckLayer(t, l, x, 1e-6, rng)
+}
+
+func TestScaleLayerZeroInitBlocksForward(t *testing.T) {
+	// Fixup initializes the last block scale to zero so residual branches
+	// start as identity; the forward output must be zero but gradients to
+	// the scale itself must flow.
+	l := NewScaleLayer("sc", 0)
+	x := tensor.FromSlice([]float64{1, 2}, 1, 2)
+	y, ctx := l.Forward(x)
+	if y.MaxAbs() != 0 {
+		t.Fatal("zero scale must zero the branch")
+	}
+	dy := tensor.FromSlice([]float64{1, 1}, 1, 2)
+	l.Backward(dy, ctx)
+	if l.S.G.Data[0] != 3 {
+		t.Fatalf("scale grad %v, want 3", l.S.G.Data[0])
+	}
+}

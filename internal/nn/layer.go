@@ -1,0 +1,142 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Layer is a single-input, single-output differentiable transformation.
+// Forward returns an opaque context holding whatever the backward pass
+// needs; Backward accumulates parameter gradients into the layer's Params
+// and returns the input gradient. A layer must support arbitrarily many
+// outstanding contexts (samples in flight).
+type Layer interface {
+	Name() string
+	Forward(x *tensor.Tensor) (y *tensor.Tensor, ctx any)
+	Backward(dy *tensor.Tensor, ctx any) (dx *tensor.Tensor)
+	Params() []*Param
+}
+
+// ReLU is the rectified-linear activation.
+type ReLU struct{}
+
+// Name implements Layer.
+func (ReLU) Name() string { return "relu" }
+
+// Forward implements Layer. The context is the output itself (the mask).
+func (ReLU) Forward(x *tensor.Tensor) (*tensor.Tensor, any) {
+	y := tensor.New(x.Shape...)
+	for i, v := range x.Data {
+		if v > 0 {
+			y.Data[i] = v
+		}
+	}
+	return y, y
+}
+
+// Backward implements Layer.
+func (ReLU) Backward(dy *tensor.Tensor, ctx any) *tensor.Tensor {
+	y := ctx.(*tensor.Tensor)
+	dx := tensor.New(dy.Shape...)
+	for i, v := range dy.Data {
+		if y.Data[i] > 0 {
+			dx.Data[i] = v
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (ReLU) Params() []*Param { return nil }
+
+// Flatten reshapes [N, ...] to [N, prod(...)].
+type Flatten struct{}
+
+// Name implements Layer.
+func (Flatten) Name() string { return "flatten" }
+
+// Forward implements Layer; the context is the original shape.
+func (Flatten) Forward(x *tensor.Tensor) (*tensor.Tensor, any) {
+	n := x.Shape[0]
+	f := x.Size() / n
+	y := x.Clone().Reshape(n, f)
+	shape := make([]int, len(x.Shape))
+	copy(shape, x.Shape)
+	return y, shape
+}
+
+// Backward implements Layer.
+func (Flatten) Backward(dy *tensor.Tensor, ctx any) *tensor.Tensor {
+	shape := ctx.([]int)
+	return dy.Clone().Reshape(shape...)
+}
+
+// Params implements Layer.
+func (Flatten) Params() []*Param { return nil }
+
+// MaxPool2D is kxk max pooling with the given stride.
+type MaxPool2D struct {
+	K, Stride int
+}
+
+type maxPoolCtx struct {
+	argmax []int
+	xShape []int
+}
+
+// Name implements Layer.
+func (m *MaxPool2D) Name() string { return fmt.Sprintf("maxpool%dx%d", m.K, m.K) }
+
+// Forward implements Layer.
+func (m *MaxPool2D) Forward(x *tensor.Tensor) (*tensor.Tensor, any) {
+	y, arg := tensor.MaxPool2DForward(x, m.K, m.Stride)
+	shape := make([]int, len(x.Shape))
+	copy(shape, x.Shape)
+	return y, &maxPoolCtx{argmax: arg, xShape: shape}
+}
+
+// Backward implements Layer.
+func (m *MaxPool2D) Backward(dy *tensor.Tensor, ctx any) *tensor.Tensor {
+	c := ctx.(*maxPoolCtx)
+	return tensor.MaxPool2DBackward(dy, c.argmax, c.xShape)
+}
+
+// Params implements Layer.
+func (m *MaxPool2D) Params() []*Param { return nil }
+
+// GlobalAvgPool reduces [N,C,H,W] to [N,C].
+type GlobalAvgPool struct{}
+
+// Name implements Layer.
+func (GlobalAvgPool) Name() string { return "gap" }
+
+// Forward implements Layer.
+func (GlobalAvgPool) Forward(x *tensor.Tensor) (*tensor.Tensor, any) {
+	shape := make([]int, len(x.Shape))
+	copy(shape, x.Shape)
+	return tensor.GlobalAvgPoolForward(x), shape
+}
+
+// Backward implements Layer.
+func (GlobalAvgPool) Backward(dy *tensor.Tensor, ctx any) *tensor.Tensor {
+	return tensor.GlobalAvgPoolBackward(dy, ctx.([]int))
+}
+
+// Params implements Layer.
+func (GlobalAvgPool) Params() []*Param { return nil }
+
+// Identity passes its input through unchanged. Useful as a placeholder stage.
+type Identity struct{}
+
+// Name implements Layer.
+func (Identity) Name() string { return "identity" }
+
+// Forward implements Layer.
+func (Identity) Forward(x *tensor.Tensor) (*tensor.Tensor, any) { return x, nil }
+
+// Backward implements Layer.
+func (Identity) Backward(dy *tensor.Tensor, _ any) *tensor.Tensor { return dy }
+
+// Params implements Layer.
+func (Identity) Params() []*Param { return nil }

@@ -1,0 +1,75 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// SoftmaxCrossEntropy computes the mean softmax cross-entropy loss over a
+// batch of logits [N,K] with integer labels, together with the logit
+// gradient. It is the training head for every classification experiment.
+type SoftmaxCrossEntropy struct{}
+
+// Loss returns the mean loss and dL/dlogits for logits [N,K] and labels of
+// length N.
+func (SoftmaxCrossEntropy) Loss(logits *tensor.Tensor, labels []int) (float64, *tensor.Tensor) {
+	n, k := logits.Shape[0], logits.Shape[1]
+	if len(labels) != n {
+		panic("nn: SoftmaxCrossEntropy label count mismatch")
+	}
+	dl := tensor.New(n, k)
+	total := 0.0
+	for s := 0; s < n; s++ {
+		row := logits.Data[s*k : (s+1)*k]
+		maxv := row[0]
+		for _, v := range row {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		sum := 0.0
+		for _, v := range row {
+			sum += math.Exp(v - maxv)
+		}
+		logSum := math.Log(sum) + maxv
+		total += logSum - row[labels[s]]
+		for j := 0; j < k; j++ {
+			p := math.Exp(row[j]-maxv) / sum
+			dl.Data[s*k+j] = p / float64(n)
+		}
+		dl.Data[s*k+labels[s]] -= 1.0 / float64(n)
+	}
+	return total / float64(n), dl
+}
+
+// Accuracy returns the number of rows whose argmax equals the label.
+func Accuracy(logits *tensor.Tensor, labels []int) int {
+	correct := 0
+	for s := 0; s < logits.Shape[0]; s++ {
+		if logits.ArgMaxRow(s) == labels[s] {
+			correct++
+		}
+	}
+	return correct
+}
+
+// MSE computes mean squared error 0.5*mean((y-t)^2) and its gradient; used
+// by regression-style unit tests.
+type MSE struct{}
+
+// Loss returns the loss value and dL/dy for predictions y and targets t.
+func (MSE) Loss(y, t *tensor.Tensor) (float64, *tensor.Tensor) {
+	if y.Size() != t.Size() {
+		panic("nn: MSE size mismatch")
+	}
+	dl := tensor.New(y.Shape...)
+	total := 0.0
+	n := float64(y.Size())
+	for i, v := range y.Data {
+		d := v - t.Data[i]
+		total += 0.5 * d * d
+		dl.Data[i] = d / n
+	}
+	return total / n, dl
+}

@@ -1,0 +1,352 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// normEps is the variance epsilon shared by all normalization layers.
+const normEps = 1e-5
+
+// GroupNorm normalizes [N,C,H,W] inputs over channel groups, following
+// Wu & He (2018). The paper replaces BatchNorm with GroupNorm because the
+// per-worker batch size is one. Gamma/beta are per channel.
+type GroupNorm struct {
+	C, Groups int
+	Gamma     *Param
+	Beta      *Param
+	nameText  string
+}
+
+type groupNormCtx struct {
+	xhat   *tensor.Tensor
+	invStd []float64 // per (sample, group)
+	xShape []int
+}
+
+// NewGroupNorm builds a GroupNorm layer. groups must divide c.
+// Following the paper's setup (group size two at the first layer, scaled by
+// width), callers typically use GroupsForChannels.
+func NewGroupNorm(name string, c, groups int) *GroupNorm {
+	if groups <= 0 || c%groups != 0 {
+		panic(fmt.Sprintf("nn: groupnorm %s: groups %d must divide channels %d", name, groups, c))
+	}
+	g := &GroupNorm{C: c, Groups: groups, nameText: name}
+	gamma := tensor.New(c)
+	gamma.Fill(1)
+	g.Gamma = NewParam(name+".gamma", gamma)
+	g.Beta = NewParam(name+".beta", tensor.New(c))
+	return g
+}
+
+// GroupsForChannels returns the group count for a channel width given an
+// initial group size (the paper uses an initial group size of two).
+func GroupsForChannels(c, groupSize int) int {
+	if groupSize <= 0 || c < groupSize {
+		return 1
+	}
+	g := c / groupSize
+	for c%g != 0 {
+		g--
+	}
+	return g
+}
+
+// Name implements Layer.
+func (g *GroupNorm) Name() string { return g.nameText }
+
+// Forward implements Layer.
+func (g *GroupNorm) Forward(x *tensor.Tensor) (*tensor.Tensor, any) {
+	if len(x.Shape) != 4 || x.Shape[1] != g.C {
+		panic(fmt.Sprintf("nn: groupnorm %s input %v, want [N,%d,H,W]", g.nameText, x.Shape, g.C))
+	}
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	cg := c / g.Groups
+	m := cg * h * w
+	y := tensor.New(x.Shape...)
+	xhat := tensor.New(x.Shape...)
+	invStd := make([]float64, n*g.Groups)
+	for s := 0; s < n; s++ {
+		for gr := 0; gr < g.Groups; gr++ {
+			base := (s*c + gr*cg) * h * w
+			seg := x.Data[base : base+m]
+			mu := 0.0
+			for _, v := range seg {
+				mu += v
+			}
+			mu /= float64(m)
+			va := 0.0
+			for _, v := range seg {
+				d := v - mu
+				va += d * d
+			}
+			va /= float64(m)
+			is := 1.0 / math.Sqrt(va+normEps)
+			invStd[s*g.Groups+gr] = is
+			for i, v := range seg {
+				xh := (v - mu) * is
+				xhat.Data[base+i] = xh
+				ch := gr*cg + i/(h*w)
+				y.Data[base+i] = g.Gamma.W.Data[ch]*xh + g.Beta.W.Data[ch]
+			}
+		}
+	}
+	shape := make([]int, 4)
+	copy(shape, x.Shape)
+	return y, &groupNormCtx{xhat: xhat, invStd: invStd, xShape: shape}
+}
+
+// Backward implements Layer.
+func (g *GroupNorm) Backward(dy *tensor.Tensor, ctx any) *tensor.Tensor {
+	cc := ctx.(*groupNormCtx)
+	n, c, h, w := cc.xShape[0], cc.xShape[1], cc.xShape[2], cc.xShape[3]
+	cg := c / g.Groups
+	m := cg * h * w
+	dx := tensor.New(cc.xShape...)
+	for s := 0; s < n; s++ {
+		for gr := 0; gr < g.Groups; gr++ {
+			base := (s*c + gr*cg) * h * w
+			// Accumulate dgamma/dbeta and the two group means needed for dx.
+			sumDxh, sumDxhXh := 0.0, 0.0
+			for i := 0; i < m; i++ {
+				ch := gr*cg + i/(h*w)
+				d := dy.Data[base+i]
+				xh := cc.xhat.Data[base+i]
+				g.Gamma.G.Data[ch] += d * xh
+				g.Beta.G.Data[ch] += d
+				dxh := d * g.Gamma.W.Data[ch]
+				sumDxh += dxh
+				sumDxhXh += dxh * xh
+			}
+			meanDxh := sumDxh / float64(m)
+			meanDxhXh := sumDxhXh / float64(m)
+			is := cc.invStd[s*g.Groups+gr]
+			for i := 0; i < m; i++ {
+				ch := gr*cg + i/(h*w)
+				dxh := dy.Data[base+i] * g.Gamma.W.Data[ch]
+				xh := cc.xhat.Data[base+i]
+				dx.Data[base+i] = is * (dxh - meanDxh - xh*meanDxhXh)
+			}
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (g *GroupNorm) Params() []*Param { return []*Param{g.Gamma, g.Beta} }
+
+// LayerNorm normalizes each row of a [N,F] tensor. It plays the role of
+// GroupNorm for the MLP pipelines used in the fast sweep experiments.
+type LayerNorm struct {
+	F        int
+	Gamma    *Param
+	Beta     *Param
+	nameText string
+}
+
+type layerNormCtx struct {
+	xhat   *tensor.Tensor
+	invStd []float64
+}
+
+// NewLayerNorm builds a LayerNorm over f features.
+func NewLayerNorm(name string, f int) *LayerNorm {
+	l := &LayerNorm{F: f, nameText: name}
+	gamma := tensor.New(f)
+	gamma.Fill(1)
+	l.Gamma = NewParam(name+".gamma", gamma)
+	l.Beta = NewParam(name+".beta", tensor.New(f))
+	return l
+}
+
+// Name implements Layer.
+func (l *LayerNorm) Name() string { return l.nameText }
+
+// Forward implements Layer.
+func (l *LayerNorm) Forward(x *tensor.Tensor) (*tensor.Tensor, any) {
+	if len(x.Shape) != 2 || x.Shape[1] != l.F {
+		panic(fmt.Sprintf("nn: layernorm %s input %v, want [N,%d]", l.nameText, x.Shape, l.F))
+	}
+	n, f := x.Shape[0], x.Shape[1]
+	y := tensor.New(n, f)
+	xhat := tensor.New(n, f)
+	invStd := make([]float64, n)
+	for s := 0; s < n; s++ {
+		seg := x.Data[s*f : (s+1)*f]
+		mu := 0.0
+		for _, v := range seg {
+			mu += v
+		}
+		mu /= float64(f)
+		va := 0.0
+		for _, v := range seg {
+			d := v - mu
+			va += d * d
+		}
+		va /= float64(f)
+		is := 1.0 / math.Sqrt(va+normEps)
+		invStd[s] = is
+		for i, v := range seg {
+			xh := (v - mu) * is
+			xhat.Data[s*f+i] = xh
+			y.Data[s*f+i] = l.Gamma.W.Data[i]*xh + l.Beta.W.Data[i]
+		}
+	}
+	return y, &layerNormCtx{xhat: xhat, invStd: invStd}
+}
+
+// Backward implements Layer.
+func (l *LayerNorm) Backward(dy *tensor.Tensor, ctx any) *tensor.Tensor {
+	cc := ctx.(*layerNormCtx)
+	n, f := dy.Shape[0], dy.Shape[1]
+	dx := tensor.New(n, f)
+	for s := 0; s < n; s++ {
+		sumDxh, sumDxhXh := 0.0, 0.0
+		for i := 0; i < f; i++ {
+			d := dy.Data[s*f+i]
+			xh := cc.xhat.Data[s*f+i]
+			l.Gamma.G.Data[i] += d * xh
+			l.Beta.G.Data[i] += d
+			dxh := d * l.Gamma.W.Data[i]
+			sumDxh += dxh
+			sumDxhXh += dxh * xh
+		}
+		meanDxh := sumDxh / float64(f)
+		meanDxhXh := sumDxhXh / float64(f)
+		for i := 0; i < f; i++ {
+			dxh := dy.Data[s*f+i] * l.Gamma.W.Data[i]
+			xh := cc.xhat.Data[s*f+i]
+			dx.Data[s*f+i] = cc.invStd[s] * (dxh - meanDxh - xh*meanDxhXh)
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (l *LayerNorm) Params() []*Param { return []*Param{l.Gamma, l.Beta} }
+
+// BatchNorm2D is standard batch normalization over [N,C,H,W]. It exists as
+// the reference the paper compares against (Appendix A discussion); it needs
+// N > 1 to be meaningful and is unusable at the paper's batch size of one.
+type BatchNorm2D struct {
+	C        int
+	Momentum float64
+	Gamma    *Param
+	Beta     *Param
+	// Running statistics used at evaluation time.
+	RunMean, RunVar []float64
+	Training        bool
+	nameText        string
+}
+
+type batchNormCtx struct {
+	xhat   *tensor.Tensor
+	invStd []float64
+	xShape []int
+}
+
+// NewBatchNorm2D builds a BatchNorm layer with running-stat momentum 0.9.
+func NewBatchNorm2D(name string, c int) *BatchNorm2D {
+	b := &BatchNorm2D{C: c, Momentum: 0.9, Training: true, nameText: name}
+	gamma := tensor.New(c)
+	gamma.Fill(1)
+	b.Gamma = NewParam(name+".gamma", gamma)
+	b.Beta = NewParam(name+".beta", tensor.New(c))
+	b.RunMean = make([]float64, c)
+	b.RunVar = make([]float64, c)
+	for i := range b.RunVar {
+		b.RunVar[i] = 1
+	}
+	return b
+}
+
+// Name implements Layer.
+func (b *BatchNorm2D) Name() string { return b.nameText }
+
+// Forward implements Layer.
+func (b *BatchNorm2D) Forward(x *tensor.Tensor) (*tensor.Tensor, any) {
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	if c != b.C {
+		panic(fmt.Sprintf("nn: batchnorm %s input %v, want C=%d", b.nameText, x.Shape, b.C))
+	}
+	m := n * h * w
+	y := tensor.New(x.Shape...)
+	xhat := tensor.New(x.Shape...)
+	invStd := make([]float64, c)
+	for ch := 0; ch < c; ch++ {
+		var mu, va float64
+		if b.Training {
+			for s := 0; s < n; s++ {
+				base := (s*c + ch) * h * w
+				for k := 0; k < h*w; k++ {
+					mu += x.Data[base+k]
+				}
+			}
+			mu /= float64(m)
+			for s := 0; s < n; s++ {
+				base := (s*c + ch) * h * w
+				for k := 0; k < h*w; k++ {
+					d := x.Data[base+k] - mu
+					va += d * d
+				}
+			}
+			va /= float64(m)
+			b.RunMean[ch] = b.Momentum*b.RunMean[ch] + (1-b.Momentum)*mu
+			b.RunVar[ch] = b.Momentum*b.RunVar[ch] + (1-b.Momentum)*va
+		} else {
+			mu, va = b.RunMean[ch], b.RunVar[ch]
+		}
+		is := 1.0 / math.Sqrt(va+normEps)
+		invStd[ch] = is
+		for s := 0; s < n; s++ {
+			base := (s*c + ch) * h * w
+			for k := 0; k < h*w; k++ {
+				xh := (x.Data[base+k] - mu) * is
+				xhat.Data[base+k] = xh
+				y.Data[base+k] = b.Gamma.W.Data[ch]*xh + b.Beta.W.Data[ch]
+			}
+		}
+	}
+	shape := make([]int, 4)
+	copy(shape, x.Shape)
+	return y, &batchNormCtx{xhat: xhat, invStd: invStd, xShape: shape}
+}
+
+// Backward implements Layer (training-mode gradient).
+func (b *BatchNorm2D) Backward(dy *tensor.Tensor, ctx any) *tensor.Tensor {
+	cc := ctx.(*batchNormCtx)
+	n, c, h, w := cc.xShape[0], cc.xShape[1], cc.xShape[2], cc.xShape[3]
+	m := n * h * w
+	dx := tensor.New(cc.xShape...)
+	for ch := 0; ch < c; ch++ {
+		sumDxh, sumDxhXh := 0.0, 0.0
+		for s := 0; s < n; s++ {
+			base := (s*c + ch) * h * w
+			for k := 0; k < h*w; k++ {
+				d := dy.Data[base+k]
+				xh := cc.xhat.Data[base+k]
+				b.Gamma.G.Data[ch] += d * xh
+				b.Beta.G.Data[ch] += d
+				dxh := d * b.Gamma.W.Data[ch]
+				sumDxh += dxh
+				sumDxhXh += dxh * xh
+			}
+		}
+		meanDxh := sumDxh / float64(m)
+		meanDxhXh := sumDxhXh / float64(m)
+		for s := 0; s < n; s++ {
+			base := (s*c + ch) * h * w
+			for k := 0; k < h*w; k++ {
+				dxh := dy.Data[base+k] * b.Gamma.W.Data[ch]
+				xh := cc.xhat.Data[base+k]
+				dx.Data[base+k] = cc.invStd[ch] * (dxh - meanDxh - xh*meanDxhXh)
+			}
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (b *BatchNorm2D) Params() []*Param { return []*Param{b.Gamma, b.Beta} }

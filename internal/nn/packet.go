@@ -1,0 +1,263 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Packet is what flows between pipeline stages: the main activation plus a
+// stack of pending skip-connection activations. Residual networks map onto a
+// purely linear pipeline by carrying the shortcut alongside the main path —
+// exactly how the paper's GProp framework pipelines ResNets, with sum nodes
+// as their own stages.
+type Packet struct {
+	X     *tensor.Tensor
+	Skips []*tensor.Tensor
+}
+
+// NewPacket wraps a tensor in a packet with an empty skip stack.
+func NewPacket(x *tensor.Tensor) *Packet { return &Packet{X: x} }
+
+// clone copies the packet structure (tensors are shared, the stack is not).
+func (p *Packet) clone() *Packet {
+	q := &Packet{X: p.X}
+	if len(p.Skips) > 0 {
+		q.Skips = make([]*tensor.Tensor, len(p.Skips))
+		copy(q.Skips, p.Skips)
+	}
+	return q
+}
+
+// Stage is one pipeline stage: a differentiable packet transformation.
+// Like Layer, any number of samples may be in flight.
+type Stage interface {
+	Name() string
+	Forward(p *Packet) (*Packet, any)
+	Backward(dp *Packet, ctx any) *Packet
+	Params() []*Param
+}
+
+// LayerStage applies a fixed sequence of layers to the packet's main
+// activation; the skip stack passes through untouched. The paper fuses
+// conv + normalization + ReLU into single stages this way.
+type LayerStage struct {
+	Layers   []Layer
+	nameText string
+}
+
+// NewLayerStage fuses layers into one pipeline stage.
+func NewLayerStage(name string, layers ...Layer) *LayerStage {
+	return &LayerStage{Layers: layers, nameText: name}
+}
+
+// Name implements Stage.
+func (s *LayerStage) Name() string { return s.nameText }
+
+// Forward implements Stage.
+func (s *LayerStage) Forward(p *Packet) (*Packet, any) {
+	ctxs := make([]any, len(s.Layers))
+	x := p.X
+	for i, l := range s.Layers {
+		x, ctxs[i] = l.Forward(x)
+	}
+	q := p.clone()
+	q.X = x
+	return q, ctxs
+}
+
+// Backward implements Stage.
+func (s *LayerStage) Backward(dp *Packet, ctx any) *Packet {
+	ctxs := ctx.([]any)
+	dx := dp.X
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		dx = s.Layers[i].Backward(dx, ctxs[i])
+	}
+	dq := dp.clone()
+	dq.X = dx
+	return dq
+}
+
+// Params implements Stage.
+func (s *LayerStage) Params() []*Param {
+	var ps []*Param
+	for _, l := range s.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// Shortcut transforms the skip-branch activation. The paper's pre-activation
+// ResNets use parameter-free shortcuts so that all learnable state lives in
+// conv/norm stages.
+type Shortcut interface {
+	Apply(x *tensor.Tensor) *tensor.Tensor
+	Grad(dy *tensor.Tensor, xShape []int) *tensor.Tensor
+}
+
+// IdentityShortcut passes the activation through unchanged.
+type IdentityShortcut struct{}
+
+// Apply implements Shortcut.
+func (IdentityShortcut) Apply(x *tensor.Tensor) *tensor.Tensor { return x }
+
+// Grad implements Shortcut.
+func (IdentityShortcut) Grad(dy *tensor.Tensor, _ []int) *tensor.Tensor { return dy }
+
+// DownsampleShortcut is the parameter-free "option A" ResNet shortcut:
+// 2x2 average pooling followed by zero-padding the channel dimension to OutC.
+type DownsampleShortcut struct {
+	OutC int
+}
+
+// Apply implements Shortcut.
+func (d DownsampleShortcut) Apply(x *tensor.Tensor) *tensor.Tensor {
+	p := tensor.AvgPool2DForward(x, 2)
+	n, c, h, w := p.Shape[0], p.Shape[1], p.Shape[2], p.Shape[3]
+	if c == d.OutC {
+		return p
+	}
+	y := tensor.New(n, d.OutC, h, w)
+	for s := 0; s < n; s++ {
+		copy(y.Data[s*d.OutC*h*w:s*d.OutC*h*w+c*h*w], p.Data[s*c*h*w:(s+1)*c*h*w])
+	}
+	return y
+}
+
+// Grad implements Shortcut.
+func (d DownsampleShortcut) Grad(dy *tensor.Tensor, xShape []int) *tensor.Tensor {
+	n, c := xShape[0], xShape[1]
+	oh, ow := xShape[2]/2, xShape[3]/2
+	// Strip the zero-padded channels, then run the pooling adjoint.
+	dp := tensor.New(n, c, oh, ow)
+	for s := 0; s < n; s++ {
+		copy(dp.Data[s*c*oh*ow:(s+1)*c*oh*ow], dy.Data[s*d.OutC*oh*ow:s*d.OutC*oh*ow+c*oh*ow])
+	}
+	return tensor.AvgPool2DBackward(dp, xShape, 2)
+}
+
+// PushSkip is the branch point of a residual block: it pushes a (possibly
+// downsampled) copy of the activation onto the skip stack.
+type PushSkip struct {
+	Short    Shortcut
+	nameText string
+}
+
+// NewPushSkip builds a branch-point stage; short may be nil for identity.
+func NewPushSkip(name string, short Shortcut) *PushSkip {
+	if short == nil {
+		short = IdentityShortcut{}
+	}
+	return &PushSkip{Short: short, nameText: name}
+}
+
+// Name implements Stage.
+func (s *PushSkip) Name() string { return s.nameText }
+
+// Forward implements Stage.
+func (s *PushSkip) Forward(p *Packet) (*Packet, any) {
+	q := p.clone()
+	q.Skips = append(q.Skips, s.Short.Apply(p.X))
+	shape := make([]int, len(p.X.Shape))
+	copy(shape, p.X.Shape)
+	return q, shape
+}
+
+// Backward implements Stage. The incoming gradient packet carries the skip
+// gradient on top of its stack; it folds back into the main path here.
+func (s *PushSkip) Backward(dp *Packet, ctx any) *Packet {
+	if len(dp.Skips) == 0 {
+		panic("nn: PushSkip backward with empty skip-gradient stack")
+	}
+	xShape := ctx.([]int)
+	top := dp.Skips[len(dp.Skips)-1]
+	dq := &Packet{X: dp.X.Clone(), Skips: dp.Skips[:len(dp.Skips)-1]}
+	dq.X.Add(s.Short.Grad(top, xShape))
+	return dq
+}
+
+// Params implements Stage.
+func (s *PushSkip) Params() []*Param { return nil }
+
+// AddSkip is the residual sum node: X' = X + top-of-skip-stack. In the
+// paper's implementation these sum nodes are pipeline stages of their own.
+type AddSkip struct {
+	nameText string
+}
+
+// NewAddSkip builds a sum-node stage.
+func NewAddSkip(name string) *AddSkip { return &AddSkip{nameText: name} }
+
+// Name implements Stage.
+func (s *AddSkip) Name() string { return s.nameText }
+
+// Forward implements Stage.
+func (s *AddSkip) Forward(p *Packet) (*Packet, any) {
+	if len(p.Skips) == 0 {
+		panic("nn: AddSkip forward with empty skip stack")
+	}
+	top := p.Skips[len(p.Skips)-1]
+	if !p.X.SameShape(top) {
+		panic(fmt.Sprintf("nn: AddSkip shape mismatch %v + %v", p.X.Shape, top.Shape))
+	}
+	y := p.X.Clone()
+	y.Add(top)
+	return &Packet{X: y, Skips: p.Skips[:len(p.Skips)-1]}, nil
+}
+
+// Backward implements Stage: the gradient flows to both branches.
+func (s *AddSkip) Backward(dp *Packet, _ any) *Packet {
+	dq := dp.clone()
+	dq.Skips = append(dq.Skips, dp.X)
+	return dq
+}
+
+// Params implements Stage.
+func (s *AddSkip) Params() []*Param { return nil }
+
+// FusedStage composes consecutive pipeline stages into one coarser stage.
+// The pipeline partitioner uses it to trade pipeline depth (and therefore
+// gradient delay) against worker parallelism — the granularity knob the
+// paper's Section 2 footnote and Appendix A discuss.
+type FusedStage struct {
+	Stages   []Stage
+	nameText string
+}
+
+// FuseStages fuses stages into a single pipeline stage.
+func FuseStages(name string, stages ...Stage) *FusedStage {
+	if len(stages) == 0 {
+		panic("nn: FuseStages needs at least one stage")
+	}
+	return &FusedStage{Stages: stages, nameText: name}
+}
+
+// Name implements Stage.
+func (f *FusedStage) Name() string { return f.nameText }
+
+// Forward implements Stage.
+func (f *FusedStage) Forward(p *Packet) (*Packet, any) {
+	ctxs := make([]any, len(f.Stages))
+	for i, s := range f.Stages {
+		p, ctxs[i] = s.Forward(p)
+	}
+	return p, ctxs
+}
+
+// Backward implements Stage.
+func (f *FusedStage) Backward(dp *Packet, ctx any) *Packet {
+	ctxs := ctx.([]any)
+	for i := len(f.Stages) - 1; i >= 0; i-- {
+		dp = f.Stages[i].Backward(dp, ctxs[i])
+	}
+	return dp
+}
+
+// Params implements Stage.
+func (f *FusedStage) Params() []*Param {
+	var ps []*Param
+	for _, s := range f.Stages {
+		ps = append(ps, s.Params()...)
+	}
+	return ps
+}

@@ -1,0 +1,60 @@
+// Package nn implements the neural-network layers and pipeline-stage
+// plumbing used by the pipelined-backpropagation engine. Layers are
+// functional: Forward returns an opaque context that Backward consumes, so
+// any number of samples can be in flight through a layer at once — the
+// property the fine-grained pipeline engine (internal/core) relies on.
+package nn
+
+import "repro/internal/tensor"
+
+// Param is a learnable parameter with its gradient accumulator.
+// Backward passes accumulate into G; optimizers read G and must zero it.
+type Param struct {
+	Name string
+	W    *tensor.Tensor
+	G    *tensor.Tensor
+}
+
+// NewParam allocates a parameter and matching zero gradient.
+func NewParam(name string, w *tensor.Tensor) *Param {
+	return &Param{Name: name, W: w, G: tensor.New(w.Shape...)}
+}
+
+// Snapshot returns a copy of the current weight data.
+func (p *Param) Snapshot() []float64 {
+	s := make([]float64, len(p.W.Data))
+	copy(s, p.W.Data)
+	return s
+}
+
+// SetData copies data into the weight tensor. Lengths must match.
+func (p *Param) SetData(data []float64) {
+	if len(data) != len(p.W.Data) {
+		panic("nn: SetData length mismatch for " + p.Name)
+	}
+	copy(p.W.Data, data)
+}
+
+// SwapData exchanges the underlying weight storage with data and returns the
+// previous storage. This is how the engine runs a forward pass under
+// predicted or stashed weights without copying twice.
+func (p *Param) SwapData(data []float64) []float64 {
+	if len(data) != len(p.W.Data) {
+		panic("nn: SwapData length mismatch for " + p.Name)
+	}
+	old := p.W.Data
+	p.W.Data = data
+	return old
+}
+
+// ZeroGrad clears the gradient accumulator.
+func (p *Param) ZeroGrad() { p.G.Zero() }
+
+// NumParams returns the total element count of a parameter list.
+func NumParams(params []*Param) int {
+	n := 0
+	for _, p := range params {
+		n += p.W.Size()
+	}
+	return n
+}

@@ -1,0 +1,253 @@
+// Package optim implements the optimizers and delay-mitigation primitives
+// from "Pipelined Backpropagation at Scale": SGD with momentum, generalized
+// spike compensation (Section 3.2), linear weight prediction in both its
+// velocity and weight-difference forms (Section 3.3), the SpecTrain and
+// gradient-shrinking comparators, Adam, and the small-batch hyperparameter
+// scaling rule (Eq. 9).
+package optim
+
+import (
+	"math"
+
+	"repro/internal/nn"
+)
+
+// Scale applies the hyperparameter scaling rule of Eq. 9 (after Chiley et
+// al. 2019): given reference values (etaRef, mRef) tuned for update size
+// nRef, it returns the values for update size n. Momentum is scaled so the
+// per-sample decay is constant and the learning rate so the expected update
+// contribution per sample is constant.
+func Scale(etaRef, mRef float64, nRef, n int) (eta, m float64) {
+	m = math.Pow(mRef, float64(n)/float64(nRef))
+	eta = (1 - m) * float64(n) / ((1 - mRef) * float64(nRef)) * etaRef
+	return eta, m
+}
+
+// SpikeCoefficients returns the default spike-compensation coefficients of
+// Eq. 14 for momentum m and (possibly scaled) delay d:
+//
+//	a = m^d,  b = (1 - m^d)/(1 - m).
+//
+// For d = 0 this degenerates to (1, 0), i.e. plain SGDM. The b coefficient
+// equals the total weight-update contribution the delayed gradient missed
+// (Eq. 13), applied as an immediate spike.
+func SpikeCoefficients(m, d float64) (a, b float64) {
+	if d == 0 {
+		return 1, 0
+	}
+	a = math.Pow(m, d)
+	if m == 1 {
+		return a, d
+	}
+	b = (1 - a) / (1 - m)
+	return a, b
+}
+
+// NesterovCoefficients returns (a, b) = (m, 1): with these coefficients the
+// generalized spike-compensation update is exactly Nesterov momentum, and for
+// a delay of one it coincides with SpikeCoefficients (Section 3.5).
+func NesterovCoefficients(m float64) (a, b float64) { return m, 1 }
+
+// EquivalentGSCForLWP returns spike-compensation coefficients (a, b) that
+// make GSC match linear weight prediction with horizon T on a quadratic
+// (locally linear gradient), per Appendix D Eqs. 44-45: a+b = 1+T, m·b = T.
+// m must be positive.
+func EquivalentGSCForLWP(m, T float64) (a, b float64) {
+	b = T / m
+	a = 1 + T - b
+	return a, b
+}
+
+// EquivalentLWPHorizon returns the LWP horizon T that matches the default
+// spike compensation SCD on a quadratic (Appendix D Eq. 46):
+// T = m(1-m^D)/(1-m).
+func EquivalentLWPHorizon(m float64, d float64) float64 {
+	if m == 1 {
+		return d
+	}
+	return m * (1 - math.Pow(m, d)) / (1 - m)
+}
+
+// Momentum is SGD with momentum extended with generalized spike
+// compensation. The update is
+//
+//	v ← m·v + g
+//	w ← w − η·(A·v + B·g)
+//
+// Plain SGDM is (A,B) = (1,0); Nesterov is (m,1); SCD uses SpikeCoefficients.
+// When TrackPrev is set the optimizer retains the previous weight vector of
+// every parameter, which the weight-difference form of linear weight
+// prediction (LWPw) needs.
+type Momentum struct {
+	LR, M        float64
+	A, B         float64
+	WeightDecay  float64
+	TrackPrev    bool
+	vel, prevMap map[*nn.Param][]float64
+}
+
+// NewMomentum returns a plain SGDM optimizer (A=1, B=0).
+func NewMomentum(lr, m float64) *Momentum {
+	return &Momentum{LR: lr, M: m, A: 1, B: 0,
+		vel: make(map[*nn.Param][]float64), prevMap: make(map[*nn.Param][]float64)}
+}
+
+// NewSpiked returns an optimizer with explicit spike coefficients.
+func NewSpiked(lr, m, a, b float64) *Momentum {
+	o := NewMomentum(lr, m)
+	o.A, o.B = a, b
+	return o
+}
+
+// Vel returns (allocating if needed) the velocity buffer of p.
+func (o *Momentum) Vel(p *nn.Param) []float64 {
+	v, ok := o.vel[p]
+	if !ok {
+		v = make([]float64, p.W.Size())
+		o.vel[p] = v
+	}
+	return v
+}
+
+// Prev returns the weights of p before the most recent Step, or the current
+// weights if no step has been taken. Only tracked when TrackPrev is set.
+func (o *Momentum) Prev(p *nn.Param) []float64 {
+	v, ok := o.prevMap[p]
+	if !ok {
+		v = p.Snapshot()
+		o.prevMap[p] = v
+	}
+	return v
+}
+
+// Step applies one update to every parameter and zeroes the gradients.
+func (o *Momentum) Step(params []*nn.Param) {
+	for _, p := range params {
+		v := o.Vel(p)
+		if o.TrackPrev {
+			prev, ok := o.prevMap[p]
+			if !ok {
+				prev = make([]float64, p.W.Size())
+				o.prevMap[p] = prev
+			}
+			copy(prev, p.W.Data)
+		}
+		w, g := p.W.Data, p.G.Data
+		for i := range w {
+			gi := g[i]
+			if o.WeightDecay != 0 {
+				gi += o.WeightDecay * w[i]
+			}
+			v[i] = o.M*v[i] + gi
+			w[i] -= o.LR * (o.A*v[i] + o.B*gi)
+			g[i] = 0
+		}
+	}
+}
+
+// Reset clears all optimizer state (velocities and previous weights).
+func (o *Momentum) Reset() {
+	o.vel = make(map[*nn.Param][]float64)
+	o.prevMap = make(map[*nn.Param][]float64)
+}
+
+// LWPForm selects between the two linear weight prediction variants of
+// Section 3.3.
+type LWPForm int
+
+const (
+	// LWPVelocity is Eq. 18: ŵ = w − ηT·v.
+	LWPVelocity LWPForm = iota
+	// LWPWeight is Eq. 19: ŵ = w + T·(w − w_prev).
+	LWPWeight
+)
+
+// String returns the paper's name for the form.
+func (f LWPForm) String() string {
+	if f == LWPWeight {
+		return "LWPw"
+	}
+	return "LWPv"
+}
+
+// PredictVelocityForm computes ŵ = w − η·T·v into a fresh slice.
+func PredictVelocityForm(w, v []float64, lr, t float64) []float64 {
+	out := make([]float64, len(w))
+	for i := range w {
+		out[i] = w[i] - lr*t*v[i]
+	}
+	return out
+}
+
+// PredictWeightForm computes ŵ = w + T·(w − wPrev) into a fresh slice.
+func PredictWeightForm(w, wPrev []float64, t float64) []float64 {
+	out := make([]float64, len(w))
+	for i := range w {
+		out[i] = w[i] + t*(w[i]-wPrev[i])
+	}
+	return out
+}
+
+// Predict produces predicted weights for parameter p with horizon t using
+// the requested form and the optimizer's state.
+func (o *Momentum) Predict(p *nn.Param, form LWPForm, t float64) []float64 {
+	if t == 0 {
+		return p.Snapshot()
+	}
+	switch form {
+	case LWPWeight:
+		return PredictWeightForm(p.W.Data, o.Prev(p), t)
+	default:
+		return PredictVelocityForm(p.W.Data, o.Vel(p), o.LR, t)
+	}
+}
+
+// ShrinkGradients scales all gradient accumulators by gamma^d — the
+// Gradient Shrinking baseline of Zhuang et al. (2019), where the scaling
+// decays exponentially with the stage delay.
+func ShrinkGradients(params []*nn.Param, gamma, d float64) {
+	s := math.Pow(gamma, d)
+	for _, p := range params {
+		p.G.Scale(s)
+	}
+}
+
+// Adam is the Adam optimizer, included for the Section 5 discussion that
+// adaptive optimizers may increase delay tolerance.
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+	t                     int
+	m, v                  map[*nn.Param][]float64
+}
+
+// NewAdam returns Adam with the standard defaults.
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
+		m: make(map[*nn.Param][]float64), v: make(map[*nn.Param][]float64)}
+}
+
+// Step applies one Adam update and zeroes gradients.
+func (o *Adam) Step(params []*nn.Param) {
+	o.t++
+	bc1 := 1 - math.Pow(o.Beta1, float64(o.t))
+	bc2 := 1 - math.Pow(o.Beta2, float64(o.t))
+	for _, p := range params {
+		m, ok := o.m[p]
+		if !ok {
+			m = make([]float64, p.W.Size())
+			o.m[p] = m
+		}
+		v, ok := o.v[p]
+		if !ok {
+			v = make([]float64, p.W.Size())
+			o.v[p] = v
+		}
+		w, g := p.W.Data, p.G.Data
+		for i := range w {
+			m[i] = o.Beta1*m[i] + (1-o.Beta1)*g[i]
+			v[i] = o.Beta2*v[i] + (1-o.Beta2)*g[i]*g[i]
+			w[i] -= o.LR * (m[i] / bc1) / (math.Sqrt(v[i]/bc2) + o.Eps)
+			g[i] = 0
+		}
+	}
+}

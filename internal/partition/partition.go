@@ -1,0 +1,206 @@
+// Package partition balances a fine-grained pipeline across a fixed number
+// of workers. The paper's Appendix A notes that pipeline-parallel training
+// must balance worker throughput ("the overall speed is determined by the
+// slowest worker") and that the division can be handled in software, citing
+// PipeDream (Harlap et al. 2018). This package provides:
+//
+//   - a per-stage cost model (analytic, from parameter counts and probed
+//     activation sizes, in multiply-accumulate units), and
+//   - an optimal contiguous partition (dynamic programming minimizing the
+//     bottleneck worker cost), and
+//   - Regroup, which fuses each part into one nn.FusedStage, producing a
+//     coarser pipeline.
+//
+// Coarser pipelines have shorter gradient delays (D_s = 2(S−1−s) shrinks
+// with S) but fewer workers — the granularity trade-off the paper's
+// fine-grained setting takes to one extreme. cmd/experiments -run
+// granularity measures the accuracy side of that trade-off.
+package partition
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// StageCost describes one pipeline stage's estimated work per sample.
+type StageCost struct {
+	Name string
+	// MACs is the estimated multiply-accumulate count for forward plus
+	// backward (≈3× forward for parameterized layers).
+	MACs float64
+	// Activations is the stage's output element count (per-worker memory).
+	Activations int
+	// Params is the stage's parameter element count.
+	Params int
+}
+
+// EstimateCosts probes the network with one sample of the given input shape
+// and derives a per-stage cost model. Costs are analytic where the layer
+// type is known (Dense, Conv2D) and size-proportional otherwise, so the
+// model is deterministic — no wall-clock profiling noise.
+func EstimateCosts(net *nn.Network, inputShape []int) []StageCost {
+	x := tensor.New(inputShape...)
+	p := nn.NewPacket(x)
+	costs := make([]StageCost, 0, net.NumStages())
+	for _, st := range net.Stages {
+		inElems := p.X.Size()
+		q, _ := st.Forward(p)
+		outElems := q.X.Size()
+		macs := 0.0
+		params := 0
+		for _, pr := range st.Params() {
+			params += pr.W.Size()
+		}
+		macs = stageMACs(st, inElems, outElems, params)
+		costs = append(costs, StageCost{
+			Name:        st.Name(),
+			MACs:        macs,
+			Activations: outElems,
+			Params:      params,
+		})
+		p = q
+	}
+	return costs
+}
+
+// stageMACs estimates forward+backward MACs for one stage.
+func stageMACs(st nn.Stage, inElems, outElems, params int) float64 {
+	// Parameterized work: each weight participates once per output position
+	// it is reused at. For Dense that is exactly params; for convs, params ×
+	// output spatial positions. We approximate spatial reuse by
+	// outElems/outChannels which the generic interface does not expose, so
+	// we use the ratio of output size to parameter "rows". The 3× covers
+	// backward (grad-input + grad-weight).
+	elementwise := float64(inElems + outElems)
+	if params == 0 {
+		return elementwise
+	}
+	reuse := float64(outElems)
+	if reuse < 1 {
+		reuse = 1
+	}
+	// Normalizing by sqrt keeps Dense (no spatial reuse) and Conv2D
+	// (high reuse) on a comparable scale without layer introspection.
+	return 3*float64(params)*math.Sqrt(reuse) + elementwise
+}
+
+// Bottleneck returns the maximum part cost of a partition (the pipeline's
+// step time, since the slowest worker gates every step).
+func Bottleneck(costs []StageCost, bounds []int) float64 {
+	worst := 0.0
+	start := 0
+	for _, end := range bounds {
+		sum := 0.0
+		for i := start; i < end; i++ {
+			sum += costs[i].MACs
+		}
+		if sum > worst {
+			worst = sum
+		}
+		start = end
+	}
+	return worst
+}
+
+// Partition computes the contiguous partition of the stages into at most
+// `workers` parts that minimizes the bottleneck part cost, by dynamic
+// programming (O(S²·W)). It returns the exclusive end index of each part,
+// e.g. [3, 7, 10] for stages [0,3), [3,7), [7,10).
+func Partition(costs []StageCost, workers int) []int {
+	s := len(costs)
+	if workers <= 0 {
+		panic("partition: workers must be positive")
+	}
+	if workers > s {
+		workers = s
+	}
+	prefix := make([]float64, s+1)
+	for i, c := range costs {
+		prefix[i+1] = prefix[i] + c.MACs
+	}
+	rangeSum := func(i, j int) float64 { return prefix[j] - prefix[i] }
+
+	const inf = math.MaxFloat64
+	// dp[k][i]: min bottleneck splitting the first i stages into k parts.
+	dp := make([][]float64, workers+1)
+	cut := make([][]int, workers+1)
+	for k := range dp {
+		dp[k] = make([]float64, s+1)
+		cut[k] = make([]int, s+1)
+		for i := range dp[k] {
+			dp[k][i] = inf
+		}
+	}
+	dp[0][0] = 0
+	for k := 1; k <= workers; k++ {
+		for i := 1; i <= s; i++ {
+			for j := k - 1; j < i; j++ {
+				if dp[k-1][j] == inf {
+					continue
+				}
+				cand := math.Max(dp[k-1][j], rangeSum(j, i))
+				if cand < dp[k][i] {
+					dp[k][i] = cand
+					cut[k][i] = j
+				}
+			}
+		}
+	}
+	// Pick the best worker count ≤ workers (more parts never hurt the
+	// bottleneck, but equal-cost shorter pipelines are preferable).
+	bestK := workers
+	for k := workers; k >= 1; k-- {
+		if dp[k][s] < dp[bestK][s] {
+			bestK = k
+		}
+	}
+	bounds := make([]int, bestK)
+	i := s
+	for k := bestK; k >= 1; k-- {
+		bounds[k-1] = i
+		i = cut[k][i]
+	}
+	return bounds
+}
+
+// Regroup builds a coarser network whose stages are the fused parts of the
+// partition. The returned network shares parameters with the original.
+func Regroup(net *nn.Network, bounds []int) *nn.Network {
+	if len(bounds) == 0 || bounds[len(bounds)-1] != net.NumStages() {
+		panic(fmt.Sprintf("partition: bounds %v do not cover %d stages", bounds, net.NumStages()))
+	}
+	var stages []nn.Stage
+	start := 0
+	for gi, end := range bounds {
+		if end <= start {
+			panic(fmt.Sprintf("partition: empty part at %d", gi))
+		}
+		if end-start == 1 {
+			stages = append(stages, net.Stages[start])
+		} else {
+			stages = append(stages, nn.FuseStages(
+				fmt.Sprintf("part%d[%s..%s]", gi, net.Stages[start].Name(), net.Stages[end-1].Name()),
+				net.Stages[start:end]...))
+		}
+		start = end
+	}
+	return nn.NewNetwork(stages...)
+}
+
+// Balance is the one-call convenience: estimate costs, partition into
+// workers, and regroup. It returns the coarse network and the partition's
+// bottleneck-to-mean cost ratio (1.0 = perfectly balanced).
+func Balance(net *nn.Network, inputShape []int, workers int) (*nn.Network, float64) {
+	costs := EstimateCosts(net, inputShape)
+	bounds := Partition(costs, workers)
+	total := 0.0
+	for _, c := range costs {
+		total += c.MACs
+	}
+	mean := total / float64(len(bounds))
+	ratio := Bottleneck(costs, bounds) / mean
+	return Regroup(net, bounds), ratio
+}

@@ -1,0 +1,204 @@
+// Package poly finds the complex roots of polynomials. The quadratic-loss
+// analysis of the paper (Section 3.5) reduces each optimization method to a
+// linear recurrence whose convergence rate is the largest root magnitude of
+// its characteristic polynomial (Eqs. 28-31); this package supplies those
+// roots via the Durand–Kerner (Weierstrass) simultaneous iteration.
+package poly
+
+import (
+	"math"
+	"math/cmplx"
+)
+
+// Eval evaluates the polynomial c[0] + c[1]·z + ... + c[n]·z^n by Horner's
+// rule.
+func Eval(c []complex128, z complex128) complex128 {
+	v := complex(0, 0)
+	for i := len(c) - 1; i >= 0; i-- {
+		v = v*z + c[i]
+	}
+	return v
+}
+
+// Derivative returns the coefficients of dP/dz.
+func Derivative(c []complex128) []complex128 {
+	if len(c) <= 1 {
+		return []complex128{0}
+	}
+	d := make([]complex128, len(c)-1)
+	for i := 1; i < len(c); i++ {
+		d[i-1] = c[i] * complex(float64(i), 0)
+	}
+	return d
+}
+
+// trim removes (numerically) zero leading coefficients so the highest-order
+// coefficient is significant.
+func trim(c []complex128) []complex128 {
+	n := len(c)
+	maxAbs := 0.0
+	for _, v := range c {
+		if a := cmplx.Abs(v); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	tol := maxAbs * 1e-300
+	for n > 1 && cmplx.Abs(c[n-1]) <= tol {
+		n--
+	}
+	return c[:n]
+}
+
+// Roots returns all roots of the polynomial with coefficients c (index =
+// power). Exact zero low-order coefficients are factored out as roots at the
+// origin. The result has length degree(c); a constant polynomial has none.
+func Roots(c []complex128) []complex128 {
+	c = trim(c)
+	if len(c) <= 1 {
+		return nil
+	}
+	// Factor out z^k when the low-order coefficients vanish.
+	var zeros int
+	for zeros < len(c)-1 && c[zeros] == 0 {
+		zeros++
+	}
+	c = c[zeros:]
+	roots := make([]complex128, 0, len(c)-1+zeros)
+	for i := 0; i < zeros; i++ {
+		roots = append(roots, 0)
+	}
+	n := len(c) - 1
+	if n == 0 {
+		return roots
+	}
+	if n == 1 {
+		return append(roots, -c[0]/c[1])
+	}
+	if n == 2 {
+		return append(roots, quadRoots(c[0], c[1], c[2])...)
+	}
+	// Normalize to monic.
+	monic := make([]complex128, n+1)
+	for i := range monic {
+		monic[i] = c[i] / c[n]
+	}
+	// Cauchy bound on root magnitudes for scaling the initial ring.
+	bound := 0.0
+	for i := 0; i < n; i++ {
+		if a := cmplx.Abs(monic[i]); a > bound {
+			bound = a
+		}
+	}
+	r := 1 + bound
+	if r > 10 {
+		r = math.Pow(r, 1.0/float64(n)) + 1
+	}
+	// Initial guesses on a ring with an irrational phase offset so no guess
+	// coincides with a symmetry axis.
+	z := make([]complex128, n)
+	for k := range z {
+		theta := 2*math.Pi*float64(k)/float64(n) + 0.3999
+		z[k] = complex(r*math.Cos(theta), r*math.Sin(theta))
+	}
+	// Durand–Kerner iterations.
+	const maxIter = 800
+	for iter := 0; iter < maxIter; iter++ {
+		maxStep := 0.0
+		for i := range z {
+			num := Eval(monic, z[i])
+			den := complex(1, 0)
+			for j := range z {
+				if j != i {
+					den *= z[i] - z[j]
+				}
+			}
+			if den == 0 {
+				// Perturb colliding guesses.
+				z[i] += complex(1e-8, 1e-8)
+				continue
+			}
+			step := num / den
+			z[i] -= step
+			if s := cmplx.Abs(step); s > maxStep {
+				maxStep = s
+			}
+		}
+		if maxStep < 1e-14 {
+			break
+		}
+	}
+	// Polish with a few Newton steps each (improves clustered roots).
+	deriv := Derivative(monic)
+	for i := range z {
+		for k := 0; k < 8; k++ {
+			d := Eval(deriv, z[i])
+			if cmplx.Abs(d) < 1e-300 {
+				break
+			}
+			step := Eval(monic, z[i]) / d
+			if cmplx.Abs(step) > 0.5 {
+				break // Newton diverging (multiple root); keep DK estimate.
+			}
+			z[i] -= step
+			if cmplx.Abs(step) < 1e-15 {
+				break
+			}
+		}
+	}
+	return append(roots, z...)
+}
+
+// quadRoots solves c0 + c1 z + c2 z² = 0 with a numerically stable formula.
+func quadRoots(c0, c1, c2 complex128) []complex128 {
+	disc := cmplx.Sqrt(c1*c1 - 4*c2*c0)
+	// Choose the sign that avoids cancellation.
+	q := c1 + disc
+	if cmplx.Abs(c1-disc) > cmplx.Abs(q) {
+		q = c1 - disc
+	}
+	q = -q / 2
+	var r1, r2 complex128
+	if q != 0 {
+		r1 = q / c2
+		r2 = c0 / q
+	} else {
+		r1, r2 = 0, 0
+	}
+	return []complex128{r1, r2}
+}
+
+// MaxAbsRoot returns the largest root magnitude, or 0 for constant
+// polynomials. This is |r_max| in the paper's convergence analysis: the
+// error of the associated recurrence decays as |r_max|^t (Eq. 33).
+func MaxAbsRoot(c []complex128) float64 {
+	maxAbs := 0.0
+	for _, r := range Roots(c) {
+		if a := cmplx.Abs(r); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	return maxAbs
+}
+
+// Real builds a complex coefficient slice from real coefficients.
+func Real(c ...float64) []complex128 {
+	out := make([]complex128, len(c))
+	for i, v := range c {
+		out[i] = complex(v, 0)
+	}
+	return out
+}
+
+// FromRoots expands ∏(z - r_i) into coefficient form (monic). Used by tests.
+func FromRoots(roots ...complex128) []complex128 {
+	c := []complex128{1}
+	for _, r := range roots {
+		next := make([]complex128, len(c)+1)
+		for i, v := range c {
+			next[i+1] += v
+			next[i] -= v * r
+		}
+		c = next
+	}
+	return c
+}

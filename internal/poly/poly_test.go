@@ -1,0 +1,232 @@
+package poly
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func sortByAbs(rs []complex128) {
+	sort.Slice(rs, func(i, j int) bool { return cmplx.Abs(rs[i]) < cmplx.Abs(rs[j]) })
+}
+
+// matchRoots reports the worst distance between corresponding roots of two
+// equally sized sets, using greedy nearest matching.
+func matchRoots(got, want []complex128) float64 {
+	used := make([]bool, len(want))
+	worst := 0.0
+	for _, g := range got {
+		best, bi := math.Inf(1), -1
+		for i, w := range want {
+			if used[i] {
+				continue
+			}
+			if d := cmplx.Abs(g - w); d < best {
+				best, bi = d, i
+			}
+		}
+		used[bi] = true
+		if best > worst {
+			worst = best
+		}
+	}
+	return worst
+}
+
+func TestEvalHorner(t *testing.T) {
+	// p(z) = 1 + 2z + 3z²  at z=2 → 1+4+12 = 17
+	got := Eval(Real(1, 2, 3), complex(2, 0))
+	if got != complex(17, 0) {
+		t.Fatalf("Eval = %v, want 17", got)
+	}
+}
+
+func TestDerivative(t *testing.T) {
+	d := Derivative(Real(5, 4, 3, 2)) // 4 + 6z + 6z²
+	want := Real(4, 6, 6)
+	for i := range want {
+		if d[i] != want[i] {
+			t.Fatalf("Derivative = %v", d)
+		}
+	}
+}
+
+func TestLinearAndQuadratic(t *testing.T) {
+	r := Roots(Real(-6, 2)) // 2z - 6 → 3
+	if len(r) != 1 || cmplx.Abs(r[0]-3) > 1e-12 {
+		t.Fatalf("linear root = %v", r)
+	}
+	r = Roots(Real(2, -3, 1)) // (z-1)(z-2)
+	sortByAbs(r)
+	if cmplx.Abs(r[0]-1) > 1e-12 || cmplx.Abs(r[1]-2) > 1e-12 {
+		t.Fatalf("quadratic roots = %v", r)
+	}
+	// Complex pair: z² + 1.
+	r = Roots(Real(1, 0, 1))
+	for _, root := range r {
+		if math.Abs(cmplx.Abs(root)-1) > 1e-12 || math.Abs(real(root)) > 1e-12 {
+			t.Fatalf("z²+1 roots = %v", r)
+		}
+	}
+}
+
+func TestZeroRootsFactoredOut(t *testing.T) {
+	// z³ - z² = z²(z-1)
+	r := Roots(Real(0, 0, -1, 1))
+	sortByAbs(r)
+	if len(r) != 3 || cmplx.Abs(r[0]) > 1e-12 || cmplx.Abs(r[1]) > 1e-12 || cmplx.Abs(r[2]-1) > 1e-10 {
+		t.Fatalf("z²(z-1) roots = %v", r)
+	}
+}
+
+func TestKnownQuinticFromRoots(t *testing.T) {
+	want := []complex128{complex(1, 0), complex(-2, 0), complex(0.5, 0.5), complex(0.5, -0.5), complex(3, 0)}
+	c := FromRoots(want...)
+	got := Roots(c)
+	if len(got) != 5 {
+		t.Fatalf("got %d roots", len(got))
+	}
+	if worst := matchRoots(got, want); worst > 1e-8 {
+		t.Fatalf("quintic worst root error %v", worst)
+	}
+}
+
+func TestHighDegreeUnitCircle(t *testing.T) {
+	// z^20 - 1: all roots on the unit circle.
+	c := make([]complex128, 21)
+	c[0], c[20] = -1, 1
+	r := Roots(c)
+	if len(r) != 20 {
+		t.Fatalf("got %d roots", len(r))
+	}
+	for _, root := range r {
+		if math.Abs(cmplx.Abs(root)-1) > 1e-8 {
+			t.Fatalf("root %v not on unit circle", root)
+		}
+	}
+	if math.Abs(MaxAbsRoot(c)-1) > 1e-8 {
+		t.Fatalf("MaxAbsRoot = %v", MaxAbsRoot(c))
+	}
+}
+
+func TestCharPolyLikeShapes(t *testing.T) {
+	// Shapes that show up in the paper's analysis: z^{D+1} - (1+m)z^D +
+	// m z^{D-1} + ηλ for D=8, m=0.99, ηλ=1e-3 — degree 9, must return 9
+	// finite roots, all |r| <= 1+something reasonable.
+	d := 8
+	m, el := 0.99, 1e-3
+	c := make([]complex128, d+2)
+	c[0] = complex(el, 0)
+	c[d-1] = complex(m, 0)
+	c[d] = complex(-(1 + m), 0)
+	c[d+1] = 1
+	r := Roots(c)
+	if len(r) != d+1 {
+		t.Fatalf("degree mismatch: %d roots", len(r))
+	}
+	for _, root := range r {
+		if cmplx.IsNaN(root) || cmplx.Abs(root) > 3 {
+			t.Fatalf("implausible root %v", root)
+		}
+	}
+	// Residual check: p(r) ≈ 0 for all roots.
+	for _, root := range r {
+		if cmplx.Abs(Eval(c, root)) > 1e-8 {
+			t.Fatalf("residual %v at root %v", cmplx.Abs(Eval(c, root)), root)
+		}
+	}
+}
+
+// Property: Vieta's formulas — the sum of roots equals -c[n-1]/c[n] and the
+// product equals (-1)^n c[0]/c[n].
+func TestVietaProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		c := make([]complex128, n+1)
+		for i := range c {
+			c[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		// Keep it well conditioned: leading coefficient not tiny.
+		c[n] = complex(1+rng.Float64(), 0)
+		if cmplx.Abs(c[0]) < 1e-3 {
+			c[0] = complex(1, 0)
+		}
+		roots := Roots(c)
+		if len(roots) != n {
+			return false
+		}
+		sum := complex(0, 0)
+		prod := complex(1, 0)
+		for _, r := range roots {
+			sum += r
+			prod *= r
+		}
+		wantSum := -c[n-1] / c[n]
+		wantProd := c[0] / c[n]
+		if n%2 == 1 {
+			wantProd = -wantProd
+		}
+		return cmplx.Abs(sum-wantSum) < 1e-6*(1+cmplx.Abs(wantSum)) &&
+			cmplx.Abs(prod-wantProd) < 1e-6*(1+cmplx.Abs(wantProd))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: roots are invariant under scaling all coefficients.
+func TestScaleInvarianceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		c := make([]complex128, n+1)
+		for i := range c {
+			c[i] = complex(rng.NormFloat64(), 0)
+		}
+		c[n] = 1
+		scale := complex(0.1+rng.Float64()*10, 0)
+		c2 := make([]complex128, len(c))
+		for i := range c {
+			c2[i] = c[i] * scale
+		}
+		r1 := MaxAbsRoot(c)
+		r2 := MaxAbsRoot(c2)
+		return math.Abs(r1-r2) < 1e-7*(1+r1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConstantPolynomial(t *testing.T) {
+	if r := Roots(Real(5)); len(r) != 0 {
+		t.Fatalf("constant polynomial returned roots %v", r)
+	}
+	if MaxAbsRoot(Real(5)) != 0 {
+		t.Fatal("MaxAbsRoot of constant must be 0")
+	}
+}
+
+func TestTrailingZeroCoefficients(t *testing.T) {
+	// 2z - 6 padded with zero high-order terms.
+	r := Roots(Real(-6, 2, 0, 0))
+	if len(r) != 1 || cmplx.Abs(r[0]-3) > 1e-12 {
+		t.Fatalf("trimmed roots = %v", r)
+	}
+}
+
+func TestFromRootsRoundTrip(t *testing.T) {
+	want := []complex128{1, 2, 3}
+	c := FromRoots(want...)
+	// (z-1)(z-2)(z-3) = z³ -6z² +11z -6
+	wantC := Real(-6, 11, -6, 1)
+	for i := range wantC {
+		if cmplx.Abs(c[i]-wantC[i]) > 1e-12 {
+			t.Fatalf("FromRoots = %v", c)
+		}
+	}
+}

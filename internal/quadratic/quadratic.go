@@ -1,0 +1,282 @@
+// Package quadratic implements the convex-quadratic analysis of Section 3.5
+// and Appendices D/E of "Pipelined Backpropagation at Scale". Every method —
+// delayed SGDM, generalized spike compensation, linear weight prediction and
+// their combination — reduces on a quadratic loss to a linear recurrence in
+// the expected weights (Eqs. 39-42). The recurrence's convergence rate is the
+// largest root magnitude |r_max| of its characteristic polynomial
+// (Eqs. 28-31); this package builds those polynomials, finds |r_max| over
+// (ηλ, m) grids, and derives the half-life curves of Figs. 4-7 and 12.
+package quadratic
+
+import (
+	"math"
+
+	"repro/internal/optim"
+	"repro/internal/poly"
+)
+
+// Method identifies an optimization method by the coefficients it plugs
+// into the combined update (Section 3.4): spike coefficients (a, b) and the
+// weight-prediction horizon T, all of which may depend on the momentum m and
+// the delay d.
+type Method struct {
+	// Label is the display name used in figure output.
+	Label string
+	// Coeffs returns (a, b, T) for momentum m and delay d.
+	Coeffs func(m float64, d int) (a, b, t float64)
+}
+
+// Name returns the method's display label.
+func (meth Method) Name() string { return meth.Label }
+
+// GDM is plain gradient descent with momentum (a=1, b=0, T=0).
+var GDM = Method{Label: "GDM", Coeffs: func(m float64, d int) (float64, float64, float64) {
+	return 1, 0, 0
+}}
+
+// Nesterov is Nesterov momentum expressed as GSC with (a, b) = (m, 1). For a
+// delay of one it coincides with SCD; for larger delays it does not.
+var Nesterov = Method{Label: "Nesterov", Coeffs: func(m float64, d int) (float64, float64, float64) {
+	a, b := optim.NesterovCoefficients(m)
+	return a, b, 0
+}}
+
+// SCD returns spike compensation with the default coefficients of Eq. 14 for
+// an effective delay of scale·d (scale 1 is the paper's SCD; 2 is SC2D).
+func SCD(scale float64) Method {
+	label := "SCD"
+	if scale != 1 {
+		label = "SC2D"
+	}
+	return Method{Label: label, Coeffs: func(m float64, d int) (float64, float64, float64) {
+		a, b := optim.SpikeCoefficients(m, scale*float64(d))
+		return a, b, 0
+	}}
+}
+
+// GSCFixed returns generalized spike compensation with fixed (a, b).
+func GSCFixed(a, b float64) Method {
+	return Method{Label: "GSC", Coeffs: func(m float64, d int) (float64, float64, float64) {
+		return a, b, 0
+	}}
+}
+
+// LWPD returns linear weight prediction with horizon T = scale·d (scale 1 is
+// the paper's LWPD default; 2 is LWP2D).
+func LWPD(scale float64) Method {
+	label := "LWPD"
+	if scale != 1 {
+		label = "LWP2D"
+	}
+	return Method{Label: label, Coeffs: func(m float64, d int) (float64, float64, float64) {
+		return 1, 0, scale * float64(d)
+	}}
+}
+
+// LWPFixed returns linear weight prediction with a fixed horizon T.
+func LWPFixed(t float64) Method {
+	return Method{Label: "LWP", Coeffs: func(m float64, d int) (float64, float64, float64) {
+		return 1, 0, t
+	}}
+}
+
+// Combined returns LWPw+GSC with the default coefficients at the given
+// scales: spike coefficients for delay scSCale·d and horizon lwpScale·d.
+// Combined(1, 1) is the paper's LWPwD+SCD.
+func Combined(scScale, lwpScale float64) Method {
+	return Method{Label: "LWPwD+SCD", Coeffs: func(m float64, d int) (float64, float64, float64) {
+		a, b := optim.SpikeCoefficients(m, scScale*float64(d))
+		return a, b, lwpScale * float64(d)
+	}}
+}
+
+// CharPoly builds the characteristic polynomial of the combined update
+// (Eq. 31, which subsumes Eqs. 28-30 for degenerate coefficients) for
+// momentum m, normalized rate ηλ, delay d, spike coefficients (a, b) and
+// prediction horizon T. The returned slice maps power → coefficient.
+//
+// The recurrence in the expected weights (Appendix D, Eq. 39) is
+//
+//	w̄_{t+1} = (1+m)·w̄_t − m·w̄_{t−1}
+//	          − ηλ(a+b)[(T+1)·w̄_{t−D} − T·w̄_{t−D−1}]
+//	          + ηλm·b[(T+1)·w̄_{t−D−1} − T·w̄_{t−D−2}].
+func CharPoly(m, etaLambda float64, d int, a, b, t float64) []complex128 {
+	el := etaLambda
+	offsets := map[int]float64{}
+	add := func(o int, v float64) { offsets[o] += v }
+	add(1, 1)
+	add(0, -(1 + m))
+	add(-1, m)
+	add(-d, el*(a+b)*(t+1))
+	add(-d-1, -el*((a+b)*t+m*b*(t+1)))
+	add(-d-2, el*m*b*t)
+	minOff := 1
+	for o, v := range offsets {
+		if v != 0 && o < minOff {
+			minOff = o
+		}
+	}
+	c := make([]complex128, 1-minOff+1)
+	for o, v := range offsets {
+		if v != 0 {
+			c[o-minOff] = complex(v, 0)
+		}
+	}
+	return c
+}
+
+// RMax returns the dominant root magnitude |r_max| of the method's
+// characteristic polynomial. Values below 1 mean the expected weights
+// converge; the error decays as |r_max|^t.
+func RMax(meth Method, m, etaLambda float64, d int) float64 {
+	a, b, t := meth.Coeffs(m, d)
+	return poly.MaxAbsRoot(CharPoly(m, etaLambda, d, a, b, t))
+}
+
+// Halflife converts a convergence rate r into the number of steps for the
+// error to halve: −ln 2 / ln r. It returns +Inf for r ≥ 1 (divergence or
+// stagnation) and 0 for r ≤ 0.
+func Halflife(r float64) float64 {
+	switch {
+	case r >= 1:
+		return math.Inf(1)
+	case r <= 0:
+		return 0
+	default:
+		return -math.Ln2 / math.Log(r)
+	}
+}
+
+// LogSpace returns n log-spaced points between lo and hi inclusive.
+func LogSpace(lo, hi float64, n int) []float64 {
+	out := make([]float64, n)
+	if n == 1 {
+		out[0] = lo
+		return out
+	}
+	llo, lhi := math.Log10(lo), math.Log10(hi)
+	for i := range out {
+		out[i] = math.Pow(10, llo+(lhi-llo)*float64(i)/float64(n-1))
+	}
+	return out
+}
+
+// MomentumGrid returns the paper's heatmap momentum axis: 0 together with
+// 1−10^(−j) for j log-spaced between 0 and maxExp (e.g. maxExp 5 gives
+// momentum up to 1−10⁻⁵).
+func MomentumGrid(points int, maxExp float64) []float64 {
+	out := make([]float64, 0, points+1)
+	out = append(out, 0)
+	for i := 0; i < points; i++ {
+		j := maxExp * float64(i+1) / float64(points)
+		out = append(out, 1-math.Pow(10, -j))
+	}
+	return out
+}
+
+// RateGrid caches |r_max| over a momentum × ηλ grid for one method and
+// delay. It is the data behind the Fig. 4 heatmaps, and the half-life sweeps
+// reuse it: a condition number κ corresponds to a sliding log-window of
+// width log10(κ) over the ηλ axis (Section 3.5).
+type RateGrid struct {
+	Method    Method
+	Delay     int
+	M         []float64
+	EtaLambda []float64 // ascending, log-spaced
+	R         [][]float64
+}
+
+// ComputeRateGrid evaluates |r_max| at every (m, ηλ) grid point.
+func ComputeRateGrid(meth Method, d int, ms, etaLambdas []float64) *RateGrid {
+	g := &RateGrid{Method: meth, Delay: d, M: ms, EtaLambda: etaLambdas}
+	g.R = make([][]float64, len(ms))
+	for i, m := range ms {
+		row := make([]float64, len(etaLambdas))
+		a, b, t := meth.Coeffs(m, d)
+		for j, el := range etaLambdas {
+			row[j] = poly.MaxAbsRoot(CharPoly(m, el, d, a, b, t))
+		}
+		g.R[i] = row
+	}
+	return g
+}
+
+// windowLen returns how many consecutive grid points span log10(κ) decades.
+func (g *RateGrid) windowLen(kappa float64) int {
+	if len(g.EtaLambda) < 2 {
+		return 1
+	}
+	stepDecades := (math.Log10(g.EtaLambda[len(g.EtaLambda)-1]) - math.Log10(g.EtaLambda[0])) /
+		float64(len(g.EtaLambda)-1)
+	w := int(math.Round(math.Log10(kappa)/stepDecades)) + 1
+	if w < 1 {
+		w = 1
+	}
+	if w > len(g.EtaLambda) {
+		w = len(g.EtaLambda)
+	}
+	return w
+}
+
+// BestRate returns, for condition number κ, the optimal achievable rate
+// min over (m, η) of max over λ∈[λ₁/κ, λ₁] of |r_max(ηλ, m)| — the quantity
+// plotted (as a half-life) in Figs. 5 and 6. It also reports the optimizing
+// momentum and the top of the optimizing ηλ window (= ηλ₁).
+func (g *RateGrid) BestRate(kappa float64) (rStar, bestM, bestEtaLambdaTop float64) {
+	w := g.windowLen(kappa)
+	rStar = math.Inf(1)
+	for i, m := range g.M {
+		row := g.R[i]
+		for j := 0; j+w <= len(row); j++ {
+			maxr := 0.0
+			for k := j; k < j+w; k++ {
+				if row[k] > maxr {
+					maxr = row[k]
+				}
+			}
+			if maxr < rStar {
+				rStar = maxr
+				bestM = m
+				bestEtaLambdaTop = g.EtaLambda[j+w-1]
+			}
+		}
+	}
+	return rStar, bestM, bestEtaLambdaTop
+}
+
+// BestRateFixedM is BestRate restricted to a single momentum row; it backs
+// the momentum sweeps of Figs. 7 and the horizon studies.
+func (g *RateGrid) BestRateFixedM(kappa float64, mIndex int) (rStar, bestEtaLambdaTop float64) {
+	w := g.windowLen(kappa)
+	rStar = math.Inf(1)
+	row := g.R[mIndex]
+	for j := 0; j+w <= len(row); j++ {
+		maxr := 0.0
+		for k := j; k < j+w; k++ {
+			if row[k] > maxr {
+				maxr = row[k]
+			}
+		}
+		if maxr < rStar {
+			rStar = maxr
+			bestEtaLambdaTop = g.EtaLambda[j+w-1]
+		}
+	}
+	return rStar, bestEtaLambdaTop
+}
+
+// StableFraction returns the fraction of grid points with |r_max| < 1 —
+// a scalar summary of the Fig. 4 stability regions used by tests to verify
+// that SCD strictly enlarges stability relative to delayed GDM.
+func (g *RateGrid) StableFraction() float64 {
+	stable, total := 0, 0
+	for _, row := range g.R {
+		for _, r := range row {
+			total++
+			if r < 1 {
+				stable++
+			}
+		}
+	}
+	return float64(stable) / float64(total)
+}

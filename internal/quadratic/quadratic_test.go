@@ -1,0 +1,379 @@
+package quadratic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/optim"
+	"repro/internal/poly"
+)
+
+func TestCharPolyGDMNoDelay(t *testing.T) {
+	// D=0 GDM must reduce to z² − (1+m−ηλ)z + m.
+	m, el := 0.9, 0.01
+	c := CharPoly(m, el, 0, 1, 0, 0)
+	want := poly.Real(m, -(1 + m - el), 1)
+	if len(c) != len(want) {
+		t.Fatalf("degree mismatch: %v", c)
+	}
+	for i := range want {
+		if math.Abs(real(c[i]-want[i])) > 1e-12 {
+			t.Fatalf("coef %d: %v want %v", i, c[i], want[i])
+		}
+	}
+}
+
+func TestCharPolyGDMDelayDegree(t *testing.T) {
+	for d := 1; d <= 8; d++ {
+		c := CharPoly(0.9, 0.01, d, 1, 0, 0)
+		// Degree D+1 once trailing zero terms (b=0, T=0 rows) are trimmed:
+		// offsets -d-1 and -d-2 are zero, so the polynomial spans z^0..z^{d+3}
+		// with zero low coefficients; MaxAbsRoot handles them as roots at 0.
+		// The informative check: the recurrence coefficients appear at the
+		// right powers.
+		n := len(c) - 1
+		if real(c[n]) != 1 {
+			t.Fatalf("leading coefficient %v", c[n])
+		}
+		if math.Abs(real(c[n-1])+1.9) > 1e-12 {
+			t.Fatalf("z^{n-1} coefficient %v, want -(1+m)", c[n-1])
+		}
+	}
+}
+
+func TestGDMNoDelayKnownRate(t *testing.T) {
+	// Classic result: with optimal hyperparameters the GDM rate on a
+	// quadratic with condition number κ is (√κ−1)/(√κ+1), achieved at
+	// m = ((√κ−1)/(√κ+1))².
+	kappa := 100.0
+	sq := math.Sqrt(kappa)
+	wantRate := (sq - 1) / (sq + 1)
+	wantM := wantRate * wantRate
+
+	// At the optimum, ηλ₁ = (1+√m)² with λ₁ = 1.
+	etaTop := (1 + math.Sqrt(wantM)) * (1 + math.Sqrt(wantM))
+	r1 := RMax(GDM, wantM, etaTop, 0)
+	rN := RMax(GDM, wantM, etaTop/kappa, 0)
+	got := math.Max(r1, rN)
+	if math.Abs(got-wantRate) > 0.01 {
+		t.Fatalf("GDM optimal rate %v, want %v", got, wantRate)
+	}
+}
+
+func TestBestRateMatchesClassicOptimum(t *testing.T) {
+	kappa := 100.0
+	ms := MomentumGrid(40, 4)
+	els := LogSpace(1e-6, 10, 400)
+	g := ComputeRateGrid(GDM, 0, ms, els)
+	rStar, bestM, _ := g.BestRate(kappa)
+	sq := math.Sqrt(kappa)
+	wantRate := (sq - 1) / (sq + 1)
+	if math.Abs(rStar-wantRate) > 0.02 {
+		t.Fatalf("BestRate %v, want %v (bestM=%v)", rStar, wantRate, bestM)
+	}
+	if bestM < 0.5 {
+		t.Fatalf("optimal momentum %v implausibly small for κ=100", bestM)
+	}
+}
+
+func TestSCDEqualsNesterovAtDelayOne(t *testing.T) {
+	// Section 3.5: for a delay of one, Nesterov momentum is equivalent to
+	// spike compensation.
+	for _, m := range []float64{0.1, 0.5, 0.9, 0.99} {
+		a1, b1, _ := SCD(1).Coeffs(m, 1)
+		a2, b2, _ := Nesterov.Coeffs(m, 1)
+		if math.Abs(a1-a2) > 1e-12 || math.Abs(b1-b2) > 1e-12 {
+			t.Fatalf("m=%v: SCD (%v,%v) vs Nesterov (%v,%v)", m, a1, b1, a2, b2)
+		}
+	}
+	// And not equivalent for delay 3.
+	a1, b1, _ := SCD(1).Coeffs(0.9, 3)
+	a2, b2, _ := Nesterov.Coeffs(0.9, 3)
+	if a1 == a2 && b1 == b2 {
+		t.Fatal("SCD must differ from Nesterov for delay > 1")
+	}
+}
+
+// Property (Appendix D): GSC(a,b) and LWP(T) have the same characteristic
+// roots on a quadratic when a+b = 1+T and m·b = T.
+func TestGSCLWPEquivalenceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 0.3 + rng.Float64()*0.65
+		d := 1 + rng.Intn(5)
+		tHor := rng.Float64() * 5
+		a, b := optim.EquivalentGSCForLWP(m, tHor)
+		el := math.Pow(10, -1-rng.Float64()*4)
+		r1 := RMax(GSCFixed(a, b), m, el, d)
+		r2 := RMax(LWPFixed(tHor), m, el, d)
+		return math.Abs(r1-r2) < 1e-6*(1+r1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSimulationMatchesRootRate(t *testing.T) {
+	// The time-domain trajectory decay must match |r_max| (Eq. 33).
+	cases := []struct {
+		meth Method
+		m    float64
+		el   float64
+		d    int
+	}{
+		{GDM, 0.9, 0.01, 0},
+		{GDM, 0.9, 0.005, 4},
+		{SCD(1), 0.9, 0.01, 4},
+		{LWPD(1), 0.9, 0.01, 4},
+		{Combined(1, 1), 0.9, 0.01, 4},
+		{Nesterov, 0.5, 0.05, 2},
+	}
+	for _, c := range cases {
+		want := RMax(c.meth, c.m, c.el, c.d)
+		if want >= 1 {
+			t.Fatalf("%s: unstable test point", c.meth.Name())
+		}
+		traj := SimulateMethod(c.meth, c.m, c.el, c.d, 4000)
+		got := EstimateRate(traj)
+		if math.Abs(got-want) > 0.02 {
+			t.Errorf("%s m=%v el=%v d=%d: simulated rate %v vs root rate %v",
+				c.meth.Name(), c.m, c.el, c.d, got, want)
+		}
+	}
+}
+
+func TestSimulateDivergenceDetected(t *testing.T) {
+	// Large ηλ with high momentum and delay is unstable.
+	traj := SimulateMethod(GDM, 0.99, 1.5, 4, 500)
+	if !math.IsInf(EstimateRate(traj), 1) && EstimateRate(traj) < 1 {
+		t.Fatal("expected divergence")
+	}
+}
+
+func TestDelayShrinksStability(t *testing.T) {
+	ms := MomentumGrid(12, 5)
+	els := LogSpace(1e-6, 2, 60)
+	g0 := ComputeRateGrid(GDM, 0, ms, els)
+	g1 := ComputeRateGrid(GDM, 1, ms, els)
+	gsc := ComputeRateGrid(SCD(1), 1, ms, els)
+	f0, f1, fs := g0.StableFraction(), g1.StableFraction(), gsc.StableFraction()
+	if f1 >= f0 {
+		t.Errorf("delay should shrink the stable region: D0=%v D1=%v", f0, f1)
+	}
+	if fs <= f1 {
+		t.Errorf("SCD should enlarge the stable region: GDM=%v SCD=%v", f1, fs)
+	}
+}
+
+func TestFig5Ordering(t *testing.T) {
+	// At κ=1e3 and delay 1, the mitigations must beat delayed GDM and the
+	// combination must be best, with the no-delay baseline best overall.
+	kappa := 1e3
+	ms := MomentumGrid(16, 5)
+	els := LogSpace(1e-8, 4, 240)
+	half := func(meth Method, d int) float64 {
+		g := ComputeRateGrid(meth, d, ms, els)
+		r, _, _ := g.BestRate(kappa)
+		return Halflife(r)
+	}
+	gdm0 := half(GDM, 0)
+	gdm1 := half(GDM, 1)
+	scd := half(SCD(1), 1)
+	lwp := half(LWPD(1), 1)
+	comb := half(Combined(1, 1), 1)
+	if !(gdm0 <= comb && comb <= scd && comb <= lwp && scd < gdm1 && lwp < gdm1) {
+		t.Errorf("ordering violated: gdm0=%.1f comb=%.1f scd=%.1f lwp=%.1f gdm1=%.1f",
+			gdm0, comb, scd, lwp, gdm1)
+	}
+}
+
+func TestDelayedGDMPrefersZeroMomentum(t *testing.T) {
+	// Fig. 7 with T=0: without mitigation the optimal momentum is ~zero,
+	// while the combined method prefers large momentum.
+	kappa := 1e3
+	ms := []float64{0, 0.9, 0.99}
+	els := LogSpace(1e-8, 4, 240)
+	gGDM := ComputeRateGrid(GDM, 5, ms, els)
+	r0, _ := gGDM.BestRateFixedM(kappa, 0)
+	r99, _ := gGDM.BestRateFixedM(kappa, 2)
+	if r0 >= r99 {
+		t.Errorf("delayed GDM should prefer m=0: r(0)=%v r(0.99)=%v", r0, r99)
+	}
+	gComb := ComputeRateGrid(Combined(1, 1), 5, ms, els)
+	c0, _ := gComb.BestRateFixedM(kappa, 0)
+	c99, _ := gComb.BestRateFixedM(kappa, 2)
+	if c99 >= c0 {
+		t.Errorf("combined should prefer large momentum: r(0)=%v r(0.99)=%v", c0, c99)
+	}
+}
+
+func TestHorizon2DOptimal(t *testing.T) {
+	// Appendix E: for LWP alone, T ≈ 2D outperforms T = D and T = 0.
+	kappa := 1e3
+	d := 5
+	ms := MomentumGrid(12, 5)
+	els := LogSpace(1e-8, 4, 200)
+	rate := func(scale float64) float64 {
+		g := ComputeRateGrid(LWPD(scale), d, ms, els)
+		r, _, _ := g.BestRate(kappa)
+		return r
+	}
+	r0 := rate(0) // equals GDM with delay
+	r1 := rate(1)
+	r2 := rate(2)
+	if !(r2 < r1 && r1 < r0) {
+		t.Errorf("horizon ordering violated: T=0:%v T=D:%v T=2D:%v", r0, r1, r2)
+	}
+}
+
+func TestHalflife(t *testing.T) {
+	if !math.IsInf(Halflife(1), 1) || !math.IsInf(Halflife(1.5), 1) {
+		t.Fatal("r>=1 must give infinite half-life")
+	}
+	if Halflife(0) != 0 {
+		t.Fatal("r=0 must give zero half-life")
+	}
+	if math.Abs(Halflife(0.5)-1) > 1e-12 {
+		t.Fatalf("Halflife(0.5) = %v, want 1", Halflife(0.5))
+	}
+}
+
+func TestLogSpace(t *testing.T) {
+	v := LogSpace(1e-3, 1e3, 7)
+	if len(v) != 7 || math.Abs(v[0]-1e-3) > 1e-15 || math.Abs(v[6]-1e3) > 1e-9 {
+		t.Fatalf("LogSpace endpoints: %v", v)
+	}
+	if math.Abs(v[3]-1) > 1e-12 {
+		t.Fatalf("LogSpace midpoint: %v", v[3])
+	}
+	one := LogSpace(5, 50, 1)
+	if len(one) != 1 || one[0] != 5 {
+		t.Fatalf("LogSpace n=1: %v", one)
+	}
+}
+
+func TestMomentumGrid(t *testing.T) {
+	g := MomentumGrid(5, 5)
+	if g[0] != 0 {
+		t.Fatal("grid must start at 0")
+	}
+	for i := 1; i < len(g); i++ {
+		if g[i] <= g[i-1] || g[i] >= 1 {
+			t.Fatalf("grid not increasing in [0,1): %v", g)
+		}
+	}
+	if math.Abs(g[len(g)-1]-(1-1e-5)) > 1e-12 {
+		t.Fatalf("grid max: %v", g[len(g)-1])
+	}
+}
+
+func TestImpulseResponseNoDelay(t *testing.T) {
+	m := 0.9
+	h := ImpulseResponse(m, 0, 1, 0, 10)
+	for tt := 0; tt < 10; tt++ {
+		if math.Abs(h[tt]-math.Pow(m, float64(tt))) > 1e-12 {
+			t.Fatalf("h[%d] = %v", tt, h[tt])
+		}
+	}
+}
+
+func TestImpulseResponseSpike(t *testing.T) {
+	m, d := 0.9, 5
+	a, b := optim.SpikeCoefficients(m, float64(d))
+	h := ImpulseResponse(m, d, a, b, 40)
+	// Before arrival: zero.
+	for tt := 0; tt < d; tt++ {
+		if h[tt] != 0 {
+			t.Fatalf("pre-arrival response h[%d]=%v", tt, h[tt])
+		}
+	}
+	// At arrival: spike of size a+b > no-delay value m^d.
+	if h[d] <= math.Pow(m, float64(d)) {
+		t.Fatalf("spike missing: h[%d]=%v", d, h[d])
+	}
+	// After arrival: matches the no-delay response exactly (Fig. 3 right).
+	for tt := d + 1; tt < 40; tt++ {
+		if math.Abs(h[tt]-math.Pow(m, float64(tt))) > 1e-12 {
+			t.Fatalf("post-spike mismatch at %d: %v vs %v", tt, h[tt], math.Pow(m, float64(tt)))
+		}
+	}
+}
+
+// Property: the default spike coefficients preserve the total contribution
+// of each gradient: sum of the impulse response equals 1/(1-m).
+func TestImpulseTotalPreservedProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 0.1 + rng.Float64()*0.88
+		d := rng.Intn(12)
+		a, b := optim.SpikeCoefficients(m, float64(d))
+		h := ImpulseResponse(m, d, a, b, 300)
+		total := ImpulseTotal(h, m, d, a)
+		want := 1 / (1 - m)
+		return math.Abs(total-want) < 1e-6*want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCombinedBeatsLWP2DAtModerateDelay(t *testing.T) {
+	// Fig. 7 finding: extended horizons (T≈2D) are good but do not
+	// outperform the combination LWPwD+SCD.
+	kappa := 1e3
+	d := 5
+	ms := MomentumGrid(16, 5)
+	els := LogSpace(1e-8, 4, 200)
+	gComb := ComputeRateGrid(Combined(1, 1), d, ms, els)
+	g2 := ComputeRateGrid(LWPD(2), d, ms, els)
+	rc, _, _ := gComb.BestRate(kappa)
+	r2, _, _ := g2.BestRate(kappa)
+	if rc > r2*1.005 {
+		t.Errorf("combination should match or beat LWP2D: comb=%v lwp2d=%v", rc, r2)
+	}
+}
+
+func TestCombinedResemblesNesterovNoDelay(t *testing.T) {
+	// Section 3.5: the combined mitigation's root heatmap resembles the
+	// no-delay Nesterov baseline. Compare stable-area fractions.
+	ms := MomentumGrid(12, 5)
+	els := LogSpace(1e-6, 2, 60)
+	comb := ComputeRateGrid(Combined(1, 1), 1, ms, els).StableFraction()
+	nest := ComputeRateGrid(Nesterov, 0, ms, els).StableFraction()
+	if comb < 0.7*nest || comb > 1.3*nest {
+		t.Errorf("combined D=1 stable fraction %v far from Nesterov D=0 %v", comb, nest)
+	}
+}
+
+func TestBestRateMonotoneInKappa(t *testing.T) {
+	// Harder problems (larger κ) can only slow optimal convergence.
+	ms := MomentumGrid(12, 5)
+	els := LogSpace(1e-8, 4, 160)
+	g := ComputeRateGrid(GDM, 1, ms, els)
+	prev := 0.0
+	for _, k := range []float64{1, 10, 100, 1e3, 1e4} {
+		r, _, _ := g.BestRate(k)
+		if r < prev-1e-9 {
+			t.Fatalf("BestRate decreased with κ=%v: %v < %v", k, r, prev)
+		}
+		prev = r
+	}
+}
+
+func TestRMaxContinuityInEtaLambda(t *testing.T) {
+	// |r_max| should vary smoothly along the ηλ axis (no solver glitches):
+	// neighboring grid points differ by a bounded amount.
+	els := LogSpace(1e-6, 1, 200)
+	prev := -1.0
+	for _, el := range els {
+		r := RMax(SCD(1), 0.9, el, 3)
+		if prev >= 0 {
+			if diff := math.Abs(r - prev); diff > 0.2 {
+				t.Fatalf("discontinuity at ηλ=%v: %v -> %v", el, prev, r)
+			}
+		}
+		prev = r
+	}
+}

@@ -1,0 +1,120 @@
+package quadratic
+
+import "math"
+
+// Simulate iterates the actual update equations of the combined method
+// (Section 3.4, weight-difference prediction form) on a scalar quadratic
+// loss L(w) = ½λw² with gradient delay d:
+//
+//	ŵ_t   = (T+1)·w_{t−d} − T·w_{t−d−1}   (LWPw prediction at forward time)
+//	g_t   = λ·ŵ_t
+//	v     = m·v + g_t
+//	w_{t+1} = w_t − η(a·v + b·g_t)
+//
+// starting from w=1 with all history equal to 1 and zero velocity. It
+// returns the trajectory w_0..w_steps. GDM is (a,b,T) = (1,0,0). The
+// time-domain trajectory cross-validates the root-based rates: its
+// asymptotic decay must equal |r_max| of CharPoly.
+func Simulate(m, etaLambda float64, d int, a, b, t float64, steps int) []float64 {
+	// history[k] holds w_{t-k}; we need up to k = d+1.
+	hist := make([]float64, d+2)
+	for i := range hist {
+		hist[i] = 1
+	}
+	w := 1.0
+	v := 0.0
+	out := make([]float64, steps+1)
+	out[0] = w
+	for step := 0; step < steps; step++ {
+		pred := (t+1)*hist[d] - t*hist[d+1]
+		g := etaLambda * pred // λ·ŵ with η folded in below (η·λ = etaLambda, λ=1 WLOG)
+		v = m*v + g
+		wNew := w - (a*v + b*g)
+		// Shift history.
+		copy(hist[1:], hist[:len(hist)-1])
+		hist[0] = wNew
+		w = wNew
+		out[step+1] = w
+		if math.IsInf(w, 0) || math.IsNaN(w) {
+			// Fill the remainder with +Inf so rate estimation sees divergence.
+			for k := step + 2; k <= steps; k++ {
+				out[k] = math.Inf(1)
+			}
+			break
+		}
+	}
+	return out
+}
+
+// SimulateMethod runs Simulate with a Method's coefficients.
+func SimulateMethod(meth Method, m, etaLambda float64, d, steps int) []float64 {
+	a, b, t := meth.Coeffs(m, d)
+	return Simulate(m, etaLambda, d, a, b, t, steps)
+}
+
+// EstimateRate extracts the asymptotic per-step decay rate from a
+// trajectory by comparing peak magnitudes over two late windows. Window
+// maxima make the estimate robust to the oscillation of complex root pairs.
+func EstimateRate(series []float64) float64 {
+	n := len(series)
+	if n < 40 {
+		panic("quadratic: EstimateRate needs at least 40 samples")
+	}
+	win := n / 8
+	peak := func(start int) float64 {
+		p := 0.0
+		for i := start; i < start+win && i < n; i++ {
+			v := math.Abs(series[i])
+			if v > p {
+				p = v
+			}
+		}
+		return p
+	}
+	t1 := n / 2
+	t2 := n - win - 1
+	p1, p2 := peak(t1), peak(t2)
+	if math.IsInf(p2, 0) || math.IsNaN(p2) {
+		return math.Inf(1)
+	}
+	if p1 == 0 || p2 == 0 {
+		return 0
+	}
+	return math.Pow(p2/p1, 1/float64(t2-t1))
+}
+
+// ImpulseResponse returns the contribution of a single unit gradient to the
+// weight updates over time (Fig. 3). The gradient is generated at time 0 and
+// arrives after the delay; spike compensation concentrates the missed
+// updates into a spike at arrival. With momentum m and no compensation the
+// no-delay response is h_t = m^t.
+//
+// The returned slice h has h[t] = the coefficient of the update applied at
+// time t (in units of η·g).
+func ImpulseResponse(m float64, delay int, a, b float64, steps int) []float64 {
+	h := make([]float64, steps)
+	for t := delay; t < steps; t++ {
+		// Velocity contribution decays from arrival; the b-term fires once.
+		h[t] = a * math.Pow(m, float64(t-delay))
+		if t == delay {
+			h[t] += b
+		}
+	}
+	return h
+}
+
+// ImpulseTotal returns the summed impulse response — the total contribution
+// of one gradient to the weights over all time. For the default spike
+// coefficients it equals the no-delay total 1/(1−m) (Section 3.2).
+func ImpulseTotal(h []float64, m float64, delay int, a float64) float64 {
+	total := 0.0
+	for _, v := range h {
+		total += v
+	}
+	// Add the analytic tail beyond the truncated horizon.
+	t := len(h)
+	if t > delay && m < 1 {
+		total += a * math.Pow(m, float64(t-delay)) / (1 - m)
+	}
+	return total
+}

@@ -1,0 +1,203 @@
+// Package schedviz simulates pipeline-parallel execution schedules — which
+// worker does what at each pipeline step — for fill-and-drain SGD and for
+// pipelined backpropagation. It quantifies the fill/drain overhead the paper
+// motivates with (Figs. 1-2 and Eq. 1) and renders the schedules as ASCII
+// diagrams in the style of Fig. 2.
+package schedviz
+
+import (
+	"fmt"
+	"strings"
+)
+
+// State is what one worker (stage) is doing at one pipeline step.
+type State byte
+
+// Worker states. A fully utilized worker performs one forward and one
+// backward per step (Both); a partially utilized worker only one of them.
+const (
+	Idle State = iota
+	Fwd
+	Bwd
+	Both
+)
+
+// glyph returns the diagram character for a state.
+func (s State) glyph() byte {
+	switch s {
+	case Fwd:
+		return 'F'
+	case Bwd:
+		return 'B'
+	case Both:
+		return 'X'
+	default:
+		return '.'
+	}
+}
+
+// Schedule is a simulated worker-state grid: Grid[stage][step].
+type Schedule struct {
+	Stages int
+	Grid   [][]State
+}
+
+// mark records an activity, upgrading F/B to Both when a worker does each.
+func (sc *Schedule) mark(stage, step int, s State) {
+	for step >= len(sc.Grid[stage]) {
+		for i := range sc.Grid {
+			sc.Grid[i] = append(sc.Grid[i], Idle)
+		}
+	}
+	cur := sc.Grid[stage][step]
+	switch {
+	case cur == Idle:
+		sc.Grid[stage][step] = s
+	case (cur == Fwd && s == Bwd) || (cur == Bwd && s == Fwd):
+		sc.Grid[stage][step] = Both
+	case cur == s || cur == Both:
+		// A worker cannot do two forwards (or two backwards) in one step.
+		panic(fmt.Sprintf("schedviz: double booking at stage %d step %d", stage, step))
+	}
+}
+
+// Steps returns the schedule length (makespan).
+func (sc *Schedule) Steps() int {
+	if sc.Stages == 0 {
+		return 0
+	}
+	return len(sc.Grid[0])
+}
+
+// Utilization returns the fractions of worker-steps that are fully utilized
+// (one F and one B), partially utilized (only one), and idle — the
+// green/yellow/red accounting of Fig. 2.
+func (sc *Schedule) Utilization() (full, partial, idle float64) {
+	total := 0
+	counts := map[State]int{}
+	for _, row := range sc.Grid {
+		for _, s := range row {
+			counts[s]++
+			total++
+		}
+	}
+	if total == 0 {
+		return 0, 0, 0
+	}
+	full = float64(counts[Both]) / float64(total)
+	partial = float64(counts[Fwd]+counts[Bwd]) / float64(total)
+	idle = float64(counts[Idle]) / float64(total)
+	return full, partial, idle
+}
+
+// WorkUtilization returns work done over capacity: each worker can perform
+// two transformations per step; Both counts 2, Fwd/Bwd count 1.
+func (sc *Schedule) WorkUtilization() float64 {
+	work, capacity := 0, 0
+	for _, row := range sc.Grid {
+		for _, s := range row {
+			capacity += 2
+			switch s {
+			case Both:
+				work += 2
+			case Fwd, Bwd:
+				work++
+			}
+		}
+	}
+	if capacity == 0 {
+		return 0
+	}
+	return float64(work) / float64(capacity)
+}
+
+// String renders the schedule: one row per stage (stage 0 at the bottom,
+// matching Fig. 2), one column per step.
+func (sc *Schedule) String() string {
+	var b strings.Builder
+	for s := sc.Stages - 1; s >= 0; s-- {
+		fmt.Fprintf(&b, "stage %2d |", s)
+		for _, st := range sc.Grid[s] {
+			b.WriteByte(st.glyph())
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("          ")
+	b.WriteString(strings.Repeat("-", sc.Steps()))
+	b.WriteString("> step\n")
+	return b.String()
+}
+
+// newSchedule allocates an empty grid.
+func newSchedule(stages int) *Schedule {
+	return &Schedule{Stages: stages, Grid: make([][]State, stages)}
+}
+
+// FillDrain simulates mini-batch pipeline SGD: batches of n samples fill the
+// s-stage pipeline, drain completely, then the next batch starts. Each
+// sample's forward at stage k happens k steps after it enters; its backward
+// at stage k happens 2(s−1)−k steps after it enters. Batches are serialized
+// (the drain requirement).
+func FillDrain(s, n, batches int) *Schedule {
+	sc := newSchedule(s)
+	offset := 0
+	for b := 0; b < batches; b++ {
+		for i := 0; i < n; i++ {
+			for k := 0; k < s; k++ {
+				sc.mark(k, offset+i+k, Fwd)
+				sc.mark(k, offset+i+2*(s-1)-k, Bwd)
+			}
+		}
+		// The batch completes after n−1+2(s−1) steps; the next starts on
+		// the following step: n+2s−2 steps per batch (Section 2).
+		offset += n + 2*s - 2
+	}
+	return sc
+}
+
+// Pipelined simulates pipelined backpropagation: one sample enters per step
+// and weights update without draining, so after the fill phase every worker
+// performs one forward and one backward per step.
+func Pipelined(s, samples int) *Schedule {
+	sc := newSchedule(s)
+	for i := 0; i < samples; i++ {
+		for k := 0; k < s; k++ {
+			sc.mark(k, i+k, Fwd)
+			sc.mark(k, i+2*(s-1)-k, Bwd)
+		}
+	}
+	return sc
+}
+
+// FillDrainStepsPerBatch is the analytic cost of one batch (Section 2).
+func FillDrainStepsPerBatch(n, s int) int { return n + 2*s - 2 }
+
+// UtilizationBound is the paper's Eq. 1: utilization of fill-and-drain
+// training is upper bounded by N/(N+2S).
+func UtilizationBound(n, s int) float64 { return float64(n) / float64(n+2*s) }
+
+// Row is one line of the Fig. 2 / Eq. 1 utilization table.
+type Row struct {
+	Stages, Batch                      int
+	FillDrainUtil, Bound, PipelineUtil float64
+}
+
+// UtilizationTable computes fill-and-drain vs pipelined utilization for the
+// given pipeline depths and batch sizes. The pipelined column uses a stream
+// of 10·S samples (steady state dominates).
+func UtilizationTable(stages, batches []int) []Row {
+	var rows []Row
+	for _, s := range stages {
+		for _, n := range batches {
+			fd := FillDrain(s, n, 1)
+			pb := Pipelined(s, 10*s)
+			rows = append(rows, Row{
+				Stages: s, Batch: n,
+				FillDrainUtil: fd.WorkUtilization(),
+				Bound:         UtilizationBound(n, s),
+				PipelineUtil:  pb.WorkUtilization(),
+			})
+		}
+	}
+	return rows
+}

@@ -1,0 +1,153 @@
+package schedviz
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestFillDrainMakespan(t *testing.T) {
+	for _, c := range []struct{ s, n, batches int }{
+		{4, 1, 1}, {4, 8, 1}, {3, 2, 3}, {10, 32, 2},
+	} {
+		sc := FillDrain(c.s, c.n, c.batches)
+		want := c.batches * FillDrainStepsPerBatch(c.n, c.s)
+		// The grid may be one column shorter than offset since the final
+		// batch's last step is its last backward (offset counts the step
+		// after). Events end at offset−1.
+		if sc.Steps() != want-1 && sc.Steps() != want {
+			t.Fatalf("s=%d n=%d b=%d: makespan %d, want ~%d", c.s, c.n, c.batches, sc.Steps(), want)
+		}
+	}
+}
+
+func TestFillDrainWorkConservation(t *testing.T) {
+	// Every sample must contribute exactly one F and one B per stage.
+	s, n, batches := 5, 4, 2
+	sc := FillDrain(s, n, batches)
+	fwd, bwd := 0, 0
+	for _, row := range sc.Grid {
+		for _, st := range row {
+			switch st {
+			case Fwd:
+				fwd++
+			case Bwd:
+				bwd++
+			case Both:
+				fwd++
+				bwd++
+			}
+		}
+	}
+	if fwd != s*n*batches || bwd != s*n*batches {
+		t.Fatalf("work lost: F=%d B=%d, want %d each", fwd, bwd, s*n*batches)
+	}
+}
+
+func TestFillDrainUtilizationMatchesFormula(t *testing.T) {
+	// Work utilization of one batch = N/(N+2S−2), upper bounded by Eq. 1.
+	f := func(a, b uint8) bool {
+		s := int(a)%12 + 2
+		n := int(b)%16 + 1
+		sc := FillDrain(s, n, 1)
+		got := sc.WorkUtilization()
+		// The grid length can be N+2S−3 or N+2S−2 columns depending on the
+		// final event; compute against the actual makespan.
+		want := float64(n) / float64(sc.Steps())
+		if math.Abs(got-want) > 1e-9 {
+			return false
+		}
+		return got >= UtilizationBound(n, s)-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPipelinedSteadyStateFullyUtilized(t *testing.T) {
+	s := 6
+	sc := Pipelined(s, 60)
+	// In the steady state (between fill and drain) every worker does both
+	// transformations every step.
+	for stage := 0; stage < s; stage++ {
+		for step := 2 * s; step < 50; step++ {
+			if sc.Grid[stage][step] != Both {
+				t.Fatalf("stage %d step %d not fully utilized: %c", stage, step, sc.Grid[stage][step].glyph())
+			}
+		}
+	}
+	full, _, _ := sc.Utilization()
+	if full < 0.75 {
+		t.Fatalf("steady-state full fraction %v too low", full)
+	}
+}
+
+func TestPipelinedBeatsFillDrain(t *testing.T) {
+	// Eq. 1 motivation: for small batches and deep pipelines, PB utilization
+	// vastly exceeds fill-and-drain.
+	s, n := 20, 1
+	fd := FillDrain(s, n, 4)
+	pb := Pipelined(s, 200)
+	if pb.WorkUtilization() < 4*fd.WorkUtilization() {
+		t.Fatalf("PB %.3f should be >> fill&drain %.3f at N=1, S=20",
+			pb.WorkUtilization(), fd.WorkUtilization())
+	}
+}
+
+func TestLargeBatchClosesGap(t *testing.T) {
+	// With N >> S fill&drain approaches full utilization (the paper's
+	// "unless N >> S" remark).
+	s := 4
+	small := FillDrain(s, 1, 1).WorkUtilization()
+	large := FillDrain(s, 256, 1).WorkUtilization()
+	if large < 0.95 || small > 0.2 {
+		t.Fatalf("utilization: small-batch %v, large-batch %v", small, large)
+	}
+}
+
+func TestUtilizationFractionsSumToOne(t *testing.T) {
+	sc := FillDrain(5, 3, 2)
+	full, partial, idle := sc.Utilization()
+	if math.Abs(full+partial+idle-1) > 1e-9 {
+		t.Fatalf("fractions sum to %v", full+partial+idle)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	sc := Pipelined(3, 6)
+	out := sc.String()
+	if !strings.Contains(out, "stage  2") || !strings.Contains(out, "X") {
+		t.Fatalf("rendering missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // 3 stages + axis
+		t.Fatalf("rendering lines = %d\n%s", len(lines), out)
+	}
+}
+
+func TestUtilizationTable(t *testing.T) {
+	rows := UtilizationTable([]int{4, 8}, []int{1, 32})
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.PipelineUtil <= r.FillDrainUtil {
+			t.Fatalf("PB must beat fill&drain: %+v", r)
+		}
+		if r.FillDrainUtil < r.Bound-1e-9 {
+			t.Fatalf("exact utilization below Eq. 1 bound: %+v", r)
+		}
+	}
+}
+
+func TestDoubleBookingPanics(t *testing.T) {
+	sc := newSchedule(2)
+	sc.mark(0, 0, Fwd)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected double-booking panic")
+		}
+	}()
+	sc.mark(0, 0, Fwd)
+}

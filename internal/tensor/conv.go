@@ -1,0 +1,180 @@
+package tensor
+
+import "fmt"
+
+// ConvOut returns the output spatial size of a convolution along one axis.
+func ConvOut(in, kernel, stride, pad int) int {
+	return (in+2*pad-kernel)/stride + 1
+}
+
+// Im2Col unfolds x [C, H, W] into a matrix [C*KH*KW, OH*OW] so that a
+// convolution becomes a matrix multiply with the [F, C*KH*KW] filter matrix.
+// Out-of-bounds (padding) positions contribute zeros.
+func Im2Col(x *Tensor, kh, kw, stride, pad int) *Tensor {
+	if len(x.Shape) != 3 {
+		panic(fmt.Sprintf("tensor: Im2Col requires [C,H,W], got %v", x.Shape))
+	}
+	c, h, w := x.Shape[0], x.Shape[1], x.Shape[2]
+	oh, ow := ConvOut(h, kh, stride, pad), ConvOut(w, kw, stride, pad)
+	cols := New(c*kh*kw, oh*ow)
+	for ch := 0; ch < c; ch++ {
+		xc := x.Data[ch*h*w : (ch+1)*h*w]
+		for ki := 0; ki < kh; ki++ {
+			for kj := 0; kj < kw; kj++ {
+				rowBase := ((ch*kh+ki)*kw + kj) * oh * ow
+				for oi := 0; oi < oh; oi++ {
+					ii := oi*stride + ki - pad
+					if ii < 0 || ii >= h {
+						continue
+					}
+					for oj := 0; oj < ow; oj++ {
+						jj := oj*stride + kj - pad
+						if jj < 0 || jj >= w {
+							continue
+						}
+						cols.Data[rowBase+oi*ow+oj] = xc[ii*w+jj]
+					}
+				}
+			}
+		}
+	}
+	return cols
+}
+
+// Col2Im folds a [C*KH*KW, OH*OW] matrix back into an image [C, H, W],
+// accumulating overlapping contributions. It is the adjoint of Im2Col and is
+// used to compute input gradients of a convolution.
+func Col2Im(cols *Tensor, c, h, w, kh, kw, stride, pad int) *Tensor {
+	oh, ow := ConvOut(h, kh, stride, pad), ConvOut(w, kw, stride, pad)
+	if len(cols.Shape) != 2 || cols.Shape[0] != c*kh*kw || cols.Shape[1] != oh*ow {
+		panic(fmt.Sprintf("tensor: Col2Im shape %v does not match c=%d kh=%d kw=%d oh=%d ow=%d",
+			cols.Shape, c, kh, kw, oh, ow))
+	}
+	x := New(c, h, w)
+	for ch := 0; ch < c; ch++ {
+		xc := x.Data[ch*h*w : (ch+1)*h*w]
+		for ki := 0; ki < kh; ki++ {
+			for kj := 0; kj < kw; kj++ {
+				rowBase := ((ch*kh+ki)*kw + kj) * oh * ow
+				for oi := 0; oi < oh; oi++ {
+					ii := oi*stride + ki - pad
+					if ii < 0 || ii >= h {
+						continue
+					}
+					for oj := 0; oj < ow; oj++ {
+						jj := oj*stride + kj - pad
+						if jj < 0 || jj >= w {
+							continue
+						}
+						xc[ii*w+jj] += cols.Data[rowBase+oi*ow+oj]
+					}
+				}
+			}
+		}
+	}
+	return x
+}
+
+// Conv2DForward computes a 2-D convolution (really cross-correlation, as in
+// every deep-learning framework) for x [N,C,H,W], weights w [F,C,KH,KW] and
+// bias b [F] (nil for no bias). It returns y [N,F,OH,OW] and the per-sample
+// im2col matrices, which the backward pass reuses.
+func Conv2DForward(x, w, b *Tensor, stride, pad int) (y *Tensor, cols []*Tensor) {
+	if len(x.Shape) != 4 || len(w.Shape) != 4 || x.Shape[1] != w.Shape[1] {
+		panic(fmt.Sprintf("tensor: Conv2DForward shapes x=%v w=%v", x.Shape, w.Shape))
+	}
+	n, c, h, wd := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	f, kh, kw := w.Shape[0], w.Shape[2], w.Shape[3]
+	oh, ow := ConvOut(h, kh, stride, pad), ConvOut(wd, kw, stride, pad)
+	y = New(n, f, oh, ow)
+	wm := w.Reshape(f, c*kh*kw)
+	cols = make([]*Tensor, n)
+	for s := 0; s < n; s++ {
+		xs := FromSlice(x.Data[s*c*h*wd:(s+1)*c*h*wd], c, h, wd)
+		col := Im2Col(xs, kh, kw, stride, pad)
+		cols[s] = col
+		ys := MatMul(wm, col) // [F, OH*OW]
+		copy(y.Data[s*f*oh*ow:(s+1)*f*oh*ow], ys.Data)
+		if b != nil {
+			for ff := 0; ff < f; ff++ {
+				bias := b.Data[ff]
+				base := s*f*oh*ow + ff*oh*ow
+				for k := 0; k < oh*ow; k++ {
+					y.Data[base+k] += bias
+				}
+			}
+		}
+	}
+	return y, cols
+}
+
+// Conv2DBackward computes gradients of a convolution. dy is [N,F,OH,OW];
+// cols are the im2col matrices from the forward pass. It returns dx and
+// accumulates into dw [F,C,KH,KW] and db [F] (db may be nil).
+func Conv2DBackward(dy, w *Tensor, cols []*Tensor, dw, db *Tensor, xShape []int, stride, pad int) (dx *Tensor) {
+	n, c, h, wd := xShape[0], xShape[1], xShape[2], xShape[3]
+	f, kh, kw := w.Shape[0], w.Shape[2], w.Shape[3]
+	oh, ow := ConvOut(h, kh, stride, pad), ConvOut(wd, kw, stride, pad)
+	wm := w.Reshape(f, c*kh*kw)
+	dwm := dw.Reshape(f, c*kh*kw)
+	dx = New(n, c, h, wd)
+	for s := 0; s < n; s++ {
+		dys := FromSlice(dy.Data[s*f*oh*ow:(s+1)*f*oh*ow], f, oh*ow)
+		// dW += dy · colsᵀ
+		g := MatMulTransB(dys, cols[s]) // [F, C*KH*KW]
+		dwm.Add(g)
+		if db != nil {
+			for ff := 0; ff < f; ff++ {
+				sum := 0.0
+				row := dys.Data[ff*oh*ow : (ff+1)*oh*ow]
+				for _, v := range row {
+					sum += v
+				}
+				db.Data[ff] += sum
+			}
+		}
+		// dcols = wᵀ · dy, then fold back to image space.
+		dcols := MatMulTransA(wm, dys) // [C*KH*KW, OH*OW]
+		dxs := Col2Im(dcols, c, h, wd, kh, kw, stride, pad)
+		copy(dx.Data[s*c*h*wd:(s+1)*c*h*wd], dxs.Data)
+	}
+	return dx
+}
+
+// Conv2DNaive is a direct-loop reference convolution used only by tests to
+// validate the im2col implementation.
+func Conv2DNaive(x, w, b *Tensor, stride, pad int) *Tensor {
+	n, c, h, wd := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	f, kh, kw := w.Shape[0], w.Shape[2], w.Shape[3]
+	oh, ow := ConvOut(h, kh, stride, pad), ConvOut(wd, kw, stride, pad)
+	y := New(n, f, oh, ow)
+	for s := 0; s < n; s++ {
+		for ff := 0; ff < f; ff++ {
+			for oi := 0; oi < oh; oi++ {
+				for oj := 0; oj < ow; oj++ {
+					sum := 0.0
+					if b != nil {
+						sum = b.Data[ff]
+					}
+					for ch := 0; ch < c; ch++ {
+						for ki := 0; ki < kh; ki++ {
+							ii := oi*stride + ki - pad
+							if ii < 0 || ii >= h {
+								continue
+							}
+							for kj := 0; kj < kw; kj++ {
+								jj := oj*stride + kj - pad
+								if jj < 0 || jj >= wd {
+									continue
+								}
+								sum += x.At(s, ch, ii, jj) * w.At(ff, ch, ki, kj)
+							}
+						}
+					}
+					y.Set(sum, s, ff, oi, oj)
+				}
+			}
+		}
+	}
+	return y
+}

@@ -1,0 +1,38 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+)
+
+// HeNormal fills t with zero-mean Gaussian values of standard deviation
+// sqrt(2/fanIn), the initialization of He et al. (2015) used by the paper's
+// ResNet and VGG configurations.
+func HeNormal(t *Tensor, fanIn int, rng *rand.Rand) {
+	std := math.Sqrt(2.0 / float64(fanIn))
+	for i := range t.Data {
+		t.Data[i] = rng.NormFloat64() * std
+	}
+}
+
+// XavierUniform fills t with values uniform in ±sqrt(6/(fanIn+fanOut)).
+func XavierUniform(t *Tensor, fanIn, fanOut int, rng *rand.Rand) {
+	bound := math.Sqrt(6.0 / float64(fanIn+fanOut))
+	for i := range t.Data {
+		t.Data[i] = (rng.Float64()*2 - 1) * bound
+	}
+}
+
+// Normal fills t with zero-mean Gaussian values of standard deviation std.
+func Normal(t *Tensor, std float64, rng *rand.Rand) {
+	for i := range t.Data {
+		t.Data[i] = rng.NormFloat64() * std
+	}
+}
+
+// Uniform fills t with values uniform in [lo, hi).
+func Uniform(t *Tensor, lo, hi float64, rng *rand.Rand) {
+	for i := range t.Data {
+		t.Data[i] = lo + rng.Float64()*(hi-lo)
+	}
+}

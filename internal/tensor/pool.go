@@ -1,0 +1,142 @@
+package tensor
+
+import "fmt"
+
+// MaxPool2DForward applies kxk max pooling with the given stride to
+// x [N,C,H,W]. It returns the pooled output and the flat argmax index of the
+// winning input element for every output element (used by the backward pass).
+func MaxPool2DForward(x *Tensor, k, stride int) (y *Tensor, argmax []int) {
+	if len(x.Shape) != 4 {
+		panic(fmt.Sprintf("tensor: MaxPool2DForward requires [N,C,H,W], got %v", x.Shape))
+	}
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	oh, ow := ConvOut(h, k, stride, 0), ConvOut(w, k, stride, 0)
+	y = New(n, c, oh, ow)
+	argmax = make([]int, n*c*oh*ow)
+	oi := 0
+	for s := 0; s < n; s++ {
+		for ch := 0; ch < c; ch++ {
+			base := (s*c + ch) * h * w
+			for i := 0; i < oh; i++ {
+				for j := 0; j < ow; j++ {
+					best := -1
+					bv := 0.0
+					for ki := 0; ki < k; ki++ {
+						for kj := 0; kj < k; kj++ {
+							ii, jj := i*stride+ki, j*stride+kj
+							if ii >= h || jj >= w {
+								continue
+							}
+							idx := base + ii*w + jj
+							if best == -1 || x.Data[idx] > bv {
+								best, bv = idx, x.Data[idx]
+							}
+						}
+					}
+					y.Data[oi] = bv
+					argmax[oi] = best
+					oi++
+				}
+			}
+		}
+	}
+	return y, argmax
+}
+
+// MaxPool2DBackward routes dy back to the argmax positions recorded by the
+// forward pass, producing dx with the given input shape.
+func MaxPool2DBackward(dy *Tensor, argmax []int, xShape []int) *Tensor {
+	dx := New(xShape...)
+	for i, idx := range argmax {
+		dx.Data[idx] += dy.Data[i]
+	}
+	return dx
+}
+
+// GlobalAvgPoolForward reduces x [N,C,H,W] to [N,C] by spatial averaging.
+func GlobalAvgPoolForward(x *Tensor) *Tensor {
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	y := New(n, c)
+	hw := float64(h * w)
+	for s := 0; s < n; s++ {
+		for ch := 0; ch < c; ch++ {
+			base := (s*c + ch) * h * w
+			sum := 0.0
+			for k := 0; k < h*w; k++ {
+				sum += x.Data[base+k]
+			}
+			y.Data[s*c+ch] = sum / hw
+		}
+	}
+	return y
+}
+
+// GlobalAvgPoolBackward spreads dy [N,C] uniformly over the spatial positions
+// of the input shape [N,C,H,W].
+func GlobalAvgPoolBackward(dy *Tensor, xShape []int) *Tensor {
+	n, c, h, w := xShape[0], xShape[1], xShape[2], xShape[3]
+	dx := New(n, c, h, w)
+	hw := float64(h * w)
+	for s := 0; s < n; s++ {
+		for ch := 0; ch < c; ch++ {
+			g := dy.Data[s*c+ch] / hw
+			base := (s*c + ch) * h * w
+			for k := 0; k < h*w; k++ {
+				dx.Data[base+k] = g
+			}
+		}
+	}
+	return dx
+}
+
+// AvgPool2DForward applies kxk average pooling with stride k (non-overlapping)
+// to x [N,C,H,W]. Used by the parameter-free ResNet shortcut downsampling.
+func AvgPool2DForward(x *Tensor, k int) *Tensor {
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	oh, ow := h/k, w/k
+	y := New(n, c, oh, ow)
+	kk := float64(k * k)
+	for s := 0; s < n; s++ {
+		for ch := 0; ch < c; ch++ {
+			base := (s*c + ch) * h * w
+			obase := (s*c + ch) * oh * ow
+			for i := 0; i < oh; i++ {
+				for j := 0; j < ow; j++ {
+					sum := 0.0
+					for ki := 0; ki < k; ki++ {
+						for kj := 0; kj < k; kj++ {
+							sum += x.Data[base+(i*k+ki)*w+(j*k+kj)]
+						}
+					}
+					y.Data[obase+i*ow+j] = sum / kk
+				}
+			}
+		}
+	}
+	return y
+}
+
+// AvgPool2DBackward is the adjoint of AvgPool2DForward.
+func AvgPool2DBackward(dy *Tensor, xShape []int, k int) *Tensor {
+	n, c, h, w := xShape[0], xShape[1], xShape[2], xShape[3]
+	oh, ow := h/k, w/k
+	dx := New(n, c, h, w)
+	kk := float64(k * k)
+	for s := 0; s < n; s++ {
+		for ch := 0; ch < c; ch++ {
+			base := (s*c + ch) * h * w
+			obase := (s*c + ch) * oh * ow
+			for i := 0; i < oh; i++ {
+				for j := 0; j < ow; j++ {
+					g := dy.Data[obase+i*ow+j] / kk
+					for ki := 0; ki < k; ki++ {
+						for kj := 0; kj < k; kj++ {
+							dx.Data[base+(i*k+ki)*w+(j*k+kj)] += g
+						}
+					}
+				}
+			}
+		}
+	}
+	return dx
+}

@@ -1,0 +1,402 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewZeroFilled(t *testing.T) {
+	x := New(2, 3, 4)
+	if x.Size() != 24 {
+		t.Fatalf("Size = %d, want 24", x.Size())
+	}
+	for i, v := range x.Data {
+		if v != 0 {
+			t.Fatalf("element %d = %v, want 0", i, v)
+		}
+	}
+}
+
+func TestNewPanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-positive dimension")
+		}
+	}()
+	New(2, 0)
+}
+
+func TestFromSliceAndAt(t *testing.T) {
+	x := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	if got := x.At(0, 0); got != 1 {
+		t.Errorf("At(0,0) = %v, want 1", got)
+	}
+	if got := x.At(1, 2); got != 6 {
+		t.Errorf("At(1,2) = %v, want 6", got)
+	}
+	x.Set(9, 1, 0)
+	if got := x.At(1, 0); got != 9 {
+		t.Errorf("after Set, At(1,0) = %v, want 9", got)
+	}
+}
+
+func TestFromSlicePanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	FromSlice([]float64{1, 2, 3}, 2, 2)
+}
+
+func TestCloneIndependence(t *testing.T) {
+	x := FromSlice([]float64{1, 2, 3}, 3)
+	y := x.Clone()
+	y.Data[0] = 42
+	if x.Data[0] != 1 {
+		t.Fatal("Clone shares storage with original")
+	}
+	if !x.SameShape(y) {
+		t.Fatal("Clone changed shape")
+	}
+}
+
+func TestReshapeSharesData(t *testing.T) {
+	x := FromSlice([]float64{1, 2, 3, 4}, 2, 2)
+	y := x.Reshape(4)
+	y.Data[3] = 7
+	if x.At(1, 1) != 7 {
+		t.Fatal("Reshape must share underlying data")
+	}
+}
+
+func TestElementwiseOps(t *testing.T) {
+	x := FromSlice([]float64{1, 2, 3}, 3)
+	y := FromSlice([]float64{4, 5, 6}, 3)
+	x.Add(y)
+	want := []float64{5, 7, 9}
+	for i, v := range want {
+		if x.Data[i] != v {
+			t.Fatalf("Add: got %v, want %v", x.Data, want)
+		}
+	}
+	x.Sub(y)
+	x.AddScaled(y, 2)
+	x.Scale(0.5)
+	got := []float64{4.5, 6, 7.5}
+	for i, v := range got {
+		if math.Abs(x.Data[i]-v) > 1e-12 {
+			t.Fatalf("chained ops: got %v, want %v", x.Data, got)
+		}
+	}
+	x.Hadamard(y)
+	if x.Data[2] != 45 {
+		t.Fatalf("Hadamard: got %v", x.Data)
+	}
+}
+
+func TestSumMeanNormArgmax(t *testing.T) {
+	x := FromSlice([]float64{3, -4, 0, 5}, 2, 2)
+	if x.Sum() != 4 {
+		t.Errorf("Sum = %v, want 4", x.Sum())
+	}
+	if x.Mean() != 1 {
+		t.Errorf("Mean = %v, want 1", x.Mean())
+	}
+	if x.MaxAbs() != 5 {
+		t.Errorf("MaxAbs = %v, want 5", x.MaxAbs())
+	}
+	if got := x.Norm2(); math.Abs(got-math.Sqrt(50)) > 1e-12 {
+		t.Errorf("Norm2 = %v", got)
+	}
+	if x.ArgMaxRow(0) != 0 || x.ArgMaxRow(1) != 1 {
+		t.Errorf("ArgMaxRow wrong: %d %d", x.ArgMaxRow(0), x.ArgMaxRow(1))
+	}
+}
+
+func TestMatMulSmall(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	b := FromSlice([]float64{7, 8, 9, 10, 11, 12}, 3, 2)
+	c := MatMul(a, b)
+	want := []float64{58, 64, 139, 154}
+	for i, v := range want {
+		if c.Data[i] != v {
+			t.Fatalf("MatMul = %v, want %v", c.Data, want)
+		}
+	}
+}
+
+func TestMatMulTransVariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := New(4, 3)
+	b := New(4, 5)
+	Normal(a, 1, rng)
+	Normal(b, 1, rng)
+	// aᵀ·b via explicit transpose must match MatMulTransA.
+	got := MatMulTransA(a, b)
+	want := MatMul(Transpose(a), b)
+	if !got.AllClose(want, 1e-12) {
+		t.Fatal("MatMulTransA does not match explicit transpose")
+	}
+	c := New(6, 5)
+	Normal(c, 1, rng)
+	got2 := MatMulTransB(b, c) // [4,5]·[6,5]ᵀ = [4,6]
+	want2 := MatMul(b, Transpose(c))
+	if !got2.AllClose(want2, 1e-12) {
+		t.Fatal("MatMulTransB does not match explicit transpose")
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := New(3, 7)
+	Normal(a, 1, rng)
+	b := Transpose(Transpose(a))
+	if !a.AllClose(b, 0) {
+		t.Fatal("Transpose twice is not identity")
+	}
+}
+
+// Property: MatMul is linear in its first argument.
+func TestMatMulLinearityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m, k, n := 1+r.Intn(5), 1+r.Intn(5), 1+r.Intn(5)
+		a1, a2, b := New(m, k), New(m, k), New(k, n)
+		Normal(a1, 1, r)
+		Normal(a2, 1, r)
+		Normal(b, 1, r)
+		alpha := r.NormFloat64()
+		lhs := a1.Clone()
+		lhs.AddScaled(a2, alpha)
+		left := MatMul(lhs, b)
+		right := MatMul(a1, b)
+		right.AddScaled(MatMul(a2, b), alpha)
+		return left.AllClose(right, 1e-9)
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConvOut(t *testing.T) {
+	cases := []struct{ in, k, s, p, want int }{
+		{8, 3, 1, 1, 8},
+		{8, 3, 2, 1, 4},
+		{32, 3, 1, 1, 32},
+		{5, 3, 1, 0, 3},
+		{7, 1, 1, 0, 7},
+	}
+	for _, c := range cases {
+		if got := ConvOut(c.in, c.k, c.s, c.p); got != c.want {
+			t.Errorf("ConvOut(%d,%d,%d,%d) = %d, want %d", c.in, c.k, c.s, c.p, got, c.want)
+		}
+	}
+}
+
+func TestConvForwardMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, cfg := range []struct{ n, c, h, w, f, k, stride, pad int }{
+		{1, 1, 5, 5, 1, 3, 1, 1},
+		{2, 3, 8, 8, 4, 3, 1, 1},
+		{1, 2, 8, 8, 3, 3, 2, 1},
+		{2, 4, 6, 6, 2, 1, 1, 0},
+		{1, 3, 7, 7, 5, 5, 2, 2},
+	} {
+		x := New(cfg.n, cfg.c, cfg.h, cfg.w)
+		w := New(cfg.f, cfg.c, cfg.k, cfg.k)
+		b := New(cfg.f)
+		Normal(x, 1, rng)
+		Normal(w, 1, rng)
+		Normal(b, 1, rng)
+		y, _ := Conv2DForward(x, w, b, cfg.stride, cfg.pad)
+		yn := Conv2DNaive(x, w, b, cfg.stride, cfg.pad)
+		if !y.AllClose(yn, 1e-10) {
+			t.Fatalf("im2col conv != naive conv for %+v", cfg)
+		}
+	}
+}
+
+// Property: Col2Im is the adjoint of Im2Col, i.e. <Im2Col(x), C> == <x, Col2Im(C)>.
+func TestIm2ColAdjointProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c, h, w := 1+r.Intn(3), 4+r.Intn(5), 4+r.Intn(5)
+		k := 1 + 2*r.Intn(2) // 1 or 3
+		stride := 1 + r.Intn(2)
+		pad := r.Intn(2)
+		x := New(c, h, w)
+		Normal(x, 1, r)
+		cols := Im2Col(x, k, k, stride, pad)
+		cmat := New(cols.Shape[0], cols.Shape[1])
+		Normal(cmat, 1, r)
+		lhs := 0.0
+		for i := range cols.Data {
+			lhs += cols.Data[i] * cmat.Data[i]
+		}
+		folded := Col2Im(cmat, c, h, w, k, k, stride, pad)
+		rhs := 0.0
+		for i := range x.Data {
+			rhs += x.Data[i] * folded.Data[i]
+		}
+		return math.Abs(lhs-rhs) < 1e-8*(1+math.Abs(lhs))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConvBackwardNumerical(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n, c, h, wd, f, k, stride, pad := 1, 2, 5, 5, 3, 3, 1, 1
+	x := New(n, c, h, wd)
+	w := New(f, c, k, k)
+	b := New(f)
+	Normal(x, 1, rng)
+	Normal(w, 0.5, rng)
+	Normal(b, 0.5, rng)
+
+	// Scalar loss: sum of y elements weighted by fixed random r.
+	y, cols := Conv2DForward(x, w, b, stride, pad)
+	rw := New(y.Shape...)
+	Normal(rw, 1, rng)
+	loss := func() float64 {
+		yy, _ := Conv2DForward(x, w, b, stride, pad)
+		s := 0.0
+		for i := range yy.Data {
+			s += yy.Data[i] * rw.Data[i]
+		}
+		return s
+	}
+	dy := rw.Clone()
+	dw := New(w.Shape...)
+	db := New(f)
+	dx := Conv2DBackward(dy, w, cols, dw, db, x.Shape, stride, pad)
+
+	const eps = 1e-6
+	check := func(name string, param *Tensor, grad *Tensor, count int) {
+		for trial := 0; trial < count; trial++ {
+			i := rng.Intn(param.Size())
+			orig := param.Data[i]
+			param.Data[i] = orig + eps
+			lp := loss()
+			param.Data[i] = orig - eps
+			lm := loss()
+			param.Data[i] = orig
+			num := (lp - lm) / (2 * eps)
+			if math.Abs(num-grad.Data[i]) > 1e-4*(1+math.Abs(num)) {
+				t.Fatalf("%s grad[%d]: analytic %v vs numeric %v", name, i, grad.Data[i], num)
+			}
+		}
+	}
+	check("w", w, dw, 20)
+	check("b", b, db, 3)
+	check("x", x, dx, 20)
+}
+
+func TestMaxPoolForwardBackward(t *testing.T) {
+	x := FromSlice([]float64{
+		1, 2, 3, 4,
+		5, 6, 7, 8,
+		9, 10, 11, 12,
+		13, 14, 15, 16,
+	}, 1, 1, 4, 4)
+	y, arg := MaxPool2DForward(x, 2, 2)
+	want := []float64{6, 8, 14, 16}
+	for i, v := range want {
+		if y.Data[i] != v {
+			t.Fatalf("maxpool = %v, want %v", y.Data, want)
+		}
+	}
+	dy := FromSlice([]float64{1, 2, 3, 4}, 1, 1, 2, 2)
+	dx := MaxPool2DBackward(dy, arg, x.Shape)
+	if dx.At(0, 0, 1, 1) != 1 || dx.At(0, 0, 3, 3) != 4 {
+		t.Fatalf("maxpool backward misrouted: %v", dx.Data)
+	}
+	if dx.Sum() != 10 {
+		t.Fatalf("maxpool backward lost mass: sum=%v", dx.Sum())
+	}
+}
+
+func TestGlobalAvgPool(t *testing.T) {
+	x := FromSlice([]float64{1, 2, 3, 4, 10, 20, 30, 40}, 1, 2, 2, 2)
+	y := GlobalAvgPoolForward(x)
+	if y.At(0, 0) != 2.5 || y.At(0, 1) != 25 {
+		t.Fatalf("gap forward: %v", y.Data)
+	}
+	dy := FromSlice([]float64{4, 8}, 1, 2)
+	dx := GlobalAvgPoolBackward(dy, x.Shape)
+	if dx.At(0, 0, 0, 0) != 1 || dx.At(0, 1, 1, 1) != 2 {
+		t.Fatalf("gap backward: %v", dx.Data)
+	}
+}
+
+func TestAvgPool2D(t *testing.T) {
+	x := FromSlice([]float64{
+		1, 2, 3, 4,
+		5, 6, 7, 8,
+		9, 10, 11, 12,
+		13, 14, 15, 16,
+	}, 1, 1, 4, 4)
+	y := AvgPool2DForward(x, 2)
+	want := []float64{3.5, 5.5, 11.5, 13.5}
+	for i, v := range want {
+		if y.Data[i] != v {
+			t.Fatalf("avgpool = %v, want %v", y.Data, want)
+		}
+	}
+	// Adjoint check.
+	dy := FromSlice([]float64{1, 2, 3, 4}, 1, 1, 2, 2)
+	dx := AvgPool2DBackward(dy, x.Shape, 2)
+	lhs := 0.0
+	for i := range y.Data {
+		lhs += y.Data[i] * dy.Data[i]
+	}
+	rhs := 0.0
+	for i := range x.Data {
+		rhs += x.Data[i] * dx.Data[i]
+	}
+	if math.Abs(lhs-rhs) > 1e-10 {
+		t.Fatalf("avgpool not self-adjoint: %v vs %v", lhs, rhs)
+	}
+}
+
+func TestInitializersStatistics(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	x := New(10000)
+	HeNormal(x, 50, rng)
+	var mean, sq float64
+	for _, v := range x.Data {
+		mean += v
+		sq += v * v
+	}
+	mean /= float64(x.Size())
+	std := math.Sqrt(sq/float64(x.Size()) - mean*mean)
+	wantStd := math.Sqrt(2.0 / 50.0)
+	if math.Abs(mean) > 0.01 || math.Abs(std-wantStd) > 0.01 {
+		t.Errorf("HeNormal stats mean=%v std=%v (want std %v)", mean, std, wantStd)
+	}
+	Uniform(x, -2, 3, rng)
+	for _, v := range x.Data {
+		if v < -2 || v >= 3 {
+			t.Fatalf("Uniform out of range: %v", v)
+		}
+	}
+}
+
+func TestAllCloseShapes(t *testing.T) {
+	a := New(2, 2)
+	b := New(4)
+	if !a.AllClose(b, 0) {
+		// Same sizes compare by data; that is intended.
+		t.Skip()
+	}
+	c := New(3)
+	if a.AllClose(c, 1e9) {
+		t.Fatal("AllClose must be false for different sizes")
+	}
+}

@@ -1,0 +1,142 @@
+// Package track records training histories (per-epoch or per-step metric
+// series) and exports them as CSV or JSON, so experiment artifacts can be
+// plotted outside the terminal. Every cmd tool accepts a -history flag that
+// feeds a Recorder.
+package track
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+)
+
+// Point is one measurement row: a step index plus named metric values.
+type Point struct {
+	Step    int
+	Metrics map[string]float64
+}
+
+// Recorder accumulates measurement rows for one run.
+type Recorder struct {
+	// Run labels the series (method name, model, seed...).
+	Run    map[string]string
+	points []Point
+	// names tracks metric-name insertion order for stable CSV columns.
+	names []string
+	seen  map[string]bool
+}
+
+// NewRecorder creates an empty recorder with optional run labels.
+func NewRecorder(labels map[string]string) *Recorder {
+	if labels == nil {
+		labels = map[string]string{}
+	}
+	return &Recorder{Run: labels, seen: map[string]bool{}}
+}
+
+// Record appends a row. Metric names may vary between rows; missing values
+// export as empty cells.
+func (r *Recorder) Record(step int, metrics map[string]float64) {
+	cp := make(map[string]float64, len(metrics))
+	keys := make([]string, 0, len(metrics))
+	for k := range metrics {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		cp[k] = metrics[k]
+		if !r.seen[k] {
+			r.seen[k] = true
+			r.names = append(r.names, k)
+		}
+	}
+	r.points = append(r.points, Point{Step: step, Metrics: cp})
+}
+
+// Len returns the number of recorded rows.
+func (r *Recorder) Len() int { return len(r.points) }
+
+// Series extracts one metric as (steps, values), skipping rows without it.
+func (r *Recorder) Series(name string) (steps []int, values []float64) {
+	for _, p := range r.points {
+		if v, ok := p.Metrics[name]; ok {
+			steps = append(steps, p.Step)
+			values = append(values, v)
+		}
+	}
+	return steps, values
+}
+
+// Last returns the most recent value of a metric and whether any exists.
+func (r *Recorder) Last(name string) (float64, bool) {
+	for i := len(r.points) - 1; i >= 0; i-- {
+		if v, ok := r.points[i].Metrics[name]; ok {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+// WriteCSV exports the history with a header of step + metric columns.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{"step"}, r.names...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, p := range r.points {
+		row := make([]string, 1+len(r.names))
+		row[0] = strconv.Itoa(p.Step)
+		for i, name := range r.names {
+			if v, ok := p.Metrics[name]; ok {
+				row[i+1] = strconv.FormatFloat(v, 'g', -1, 64)
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// jsonDoc is the JSON export envelope.
+type jsonDoc struct {
+	Run    map[string]string `json:"run"`
+	Points []Point           `json:"points"`
+}
+
+// WriteJSON exports the history as a single JSON document.
+func (r *Recorder) WriteJSON(w io.Writer) error {
+	return json.NewEncoder(w).Encode(jsonDoc{Run: r.Run, Points: r.points})
+}
+
+// ReadJSON loads a history exported by WriteJSON.
+func ReadJSON(rd io.Reader) (*Recorder, error) {
+	var doc jsonDoc
+	if err := json.NewDecoder(rd).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("track: decode: %w", err)
+	}
+	r := NewRecorder(doc.Run)
+	for _, p := range doc.Points {
+		r.Record(p.Step, p.Metrics)
+	}
+	return r, nil
+}
+
+// SaveCSV writes the history to a file.
+func (r *Recorder) SaveCSV(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,84 @@
+package track
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRecordAndSeries(t *testing.T) {
+	r := NewRecorder(map[string]string{"method": "pb"})
+	r.Record(1, map[string]float64{"loss": 2.0, "acc": 0.3})
+	r.Record(2, map[string]float64{"loss": 1.5, "acc": 0.5})
+	r.Record(3, map[string]float64{"loss": 1.0})
+	if r.Len() != 3 {
+		t.Fatalf("len %d", r.Len())
+	}
+	steps, vals := r.Series("acc")
+	if len(steps) != 2 || steps[1] != 2 || vals[0] != 0.3 {
+		t.Fatalf("series %v %v", steps, vals)
+	}
+	last, ok := r.Last("loss")
+	if !ok || last != 1.0 {
+		t.Fatalf("last %v %v", last, ok)
+	}
+	if _, ok := r.Last("missing"); ok {
+		t.Fatal("missing metric reported present")
+	}
+}
+
+func TestCSVExport(t *testing.T) {
+	r := NewRecorder(nil)
+	r.Record(1, map[string]float64{"loss": 2})
+	r.Record(2, map[string]float64{"loss": 1, "acc": 0.5})
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines: %v", lines)
+	}
+	if lines[0] != "step,loss,acc" {
+		t.Fatalf("header %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "1,2,") {
+		t.Fatalf("row1 %q (missing value should be empty)", lines[1])
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	r := NewRecorder(map[string]string{"model": "rn20"})
+	r.Record(5, map[string]float64{"valacc": 0.9})
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Run["model"] != "rn20" || r2.Len() != 1 {
+		t.Fatalf("round trip lost data: %+v", r2)
+	}
+	v, ok := r2.Last("valacc")
+	if !ok || v != 0.9 {
+		t.Fatal("metric lost")
+	}
+}
+
+func TestSaveCSVFile(t *testing.T) {
+	r := NewRecorder(nil)
+	r.Record(1, map[string]float64{"x": 1})
+	path := filepath.Join(t.TempDir(), "h.csv")
+	if err := r.SaveCSV(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{nope")); err == nil {
+		t.Fatal("expected decode error")
+	}
+}
