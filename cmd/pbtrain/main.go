@@ -7,6 +7,7 @@
 //	pbtrain -model rn20 -method pb+lwpvd+scd -epochs 8
 //	pbtrain -model mlp -depth 12 -method pb -epochs 4
 //	pbtrain -model vgg11 -method sgdm
+//	pbtrain -model rn20 -method pb -engine async   # free-running pipeline
 package main
 
 import (
@@ -44,6 +45,7 @@ var mitigations = map[string]core.Mitigation{
 func main() {
 	model := flag.String("model", "rn20", "model: rn20|rn32|rn44|rn56|rn110|vgg11|vgg13|vgg16|mlp")
 	method := flag.String("method", "pb+lwpvd+scd", "sgdm or one of: "+keys())
+	engine := flag.String("engine", "seq", "PB engine: "+strings.Join(core.EngineNames, "|"))
 	epochs := flag.Int("epochs", 8, "training epochs")
 	width := flag.Int("width", 4, "ResNet base width / MLP width scale")
 	depth := flag.Int("depth", 6, "MLP hidden-stage count")
@@ -123,17 +125,23 @@ func main() {
 		Schedule: sched.MultiStep{Base: eta1, Milestones: []int{updates / 2, updates * 3 / 4}, Gamma: 0.1}}
 	fmt.Printf("Eq.9 scaling: (η=%.3g, m=%.4g) @N=%d → (η=%.3g, m=%.6g) @N=1\n",
 		*eta, *mom, *refBatch, eta1, m1)
-	tr := core.NewPBTrainer(net, cfg)
+	tr, err := core.NewEngine(*engine, net, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	defer tr.Close()
+	fmt.Printf("engine=%s\n", *engine)
 	completed := 0
 	for e := 0; e < *epochs; e++ {
-		loss, acc := tr.TrainEpoch(trainSet, trainSet.Perm(rng), nil, rng)
+		loss, acc := core.RunEpoch(tr, trainSet, trainSet.Perm(rng), nil, rng)
 		completed += trainSet.Len()
 		fmt.Printf("epoch %2d  train loss %.4f acc %.1f%%  val acc %.1f%%\n",
 			e+1, loss, acc*100, evalAcc()*100)
 	}
 	fmt.Printf("pipeline utilization %.3f (fill&drain bound at N=1: %.3f)\n",
 		tr.Utilization(completed), core.UtilizationBound(1, s))
-	fmt.Printf("observed max staleness per stage == 2(S-1-s): %v\n", tr.ObservedDelays()[:min(6, s)])
+	fmt.Printf("observed max staleness per stage ≤ 2(S-1-s): %v\n", tr.ObservedDelays()[:min(6, s)])
 	saveCheckpoint(*ckpt, net)
 }
 

@@ -1,17 +1,22 @@
 // Command utilization prints the fill-and-drain vs pipelined-backpropagation
 // utilization analysis (Fig. 2, Eq. 1) for arbitrary pipeline depths and
-// batch sizes, with optional schedule diagrams.
+// batch sizes, with optional schedule diagrams. With -measure it trains a
+// real pipeline on every engine (seq, lockstep, async) and reports measured
+// throughput and utilization instead of the analytic bounds.
 //
 // Usage:
 //
 //	utilization -stages 34 -batch 1
 //	utilization -diagram -stages 6 -batch 2
+//	utilization -measure
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
 
+	"repro/internal/exp"
 	"repro/internal/metrics"
 	"repro/internal/schedviz"
 )
@@ -21,7 +26,13 @@ func main() {
 	batch := flag.Int("batch", 1, "update size N")
 	diagram := flag.Bool("diagram", false, "print schedule diagrams")
 	sweep := flag.Bool("sweep", false, "print the full sweep table")
+	measure := flag.Bool("measure", false, "measure real engine throughput and utilization")
 	flag.Parse()
+
+	if *measure {
+		exp.EngineThroughput(os.Stdout, exp.Default)
+		return
+	}
 
 	if *sweep {
 		rows := schedviz.UtilizationTable(

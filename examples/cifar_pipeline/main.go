@@ -11,12 +11,22 @@
 // The expected shape (Fig. 8 / Table 1): PB alone loses accuracy to stale
 // gradients; the combined mitigation recovers most of it with no tuning.
 //
-// Run with: go run ./examples/cifar_pipeline
+// The -engine flag selects the PB runtime: the sequential reference (seq),
+// the barrier-parallel engine (lockstep), or the free-running asynchronous
+// engine (async) in which every stage races ahead over bounded queues while
+// staleness stays capped at D_s = 2(S−1−s) per stage.
+//
+// Run with: go run ./examples/cifar_pipeline [-engine async]
 package main
 
 import (
+	"flag"
 	"fmt"
+	"os"
+	"slices"
+	"strings"
 
+	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/exp"
 	"repro/internal/models"
@@ -24,18 +34,25 @@ import (
 )
 
 func main() {
+	engine := flag.String("engine", "seq", "PB engine: "+strings.Join(core.EngineNames, "|"))
+	flag.Parse()
+	if !slices.Contains(core.EngineNames, *engine) {
+		fmt.Fprintf(os.Stderr, "unknown engine %q; options: %s\n", *engine, strings.Join(core.EngineNames, " "))
+		os.Exit(2)
+	}
+
 	cfg := data.CIFAR10Like(12, 600, 200, 42)
 	train, test := data.GenerateImages(cfg)
 	build := func(seed int64) *nn.Network {
 		return models.ResNet(models.MiniResNet(20, 4, 12, 10, seed))
 	}
-	fmt.Printf("ResNet-20 mini: %d pipeline stages (paper's GProp: 34), max delay %d updates\n\n",
-		build(1).NumStages(), 2*(build(1).NumStages()-1))
+	fmt.Printf("ResNet-20 mini: %d pipeline stages (paper's GProp: 34), max delay %d updates, engine %s\n\n",
+		build(1).NumStages(), 2*(build(1).NumStages()-1), *engine)
 
 	methods := []exp.MethodSpec{
 		exp.SGDMRef,
-		exp.PB,
-		{Name: "PB+LWPvD+SCD", Mit: exp.Table1Methods[2].Mit},
+		{Name: "PB", Engine: *engine},
+		{Name: "PB+LWPvD+SCD", Mit: exp.Table1Methods[2].Mit, Engine: *engine},
 	}
 	for _, m := range methods {
 		r := exp.RunMethod(build, train, test, m, exp.DefaultRef, 8, nil, 1)

@@ -1,0 +1,551 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// AsyncMode selects the scheduling discipline of the AsyncPBTrainer.
+type AsyncMode int
+
+const (
+	// ModeFree lets every stage free-run: a stage consumes work the moment
+	// it is available, with backward packets prioritized over forward and a
+	// per-stage cap on in-flight samples that bounds the observed gradient
+	// staleness at the paper's D_s = 2(S−1−s). Throughput mode; the exact
+	// interleaving (and therefore the float trajectory) depends on runtime
+	// scheduling.
+	ModeFree AsyncMode = iota
+	// ModeLockstep runs the same stage goroutines as a systolic array: every
+	// pipeline round each stage exchanges exactly one (possibly empty)
+	// forward and backward token with its neighbors, which reproduces the
+	// sequential PBTrainer's GProp schedule deterministically — the weight
+	// trajectory is bit-identical to PBTrainer. Tests use this mode to prove
+	// the concurrent engine computes the same thing.
+	ModeLockstep
+)
+
+// String names the mode.
+func (m AsyncMode) String() string {
+	if m == ModeLockstep {
+		return "lockstep"
+	}
+	return "free"
+}
+
+// asyncStage is one free-running pipeline worker: the engine-independent
+// stage state plus its inbound queues. Everything here is owned by the
+// stage's goroutine while the pipeline runs; the driver reads the plain
+// fields only after Drain or Close, which establish happens-before through
+// the completion channel.
+type asyncStage struct {
+	*stageState
+	// fwdIn carries activations from stage i−1 (the driver for stage 0).
+	// Bounded: its capacity plus the context-FIFO cap is the only buffering
+	// between neighbors, so memory stays bounded no matter how fast
+	// upstream runs.
+	fwdIn chan *inflight
+	// bwdIn carries gradients from stage i+1. Sized so sends never block
+	// (at most delay+1 gradients can be outstanding toward this stage),
+	// which makes the backward path wait-free and the pipeline
+	// deadlock-free. Nil for the last stage, which feeds itself through the
+	// loss head.
+	bwdIn chan *nn.Packet
+	// busyNs accumulates time spent inside Forward/Backward/update, for the
+	// measured utilization.
+	busyNs int64
+}
+
+// AsyncPBTrainer is the free-running concurrent engine for fine-grained
+// pipelined backpropagation. Unlike ParallelPBTrainer there is no global
+// per-step barrier: each stage goroutine owns its parameters, optimizer and
+// context FIFO outright and exchanges activations and gradients with its
+// neighbors through bounded channels, so a fast stage never waits for a slow
+// stage it doesn't border and multiple samples are in flight per stage.
+//
+// Staleness stays bounded without any global coordination: stage s accepts a
+// new forward only while its context FIFO holds at most D_s = 2(S−1−s)
+// pending samples, so the number of weight updates between a sample's
+// forward and backward pass at that stage can never exceed the synchronous
+// schedule's delay (Eq. 5) — the free-running engine is at most as stale as
+// the paper's GProp schedule, per stage, always.
+//
+// In ModeLockstep the same goroutines run as a systolic array exchanging one
+// token per round with each neighbor, which reproduces the PBTrainer
+// schedule exactly; see AsyncMode.
+//
+// The driver API is streaming: Submit feeds one sample (blocking when the
+// pipeline is saturated — bounded queues give natural backpressure) and
+// returns any results that completed in the meantime; Drain quiesces the
+// pipeline. ObservedDelays, Updates and Utilization must only be read with
+// the pipeline quiesced (after Drain or Close).
+type AsyncPBTrainer struct {
+	Net  *nn.Network
+	Cfg  Config
+	Mode AsyncMode
+
+	stages []*asyncStage
+	// resCh carries completed-sample results from the last stage back to
+	// the driver. The driver harvests it inside every blocking send, so the
+	// last stage can never wedge the pipeline on a full result queue.
+	resCh chan *Result
+	// completed counts samples whose final (stage-0) update has been
+	// applied; donePing wakes a Drain waiting on it.
+	completed atomic.Int64
+	donePing  chan struct{}
+	stop      chan struct{}
+	wg        sync.WaitGroup
+	closed    bool
+
+	// Driver-local bookkeeping (single-goroutine).
+	submitted int
+	nextID    int
+	// step and lastPush drive the deterministic drain in lockstep mode:
+	// step counts tokens issued to stage 0 (≡ PBTrainer pipeline steps) and
+	// lastPush is the step of the most recent real sample. A sample pushed
+	// at step p completes at step p+2(S−1), so Drain issues empty tokens up
+	// to exactly that round — the same number of steps PBTrainer.Drain
+	// executes.
+	step     int
+	lastPush int
+	// Wall-clock accounting for measured utilization: the clock runs from
+	// the first Submit after idle until the Drain that empties the
+	// pipeline, so evaluation pauses between epochs don't dilute it.
+	running bool
+	started time.Time
+	wallNs  int64
+}
+
+// NewAsyncPBTrainer builds the engine around the same per-stage state as
+// NewPBTrainer and starts one goroutine per stage.
+func NewAsyncPBTrainer(net *nn.Network, cfg Config, mode AsyncMode) *AsyncPBTrainer {
+	inner := NewPBTrainer(net, cfg) // reuse stage construction (optimizers, delays)
+	s := len(inner.stages)
+	t := &AsyncPBTrainer{
+		Net:      net,
+		Cfg:      cfg,
+		Mode:     mode,
+		resCh:    make(chan *Result, 2*s+4),
+		donePing: make(chan struct{}, 1),
+		stop:     make(chan struct{}),
+	}
+	for i, st := range inner.stages {
+		as := &asyncStage{stageState: st}
+		if mode == ModeLockstep {
+			// Systolic tokens: capacity 2 lets neighbors skew by one round
+			// without blocking; backward channels start primed with two
+			// empty tokens so stage i's round r pairs with stage i+1's
+			// round r−2 gradient — exactly the one PBTrainer consumes at
+			// the same pipeline step.
+			as.fwdIn = make(chan *inflight, 2)
+			if i < s-1 {
+				as.bwdIn = make(chan *nn.Packet, 4)
+				as.bwdIn <- nil
+				as.bwdIn <- nil
+			}
+		} else {
+			as.fwdIn = make(chan *inflight, 1)
+			if i < s-1 {
+				// delay+2 ≥ max outstanding gradients toward this stage, so
+				// backward sends are wait-free (deadlock freedom).
+				as.bwdIn = make(chan *nn.Packet, st.delay+2)
+			}
+		}
+		t.stages = append(t.stages, as)
+	}
+	for i := range t.stages {
+		t.wg.Add(1)
+		if mode == ModeLockstep {
+			go t.workerLock(i)
+		} else {
+			go t.workerFree(i)
+		}
+	}
+	return t
+}
+
+// NumStages returns the pipeline depth S.
+func (t *AsyncPBTrainer) NumStages() int { return len(t.stages) }
+
+// Delays returns the analytic per-stage delays D_s.
+func (t *AsyncPBTrainer) Delays() []int {
+	d := make([]int, len(t.stages))
+	for i, s := range t.stages {
+		d[i] = s.delay
+	}
+	return d
+}
+
+// ObservedDelays returns the maximum forward→backward update gap measured
+// per stage. Only valid with the pipeline quiesced (after Drain or Close).
+func (t *AsyncPBTrainer) ObservedDelays() []int {
+	d := make([]int, len(t.stages))
+	for i, s := range t.stages {
+		d[i] = s.maxObserved
+	}
+	return d
+}
+
+// Outstanding returns the number of samples in the pipeline as seen by the
+// driver (submitted minus completed).
+func (t *AsyncPBTrainer) Outstanding() int {
+	return t.submitted - int(t.completed.Load())
+}
+
+// harvest collects any results already queued, without blocking.
+func (t *AsyncPBTrainer) harvest(rs []*Result) []*Result {
+	for {
+		select {
+		case r := <-t.resCh:
+			rs = append(rs, r)
+		default:
+			return rs
+		}
+	}
+}
+
+// Submit feeds one sample into the pipeline, blocking only when the bounded
+// input queue is full, and returns any results that completed in the
+// meantime. It panics after Close.
+func (t *AsyncPBTrainer) Submit(x *tensor.Tensor, label int) []*Result {
+	if t.closed {
+		panic("core: Submit after Close")
+	}
+	if !t.running {
+		t.started = time.Now()
+		t.running = true
+	}
+	in := &inflight{packet: nn.NewPacket(x), label: label, id: t.nextID}
+	t.nextID++
+	t.submitted++
+	var rs []*Result
+	for {
+		select {
+		case t.stages[0].fwdIn <- in:
+			if t.Mode == ModeLockstep {
+				t.lastPush = t.step
+				t.step++
+			}
+			return t.harvest(rs)
+		case r := <-t.resCh:
+			// Harvesting while blocked keeps the last stage from wedging on
+			// a full result queue.
+			rs = append(rs, r)
+		}
+	}
+}
+
+// Drain quiesces the pipeline: it waits until every submitted sample has
+// applied its final weight update and returns the collected results. In
+// lockstep mode it first issues exactly the empty rounds the sequential
+// schedule would execute, keeping the step counter (and any LR schedule)
+// aligned with PBTrainer.
+func (t *AsyncPBTrainer) Drain() []*Result {
+	if t.closed {
+		if t.Outstanding() > 0 {
+			// Close abandoned the in-flight samples and the workers are
+			// gone; waiting would hang forever. Fail fast like Step/Submit.
+			panic("core: Drain after Close with samples in flight")
+		}
+		return nil
+	}
+	var rs []*Result
+	if t.Mode == ModeLockstep && t.submitted > 0 {
+		// Rounds are only owed for real samples: a Drain before the first
+		// Submit must issue none, exactly like PBTrainer.Drain on an empty
+		// pipeline, or the round counter (and any LR schedule) would run
+		// ahead of the sequential engine's step counter.
+		need := t.lastPush + 2*len(t.stages) - 1
+		for t.step < need {
+			select {
+			case t.stages[0].fwdIn <- nil:
+				t.step++
+			case r := <-t.resCh:
+				rs = append(rs, r)
+			}
+		}
+	}
+	for t.Outstanding() > 0 {
+		select {
+		case r := <-t.resCh:
+			rs = append(rs, r)
+		case <-t.donePing:
+		}
+	}
+	rs = t.harvest(rs)
+	if t.running {
+		t.wallNs += time.Since(t.started).Nanoseconds()
+		t.running = false
+	}
+	return rs
+}
+
+// Close terminates the stage goroutines. Idempotent; in-flight samples are
+// abandoned. The trainer is unusable afterwards.
+func (t *AsyncPBTrainer) Close() {
+	if t.closed {
+		return
+	}
+	t.closed = true
+	close(t.stop)
+	t.wg.Wait()
+}
+
+// Utilization reports how busy the available workers were: the summed
+// per-stage compute time divided by (min(S, GOMAXPROCS) × wall time),
+// where wall time covers only the active windows between first Submit and
+// Drain. With at least S cores this is the paper's notion of worker
+// utilization; on fewer cores it measures the useful-work share of the
+// cores actually available. The busy windows are self-timed wall clock, so
+// when the runtime is oversubscribed (GOMAXPROCS above the physical core
+// count) descheduled time leaks in and the measure can drift slightly
+// above 1. Only valid with the pipeline quiesced. The samplesCompleted
+// argument is ignored (kept for Engine interface compatibility).
+func (t *AsyncPBTrainer) Utilization(samplesCompleted int) float64 {
+	_ = samplesCompleted
+	if t.wallNs == 0 {
+		return 0
+	}
+	var busy int64
+	for _, s := range t.stages {
+		busy += s.busyNs
+	}
+	workers := len(t.stages)
+	if p := runtime.GOMAXPROCS(0); p < workers {
+		workers = p
+	}
+	return float64(busy) / (float64(workers) * float64(t.wallNs))
+}
+
+// complete records a sample's final update and wakes a waiting Drain.
+func (t *AsyncPBTrainer) complete() {
+	t.completed.Add(1)
+	select {
+	case t.donePing <- struct{}{}:
+	default:
+	}
+}
+
+// lossBackward runs the last stage's loss head and immediate backward pass
+// for a just-forwarded sample and returns the result, the upstream gradient
+// and whether this stage is also stage 0 (single-stage pipeline).
+func (t *AsyncPBTrainer) lossBackward(i int, in *inflight, out *nn.Packet, lr float64) (*Result, *nn.Packet) {
+	st := t.stages[i]
+	loss, dl := t.Net.Head.Loss(out.X, []int{in.label})
+	correct := nn.Accuracy(out.X, []int{in.label}) == 1
+	dx := st.runBackward(nn.NewPacket(dl), t.Cfg.Mitigation, bwdHorizonFor(t.Cfg.Mitigation, i), lr)
+	return &Result{ID: in.id, Loss: loss, Correct: correct}, dx
+}
+
+// freeLR returns the learning rate for stage i's next update in free mode.
+// There is no global step, so each stage schedules by its own update count
+// shifted by its fill latency 2(S−1)−i — the step at which the synchronous
+// schedule would perform the same numbered update under continuous feeding.
+func (t *AsyncPBTrainer) freeLR(i int) float64 {
+	st := t.stages[i]
+	return t.Cfg.lrAt(st.updates + 2*(len(t.stages)-1) - i)
+}
+
+// workerFree is the free-running per-stage loop: gradients first, then
+// either work, with forwards gated by the staleness cap.
+func (t *AsyncPBTrainer) workerFree(i int) {
+	defer t.wg.Done()
+	st := t.stages[i]
+	last := i == len(t.stages)-1
+	for {
+		if !last {
+			// Backward priority: consume every gradient already queued
+			// before considering new forwards — gradients retire samples
+			// and free staleness budget.
+			drained := false
+			for !drained {
+				select {
+				case g := <-st.bwdIn:
+					if !t.freeBackward(i, g) {
+						return
+					}
+				default:
+					drained = true
+				}
+			}
+			// Staleness gate: accepting a forward now would let the
+			// forward→backward update gap exceed D_s, so wait for a
+			// gradient instead.
+			if len(st.queue) > st.delay {
+				select {
+				case g := <-st.bwdIn:
+					if !t.freeBackward(i, g) {
+						return
+					}
+				case <-t.stop:
+					return
+				}
+				continue
+			}
+			select {
+			case g := <-st.bwdIn:
+				if !t.freeBackward(i, g) {
+					return
+				}
+			case in := <-st.fwdIn:
+				if !t.freeForward(i, in) {
+					return
+				}
+			case <-t.stop:
+				return
+			}
+			continue
+		}
+		// Last stage: forward, loss and backward are one atom (D_{S−1}=0).
+		select {
+		case in := <-st.fwdIn:
+			if !t.freeForward(i, in) {
+				return
+			}
+		case <-t.stop:
+			return
+		}
+	}
+}
+
+// freeForward runs one forward at stage i and routes the output. The last
+// stage additionally computes the loss and its own zero-delay backward.
+// Returns false when the engine is stopping.
+func (t *AsyncPBTrainer) freeForward(i int, in *inflight) bool {
+	st := t.stages[i]
+	last := i == len(t.stages)-1
+	t0 := time.Now()
+	horizon, form := fwdHorizonFor(t.Cfg.Mitigation, len(t.stages), i, st.delay)
+	out := st.runForward(in, t.Cfg.Mitigation, horizon, form)
+	if !last {
+		st.busyNs += time.Since(t0).Nanoseconds()
+		select {
+		case t.stages[i+1].fwdIn <- &inflight{packet: out, label: in.label, id: in.id}:
+			return true
+		case <-t.stop:
+			return false
+		}
+	}
+	res, dx := t.lossBackward(i, in, out, t.freeLR(i))
+	st.busyNs += time.Since(t0).Nanoseconds()
+	// The result must be published before the gradient is released
+	// upstream: completion (stage 0's update) happens-after the gradient
+	// hops, so a Drain that observes completion is then guaranteed to find
+	// the result already queued.
+	select {
+	case t.resCh <- res:
+	case <-t.stop:
+		return false
+	}
+	if i == 0 {
+		t.complete()
+		return true
+	}
+	select {
+	case t.stages[i-1].bwdIn <- dx:
+		return true
+	case <-t.stop:
+		return false
+	}
+}
+
+// freeBackward runs one backward+update at stage i and routes the gradient
+// upstream. Returns false when the engine is stopping.
+func (t *AsyncPBTrainer) freeBackward(i int, g *nn.Packet) bool {
+	st := t.stages[i]
+	t0 := time.Now()
+	dx := st.runBackward(g, t.Cfg.Mitigation, bwdHorizonFor(t.Cfg.Mitigation, i), t.freeLR(i))
+	st.busyNs += time.Since(t0).Nanoseconds()
+	if i == 0 {
+		t.complete()
+		return true
+	}
+	select {
+	case t.stages[i-1].bwdIn <- dx:
+		return true
+	case <-t.stop:
+		return false
+	}
+}
+
+// workerLock is the systolic per-stage loop: each round receives one forward
+// and one backward token (possibly empty), computes, and emits one token to
+// each neighbor. Stage i's round r corresponds exactly to PBTrainer's
+// pipeline step r+i, making the schedule — and the weight trajectory —
+// bit-identical to the sequential engine.
+func (t *AsyncPBTrainer) workerLock(i int) {
+	defer t.wg.Done()
+	st := t.stages[i]
+	s := len(t.stages)
+	last := i == s-1
+	for round := 0; ; round++ {
+		var in *inflight
+		select {
+		case in = <-st.fwdIn:
+		case <-t.stop:
+			return
+		}
+		var g *nn.Packet
+		if !last {
+			select {
+			case g = <-st.bwdIn:
+			case <-t.stop:
+				return
+			}
+		}
+		lr := t.Cfg.lrAt(round + i)
+		var fwdOut *inflight
+		var res *Result
+		var dx *nn.Packet
+		didBwd := false
+		t0 := time.Now()
+		if in != nil {
+			horizon, form := fwdHorizonFor(t.Cfg.Mitigation, s, i, st.delay)
+			out := st.runForward(in, t.Cfg.Mitigation, horizon, form)
+			if last {
+				// Same step: the loss gradient feeds this stage's own
+				// backward immediately, as in PBTrainer's backward sweep.
+				res, dx = t.lossBackward(i, in, out, lr)
+				didBwd = true
+			} else {
+				fwdOut = &inflight{packet: out, label: in.label, id: in.id}
+			}
+		}
+		if g != nil {
+			dx = st.runBackward(g, t.Cfg.Mitigation, bwdHorizonFor(t.Cfg.Mitigation, i), lr)
+			didBwd = true
+		}
+		st.busyNs += time.Since(t0).Nanoseconds()
+		if !last {
+			select {
+			case t.stages[i+1].fwdIn <- fwdOut:
+			case <-t.stop:
+				return
+			}
+		} else if res != nil {
+			select {
+			case t.resCh <- res:
+			case <-t.stop:
+				return
+			}
+		}
+		if i > 0 {
+			var tok *nn.Packet
+			if didBwd {
+				tok = dx
+			}
+			select {
+			case t.stages[i-1].bwdIn <- tok:
+			case <-t.stop:
+				return
+			}
+		} else if didBwd {
+			t.complete()
+		}
+	}
+}

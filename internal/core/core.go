@@ -109,14 +109,14 @@ func (m Mitigation) Name() string {
 		}
 		return "PB+SCD"
 	case m.LWP:
-		label := "PB+LWPvD"
+		label := "PB+LWPv"
 		if m.LWPForm == optim.LWPWeight {
-			label = "PB+LWPwD"
+			label = "PB+LWPw"
 		}
 		if m.LWPScale == 2 {
-			label = "PB+LWP2D"
+			return label + "2D"
 		}
-		return label
+		return label + "D"
 	case m.GradShrink > 0:
 		return "PB+GradShrink"
 	case m.WeightStash:

@@ -45,6 +45,10 @@ func TestStageDelaysProperty(t *testing.T) {
 	}
 }
 
+// TestMitigationNames pins the paper label of every preset. The doubled LWP
+// variants keep their velocity/weight form suffix ("PB+LWPv2D"/"PB+LWPw2D");
+// they used to collapse onto one "PB+LWP2D" label that lost the distinction
+// and mislabeled weight-form LWP2D in every experiment table.
 func TestMitigationNames(t *testing.T) {
 	cases := map[string]Mitigation{
 		"PB":             None,
@@ -52,7 +56,8 @@ func TestMitigationNames(t *testing.T) {
 		"PB+SC2D":        SC2D,
 		"PB+LWPvD":       LWPvD,
 		"PB+LWPwD":       LWPwD,
-		"PB+LWP2D":       LWP2D,
+		"PB+LWPv2D":      LWP2D,
+		"PB+LWPw2D":      {LWP: true, LWPForm: optim.LWPWeight, LWPScale: 2},
 		"PB+LWPvD+SCD":   LWPvDSCD,
 		"PB+LWPwD+SCD":   LWPwDSCD,
 		"PB+SpecTrain":   SpecTrain,

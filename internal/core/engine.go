@@ -1,0 +1,121 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/data"
+	"repro/internal/metrics"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Engine is the trainer interface shared by the three pipelined-
+// backpropagation engines:
+//
+//   - "seq":      PBTrainer — single-threaded, cycle-accurate reference.
+//   - "lockstep": ParallelPBTrainer — goroutine per stage, global barrier
+//     per half-step; bit-identical to seq, parallel within a step.
+//   - "async":    AsyncPBTrainer in ModeFree — free-running stages over
+//     bounded queues, no barrier; staleness capped at D_s per stage.
+//   - "async-lockstep": AsyncPBTrainer in ModeLockstep — the async runtime
+//     driven as a deterministic systolic array; bit-identical to seq.
+//
+// Submit feeds one sample and returns whatever results completed; Drain
+// quiesces the pipeline. ObservedDelays and Utilization are only meaningful
+// on a quiesced pipeline.
+type Engine interface {
+	Submit(x *tensor.Tensor, label int) []*Result
+	Drain() []*Result
+	Close()
+	NumStages() int
+	Delays() []int
+	ObservedDelays() []int
+	Utilization(samplesCompleted int) float64
+}
+
+// EngineNames lists the accepted NewEngine selectors.
+var EngineNames = []string{"seq", "lockstep", "async", "async-lockstep"}
+
+// NewEngine constructs the named engine. Callers must Close it.
+func NewEngine(kind string, net *nn.Network, cfg Config) (Engine, error) {
+	switch kind {
+	case "", "seq":
+		return NewPBTrainer(net, cfg), nil
+	case "lockstep":
+		return NewParallelPBTrainer(net, cfg), nil
+	case "async":
+		return NewAsyncPBTrainer(net, cfg, ModeFree), nil
+	case "async-lockstep":
+		return NewAsyncPBTrainer(net, cfg, ModeLockstep), nil
+	}
+	return nil, fmt.Errorf("core: unknown engine %q (want seq|lockstep|async|async-lockstep)", kind)
+}
+
+// Submit implements Engine for the sequential trainer: one Push plus one
+// pipeline Step.
+func (t *PBTrainer) Submit(x *tensor.Tensor, label int) []*Result {
+	t.Push(x, label)
+	if r := t.Step(); r != nil {
+		return []*Result{r}
+	}
+	return nil
+}
+
+// Close implements Engine (no resources to release).
+func (t *PBTrainer) Close() {}
+
+// Submit implements Engine for the barrier-parallel trainer.
+func (t *ParallelPBTrainer) Submit(x *tensor.Tensor, label int) []*Result {
+	t.Push(x, label)
+	if r := t.Step(); r != nil {
+		return []*Result{r}
+	}
+	return nil
+}
+
+// NumStages returns the pipeline depth S.
+func (t *ParallelPBTrainer) NumStages() int { return t.inner.NumStages() }
+
+// Utilization delegates to the step-based accounting of the inner trainer.
+func (t *ParallelPBTrainer) Utilization(samplesCompleted int) float64 {
+	return t.inner.Utilization(samplesCompleted)
+}
+
+// RunEpoch feeds one epoch of the dataset (in the order of perm, or
+// sequentially if perm is nil) through any engine, draining at the end, and
+// returns the mean training loss and accuracy. aug may be nil. This is the
+// engine-agnostic equivalent of PBTrainer.TrainEpoch.
+func RunEpoch(e Engine, ds *data.Dataset, perm []int, aug data.Augmenter, rng *rand.Rand) (meanLoss, acc float64) {
+	var lossMeter metrics.Meter
+	correct, count := 0, 0
+	record := func(rs []*Result) {
+		for _, r := range rs {
+			lossMeter.Add(r.Loss, 1)
+			count++
+			if r.Correct {
+				correct++
+			}
+		}
+	}
+	n := ds.Len()
+	for i := 0; i < n; i++ {
+		idx := i
+		if perm != nil {
+			idx = perm[i]
+		}
+		sample := ds.Samples[idx]
+		if aug != nil {
+			sample = aug.Apply(sample, rng)
+		}
+		shape := append([]int{1}, ds.Shape...)
+		x := tensor.New(shape...)
+		copy(x.Data, sample)
+		record(e.Submit(x, ds.Labels[idx]))
+	}
+	record(e.Drain())
+	if count == 0 {
+		return 0, 0
+	}
+	return lossMeter.Mean(), float64(correct) / float64(count)
+}

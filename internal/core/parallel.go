@@ -4,7 +4,6 @@ import (
 	"sync"
 
 	"repro/internal/nn"
-	"repro/internal/optim"
 	"repro/internal/tensor"
 )
 
@@ -91,32 +90,8 @@ func (t *ParallelPBTrainer) forwardStage(i int) {
 	}
 	t.inner.fwd[i] = nil
 	st := t.inner.stages[i]
-
-	var usedWeights [][]float64
 	horizon, form := t.inner.forwardHorizon(i)
-	var out *nn.Packet
-	var ctx any
-	if horizon > 0 && len(st.params) > 0 {
-		pred := make([][]float64, len(st.params))
-		for j, p := range st.params {
-			pred[j] = st.opt.Predict(p, form, horizon)
-		}
-		old := swapIn(st.params, pred)
-		out, ctx = st.stage.Forward(in.packet)
-		swapIn(st.params, old)
-		if t.inner.Cfg.Mitigation.WeightStash {
-			usedWeights = pred
-		}
-	} else {
-		if t.inner.Cfg.Mitigation.WeightStash && len(st.params) > 0 {
-			usedWeights = make([][]float64, len(st.params))
-			for j, p := range st.params {
-				usedWeights[j] = p.Snapshot()
-			}
-		}
-		out, ctx = st.stage.Forward(in.packet)
-	}
-	st.push(ctx, usedWeights, in.id)
+	out := st.runForward(in, t.inner.Cfg.Mitigation, horizon, form)
 	if i < len(t.inner.stages)-1 {
 		t.nextFwd[i+1] = &inflight{packet: out, label: in.label, id: in.id}
 		return
@@ -141,36 +116,8 @@ func (t *ParallelPBTrainer) backwardStage(i int) {
 		return
 	}
 	st := t.inner.stages[i]
-	c := st.pop()
-	bwdHorizon := t.inner.backwardHorizon(i)
-	var dx *nn.Packet
-	switch {
-	case c.stash != nil && len(st.params) > 0:
-		old := swapIn(st.params, c.stash)
-		dx = st.stage.Backward(dIn, c.ctx)
-		swapIn(st.params, old)
-	case bwdHorizon > 0 && len(st.params) > 0:
-		pred := make([][]float64, len(st.params))
-		for j, p := range st.params {
-			pred[j] = st.opt.Predict(p, optim.LWPVelocity, bwdHorizon)
-		}
-		old := swapIn(st.params, pred)
-		dx = st.stage.Backward(dIn, c.ctx)
-		swapIn(st.params, old)
-	default:
-		dx = st.stage.Backward(dIn, c.ctx)
-	}
-	if gap := st.updates - c.fwdUpdates; gap > st.maxObserved {
-		st.maxObserved = gap
-	}
-	if len(st.params) > 0 {
-		if g := t.inner.Cfg.Mitigation.GradShrink; g > 0 {
-			optim.ShrinkGradients(st.params, g, float64(st.delay))
-		}
-		st.opt.LR = t.inner.Cfg.lrAt(t.inner.updateStep)
-		st.opt.Step(st.params)
-	}
-	st.updates++
+	dx := st.runBackward(dIn, t.inner.Cfg.Mitigation,
+		t.inner.backwardHorizon(i), t.inner.Cfg.lrAt(t.inner.updateStep))
 	if i == 0 {
 		t.inner.outstanding--
 	} else {

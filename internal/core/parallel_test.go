@@ -1,6 +1,7 @@
 package core
 
 import (
+	"runtime"
 	"testing"
 
 	"repro/internal/data"
@@ -87,6 +88,47 @@ func TestParallelStepAfterClosePanics(t *testing.T) {
 		}
 	}()
 	par.Step()
+}
+
+// TestParallelNoGoroutineLeak closes engines (idle and mid-flight) and
+// checks the worker goroutines are all retired.
+func TestParallelNoGoroutineLeak(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	for round := 0; round < 2; round++ {
+		net := models.DeepMLP(6, 8, 4, 3, 1)
+		par := NewParallelPBTrainer(net, Config{LR: 0.01, Momentum: 0.5})
+		train, _ := data.GaussianBlobs(6, 3, 4, 0, 1, 0.5, 1)
+		for i := 0; i < train.Len(); i++ {
+			x, y := train.Sample(i)
+			par.Push(x, y)
+			par.Step() // leave the pipeline partially filled
+		}
+		par.Close()
+	}
+	if !settlesTo(baseline) {
+		t.Fatalf("goroutines leaked: baseline %d, now %d", baseline, runtime.NumGoroutine())
+	}
+}
+
+// TestParallelDrainPartial drains a pipeline holding fewer samples than its
+// depth and expects every one back.
+func TestParallelDrainPartial(t *testing.T) {
+	net := models.DeepMLP(6, 8, 6, 3, 1) // deeper than the 3 samples fed
+	par := NewParallelPBTrainer(net, Config{LR: 0.01, Momentum: 0.5})
+	defer par.Close()
+	train, _ := data.GaussianBlobs(6, 3, 3, 0, 1, 0.5, 1)
+	got := 0
+	for i := 0; i < train.Len(); i++ {
+		x, y := train.Sample(i)
+		got += len(par.Submit(x, y))
+	}
+	got += len(par.Drain())
+	if got != train.Len() {
+		t.Fatalf("partial drain returned %d of %d results", got, train.Len())
+	}
+	if par.Outstanding() != 0 {
+		t.Fatalf("outstanding %d after drain", par.Outstanding())
+	}
 }
 
 func TestParallelDrainEmpty(t *testing.T) {

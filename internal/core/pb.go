@@ -4,7 +4,6 @@ import (
 	"math/rand"
 
 	"repro/internal/data"
-	"repro/internal/metrics"
 	"repro/internal/nn"
 	"repro/internal/optim"
 	"repro/internal/tensor"
@@ -136,29 +135,13 @@ func (t *PBTrainer) Push(x *tensor.Tensor, label int) {
 // forwardHorizon returns the weight-prediction horizon used at the forward
 // pass of stage s, or 0 for none.
 func (t *PBTrainer) forwardHorizon(s int) (float64, optim.LWPForm) {
-	mit := t.Cfg.Mitigation
-	if mit.SpecTrain {
-		// Vertical sync: predict to the sample's final update time,
-		// 2(S−1)−s steps ahead of this forward pass (Appendix C).
-		return float64(2*(len(t.stages)-1) - s), optim.LWPVelocity
-	}
-	if mit.LWP {
-		scale := mit.LWPScale
-		if scale == 0 {
-			scale = 1
-		}
-		return scale * float64(t.stages[s].delay), mit.LWPForm
-	}
-	return 0, optim.LWPVelocity
+	return fwdHorizonFor(t.Cfg.Mitigation, len(t.stages), s, t.stages[s].delay)
 }
 
 // backwardHorizon returns the prediction horizon used at the backward pass
 // (SpecTrain only).
 func (t *PBTrainer) backwardHorizon(s int) float64 {
-	if t.Cfg.Mitigation.SpecTrain {
-		return float64(s)
-	}
-	return 0
+	return bwdHorizonFor(t.Cfg.Mitigation, s)
 }
 
 // swapIn replaces stage parameters with the provided data slices, returning
@@ -196,32 +179,8 @@ func (t *PBTrainer) Step() *Result {
 		}
 		t.fwd[i] = nil
 		st := t.stages[i]
-
-		var usedWeights [][]float64
 		horizon, form := t.forwardHorizon(i)
-		if horizon > 0 && len(st.params) > 0 {
-			pred := make([][]float64, len(st.params))
-			for j, p := range st.params {
-				pred[j] = st.opt.Predict(p, form, horizon)
-			}
-			old := swapIn(st.params, pred)
-			out, ctx := st.stage.Forward(in.packet)
-			swapIn(st.params, old)
-			if t.Cfg.Mitigation.WeightStash {
-				usedWeights = pred
-			}
-			st.push(ctx, usedWeights, in.id)
-			t.route(i, out, in, nextFwd, &lossGrad, &result)
-			continue
-		}
-		if t.Cfg.Mitigation.WeightStash && len(st.params) > 0 {
-			usedWeights = make([][]float64, len(st.params))
-			for j, p := range st.params {
-				usedWeights[j] = p.Snapshot()
-			}
-		}
-		out, ctx := st.stage.Forward(in.packet)
-		st.push(ctx, usedWeights, in.id)
+		out := st.runForward(in, t.Cfg.Mitigation, horizon, form)
 		t.route(i, out, in, nextFwd, &lossGrad, &result)
 	}
 
@@ -240,39 +199,7 @@ func (t *PBTrainer) Step() *Result {
 			continue
 		}
 		st := t.stages[i]
-		c := st.pop()
-
-		useStash := c.stash != nil
-		bwdHorizon := t.backwardHorizon(i)
-		var dx *nn.Packet
-		switch {
-		case useStash && len(st.params) > 0:
-			old := swapIn(st.params, c.stash)
-			dx = st.stage.Backward(dIn, c.ctx)
-			swapIn(st.params, old)
-		case bwdHorizon > 0 && len(st.params) > 0:
-			pred := make([][]float64, len(st.params))
-			for j, p := range st.params {
-				pred[j] = st.opt.Predict(p, optim.LWPVelocity, bwdHorizon)
-			}
-			old := swapIn(st.params, pred)
-			dx = st.stage.Backward(dIn, c.ctx)
-			swapIn(st.params, old)
-		default:
-			dx = st.stage.Backward(dIn, c.ctx)
-		}
-
-		if gap := st.updates - c.fwdUpdates; gap > st.maxObserved {
-			st.maxObserved = gap
-		}
-		if len(st.params) > 0 {
-			if g := t.Cfg.Mitigation.GradShrink; g > 0 {
-				optim.ShrinkGradients(st.params, g, float64(st.delay))
-			}
-			st.opt.LR = t.Cfg.lrAt(t.updateStep)
-			st.opt.Step(st.params)
-		}
-		st.updates++
+		dx := st.runBackward(dIn, t.Cfg.Mitigation, t.backwardHorizon(i), t.Cfg.lrAt(t.updateStep))
 		if i == 0 {
 			t.outstanding--
 		} else {
@@ -334,41 +261,7 @@ func (t *PBTrainer) Drain() []*Result {
 // sequentially if perm is nil) through the pipeline, draining at the end,
 // and returns the mean training loss and accuracy. aug may be nil.
 func (t *PBTrainer) TrainEpoch(ds *data.Dataset, perm []int, aug data.Augmenter, rng *rand.Rand) (meanLoss, acc float64) {
-	var lossMeter metrics.Meter
-	correct, count := 0, 0
-	record := func(r *Result) {
-		if r == nil {
-			return
-		}
-		lossMeter.Add(r.Loss, 1)
-		count++
-		if r.Correct {
-			correct++
-		}
-	}
-	n := ds.Len()
-	for i := 0; i < n; i++ {
-		idx := i
-		if perm != nil {
-			idx = perm[i]
-		}
-		sample := ds.Samples[idx]
-		if aug != nil {
-			sample = aug.Apply(sample, rng)
-		}
-		shape := append([]int{1}, ds.Shape...)
-		x := tensor.New(shape...)
-		copy(x.Data, sample)
-		t.Push(x, ds.Labels[idx])
-		record(t.Step())
-	}
-	for _, r := range t.Drain() {
-		record(r)
-	}
-	if count == 0 {
-		return 0, 0
-	}
-	return lossMeter.Mean(), float64(correct) / float64(count)
+	return RunEpoch(t, ds, perm, aug, rng)
 }
 
 // Utilization returns the fraction of fully utilized worker steps over the

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"repro/internal/nn"
+	"repro/internal/optim"
+)
+
+// This file holds the engine-independent per-stage compute: the forward and
+// backward transformation of one sample at one stage, including the
+// mitigation machinery (weight prediction, stashing, spike compensation via
+// the optimizer, gradient shrinking). The sequential PBTrainer, the lockstep
+// ParallelPBTrainer and the free-running AsyncPBTrainer all drive these same
+// routines with different schedules; only the scheduling differs between
+// engines, never the math.
+
+// fwdHorizonFor returns the weight-prediction horizon and form used at the
+// forward pass of stage i in an s-stage pipeline whose stage-i delay is
+// delay. Zero horizon means no prediction.
+func fwdHorizonFor(mit Mitigation, s, i, delay int) (float64, optim.LWPForm) {
+	if mit.SpecTrain {
+		// Vertical sync: predict to the sample's final update time,
+		// 2(S−1)−s steps ahead of this forward pass (Appendix C).
+		return float64(2*(s-1) - i), optim.LWPVelocity
+	}
+	if mit.LWP {
+		scale := mit.LWPScale
+		if scale == 0 {
+			scale = 1
+		}
+		return scale * float64(delay), mit.LWPForm
+	}
+	return 0, optim.LWPVelocity
+}
+
+// bwdHorizonFor returns the prediction horizon used at the backward pass of
+// stage i (SpecTrain only).
+func bwdHorizonFor(mit Mitigation, i int) float64 {
+	if mit.SpecTrain {
+		return float64(i)
+	}
+	return 0
+}
+
+// runForward performs the stage's forward transformation for one sample
+// under the mitigation's prediction/stashing rules, pushes the sample's
+// context onto the stage FIFO, and returns the output packet. It touches
+// only stage-local state.
+func (st *stageState) runForward(in *inflight, mit Mitigation, horizon float64, form optim.LWPForm) *nn.Packet {
+	var usedWeights [][]float64
+	if horizon > 0 && len(st.params) > 0 {
+		pred := make([][]float64, len(st.params))
+		for j, p := range st.params {
+			pred[j] = st.opt.Predict(p, form, horizon)
+		}
+		old := swapIn(st.params, pred)
+		out, ctx := st.stage.Forward(in.packet)
+		swapIn(st.params, old)
+		if mit.WeightStash {
+			usedWeights = pred
+		}
+		st.push(ctx, usedWeights, in.id)
+		return out
+	}
+	if mit.WeightStash && len(st.params) > 0 {
+		usedWeights = make([][]float64, len(st.params))
+		for j, p := range st.params {
+			usedWeights[j] = p.Snapshot()
+		}
+	}
+	out, ctx := st.stage.Forward(in.packet)
+	st.push(ctx, usedWeights, in.id)
+	return out
+}
+
+// runBackward consumes the oldest pending context, performs the stage's
+// backward transformation (under stashed or predicted weights when the
+// mitigation asks for them), applies one weight update at learning rate lr,
+// and returns the input gradient to pass upstream. It touches only
+// stage-local state.
+func (st *stageState) runBackward(dIn *nn.Packet, mit Mitigation, bwdHorizon, lr float64) *nn.Packet {
+	c := st.pop()
+	var dx *nn.Packet
+	switch {
+	case c.stash != nil && len(st.params) > 0:
+		old := swapIn(st.params, c.stash)
+		dx = st.stage.Backward(dIn, c.ctx)
+		swapIn(st.params, old)
+	case bwdHorizon > 0 && len(st.params) > 0:
+		pred := make([][]float64, len(st.params))
+		for j, p := range st.params {
+			pred[j] = st.opt.Predict(p, optim.LWPVelocity, bwdHorizon)
+		}
+		old := swapIn(st.params, pred)
+		dx = st.stage.Backward(dIn, c.ctx)
+		swapIn(st.params, old)
+	default:
+		dx = st.stage.Backward(dIn, c.ctx)
+	}
+	if gap := st.updates - c.fwdUpdates; gap > st.maxObserved {
+		st.maxObserved = gap
+	}
+	if len(st.params) > 0 {
+		if g := mit.GradShrink; g > 0 {
+			optim.ShrinkGradients(st.params, g, float64(st.delay))
+		}
+		st.opt.LR = lr
+		st.opt.Step(st.params)
+	}
+	st.updates++
+	return dx
+}

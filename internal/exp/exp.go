@@ -66,11 +66,14 @@ type RefHyper struct {
 var DefaultRef = RefHyper{Eta: 0.05, Momentum: 0.9, WeightDecay: 1e-4, RefBatch: 32}
 
 // MethodSpec names a training method: either the SGDM reference (mini-batch,
-// no pipeline) or PB with a mitigation preset.
+// no pipeline) or PB with a mitigation preset. Engine selects the PB runtime
+// ("seq"|"lockstep"|"async"|"async-lockstep", see core.NewEngine); empty
+// means the sequential reference engine.
 type MethodSpec struct {
-	Name string
-	SGDM bool
-	Mit  core.Mitigation
+	Name   string
+	SGDM   bool
+	Mit    core.Mitigation
+	Engine string
 }
 
 // Paper method lineups.
@@ -183,9 +186,13 @@ func RunMethod(build NetBuilder, train, test *data.Dataset, method MethodSpec,
 		cfg.Mitigation = method.Mit
 		total := train.Len() * epochs
 		cfg.Schedule = sched.MultiStep{Base: cfg.LR, Milestones: []int{total / 2, total * 3 / 4}, Gamma: 0.1}
-		tr := core.NewPBTrainer(net, cfg)
+		eng, err := core.NewEngine(method.Engine, net, cfg)
+		if err != nil {
+			panic(err)
+		}
+		defer eng.Close()
 		for e := 0; e < epochs; e++ {
-			tr.TrainEpoch(train, train.Perm(rng), aug, rng)
+			core.RunEpoch(eng, train, train.Perm(rng), aug, rng)
 			_, a := evalAcc()
 			res.Curve = append(res.Curve, a)
 		}

@@ -176,6 +176,38 @@ func TestRunMethodSGDMAndPB(t *testing.T) {
 	}
 }
 
+// TestRunMethodEngineSelection checks that the deterministic engines are
+// interchangeable inside RunMethod (identical results for the same seed)
+// and that the free-running engine produces a sane training run.
+func TestRunMethodEngineSelection(t *testing.T) {
+	cfg := data.CIFAR10Like(8, 40, 20, 7)
+	cfg.Classes = 4
+	train, test := data.GenerateImages(cfg)
+	build := CIFARFamilies(tiny, 4, false)[3].Build // RN20 mini
+
+	seq := RunMethod(build, train, test, MethodSpec{Name: "PB"}, DefaultRef, 1, nil, 5)
+	det := RunMethod(build, train, test, MethodSpec{Name: "PB", Engine: "async-lockstep"}, DefaultRef, 1, nil, 5)
+	if seq.FinalValAcc != det.FinalValAcc || seq.FinalLoss != det.FinalLoss {
+		t.Fatalf("async-lockstep engine deviates: seq (%.6f, %.6f) vs async-lockstep (%.6f, %.6f)",
+			seq.FinalLoss, seq.FinalValAcc, det.FinalLoss, det.FinalValAcc)
+	}
+	free := RunMethod(build, train, test, MethodSpec{Name: "PB", Engine: "async"}, DefaultRef, 1, nil, 5)
+	if free.FinalValAcc < 0 || free.FinalValAcc > 1 || len(free.Curve) != 1 {
+		t.Fatalf("async engine: result %+v", free)
+	}
+}
+
+func TestEngineThroughput(t *testing.T) {
+	var b strings.Builder
+	EngineThroughput(&b, tiny)
+	out := b.String()
+	for _, want := range []string{"ENGINE", "seq", "lockstep", "async", "SAMPLES/SEC", "BOUND"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("EngineThroughput output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestAblationsRun(t *testing.T) {
 	var b strings.Builder
 	AblationWarmup(&b, tiny)

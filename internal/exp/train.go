@@ -5,6 +5,8 @@ import (
 	"io"
 	"math"
 	"math/rand"
+	"runtime"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/data"
@@ -143,6 +145,48 @@ func Table6LWPForms(w io.Writer, s Scale) {
 	all := CIFARFamilies(s, 10, false)
 	nets := []NamedNet{all[3], all[4]} // RN20, RN32
 	familyTable(w, "Table 6 — LWPv vs LWPw (both + SCD)", nets, methods, s, train, test, aug)
+}
+
+// EngineThroughput compares the pipelined-backpropagation runtimes on the
+// same workload and hyperparameters: the sequential reference ("seq"), the
+// barrier-per-half-step parallel engine ("lockstep") and the free-running
+// asynchronous engine ("async", bounded queues, no barrier). It reports
+// training throughput, each engine's utilization measure, and the maximum
+// observed gradient staleness against the analytic bound D_0 = 2(S−1) —
+// the async engine must stay within the bound (DESIGN.md, engine table).
+func EngineThroughput(w io.Writer, s Scale) {
+	train, _, _ := cifarTask(s, 111)
+	build := func(seed int64) *nn.Network {
+		return models.ResNet(models.MiniResNet(20, s.Width, s.ImageSize, 10, seed))
+	}
+	stages := build(1).NumStages()
+	fmt.Fprintf(w, "Engine throughput — RN20-mini, %d stages, %d samples/epoch (scale=%s, GOMAXPROCS=%d)\n",
+		stages, train.Len(), s.Name, runtime.GOMAXPROCS(0))
+	tab := metrics.NewTable("ENGINE", "SAMPLES/SEC", "UTILIZATION", "MAX STALENESS", "BOUND 2(S-1)")
+	for _, kind := range []string{"seq", "lockstep", "async"} {
+		net := build(1)
+		cfg := core.ScaledConfig(DefaultRef.Eta, DefaultRef.Momentum, DefaultRef.RefBatch, 1)
+		eng, err := core.NewEngine(kind, net, cfg)
+		if err != nil {
+			panic(err)
+		}
+		t0 := time.Now()
+		core.RunEpoch(eng, train, nil, nil, nil)
+		elapsed := time.Since(t0)
+		maxObs := 0
+		for _, d := range eng.ObservedDelays() {
+			if d > maxObs {
+				maxObs = d
+			}
+		}
+		tab.AddRow(kind,
+			fmt.Sprintf("%.0f", float64(train.Len())/elapsed.Seconds()),
+			fmt.Sprintf("%.3f", eng.Utilization(train.Len())),
+			maxObs, 2*(stages-1))
+		eng.Close()
+	}
+	fmt.Fprint(w, tab.String())
+	fmt.Fprintln(w, "utilization: seq/lockstep count full worker-steps; async measures busy time on the available cores")
 }
 
 // Fig16EngineValidation reproduces the GProp validation of Fig. 16: batch
