@@ -1,8 +1,15 @@
 // Package checkpoint serializes training state — network weights and, when
-// provided, optimizer velocities — so long PB runs can stop and resume. The
+// provided, optimizer state — so long PB runs can stop and resume. The
 // format is encoding/gob over a versioned envelope keyed by parameter name,
 // which survives refactorings that keep parameter names stable and rejects
 // mismatched architectures loudly.
+//
+// A pipelined-backpropagation engine has one optimizer per stage (each with
+// its own velocity buffers, and — for the LWPw mitigation — its own
+// previous-weight buffers) plus per-stage update counters that drive the
+// learning-rate schedule. CapturePipeline/RestorePipeline snapshot all of
+// it; the single-optimizer Capture/Restore remain for the SGDM reference
+// trainers.
 package checkpoint
 
 import (
@@ -15,8 +22,23 @@ import (
 	"repro/internal/optim"
 )
 
-// Version is bumped on incompatible format changes.
-const Version = 1
+// Version is bumped on incompatible format changes. Version 2 added the
+// per-stage optimizer state; version-1 snapshots (weights + one optimizer)
+// still restore.
+const Version = 2
+
+// StageState is the serialized optimizer state of one pipeline stage.
+type StageState struct {
+	// Velocities maps parameter name → momentum buffer. Parameters that
+	// have not been updated yet are absent.
+	Velocities map[string][]float64
+	// PrevWeights maps parameter name → the weights before the stage's most
+	// recent update. Only present when the optimizer tracks them (LWPw).
+	PrevWeights map[string][]float64
+	// Updates is the stage's applied-update counter (drives the per-stage
+	// LR schedule position in the free-running engine).
+	Updates int
+}
 
 // State is the serialized form of a training snapshot.
 type State struct {
@@ -25,14 +47,32 @@ type State struct {
 	Step int
 	// Weights maps parameter name → values.
 	Weights map[string][]float64
-	// Velocities maps parameter name → momentum buffer (optional).
+	// Velocities maps parameter name → momentum buffer (single-optimizer
+	// trainers only; PB engines use Stages).
 	Velocities map[string][]float64
+	// Stages holds per-stage optimizer state, indexed like the pipeline.
+	Stages []StageState
 	// Meta carries free-form run metadata (method name, scale, seed...).
 	Meta map[string]string
 }
 
+// PipelineTrainer is the engine surface CapturePipeline/RestorePipeline
+// need: stage-indexed access to parameters, optimizers and update counters,
+// plus the global schedule position. *core.PBTrainer implements it; the
+// pipeline must be quiesced (drained) around both calls.
+type PipelineTrainer interface {
+	NumStages() int
+	StageParams(i int) []*nn.Param
+	StageOptimizer(i int) *optim.Momentum
+	StageUpdates(i int) int
+	SetStageUpdates(i, updates int)
+	UpdateStep() int
+	SetUpdateStep(step int)
+}
+
 // Capture snapshots a network (and optionally one optimizer's velocities;
-// pass nil to skip) into a State.
+// pass nil to skip) into a State. It never mutates the optimizer: only
+// velocities that exist are captured.
 func Capture(net *nn.Network, opt *optim.Momentum, step int, meta map[string]string) (*State, error) {
 	st := &State{
 		Version:    Version,
@@ -47,21 +87,60 @@ func Capture(net *nn.Network, opt *optim.Momentum, step int, meta map[string]str
 		}
 		st.Weights[p.Name] = p.Snapshot()
 		if opt != nil {
-			v := opt.Vel(p)
-			vc := make([]float64, len(v))
-			copy(vc, v)
-			st.Velocities[p.Name] = vc
+			if v := opt.VelIfTracked(p); v != nil {
+				vc := make([]float64, len(v))
+				copy(vc, v)
+				st.Velocities[p.Name] = vc
+			}
 		}
 	}
 	return st, nil
 }
 
-// Restore loads a State into a network (and optionally optimizer
-// velocities). Every network parameter must be present with matching size.
-func Restore(st *State, net *nn.Network, opt *optim.Momentum) error {
-	if st.Version != Version {
-		return fmt.Errorf("checkpoint: version %d, want %d", st.Version, Version)
+// CapturePipeline snapshots a network plus the per-stage optimizer state of
+// a pipelined-backpropagation trainer: velocities, previous weights (LWPw)
+// and update counters for every stage, and the global schedule position.
+// The pipeline must be quiesced.
+func CapturePipeline(net *nn.Network, tr PipelineTrainer, meta map[string]string) (*State, error) {
+	st, err := Capture(net, nil, tr.UpdateStep(), meta)
+	if err != nil {
+		return nil, err
 	}
+	st.Stages = make([]StageState, tr.NumStages())
+	for i := range st.Stages {
+		ss := StageState{
+			Velocities:  map[string][]float64{},
+			PrevWeights: map[string][]float64{},
+			Updates:     tr.StageUpdates(i),
+		}
+		opt := tr.StageOptimizer(i)
+		for _, p := range tr.StageParams(i) {
+			if v := opt.VelIfTracked(p); v != nil {
+				vc := make([]float64, len(v))
+				copy(vc, v)
+				ss.Velocities[p.Name] = vc
+			}
+			if w := opt.PrevIfTracked(p); w != nil {
+				wc := make([]float64, len(w))
+				copy(wc, w)
+				ss.PrevWeights[p.Name] = wc
+			}
+		}
+		st.Stages[i] = ss
+	}
+	return st, nil
+}
+
+// checkVersion accepts the current version and the still-readable version 1.
+func checkVersion(v int) error {
+	if v != Version && v != 1 {
+		return fmt.Errorf("checkpoint: version %d, want %d", v, Version)
+	}
+	return nil
+}
+
+// restoreWeights loads the weight map into the network's parameters.
+func restoreWeights(st *State, net *nn.Network) error {
 	for _, p := range net.Params() {
 		w, ok := st.Weights[p.Name]
 		if !ok {
@@ -71,7 +150,21 @@ func Restore(st *State, net *nn.Network, opt *optim.Momentum) error {
 			return fmt.Errorf("checkpoint: parameter %q has %d values, want %d", p.Name, len(w), p.W.Size())
 		}
 		p.SetData(w)
-		if opt != nil {
+	}
+	return nil
+}
+
+// Restore loads a State into a network (and optionally optimizer
+// velocities). Every network parameter must be present with matching size.
+func Restore(st *State, net *nn.Network, opt *optim.Momentum) error {
+	if err := checkVersion(st.Version); err != nil {
+		return err
+	}
+	if err := restoreWeights(st, net); err != nil {
+		return err
+	}
+	if opt != nil {
+		for _, p := range net.Params() {
 			if v, ok := st.Velocities[p.Name]; ok {
 				if len(v) != p.W.Size() {
 					return fmt.Errorf("checkpoint: velocity %q has %d values, want %d", p.Name, len(v), p.W.Size())
@@ -80,6 +173,92 @@ func Restore(st *State, net *nn.Network, opt *optim.Momentum) error {
 			}
 		}
 	}
+	return nil
+}
+
+// ResumeChecker lets a trainer veto a pipeline restore — for engine modes
+// whose schedule state cannot be checkpointed (the async engine's lockstep
+// mode derives its LR from per-worker round counters that restart at zero).
+type ResumeChecker interface {
+	CheckResume() error
+}
+
+// RestorePipeline loads a pipeline snapshot into a freshly constructed
+// trainer: network weights, per-stage velocities, previous weights and
+// update counters. The trainer must have the same pipeline decomposition
+// (stage count and parameter names) as the captured one; trainers
+// implementing ResumeChecker can refuse (nothing is mutated on error).
+func RestorePipeline(st *State, net *nn.Network, tr PipelineTrainer) error {
+	if rc, ok := tr.(ResumeChecker); ok {
+		if err := rc.CheckResume(); err != nil {
+			return err
+		}
+	}
+	if err := checkVersion(st.Version); err != nil {
+		return err
+	}
+	if len(st.Stages) == 0 {
+		return fmt.Errorf("checkpoint: snapshot has no per-stage state (version %d, single-optimizer format?); use Restore/Load for it", st.Version)
+	}
+	if len(st.Stages) != tr.NumStages() {
+		return fmt.Errorf("checkpoint: snapshot has %d stages, trainer has %d", len(st.Stages), tr.NumStages())
+	}
+	// Validate everything before mutating anything, so a rejected snapshot
+	// leaves the trainer untouched.
+	for _, p := range net.Params() {
+		w, ok := st.Weights[p.Name]
+		if !ok {
+			return fmt.Errorf("checkpoint: missing parameter %q", p.Name)
+		}
+		if len(w) != p.W.Size() {
+			return fmt.Errorf("checkpoint: parameter %q has %d values, want %d", p.Name, len(w), p.W.Size())
+		}
+	}
+	for i := range st.Stages {
+		// Every saved buffer must belong to a parameter of the SAME stage:
+		// a shifted stage boundary (same depth, different partitioning)
+		// would otherwise restore "successfully" with silently zeroed
+		// momentum for the moved parameters.
+		names := make(map[string]int, len(tr.StageParams(i)))
+		for _, p := range tr.StageParams(i) {
+			names[p.Name] = p.W.Size()
+		}
+		for name, v := range st.Stages[i].Velocities {
+			size, ok := names[name]
+			if !ok {
+				return fmt.Errorf("checkpoint: stage %d holds velocity for %q, which is not in that stage (different partitioning?)", i, name)
+			}
+			if len(v) != size {
+				return fmt.Errorf("checkpoint: stage %d velocity %q has %d values, want %d", i, name, len(v), size)
+			}
+		}
+		for name, w := range st.Stages[i].PrevWeights {
+			size, ok := names[name]
+			if !ok {
+				return fmt.Errorf("checkpoint: stage %d holds prev weights for %q, which is not in that stage (different partitioning?)", i, name)
+			}
+			if len(w) != size {
+				return fmt.Errorf("checkpoint: stage %d prev weights %q has %d values, want %d", i, name, len(w), size)
+			}
+		}
+	}
+	for _, p := range net.Params() {
+		p.SetData(st.Weights[p.Name])
+	}
+	for i := range st.Stages {
+		ss := st.Stages[i]
+		opt := tr.StageOptimizer(i)
+		for _, p := range tr.StageParams(i) {
+			if v, ok := ss.Velocities[p.Name]; ok {
+				copy(opt.Vel(p), v)
+			}
+			if w, ok := ss.PrevWeights[p.Name]; ok {
+				copy(opt.Prev(p), w)
+			}
+		}
+		tr.SetStageUpdates(i, ss.Updates)
+	}
+	tr.SetUpdateStep(st.Step)
 	return nil
 }
 
@@ -103,6 +282,20 @@ func Save(path string, net *nn.Network, opt *optim.Momentum, step int, meta map[
 	if err != nil {
 		return err
 	}
+	return writeFile(path, st)
+}
+
+// SavePipeline captures and writes a pipeline snapshot atomically.
+func SavePipeline(path string, net *nn.Network, tr PipelineTrainer, meta map[string]string) error {
+	st, err := CapturePipeline(net, tr, meta)
+	if err != nil {
+		return err
+	}
+	return writeFile(path, st)
+}
+
+// writeFile writes a State to path via tmp + rename.
+func writeFile(path string, st *State) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
@@ -122,12 +315,7 @@ func Save(path string, net *nn.Network, opt *optim.Momentum, step int, meta map[
 
 // Load reads a snapshot from path and restores it.
 func Load(path string, net *nn.Network, opt *optim.Momentum) (*State, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	st, err := Read(f)
+	st, err := readFile(path)
 	if err != nil {
 		return nil, err
 	}
@@ -135,4 +323,26 @@ func Load(path string, net *nn.Network, opt *optim.Momentum) (*State, error) {
 		return nil, err
 	}
 	return st, nil
+}
+
+// LoadPipeline reads a pipeline snapshot from path and restores it.
+func LoadPipeline(path string, net *nn.Network, tr PipelineTrainer) (*State, error) {
+	st, err := readFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := RestorePipeline(st, net, tr); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// readFile reads a State from path.
+func readFile(path string) (*State, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
 }

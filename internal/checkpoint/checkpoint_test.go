@@ -8,7 +8,10 @@ import (
 	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/models"
+	"repro/internal/nn"
 	"repro/internal/optim"
+	"repro/internal/sched"
+	"repro/internal/tensor"
 )
 
 func TestRoundTripWeights(t *testing.T) {
@@ -146,6 +149,284 @@ func TestResumeProducesSameTrajectory(t *testing.T) {
 	for i := range pa {
 		if !pa[i].W.AllClose(pc[i].W, 1e-12) {
 			t.Fatal("resumed trajectory deviates from uninterrupted run")
+		}
+	}
+}
+
+// TestPipelineResumeMatchesUninterrupted is the multi-optimizer resume test:
+// a PB engine has one optimizer per stage, and the LWPw mitigation
+// additionally needs per-stage previous-weight buffers; a resumed run must
+// reproduce the uninterrupted trajectory exactly, including the LR-schedule
+// position.
+func TestPipelineResumeMatchesUninterrupted(t *testing.T) {
+	seed := int64(8)
+	train, _ := data.GaussianBlobs(6, 3, 64, 0, 1, 0.5, seed)
+	mk := func(netSeed int64) (*core.PBTrainer, *nn.Network) {
+		net := models.DeepMLP(6, 8, 3, 3, netSeed)
+		cfg := core.ScaledConfig(0.1, 0.9, 16, 1)
+		cfg.Mitigation = core.LWPwDSCD // exercises velocities AND prevMap
+		cfg.Schedule = sched.MultiStep{Base: cfg.LR, Milestones: []int{50, 90}, Gamma: 0.5}
+		return core.NewPBTrainer(net, cfg), net
+	}
+	feed := func(tr *core.PBTrainer, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			x, y := train.Sample(i)
+			tr.Submit(x, y)
+		}
+		tr.Drain()
+	}
+
+	// Reference arm: train half an epoch, snapshot, keep the trainer in
+	// memory and finish. The resumed arm must match this exactly. (A drain
+	// inserts pipeline refill steps, so an uninterrupted no-drain run is
+	// not the comparison point — continuing the same trainer is.)
+	trB, netB := mk(seed)
+	feed(trB, 0, train.Len()/2)
+	st, err := CapturePipeline(netB, trB, map[string]string{"mit": "LWPwDSCD"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, st); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trC, netC := mk(seed + 100) // different init, overwritten by restore
+	if err := RestorePipeline(st2, netC, trC); err != nil {
+		t.Fatal(err)
+	}
+	if trC.UpdateStep() != trB.UpdateStep() {
+		t.Fatalf("schedule position %d, want %d", trC.UpdateStep(), trB.UpdateStep())
+	}
+	for i := 0; i < trC.NumStages(); i++ {
+		if trC.StageUpdates(i) != trB.StageUpdates(i) {
+			t.Fatalf("stage %d updates %d, want %d", i, trC.StageUpdates(i), trB.StageUpdates(i))
+		}
+	}
+	feed(trB, train.Len()/2, train.Len())
+	feed(trC, train.Len()/2, train.Len())
+
+	pb2, pc := netB.Params(), netC.Params()
+	for i := range pb2 {
+		if !pb2[i].W.AllClose(pc[i].W, 0) {
+			t.Fatalf("resumed PB trajectory deviates at %s", pb2[i].Name)
+		}
+	}
+}
+
+// TestCaptureDoesNotMutateOptimizer locks in that capturing a snapshot never
+// allocates velocity buffers as a side effect (the old Capture called
+// opt.Vel, which allocates and therefore mutated the optimizer).
+func TestCaptureDoesNotMutateOptimizer(t *testing.T) {
+	net := models.DeepMLP(4, 8, 2, 3, 9)
+	opt := optim.NewMomentum(0.1, 0.9)
+	st, err := Capture(net, opt, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Velocities) != 0 {
+		t.Fatalf("untrained optimizer captured %d velocity buffers", len(st.Velocities))
+	}
+	for _, p := range net.Params() {
+		if opt.VelIfTracked(p) != nil {
+			t.Fatalf("Capture allocated a velocity buffer for %s", p.Name)
+		}
+	}
+}
+
+// TestVersion1StillRestores guards backwards compatibility with pre-stage
+// snapshots.
+func TestVersion1StillRestores(t *testing.T) {
+	net := models.DeepMLP(4, 8, 1, 2, 10)
+	st, _ := Capture(net, nil, 3, nil)
+	st.Version = 1
+	net2 := models.DeepMLP(4, 8, 1, 2, 11)
+	if err := Restore(st, net2, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPipelineCheckpointAcrossEngines exercises PipelineTrainer on the
+// concurrent engines: the lockstep (parallel) engine resumes exactly, and a
+// drained free-running async engine's state can be captured and restored
+// into a sequential trainer (cross-engine resume; the async trajectory
+// itself is nondeterministic, so equality is asserted on the restored state,
+// not on continued training).
+func TestPipelineCheckpointAcrossEngines(t *testing.T) {
+	seed := int64(12)
+	train, _ := data.GaussianBlobs(6, 3, 64, 0, 1, 0.5, seed)
+	cfg := core.ScaledConfig(0.1, 0.9, 16, 1)
+	cfg.Mitigation = core.LWPvDSCD
+	cfg.Schedule = sched.MultiStep{Base: cfg.LR, Milestones: []int{50, 90}, Gamma: 0.5}
+	feed := func(tr interface {
+		Submit(x *tensor.Tensor, label int) []*core.Result
+		Drain() []*core.Result
+	}, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			x, y := train.Sample(i)
+			tr.Submit(x, y)
+		}
+		tr.Drain()
+	}
+
+	// Lockstep engine: exact resume.
+	netB := models.DeepMLP(6, 8, 3, 3, seed)
+	trB := core.NewParallelPBTrainer(netB, cfg)
+	defer trB.Close()
+	feed(trB, 0, train.Len()/2)
+	st, err := CapturePipeline(netB, trB, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	netC := models.DeepMLP(6, 8, 3, 3, seed+9)
+	trC := core.NewParallelPBTrainer(netC, cfg)
+	defer trC.Close()
+	if err := RestorePipeline(st, netC, trC); err != nil {
+		t.Fatal(err)
+	}
+	feed(trB, train.Len()/2, train.Len())
+	feed(trC, train.Len()/2, train.Len())
+	pb2, pc := netB.Params(), netC.Params()
+	for i := range pb2 {
+		if !pb2[i].W.AllClose(pc[i].W, 0) {
+			t.Fatalf("lockstep resume deviates at %s", pb2[i].Name)
+		}
+	}
+
+	// Async free engine → sequential trainer (cross-engine restore).
+	netA := models.DeepMLP(6, 8, 3, 3, seed)
+	trA := core.NewAsyncPBTrainer(netA, cfg, core.ModeFree)
+	defer trA.Close()
+	feed(trA, 0, train.Len()/2)
+	stA, err := CapturePipeline(netA, trA, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	netS := models.DeepMLP(6, 8, 3, 3, seed+17)
+	trS := core.NewPBTrainer(netS, cfg)
+	if err := RestorePipeline(stA, netS, trS); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < trS.NumStages(); i++ {
+		if trS.StageUpdates(i) != trA.StageUpdates(i) {
+			t.Fatalf("stage %d updates %d, want %d", i, trS.StageUpdates(i), trA.StageUpdates(i))
+		}
+	}
+	pa, ps := netA.Params(), netS.Params()
+	for i := range pa {
+		if !pa[i].W.AllClose(ps[i].W, 0) {
+			t.Fatalf("async capture/restore lost weights at %s", pa[i].Name)
+		}
+	}
+	feed(trS, train.Len()/2, train.Len()) // resumed trainer keeps training
+}
+
+// TestAsyncLockstepRefusesRestore: the async engine's lockstep mode derives
+// its LR schedule from per-worker round counters that a checkpoint cannot
+// capture, so RestorePipeline must fail loudly instead of silently resuming
+// at the wrong schedule position.
+func TestAsyncLockstepRefusesRestore(t *testing.T) {
+	seed := int64(13)
+	net := models.DeepMLP(6, 8, 2, 3, seed)
+	cfg := core.ScaledConfig(0.1, 0.9, 16, 1)
+	tr := core.NewAsyncPBTrainer(net, cfg, core.ModeLockstep)
+	defer tr.Close()
+	st, err := CapturePipeline(net, tr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net2 := models.DeepMLP(6, 8, 2, 3, seed)
+	tr2 := core.NewAsyncPBTrainer(net2, cfg, core.ModeLockstep)
+	defer tr2.Close()
+	if err := RestorePipeline(st, net2, tr2); err == nil {
+		t.Fatal("expected lockstep-mode restore to be refused")
+	}
+}
+
+// TestRestorePipelineIsAtomic: a snapshot rejected by validation must leave
+// the trainer completely untouched (no half-restored weights).
+func TestRestorePipelineIsAtomic(t *testing.T) {
+	seed := int64(14)
+	net := models.DeepMLP(6, 8, 2, 3, seed)
+	cfg := core.ScaledConfig(0.1, 0.9, 16, 1)
+	tr := core.NewPBTrainer(net, cfg)
+	train, _ := data.GaussianBlobs(6, 3, 16, 0, 1, 0.5, seed)
+	for i := 0; i < train.Len(); i++ {
+		x, y := train.Sample(i)
+		tr.Submit(x, y)
+	}
+	tr.Drain()
+	st, err := CapturePipeline(net, tr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt a velocity buffer of the LAST stage so validation fails after
+	// the weights and earlier stages would already have been written under a
+	// mutate-as-you-validate implementation.
+	last := len(st.Stages) - 1
+	for name, v := range st.Stages[last].Velocities {
+		st.Stages[last].Velocities[name] = v[:len(v)-1]
+		break
+	}
+	net2 := models.DeepMLP(6, 8, 2, 3, seed+5)
+	tr2 := core.NewPBTrainer(net2, cfg)
+	before := net2.SnapshotWeights()
+	if err := RestorePipeline(st, net2, tr2); err == nil {
+		t.Fatal("expected corrupted snapshot to be rejected")
+	}
+	after := net2.Params()
+	for i := range after {
+		for j := range after[i].W.Data {
+			if after[i].W.Data[j] != before[i][j] {
+				t.Fatalf("rejected restore mutated %s", after[i].Name)
+			}
+		}
+	}
+}
+
+// TestAsyncLockstepCaptureResumesAsSeq: a drained async-lockstep run is
+// bit-identical to the sequential engine, and its checkpoint carries the
+// pipeline-step counter — so restoring into a seq trainer and continuing
+// must match the lockstep engine kept in memory, LR schedule included.
+func TestAsyncLockstepCaptureResumesAsSeq(t *testing.T) {
+	seed := int64(15)
+	train, _ := data.GaussianBlobs(6, 3, 64, 0, 1, 0.5, seed)
+	cfg := core.ScaledConfig(0.1, 0.9, 16, 1)
+	cfg.Schedule = sched.MultiStep{Base: cfg.LR, Milestones: []int{50, 90}, Gamma: 0.5}
+
+	netA := models.DeepMLP(6, 8, 3, 3, seed)
+	trA := core.NewAsyncPBTrainer(netA, cfg, core.ModeLockstep)
+	defer trA.Close()
+	feedA := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			x, y := train.Sample(i)
+			trA.Submit(x, y)
+		}
+		trA.Drain()
+	}
+	feedA(0, train.Len()/2)
+	st, err := CapturePipeline(netA, trA, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	netS := models.DeepMLP(6, 8, 3, 3, seed+21)
+	trS := core.NewPBTrainer(netS, cfg)
+	if err := RestorePipeline(st, netS, trS); err != nil {
+		t.Fatal(err)
+	}
+	feedA(train.Len()/2, train.Len())
+	for i := train.Len() / 2; i < train.Len(); i++ {
+		x, y := train.Sample(i)
+		trS.Submit(x, y)
+	}
+	trS.Drain()
+	pa, ps := netA.Params(), netS.Params()
+	for i := range pa {
+		if !pa[i].W.AllClose(ps[i].W, 0) {
+			t.Fatalf("lockstep→seq resume deviates at %s", pa[i].Name)
 		}
 	}
 }

@@ -1,12 +1,14 @@
 package core
 
 import (
+	"errors"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/nn"
+	"repro/internal/optim"
 	"repro/internal/tensor"
 )
 
@@ -94,6 +96,11 @@ type AsyncPBTrainer struct {
 	// the driver. The driver harvests it inside every blocking send, so the
 	// last stage can never wedge the pipeline on a full result queue.
 	resCh chan *Result
+	// inputFree carries retired input tensors from stage 0 back to the
+	// driver for reuse by InputBuffer. Sends never block: when the driver
+	// doesn't collect them, stage 0 recycles the buffers into its own arena
+	// instead.
+	inputFree chan *tensor.Tensor
 	// completed counts samples whose final (stage-0) update has been
 	// applied; donePing wakes a Drain waiting on it.
 	completed atomic.Int64
@@ -127,12 +134,13 @@ func NewAsyncPBTrainer(net *nn.Network, cfg Config, mode AsyncMode) *AsyncPBTrai
 	inner := NewPBTrainer(net, cfg) // reuse stage construction (optimizers, delays)
 	s := len(inner.stages)
 	t := &AsyncPBTrainer{
-		Net:      net,
-		Cfg:      cfg,
-		Mode:     mode,
-		resCh:    make(chan *Result, 2*s+4),
-		donePing: make(chan struct{}, 1),
-		stop:     make(chan struct{}),
+		Net:       net,
+		Cfg:       cfg,
+		Mode:      mode,
+		resCh:     make(chan *Result, 2*s+4),
+		inputFree: make(chan *tensor.Tensor, maxFreeInputs),
+		donePing:  make(chan struct{}, 1),
+		stop:      make(chan struct{}),
 	}
 	for i, st := range inner.stages {
 		as := &asyncStage{stageState: st}
@@ -191,6 +199,61 @@ func (t *AsyncPBTrainer) ObservedDelays() []int {
 	return d
 }
 
+// StageOptimizer exposes stage i's optimizer so the async engine satisfies
+// checkpoint.PipelineTrainer. Like ObservedDelays, the stage accessors are
+// only valid with the pipeline quiesced (after Drain or Close). Resume is
+// exact for ModeFree, whose LR schedule is driven entirely by the per-stage
+// update counters that RestorePipeline restores; a ModeLockstep engine
+// should be resumed as "seq" or "lockstep" instead (its per-worker round
+// counters restart at zero and are not checkpointed).
+func (t *AsyncPBTrainer) StageOptimizer(i int) *optim.Momentum { return t.stages[i].opt }
+
+// StageParams exposes stage i's parameters (for checkpointing).
+func (t *AsyncPBTrainer) StageParams(i int) []*nn.Param { return t.stages[i].params }
+
+// StageUpdates returns stage i's applied-update counter.
+func (t *AsyncPBTrainer) StageUpdates(i int) int { return t.stages[i].updates }
+
+// SetStageUpdates restores stage i's update counter from a checkpoint.
+func (t *AsyncPBTrainer) SetStageUpdates(i, updates int) { t.stages[i].updates = updates }
+
+// UpdateStep reports the engine's schedule position. In ModeLockstep that
+// is the pipeline-step counter, which Drain keeps aligned with the
+// sequential engine's — so a drained lockstep run resumed as "seq" or
+// "lockstep" continues its LR schedule exactly. In ModeFree it is stage 0's
+// update count (the number of fully completed samples): free mode schedules
+// by per-stage update counts and has no global pipeline-step counter, so
+// the unit differs from PBTrainer.UpdateStep (which includes 2(S−1) drain
+// bubbles per Drain) — a cross-engine restore of a free-mode snapshot keeps
+// weights, optimizer state and per-stage counters exact, but the restored
+// global step only matches schedules expressed in sample counts.
+func (t *AsyncPBTrainer) UpdateStep() int {
+	if t.Mode == ModeLockstep {
+		return t.step
+	}
+	return t.stages[0].updates
+}
+
+// SetUpdateStep aligns the lockstep-mode drain accounting with a restored
+// schedule position; ModeFree ignores the global step entirely (its LR
+// schedule runs off the per-stage counters).
+func (t *AsyncPBTrainer) SetUpdateStep(step int) {
+	t.step = step
+	t.lastPush = step
+}
+
+// CheckResume implements checkpoint.ResumeChecker: ModeFree resumes exactly
+// (its LR schedule is driven by the restored per-stage update counters);
+// ModeLockstep cannot, because its workers schedule by round counters that
+// restart at zero and are not captured — resume that trajectory with the
+// "seq" or "lockstep" engine instead.
+func (t *AsyncPBTrainer) CheckResume() error {
+	if t.Mode == ModeLockstep {
+		return errors.New("core: async lockstep mode cannot restore a checkpoint (round counters restart); resume with the seq or lockstep engine")
+	}
+	return nil
+}
+
 // Outstanding returns the number of samples in the pipeline as seen by the
 // driver (submitted minus completed).
 func (t *AsyncPBTrainer) Outstanding() int {
@@ -209,9 +272,31 @@ func (t *AsyncPBTrainer) harvest(rs []*Result) []*Result {
 	}
 }
 
+// InputBuffer returns a tensor of the given shape for the next Submit,
+// reusing an input buffer retired by stage 0 when one is available.
+func (t *AsyncPBTrainer) InputBuffer(shape ...int) *tensor.Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	for {
+		select {
+		case x := <-t.inputFree:
+			if len(x.Data) == n {
+				x.SetShape(shape...)
+				return x
+			}
+			// Stale shape (workload changed); drop and keep looking.
+		default:
+			return tensor.New(shape...)
+		}
+	}
+}
+
 // Submit feeds one sample into the pipeline, blocking only when the bounded
 // input queue is full, and returns any results that completed in the
-// meantime. It panics after Close.
+// meantime. The engine takes ownership of x — callers must not reuse it
+// (obtain the next buffer from InputBuffer instead). It panics after Close.
 func (t *AsyncPBTrainer) Submit(x *tensor.Tensor, label int) []*Result {
 	if t.closed {
 		panic("core: Submit after Close")
@@ -332,14 +417,27 @@ func (t *AsyncPBTrainer) complete() {
 }
 
 // lossBackward runs the last stage's loss head and immediate backward pass
-// for a just-forwarded sample and returns the result, the upstream gradient
-// and whether this stage is also stage 0 (single-stage pipeline).
+// for a just-forwarded sample and returns the result and the upstream
+// gradient. The forwarded packet is reused to carry the loss gradient.
 func (t *AsyncPBTrainer) lossBackward(i int, in *inflight, out *nn.Packet, lr float64) (*Result, *nn.Packet) {
 	st := t.stages[i]
-	loss, dl := t.Net.Head.Loss(out.X, []int{in.label})
-	correct := nn.Accuracy(out.X, []int{in.label}) == 1
-	dx := st.runBackward(nn.NewPacket(dl), t.Cfg.Mitigation, bwdHorizonFor(t.Cfg.Mitigation, i), lr)
+	loss, correct, grad := st.runLossHead(t.Net.Head, out, in.label)
+	dx := st.runBackward(grad, t.Cfg.Mitigation, bwdHorizonFor(t.Cfg.Mitigation, i), lr)
 	return &Result{ID: in.id, Loss: loss, Correct: correct}, dx
+}
+
+// retireInput recycles a completed sample's stage-0 input gradient buffer —
+// which has the pipeline-input shape — back to the driver for input reuse,
+// or into the stage arena when the driver isn't collecting.
+func (t *AsyncPBTrainer) retireInput(st *asyncStage, dx *nn.Packet) {
+	if dx == nil || dx.X == nil {
+		return
+	}
+	select {
+	case t.inputFree <- dx.X:
+	default:
+		st.arena.Put(dx.X)
+	}
 }
 
 // freeLR returns the learning rate for stage i's next update in free mode.
@@ -376,7 +474,7 @@ func (t *AsyncPBTrainer) workerFree(i int) {
 			// Staleness gate: accepting a forward now would let the
 			// forward→backward update gap exceed D_s, so wait for a
 			// gradient instead.
-			if len(st.queue) > st.delay {
+			if st.pending() > st.delay {
 				select {
 				case g := <-st.bwdIn:
 					if !t.freeBackward(i, g) {
@@ -424,8 +522,9 @@ func (t *AsyncPBTrainer) freeForward(i int, in *inflight) bool {
 	out := st.runForward(in, t.Cfg.Mitigation, horizon, form)
 	if !last {
 		st.busyNs += time.Since(t0).Nanoseconds()
+		in.packet = out // reuse the inflight wrapper for the next hop
 		select {
-		case t.stages[i+1].fwdIn <- &inflight{packet: out, label: in.label, id: in.id}:
+		case t.stages[i+1].fwdIn <- in:
 			return true
 		case <-t.stop:
 			return false
@@ -443,6 +542,7 @@ func (t *AsyncPBTrainer) freeForward(i int, in *inflight) bool {
 		return false
 	}
 	if i == 0 {
+		t.retireInput(st, dx)
 		t.complete()
 		return true
 	}
@@ -462,6 +562,7 @@ func (t *AsyncPBTrainer) freeBackward(i int, g *nn.Packet) bool {
 	dx := st.runBackward(g, t.Cfg.Mitigation, bwdHorizonFor(t.Cfg.Mitigation, i), t.freeLR(i))
 	st.busyNs += time.Since(t0).Nanoseconds()
 	if i == 0 {
+		t.retireInput(st, dx)
 		t.complete()
 		return true
 	}
@@ -513,7 +614,8 @@ func (t *AsyncPBTrainer) workerLock(i int) {
 				res, dx = t.lossBackward(i, in, out, lr)
 				didBwd = true
 			} else {
-				fwdOut = &inflight{packet: out, label: in.label, id: in.id}
+				in.packet = out // reuse the inflight wrapper
+				fwdOut = in
 			}
 		}
 		if g != nil {
@@ -545,6 +647,7 @@ func (t *AsyncPBTrainer) workerLock(i int) {
 				return
 			}
 		} else if didBwd {
+			t.retireInput(st, dx)
 			t.complete()
 		}
 	}

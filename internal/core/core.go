@@ -137,6 +137,12 @@ type Config struct {
 	Schedule sched.Schedule
 	// Mitigation applies to the PB trainer only.
 	Mitigation Mitigation
+	// Unpooled disables the per-stage buffer arenas, allocating fresh
+	// tensors for every operation exactly like the pre-pooling engine. It
+	// exists as the reference for the pooled-vs-unpooled trajectory
+	// equality tests and for debugging; training is slower but numerically
+	// identical.
+	Unpooled bool
 }
 
 // ScaledConfig builds a Config from reference hyperparameters tuned at

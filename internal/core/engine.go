@@ -21,11 +21,18 @@ import (
 //   - "async-lockstep": AsyncPBTrainer in ModeLockstep — the async runtime
 //     driven as a deterministic systolic array; bit-identical to seq.
 //
-// Submit feeds one sample and returns whatever results completed; Drain
-// quiesces the pipeline. ObservedDelays and Utilization are only meaningful
-// on a quiesced pipeline.
+// Submit feeds one sample and returns whatever results completed; the
+// engine takes ownership of x (its storage is recycled into the stage-0
+// buffer pool once the sample's final update is applied — get the next
+// input tensor from InputBuffer instead of reusing x). Drain quiesces the
+// pipeline. ObservedDelays and Utilization are only meaningful on a
+// quiesced pipeline.
 type Engine interface {
 	Submit(x *tensor.Tensor, label int) []*Result
+	// InputBuffer returns a tensor of the given shape for the next Submit,
+	// reusing a retired input buffer when one is available so steady-state
+	// feeding allocates nothing.
+	InputBuffer(shape ...int) *tensor.Tensor
 	Drain() []*Result
 	Close()
 	NumStages() int
@@ -77,6 +84,11 @@ func (t *ParallelPBTrainer) Submit(x *tensor.Tensor, label int) []*Result {
 // NumStages returns the pipeline depth S.
 func (t *ParallelPBTrainer) NumStages() int { return t.inner.NumStages() }
 
+// InputBuffer delegates to the inner trainer's retired-input free list.
+func (t *ParallelPBTrainer) InputBuffer(shape ...int) *tensor.Tensor {
+	return t.inner.InputBuffer(shape...)
+}
+
 // Utilization delegates to the step-based accounting of the inner trainer.
 func (t *ParallelPBTrainer) Utilization(samplesCompleted int) float64 {
 	return t.inner.Utilization(samplesCompleted)
@@ -99,6 +111,7 @@ func RunEpoch(e Engine, ds *data.Dataset, perm []int, aug data.Augmenter, rng *r
 		}
 	}
 	n := ds.Len()
+	shape := append([]int{1}, ds.Shape...)
 	for i := 0; i < n; i++ {
 		idx := i
 		if perm != nil {
@@ -108,8 +121,9 @@ func RunEpoch(e Engine, ds *data.Dataset, perm []int, aug data.Augmenter, rng *r
 		if aug != nil {
 			sample = aug.Apply(sample, rng)
 		}
-		shape := append([]int{1}, ds.Shape...)
-		x := tensor.New(shape...)
+		// The engine owns each submitted tensor; InputBuffer hands back
+		// retired ones, so the steady-state loop allocates no inputs.
+		x := e.InputBuffer(shape...)
 		copy(x.Data, sample)
 		record(e.Submit(x, ds.Labels[idx]))
 	}

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"repro/internal/nn"
+	"repro/internal/optim"
 	"repro/internal/tensor"
 )
 
@@ -93,12 +94,12 @@ func (t *ParallelPBTrainer) forwardStage(i int) {
 	horizon, form := t.inner.forwardHorizon(i)
 	out := st.runForward(in, t.inner.Cfg.Mitigation, horizon, form)
 	if i < len(t.inner.stages)-1 {
-		t.nextFwd[i+1] = &inflight{packet: out, label: in.label, id: in.id}
+		in.packet = out // reuse the inflight wrapper for the next hop
+		t.nextFwd[i+1] = in
 		return
 	}
-	loss, dl := t.inner.Net.Head.Loss(out.X, []int{in.label})
-	correct := nn.Accuracy(out.X, []int{in.label}) == 1
-	t.lossGrad = nn.NewPacket(dl)
+	loss, correct, grad := st.runLossHead(t.inner.Net.Head, out, in.label)
+	t.lossGrad = grad
 	t.result = &Result{ID: in.id, Loss: loss, Correct: correct}
 }
 
@@ -120,6 +121,7 @@ func (t *ParallelPBTrainer) backwardStage(i int) {
 		t.inner.backwardHorizon(i), t.inner.Cfg.lrAt(t.inner.updateStep))
 	if i == 0 {
 		t.inner.outstanding--
+		recycleInput(&t.inner.inputFree, dx.X)
 	} else {
 		t.nextBwd[i-1] = dx
 	}
@@ -189,6 +191,28 @@ func (t *ParallelPBTrainer) Close() {
 	t.signalAll(phaseStop)
 	t.wg.Wait()
 }
+
+// StageOptimizer, StageParams, StageUpdates, SetStageUpdates, UpdateStep and
+// SetUpdateStep delegate to the inner trainer so the lockstep engine
+// satisfies checkpoint.PipelineTrainer (quiesce the pipeline around
+// capture/restore). The lockstep schedule is bit-identical to the
+// sequential engine, so resume is exact.
+func (t *ParallelPBTrainer) StageOptimizer(i int) *optim.Momentum { return t.inner.StageOptimizer(i) }
+
+// StageParams exposes stage i's parameters (for checkpointing).
+func (t *ParallelPBTrainer) StageParams(i int) []*nn.Param { return t.inner.StageParams(i) }
+
+// StageUpdates returns stage i's applied-update counter.
+func (t *ParallelPBTrainer) StageUpdates(i int) int { return t.inner.StageUpdates(i) }
+
+// SetStageUpdates restores stage i's update counter from a checkpoint.
+func (t *ParallelPBTrainer) SetStageUpdates(i, updates int) { t.inner.SetStageUpdates(i, updates) }
+
+// UpdateStep returns the global update-step counter (schedule position).
+func (t *ParallelPBTrainer) UpdateStep() int { return t.inner.UpdateStep() }
+
+// SetUpdateStep restores the schedule position from a checkpoint.
+func (t *ParallelPBTrainer) SetUpdateStep(step int) { t.inner.SetUpdateStep(step) }
 
 // Delays exposes the per-stage delays (for tests and tooling).
 func (t *ParallelPBTrainer) Delays() []int { return t.inner.Delays() }

@@ -22,15 +22,27 @@ type stageCtx struct {
 
 // stageState is the runtime state of one pipeline stage.
 type stageState struct {
-	stage   nn.Stage
-	params  []*nn.Param
-	opt     *optim.Momentum
-	delay   int
+	stage  nn.Stage
+	params []*nn.Param
+	opt    *optim.Momentum
+	delay  int
+	// queue is a ring buffer of pending per-sample contexts: qhead indexes
+	// the oldest entry and qlen counts entries. Outstanding contexts per
+	// stage are bounded (≤ delay+2), so the ring stops growing — and the
+	// hot path stops allocating — after the pipeline fills.
 	queue   []stageCtx
+	qhead   int
+	qlen    int
 	updates int
 	// maxObserved tracks the largest forward→backward update gap seen, which
 	// tests compare against the analytic D_s = 2(S−1−s).
 	maxObserved int
+	// arena is the stage's private buffer pool (nil = unpooled reference
+	// mode). Only the goroutine driving the stage may touch it.
+	arena *tensor.Arena
+	// labelBuf backs the one-element label slice of the loss head, so the
+	// hot path does not allocate it per sample.
+	labelBuf [1]int
 }
 
 // inflight is a sample travelling forward through the pipeline.
@@ -46,6 +58,9 @@ type Result struct {
 	Loss    float64
 	Correct bool
 }
+
+// maxFreeInputs bounds the driver-side free list of recycled input tensors.
+const maxFreeInputs = 8
 
 // PBTrainer trains a network with fine-grained pipelined backpropagation at
 // update size one. Construct with NewPBTrainer; feed samples with Push and
@@ -64,17 +79,25 @@ type PBTrainer struct {
 	updateStep  int
 	// Steps counts pipeline steps, used for utilization accounting.
 	Steps int
+	// inputFree holds input tensors retired by stage 0's backward pass, for
+	// reuse by InputBuffer (bounded by maxFreeInputs).
+	inputFree []*tensor.Tensor
 }
 
 // NewPBTrainer builds the engine. The network's stages become pipeline
 // stages; per-stage delays and mitigation coefficients are fixed at
-// construction from the pipeline geometry.
+// construction from the pipeline geometry. Unless cfg.Unpooled is set,
+// every stage gets a private tensor arena so steady-state training reuses
+// all activation/gradient buffers.
 func NewPBTrainer(net *nn.Network, cfg Config) *PBTrainer {
 	s := net.NumStages()
 	delays := StageDelays(s)
 	t := &PBTrainer{Net: net, Cfg: cfg}
 	for i, st := range net.Stages {
 		ss := &stageState{stage: st, params: st.Params(), delay: delays[i]}
+		if !cfg.Unpooled {
+			ss.arena = tensor.NewArena()
+		}
 		o := optim.NewMomentum(cfg.LR, cfg.Momentum)
 		o.WeightDecay = cfg.WeightDecay
 		o.A, o.B = 1, 0
@@ -121,8 +144,10 @@ func (t *PBTrainer) ObservedDelays() []int {
 // Outstanding returns the number of samples currently in the pipeline.
 func (t *PBTrainer) Outstanding() int { return t.outstanding }
 
-// Push queues a sample to enter the pipeline on the next Step. It panics if
-// a sample is already pending (one sample enters per step).
+// Push queues a sample to enter the pipeline on the next Step, taking
+// ownership of x (the engine recycles it once the sample completes; use
+// InputBuffer to get a recycled tensor back). It panics if a sample is
+// already pending (one sample enters per step).
 func (t *PBTrainer) Push(x *tensor.Tensor, label int) {
 	if t.pending != nil {
 		panic("core: Push called twice without Step")
@@ -130,6 +155,40 @@ func (t *PBTrainer) Push(x *tensor.Tensor, label int) {
 	t.pending = &inflight{packet: nn.NewPacket(x), label: label, id: t.nextID}
 	t.nextID++
 	t.outstanding++
+}
+
+// InputBuffer returns a tensor of the given shape for the next Push/Submit,
+// reusing a retired input buffer when one is available.
+func (t *PBTrainer) InputBuffer(shape ...int) *tensor.Tensor {
+	return takeInput(&t.inputFree, shape)
+}
+
+// takeInput pops a recycled input of matching size from free, or allocates.
+func takeInput(free *[]*tensor.Tensor, shape []int) *tensor.Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	for len(*free) > 0 {
+		l := *free
+		x := l[len(l)-1]
+		l[len(l)-1] = nil
+		*free = l[:len(l)-1]
+		if len(x.Data) == n {
+			x.SetShape(shape...)
+			return x
+		}
+	}
+	return tensor.New(shape...)
+}
+
+// recycleInput stores a retired input tensor for reuse, dropping it when the
+// free list is full.
+func recycleInput(free *[]*tensor.Tensor, x *tensor.Tensor) {
+	if x == nil || len(*free) >= maxFreeInputs {
+		return
+	}
+	*free = append(*free, x)
 }
 
 // forwardHorizon returns the weight-prediction horizon used at the forward
@@ -160,8 +219,6 @@ func swapIn(params []*nn.Param, datas [][]float64) [][]float64 {
 // any.
 func (t *PBTrainer) Step() *Result {
 	s := len(t.stages)
-	nextFwd := make([]*inflight, s)
-	nextBwd := make([]*nn.Packet, s)
 	var result *Result
 	var lossGrad *nn.Packet
 
@@ -171,8 +228,12 @@ func (t *PBTrainer) Step() *Result {
 	}
 
 	// Forward sweep. Stage s processes the activation that arrived this
-	// step; its output arrives at stage s+1 on the next step.
-	for i := 0; i < s; i++ {
+	// step; its output arrives at stage s+1 on the next step: descending
+	// order lets stage i write directly into t.fwd[i+1] (already consumed
+	// this step) instead of double-buffering, and the incoming inflight
+	// wrapper is reused for the outgoing activation. Stage compute touches
+	// only stage-local state, so the within-step order is immaterial.
+	for i := s - 1; i >= 0; i-- {
 		in := t.fwd[i]
 		if in == nil {
 			continue
@@ -181,13 +242,25 @@ func (t *PBTrainer) Step() *Result {
 		st := t.stages[i]
 		horizon, form := t.forwardHorizon(i)
 		out := st.runForward(in, t.Cfg.Mitigation, horizon, form)
-		t.route(i, out, in, nextFwd, &lossGrad, &result)
+		if i < s-1 {
+			in.packet = out
+			t.fwd[i+1] = in
+			continue
+		}
+		var loss float64
+		var correct bool
+		loss, correct, lossGrad = st.runLossHead(t.Net.Head, out, in.label)
+		result = &Result{ID: in.id, Loss: loss, Correct: correct}
 	}
 
 	// Backward sweep. Stage s consumes the gradient that arrived this step
 	// (for the last stage: the loss gradient computed this very step) and
 	// updates its weights immediately — update size one, no draining.
-	for i := s - 1; i >= 0; i-- {
+	// Ascending order lets stage i write directly into t.bwd[i-1] (already
+	// consumed this step) for next-step delivery; per-stage updates are
+	// independent, so the compute order within a step does not affect the
+	// trajectory.
+	for i := 0; i < s; i++ {
 		var dIn *nn.Packet
 		if i == s-1 {
 			dIn = lossGrad
@@ -202,46 +275,46 @@ func (t *PBTrainer) Step() *Result {
 		dx := st.runBackward(dIn, t.Cfg.Mitigation, t.backwardHorizon(i), t.Cfg.lrAt(t.updateStep))
 		if i == 0 {
 			t.outstanding--
+			recycleInput(&t.inputFree, dx.X)
 		} else {
-			nextBwd[i-1] = dx
+			t.bwd[i-1] = dx
 		}
 	}
 
-	t.fwd = nextFwd
-	t.bwd = nextBwd
 	t.step++
 	t.updateStep++
 	t.Steps++
 	return result
 }
 
-// route delivers a stage's forward output: to the next stage's input slot,
-// or — at the last stage — through the loss head, producing the same-step
-// backward input.
-func (t *PBTrainer) route(i int, out *nn.Packet, in *inflight, nextFwd []*inflight,
-	lossGrad **nn.Packet, result **Result) {
-	if i < len(t.stages)-1 {
-		nextFwd[i+1] = &inflight{packet: out, label: in.label, id: in.id}
-		return
-	}
-	loss, dl := t.Net.Head.Loss(out.X, []int{in.label})
-	correct := nn.Accuracy(out.X, []int{in.label}) == 1
-	*lossGrad = nn.NewPacket(dl)
-	*result = &Result{ID: in.id, Loss: loss, Correct: correct}
-}
+// pending reports the number of contexts (samples) awaiting their backward
+// pass at this stage.
+func (s *stageState) pending() int { return s.qlen }
 
 // push appends a context to the stage FIFO.
 func (s *stageState) push(ctx any, stash [][]float64, id int) {
-	s.queue = append(s.queue, stageCtx{ctx: ctx, stash: stash, fwdUpdates: s.updates, id: id})
+	if s.qlen == len(s.queue) {
+		// Grow the ring, restoring FIFO order into the new storage.
+		grown := make([]stageCtx, 2*s.qlen+4)
+		for i := 0; i < s.qlen; i++ {
+			grown[i] = s.queue[(s.qhead+i)%len(s.queue)]
+		}
+		s.queue = grown
+		s.qhead = 0
+	}
+	s.queue[(s.qhead+s.qlen)%len(s.queue)] = stageCtx{ctx: ctx, stash: stash, fwdUpdates: s.updates, id: id}
+	s.qlen++
 }
 
 // pop removes the oldest context (samples complete in order).
 func (s *stageState) pop() stageCtx {
-	if len(s.queue) == 0 {
+	if s.qlen == 0 {
 		panic("core: backward with empty context queue at stage " + s.stage.Name())
 	}
-	c := s.queue[0]
-	s.queue = s.queue[1:]
+	c := s.queue[s.qhead]
+	s.queue[s.qhead] = stageCtx{}
+	s.qhead = (s.qhead + 1) % len(s.queue)
+	s.qlen--
 	return c
 }
 
@@ -278,3 +351,22 @@ func (t *PBTrainer) Utilization(samplesCompleted int) float64 {
 // StageOptimizer exposes stage i's optimizer (for checkpointing and
 // inspection). Stage optimizers are independent; see DESIGN.md.
 func (t *PBTrainer) StageOptimizer(i int) *optim.Momentum { return t.stages[i].opt }
+
+// StageParams exposes stage i's parameters (for checkpointing).
+func (t *PBTrainer) StageParams(i int) []*nn.Param { return t.stages[i].params }
+
+// StageUpdates returns stage i's applied-update counter (for checkpointing).
+func (t *PBTrainer) StageUpdates(i int) int { return t.stages[i].updates }
+
+// SetStageUpdates restores stage i's update counter from a checkpoint.
+func (t *PBTrainer) SetStageUpdates(i, updates int) { t.stages[i].updates = updates }
+
+// UpdateStep returns the global update-step counter (the LR-schedule
+// position), for checkpointing.
+func (t *PBTrainer) UpdateStep() int { return t.updateStep }
+
+// SetUpdateStep restores the schedule position from a checkpoint.
+func (t *PBTrainer) SetUpdateStep(step int) {
+	t.step = step
+	t.updateStep = step
+}

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/sched"
+	"repro/internal/tensor"
+)
+
+// feedHalves drives an engine over the dataset with a mid-run drain,
+// returning completed counts (drains flush the pipeline, making weight
+// comparisons well-defined).
+func feedHalves(e Engine, train *data.Dataset, compare func(point string)) {
+	n := train.Len()
+	shape := append([]int{1}, train.Shape...)
+	feed := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			x := e.InputBuffer(shape...)
+			copy(x.Data, train.Samples[i])
+			e.Submit(x, train.Labels[i])
+		}
+		e.Drain()
+	}
+	feed(0, n/2)
+	compare("mid-training drain")
+	feed(n/2, n)
+	compare("final drain")
+}
+
+// TestPooledMatchesUnpooledMLP proves the buffer arenas change nothing
+// numerically: for every mitigation, a pooled sequential trainer's weight
+// trajectory is bit-identical to the unpooled reference (which allocates
+// fresh tensors exactly like the pre-pooling engine).
+func TestPooledMatchesUnpooledMLP(t *testing.T) {
+	for _, mit := range []Mitigation{None, SCD, LWPvD, LWPwD, LWPvDSCD, WeightStash, SpecTrain, {GradShrink: 0.9}} {
+		seed := int64(120)
+		train, _ := data.GaussianBlobs(6, 3, 80, 0, 1, 0.5, seed)
+		netP := models.DeepMLP(6, 8, 3, 3, seed)
+		netU := models.DeepMLP(6, 8, 3, 3, seed)
+		cfg := ScaledConfig(0.1, 0.9, 16, 1)
+		cfg.Mitigation = mit
+		cfg.Schedule = sched.MultiStep{Base: cfg.LR, Milestones: []int{40, 90}, Gamma: 0.5}
+		cfgU := cfg
+		cfgU.Unpooled = true
+
+		pooled := NewPBTrainer(netP, cfg)
+		unpooled := NewPBTrainer(netU, cfgU)
+
+		n := train.Len()
+		for i := 0; i < n; i++ {
+			x, y := train.Sample(i)
+			x2 := x.Clone()
+			pooled.Submit(x, y)
+			unpooled.Submit(x2, y)
+		}
+		pooled.Drain()
+		unpooled.Drain()
+		pp, pu := netP.Params(), netU.Params()
+		for i := range pp {
+			if !pp[i].W.AllClose(pu[i].W, 0) {
+				t.Fatalf("%s: pooled trajectory deviates from unpooled at %s", mit.Name(), pp[i].Name)
+			}
+		}
+	}
+}
+
+// TestPooledMatchesUnpooledResNet runs the same proof on a residual conv
+// pipeline (conv/im2col buffers, skip-stack copies, downsample shortcuts)
+// across the engines whose schedule is deterministic, against the unpooled
+// sequential reference.
+func TestPooledMatchesUnpooledResNet(t *testing.T) {
+	imgs := data.CIFAR10Like(8, 24, 0, 7)
+	train, _ := data.GenerateImages(imgs)
+	build := func() *nn.Network { return models.ResNet(models.MiniResNet(8, 4, 8, 10, 3)) }
+
+	cfg := ScaledConfig(0.05, 0.9, 32, 1)
+	cfgU := cfg
+	cfgU.Unpooled = true
+	netU := build()
+	ref := NewPBTrainer(netU, cfgU)
+	feedHalves(ref, train, func(string) {})
+
+	for _, kind := range []string{"seq", "lockstep", "async-lockstep"} {
+		netP := build()
+		eng, err := NewEngine(kind, netP, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		feedHalves(eng, train, func(string) {})
+		pp, pu := netP.Params(), netU.Params()
+		for i := range pp {
+			if !pp[i].W.AllClose(pu[i].W, 0) {
+				t.Fatalf("%s: pooled trajectory deviates from unpooled seq at %s", kind, pp[i].Name)
+			}
+		}
+		eng.Close()
+	}
+}
+
+// TestLayerSteadyStateAllocs locks in that the arena-backed hot path of the
+// core layers allocates nothing once warm: forward + backward of dense,
+// conv and ReLU run with zero allocations per sample.
+func TestLayerSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are inflated by race-detector instrumentation")
+	}
+	rng := rand.New(rand.NewSource(55))
+	cases := []struct {
+		name  string
+		layer nn.Layer
+		shape []int
+	}{
+		{"dense", nn.NewDense("fc", 16, 8, true, rng), []int{1, 16}},
+		{"conv", nn.NewConv2D("cv", 2, 4, 3, 1, 1, false, rng), []int{1, 2, 8, 8}},
+		{"relu", nn.ReLU{}, []int{1, 64}},
+		{"groupnorm", nn.NewGroupNorm("gn", 4, 2), []int{1, 4, 6, 6}},
+	}
+	for _, c := range cases {
+		ar := tensor.NewArena()
+		run := func() {
+			x := ar.Get(c.shape...)
+			y, ctx := c.layer.Forward(x, ar)
+			dy := ar.Get(y.Shape...)
+			ar.Put(y)
+			dx := c.layer.Backward(dy, ctx, ar)
+			ar.Put(dx)
+		}
+		for i := 0; i < 3; i++ {
+			run() // warm the arena and context pools
+		}
+		if allocs := testing.AllocsPerRun(20, run); allocs > 0 {
+			t.Errorf("%s: %v allocs per forward+backward, want 0", c.name, allocs)
+		}
+	}
+}
+
+// TestEngineSteadyStateAllocs locks in the pooled per-sample allocation
+// budget of the full engines on the RN20-mini pipeline. The unpooled
+// engine needs thousands of allocations per sample; the pooled ones need a
+// small constant (inflight/result wrappers and channel traffic), which this
+// test keeps from regressing.
+func TestEngineSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are inflated by race-detector instrumentation")
+	}
+	imgs := data.CIFAR10Like(8, 32, 0, 1)
+	train, _ := data.GenerateImages(imgs)
+	shape := append([]int{1}, train.Shape...)
+	for _, tc := range []struct {
+		kind   string
+		budget float64
+	}{
+		{"seq", 15},
+		{"async", 30}, // channel hops and runtime scheduling included
+	} {
+		net := models.ResNet(models.MiniResNet(20, 4, 8, 10, 1))
+		eng, err := NewEngine(tc.kind, net, ScaledConfig(0.05, 0.9, 32, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		i := 0
+		submit := func() {
+			x := eng.InputBuffer(shape...)
+			copy(x.Data, train.Samples[i%train.Len()])
+			eng.Submit(x, train.Labels[i%train.Len()])
+			i++
+		}
+		for w := 0; w < 3*train.Len(); w++ {
+			submit() // fill the pipeline and warm every stage arena
+		}
+		if allocs := testing.AllocsPerRun(100, submit); allocs > tc.budget {
+			t.Errorf("%s engine: %v allocs per sample, budget %v", tc.kind, allocs, tc.budget)
+		}
+		eng.Drain()
+		eng.Close()
+	}
+}

@@ -12,6 +12,14 @@ import (
 // ParallelPBTrainer and the free-running AsyncPBTrainer all drive these same
 // routines with different schedules; only the scheduling differs between
 // engines, never the math.
+//
+// Each stage owns a tensor.Arena (nil when Config.Unpooled is set): all
+// activation, gradient and im2col buffers the stage's compute needs are
+// drawn from and recycled into it, so steady-state training through the
+// core layers allocates nothing on the hot path (the ablation-only
+// alternative normalizers still allocate small context slices — see
+// DESIGN.md §7 for the scope and the ownership rules). The arena is only
+// ever touched by the goroutine driving the stage.
 
 // fwdHorizonFor returns the weight-prediction horizon and form used at the
 // forward pass of stage i in an s-stage pipeline whose stage-i delay is
@@ -44,7 +52,8 @@ func bwdHorizonFor(mit Mitigation, i int) float64 {
 // runForward performs the stage's forward transformation for one sample
 // under the mitigation's prediction/stashing rules, pushes the sample's
 // context onto the stage FIFO, and returns the output packet. It touches
-// only stage-local state.
+// only stage-local state. With a non-nil arena the input packet is consumed
+// and (usually) returned as the output packet.
 func (st *stageState) runForward(in *inflight, mit Mitigation, horizon float64, form optim.LWPForm) *nn.Packet {
 	var usedWeights [][]float64
 	if horizon > 0 && len(st.params) > 0 {
@@ -53,7 +62,7 @@ func (st *stageState) runForward(in *inflight, mit Mitigation, horizon float64, 
 			pred[j] = st.opt.Predict(p, form, horizon)
 		}
 		old := swapIn(st.params, pred)
-		out, ctx := st.stage.Forward(in.packet)
+		out, ctx := st.stage.Forward(in.packet, st.arena)
 		swapIn(st.params, old)
 		if mit.WeightStash {
 			usedWeights = pred
@@ -67,7 +76,7 @@ func (st *stageState) runForward(in *inflight, mit Mitigation, horizon float64, 
 			usedWeights[j] = p.Snapshot()
 		}
 	}
-	out, ctx := st.stage.Forward(in.packet)
+	out, ctx := st.stage.Forward(in.packet, st.arena)
 	st.push(ctx, usedWeights, in.id)
 	return out
 }
@@ -75,15 +84,16 @@ func (st *stageState) runForward(in *inflight, mit Mitigation, horizon float64, 
 // runBackward consumes the oldest pending context, performs the stage's
 // backward transformation (under stashed or predicted weights when the
 // mitigation asks for them), applies one weight update at learning rate lr,
-// and returns the input gradient to pass upstream. It touches only
-// stage-local state.
+// and returns the input gradient. It touches only stage-local state. With a
+// non-nil arena the gradient packet is consumed and (usually) returned as
+// the output packet.
 func (st *stageState) runBackward(dIn *nn.Packet, mit Mitigation, bwdHorizon, lr float64) *nn.Packet {
 	c := st.pop()
 	var dx *nn.Packet
 	switch {
 	case c.stash != nil && len(st.params) > 0:
 		old := swapIn(st.params, c.stash)
-		dx = st.stage.Backward(dIn, c.ctx)
+		dx = st.stage.Backward(dIn, c.ctx, st.arena)
 		swapIn(st.params, old)
 	case bwdHorizon > 0 && len(st.params) > 0:
 		pred := make([][]float64, len(st.params))
@@ -91,10 +101,10 @@ func (st *stageState) runBackward(dIn *nn.Packet, mit Mitigation, bwdHorizon, lr
 			pred[j] = st.opt.Predict(p, optim.LWPVelocity, bwdHorizon)
 		}
 		old := swapIn(st.params, pred)
-		dx = st.stage.Backward(dIn, c.ctx)
+		dx = st.stage.Backward(dIn, c.ctx, st.arena)
 		swapIn(st.params, old)
 	default:
-		dx = st.stage.Backward(dIn, c.ctx)
+		dx = st.stage.Backward(dIn, c.ctx, st.arena)
 	}
 	if gap := st.updates - c.fwdUpdates; gap > st.maxObserved {
 		st.maxObserved = gap
@@ -108,4 +118,18 @@ func (st *stageState) runBackward(dIn *nn.Packet, mit Mitigation, bwdHorizon, lr
 	}
 	st.updates++
 	return dx
+}
+
+// runLossHead applies the network head to a just-forwarded sample at the
+// last stage: it computes the loss and correctness, recycles the logits
+// buffer, and reuses the packet to carry the loss gradient into the stage's
+// own backward pass.
+func (st *stageState) runLossHead(head nn.SoftmaxCrossEntropy, out *nn.Packet, label int) (loss float64, correct bool, grad *nn.Packet) {
+	st.labelBuf[0] = label
+	dl := st.arena.Get(out.X.Shape...)
+	loss = head.LossInto(dl, out.X, st.labelBuf[:])
+	correct = nn.Accuracy(out.X, st.labelBuf[:]) == 1
+	st.arena.Put(out.X)
+	out.X = dl
+	return loss, correct, out
 }

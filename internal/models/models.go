@@ -18,15 +18,17 @@ import (
 	"math/rand"
 
 	"repro/internal/nn"
+	"repro/internal/tensor"
 )
 
 // blockStart fuses the residual branch point with the first pre-activation
 // conv group of a block, so each block contributes exactly its conv count
 // plus one sum node to the stage count — the paper's decomposition.
 type blockStart struct {
-	push   *nn.PushSkip
-	layers *nn.LayerStage
-	name   string
+	push    *nn.PushSkip
+	layers  *nn.LayerStage
+	name    string
+	ctxFree []*blockStartCtx
 }
 
 type blockStartCtx struct {
@@ -35,18 +37,35 @@ type blockStartCtx struct {
 
 func (b *blockStart) Name() string { return b.name }
 
+// getCtx pops a pooled context (pooled mode only) or allocates one.
+func (b *blockStart) getCtx(ar *tensor.Arena) *blockStartCtx {
+	if ar != nil && len(b.ctxFree) > 0 {
+		c := b.ctxFree[len(b.ctxFree)-1]
+		b.ctxFree = b.ctxFree[:len(b.ctxFree)-1]
+		return c
+	}
+	return &blockStartCtx{}
+}
+
 // Forward implements nn.Stage.
-func (b *blockStart) Forward(p *nn.Packet) (*nn.Packet, any) {
-	q, pc := b.push.Forward(p)
-	r, lc := b.layers.Forward(q)
-	return r, blockStartCtx{pushCtx: pc, layerCtx: lc}
+func (b *blockStart) Forward(p *nn.Packet, ar *tensor.Arena) (*nn.Packet, any) {
+	c := b.getCtx(ar)
+	q, pc := b.push.Forward(p, ar)
+	r, lc := b.layers.Forward(q, ar)
+	c.pushCtx, c.layerCtx = pc, lc
+	return r, c
 }
 
 // Backward implements nn.Stage.
-func (b *blockStart) Backward(dp *nn.Packet, ctx any) *nn.Packet {
-	c := ctx.(blockStartCtx)
-	dq := b.layers.Backward(dp, c.layerCtx)
-	return b.push.Backward(dq, c.pushCtx)
+func (b *blockStart) Backward(dp *nn.Packet, ctx any, ar *tensor.Arena) *nn.Packet {
+	c := ctx.(*blockStartCtx)
+	dq := b.layers.Backward(dp, c.layerCtx, ar)
+	out := b.push.Backward(dq, c.pushCtx, ar)
+	if ar != nil {
+		c.pushCtx, c.layerCtx = nil, nil
+		b.ctxFree = append(b.ctxFree, c)
+	}
+	return out
 }
 
 // Params implements nn.Stage.
@@ -157,7 +176,7 @@ func ResNet(cfg ResNetConfig) *nn.Network {
 	}
 	stages = append(stages,
 		nn.NewLayerStage("final.norm", gn("final.gn", inC), nn.ReLU{}),
-		nn.NewLayerStage("gap", nn.GlobalAvgPool{}),
+		nn.NewLayerStage("gap", &nn.GlobalAvgPool{}),
 		nn.NewLayerStage("fc", nn.NewDense("fc", inC, cfg.Classes, true, rng)),
 	)
 	return nn.NewNetwork(stages...)
@@ -231,7 +250,7 @@ func VGG(cfg VGGConfig) *nn.Network {
 		inC = outC
 	}
 	stages = append(stages,
-		nn.NewLayerStage("gap", nn.GlobalAvgPool{}),
+		nn.NewLayerStage("gap", &nn.GlobalAvgPool{}),
 		nn.NewLayerStage("fc", nn.NewDense("fc", inC, cfg.Classes, true, rng)),
 	)
 	return nn.NewNetwork(stages...)
@@ -249,7 +268,7 @@ func TinyCNN(inC, inSize, classes int, seed int64) *nn.Network {
 		nn.NewLayerStage("conv2",
 			nn.NewConv2D("conv2", w, w, 3, 2, 1, false, rng),
 			nn.NewGroupNorm("gn2", w, 2), nn.ReLU{}),
-		nn.NewLayerStage("head", nn.GlobalAvgPool{}, nn.NewDense("fc", w, classes, true, rng)),
+		nn.NewLayerStage("head", &nn.GlobalAvgPool{}, nn.NewDense("fc", w, classes, true, rng)),
 	)
 }
 
@@ -297,6 +316,6 @@ func SmallCNN(norm NormKind, inC, inSize, width, classes int, seed int64) *nn.Ne
 		stage("conv2", width, width, 1),
 		stage("conv3", width, 2*width, 2),
 		stage("conv4", 2*width, 2*width, 1),
-		nn.NewLayerStage("head", nn.GlobalAvgPool{}, nn.NewDense("fc", 2*width, classes, true, rng)),
+		nn.NewLayerStage("head", &nn.GlobalAvgPool{}, nn.NewDense("fc", 2*width, classes, true, rng)),
 	)
 }

@@ -43,15 +43,16 @@ func NewFRN(name string, c int) *FRN {
 func (f *FRN) Name() string { return f.nameText }
 
 // Forward implements Layer.
-func (f *FRN) Forward(x *tensor.Tensor) (*tensor.Tensor, any) {
+func (f *FRN) Forward(x *tensor.Tensor, ar *tensor.Arena) (*tensor.Tensor, any) {
 	if len(x.Shape) != 4 || x.Shape[1] != f.C {
 		panic(fmt.Sprintf("nn: FRN %s input %v, want [N,%d,H,W]", f.nameText, x.Shape, f.C))
 	}
 	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
 	m := h * w
-	xhat := tensor.New(x.Shape...)
-	y := tensor.New(x.Shape...)
-	z := tensor.New(x.Shape...)
+	// Fully overwritten below, so plain (unzeroed) Gets suffice.
+	xhat := ar.Get(x.Shape...)
+	y := ar.Get(x.Shape...)
+	z := ar.Get(x.Shape...)
 	rs := make([]float64, n*c)
 	for s := 0; s < n; s++ {
 		for ch := 0; ch < c; ch++ {
@@ -80,15 +81,18 @@ func (f *FRN) Forward(x *tensor.Tensor) (*tensor.Tensor, any) {
 	}
 	shape := make([]int, 4)
 	copy(shape, x.Shape)
+	ar.Put(x)
 	return z, &frnCtx{xhat: xhat, r: rs, y: y, xShape: shape}
 }
 
 // Backward implements Layer.
-func (f *FRN) Backward(dz *tensor.Tensor, ctx any) *tensor.Tensor {
+func (f *FRN) Backward(dz *tensor.Tensor, ctx any, ar *tensor.Arena) *tensor.Tensor {
 	cc := ctx.(*frnCtx)
 	n, c, h, w := cc.xShape[0], cc.xShape[1], cc.xShape[2], cc.xShape[3]
 	m := h * w
-	dx := tensor.New(cc.xShape...)
+	dx := ar.Get(cc.xShape...)
+	scratch := ar.Get(m)
+	dxh := scratch.Data
 	for s := 0; s < n; s++ {
 		for ch := 0; ch < c; ch++ {
 			base := (s*c + ch) * m
@@ -97,7 +101,9 @@ func (f *FRN) Backward(dz *tensor.Tensor, ctx any) *tensor.Tensor {
 			// TLU gradient routing, then the normalization chain rule:
 			// dx = r·(dx̂ − x̂·mean(dx̂·x̂)).
 			sumDxhXh := 0.0
-			dxh := make([]float64, m)
+			for k := range dxh {
+				dxh[k] = 0
+			}
 			for k := 0; k < m; k++ {
 				d := dz.Data[base+k]
 				if cc.y.Data[base+k] > tau {
@@ -116,6 +122,7 @@ func (f *FRN) Backward(dz *tensor.Tensor, ctx any) *tensor.Tensor {
 			}
 		}
 	}
+	ar.Put(dz, cc.xhat, cc.y, scratch)
 	return dx
 }
 
@@ -156,10 +163,10 @@ func NewWSConv2D(name string, inC, outC, k, stride, pad int, bias bool, rng *ran
 // Name implements Layer.
 func (c *WSConv2D) Name() string { return c.nameText }
 
-// standardize returns Ŵ and the per-filter inverse std.
-func (c *WSConv2D) standardize() (*tensor.Tensor, []float64) {
+// standardize returns Ŵ (drawn from ar) and the per-filter inverse std.
+func (c *WSConv2D) standardize(ar *tensor.Arena) (*tensor.Tensor, []float64) {
 	fan := c.InC * c.K * c.K
-	what := tensor.New(c.OutC, c.InC, c.K, c.K)
+	what := ar.Get(c.OutC, c.InC, c.K, c.K)
 	inv := make([]float64, c.OutC)
 	for f := 0; f < c.OutC; f++ {
 		seg := c.Raw.W.Data[f*fan : (f+1)*fan]
@@ -184,15 +191,16 @@ func (c *WSConv2D) standardize() (*tensor.Tensor, []float64) {
 }
 
 // Forward implements Layer.
-func (c *WSConv2D) Forward(x *tensor.Tensor) (*tensor.Tensor, any) {
-	what, inv := c.standardize()
+func (c *WSConv2D) Forward(x *tensor.Tensor, ar *tensor.Arena) (*tensor.Tensor, any) {
+	what, inv := c.standardize(ar)
 	var b *tensor.Tensor
 	if c.Bias != nil {
 		b = c.Bias.W
 	}
-	y, cols := tensor.Conv2DForward(x, what, b, c.Stride, c.Pad)
+	y, cols := tensor.Conv2DForwardArena(ar, x, what, b, c.Stride, c.Pad, nil)
 	shape := make([]int, 4)
 	copy(shape, x.Shape)
+	ar.Put(x)
 	return y, &wsConvCtx{
 		convCtx: &convCtx{cols: cols, xShape: shape},
 		what:    what,
@@ -201,15 +209,15 @@ func (c *WSConv2D) Forward(x *tensor.Tensor) (*tensor.Tensor, any) {
 }
 
 // Backward implements Layer.
-func (c *WSConv2D) Backward(dy *tensor.Tensor, ctx any) *tensor.Tensor {
+func (c *WSConv2D) Backward(dy *tensor.Tensor, ctx any, ar *tensor.Arena) *tensor.Tensor {
 	cc := ctx.(*wsConvCtx)
 	inner := cc.convCtx.(*convCtx)
 	var db *tensor.Tensor
 	if c.Bias != nil {
 		db = c.Bias.G
 	}
-	dWhat := tensor.New(c.OutC, c.InC, c.K, c.K)
-	dx := tensor.Conv2DBackward(dy, cc.what, inner.cols, dWhat, db, inner.xShape, c.Stride, c.Pad)
+	dWhat := ar.GetZeroed(c.OutC, c.InC, c.K, c.K)
+	dx := tensor.Conv2DBackwardArena(ar, dy, cc.what, inner.cols, dWhat, db, inner.xShape, c.Stride, c.Pad)
 	// Chain through the standardization: like LayerNorm over each filter.
 	fan := c.InC * c.K * c.K
 	for f := 0; f < c.OutC; f++ {
@@ -228,6 +236,8 @@ func (c *WSConv2D) Backward(dy *tensor.Tensor, ctx any) *tensor.Tensor {
 			gseg[i] += is * (dseg[i] - meanD - wseg[i]*meanDW)
 		}
 	}
+	ar.Put(dy, dWhat, cc.what)
+	ar.Put(inner.cols...)
 	return dx
 }
 

@@ -15,6 +15,7 @@ type Dropout struct {
 	Training bool
 	rng      *rand.Rand
 	nameText string
+	maskFree [][]bool
 }
 
 // NewDropout builds a dropout layer with its own deterministic RNG stream.
@@ -29,34 +30,44 @@ func NewDropout(name string, p float64, seed int64) *Dropout {
 func (d *Dropout) Name() string { return d.nameText }
 
 // Forward implements Layer; the context is the mask.
-func (d *Dropout) Forward(x *tensor.Tensor) (*tensor.Tensor, any) {
+func (d *Dropout) Forward(x *tensor.Tensor, ar *tensor.Arena) (*tensor.Tensor, any) {
 	if !d.Training || d.P == 0 {
 		return x, nil
 	}
-	y := tensor.New(x.Shape...)
-	mask := make([]bool, x.Size())
+	y := ar.Get(x.Shape...)
+	mask := resize(popSlice(ar, &d.maskFree), x.Size())
 	scale := 1 / (1 - d.P)
 	for i, v := range x.Data {
 		if d.rng.Float64() >= d.P {
 			mask[i] = true
 			y.Data[i] = v * scale
+		} else {
+			mask[i] = false
+			y.Data[i] = 0
 		}
 	}
+	ar.Put(x)
 	return y, mask
 }
 
 // Backward implements Layer.
-func (d *Dropout) Backward(dy *tensor.Tensor, ctx any) *tensor.Tensor {
+func (d *Dropout) Backward(dy *tensor.Tensor, ctx any, ar *tensor.Arena) *tensor.Tensor {
 	if ctx == nil {
 		return dy
 	}
 	mask := ctx.([]bool)
-	dx := tensor.New(dy.Shape...)
+	dx := ar.Get(dy.Shape...)
 	scale := 1 / (1 - d.P)
 	for i, v := range dy.Data {
 		if mask[i] {
 			dx.Data[i] = v * scale
+		} else {
+			dx.Data[i] = 0
 		}
+	}
+	ar.Put(dy)
+	if ar != nil {
+		d.maskFree = append(d.maskFree, mask)
 	}
 	return dx
 }
@@ -106,11 +117,11 @@ func NewOnlineNorm(name string, c int) *OnlineNorm {
 func (o *OnlineNorm) Name() string { return o.nameText }
 
 // Forward implements Layer.
-func (o *OnlineNorm) Forward(x *tensor.Tensor) (*tensor.Tensor, any) {
+func (o *OnlineNorm) Forward(x *tensor.Tensor, ar *tensor.Arena) (*tensor.Tensor, any) {
 	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
 	m := n * h * w
-	y := tensor.New(x.Shape...)
-	xhat := tensor.New(x.Shape...)
+	y := ar.Get(x.Shape...)
+	xhat := ar.Get(x.Shape...)
 	invStd := make([]float64, c)
 	for ch := 0; ch < c; ch++ {
 		// Current-batch statistics update the trackers first; normalization
@@ -151,15 +162,16 @@ func (o *OnlineNorm) Forward(x *tensor.Tensor) (*tensor.Tensor, any) {
 	o.warm = true
 	shape := make([]int, 4)
 	copy(shape, x.Shape)
+	ar.Put(x)
 	return y, &onlineNormCtx{invStd: invStd, xhat: xhat, xShape: shape}
 }
 
 // Backward implements Layer: statistics are constants, so
 // dx = γ·invStd·dy and the affine parameters receive their usual gradients.
-func (o *OnlineNorm) Backward(dy *tensor.Tensor, ctx any) *tensor.Tensor {
+func (o *OnlineNorm) Backward(dy *tensor.Tensor, ctx any, ar *tensor.Arena) *tensor.Tensor {
 	cc := ctx.(*onlineNormCtx)
 	n, c, h, w := cc.xShape[0], cc.xShape[1], cc.xShape[2], cc.xShape[3]
-	dx := tensor.New(cc.xShape...)
+	dx := ar.Get(cc.xShape...)
 	for ch := 0; ch < c; ch++ {
 		g := o.Gamma.W.Data[ch]
 		is := cc.invStd[ch]
@@ -173,6 +185,7 @@ func (o *OnlineNorm) Backward(dy *tensor.Tensor, ctx any) *tensor.Tensor {
 			}
 		}
 	}
+	ar.Put(dy, cc.xhat)
 	return dx
 }
 
@@ -199,22 +212,29 @@ func NewScaleLayer(name string, initVal float64) *ScaleLayer {
 func (l *ScaleLayer) Name() string { return l.nameText }
 
 // Forward implements Layer; the context is the input.
-func (l *ScaleLayer) Forward(x *tensor.Tensor) (*tensor.Tensor, any) {
-	y := x.Clone()
-	y.Scale(l.S.W.Data[0])
+func (l *ScaleLayer) Forward(x *tensor.Tensor, ar *tensor.Arena) (*tensor.Tensor, any) {
+	y := ar.Get(x.Shape...)
+	s := l.S.W.Data[0]
+	for i, v := range x.Data {
+		y.Data[i] = v * s
+	}
 	return y, x
 }
 
 // Backward implements Layer.
-func (l *ScaleLayer) Backward(dy *tensor.Tensor, ctx any) *tensor.Tensor {
+func (l *ScaleLayer) Backward(dy *tensor.Tensor, ctx any, ar *tensor.Arena) *tensor.Tensor {
 	x := ctx.(*tensor.Tensor)
 	s := 0.0
 	for i := range dy.Data {
 		s += dy.Data[i] * x.Data[i]
 	}
 	l.S.G.Data[0] += s
-	dx := dy.Clone()
-	dx.Scale(l.S.W.Data[0])
+	dx := ar.Get(dy.Shape...)
+	sc := l.S.W.Data[0]
+	for i, v := range dy.Data {
+		dx.Data[i] = v * sc
+	}
+	ar.Put(dy, x)
 	return dx
 }
 

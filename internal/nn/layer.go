@@ -11,10 +11,20 @@ import (
 // needs; Backward accumulates parameter gradients into the layer's Params
 // and returns the input gradient. A layer must support arbitrarily many
 // outstanding contexts (samples in flight).
+//
+// Buffer ownership (DESIGN.md §7): when ar is non-nil, ownership of x moves
+// into the layer at Forward — the layer may retain it in its context until
+// the matching Backward, recycle it into ar, or pass it through as output —
+// and ownership of the returned y moves out to the caller (a layer never
+// retains its output). Backward likewise consumes dy and hands dx to the
+// caller, recycling its context buffers into ar. With ar == nil no buffer is
+// ever recycled or reused and the layer behaves exactly like the pre-arena
+// implementation, which is what evaluation and the unpooled reference
+// trainers use.
 type Layer interface {
 	Name() string
-	Forward(x *tensor.Tensor) (y *tensor.Tensor, ctx any)
-	Backward(dy *tensor.Tensor, ctx any) (dx *tensor.Tensor)
+	Forward(x *tensor.Tensor, ar *tensor.Arena) (y *tensor.Tensor, ctx any)
+	Backward(dy *tensor.Tensor, ctx any, ar *tensor.Arena) (dx *tensor.Tensor)
 	Params() []*Param
 }
 
@@ -24,26 +34,31 @@ type ReLU struct{}
 // Name implements Layer.
 func (ReLU) Name() string { return "relu" }
 
-// Forward implements Layer. The context is the output itself (the mask).
-func (ReLU) Forward(x *tensor.Tensor) (*tensor.Tensor, any) {
-	y := tensor.New(x.Shape...)
+// Forward implements Layer. The context is the input (its sign is the mask).
+func (ReLU) Forward(x *tensor.Tensor, ar *tensor.Arena) (*tensor.Tensor, any) {
+	y := ar.Get(x.Shape...)
 	for i, v := range x.Data {
 		if v > 0 {
 			y.Data[i] = v
+		} else {
+			y.Data[i] = 0
 		}
 	}
-	return y, y
+	return y, x
 }
 
 // Backward implements Layer.
-func (ReLU) Backward(dy *tensor.Tensor, ctx any) *tensor.Tensor {
-	y := ctx.(*tensor.Tensor)
-	dx := tensor.New(dy.Shape...)
+func (ReLU) Backward(dy *tensor.Tensor, ctx any, ar *tensor.Arena) *tensor.Tensor {
+	x := ctx.(*tensor.Tensor)
+	dx := ar.Get(dy.Shape...)
 	for i, v := range dy.Data {
-		if y.Data[i] > 0 {
+		if x.Data[i] > 0 {
 			dx.Data[i] = v
+		} else {
+			dx.Data[i] = 0
 		}
 	}
+	ar.Put(dy, x)
 	return dx
 }
 
@@ -51,33 +66,45 @@ func (ReLU) Backward(dy *tensor.Tensor, ctx any) *tensor.Tensor {
 func (ReLU) Params() []*Param { return nil }
 
 // Flatten reshapes [N, ...] to [N, prod(...)].
-type Flatten struct{}
+type Flatten struct {
+	// ctxFree pools pre-boxed []int shape contexts (see LayerStage.ctxsFree).
+	ctxFree []any
+}
 
 // Name implements Layer.
-func (Flatten) Name() string { return "flatten" }
+func (*Flatten) Name() string { return "flatten" }
 
 // Forward implements Layer; the context is the original shape.
-func (Flatten) Forward(x *tensor.Tensor) (*tensor.Tensor, any) {
+func (l *Flatten) Forward(x *tensor.Tensor, ar *tensor.Arena) (*tensor.Tensor, any) {
 	n := x.Shape[0]
 	f := x.Size() / n
-	y := x.Clone().Reshape(n, f)
-	shape := make([]int, len(x.Shape))
+	y := ar.Get(n, f)
+	y.CopyFrom(x)
+	ctxBox, shape := popShapeBox(ar, &l.ctxFree, len(x.Shape))
 	copy(shape, x.Shape)
-	return y, shape
+	ar.Put(x)
+	return y, ctxBox
 }
 
 // Backward implements Layer.
-func (Flatten) Backward(dy *tensor.Tensor, ctx any) *tensor.Tensor {
+func (l *Flatten) Backward(dy *tensor.Tensor, ctx any, ar *tensor.Arena) *tensor.Tensor {
 	shape := ctx.([]int)
-	return dy.Clone().Reshape(shape...)
+	dx := ar.Get(shape...)
+	dx.CopyFrom(dy)
+	ar.Put(dy)
+	if ar != nil {
+		l.ctxFree = append(l.ctxFree, ctx)
+	}
+	return dx
 }
 
 // Params implements Layer.
-func (Flatten) Params() []*Param { return nil }
+func (*Flatten) Params() []*Param { return nil }
 
 // MaxPool2D is kxk max pooling with the given stride.
 type MaxPool2D struct {
 	K, Stride int
+	ctxFree   []*maxPoolCtx
 }
 
 type maxPoolCtx struct {
@@ -89,42 +116,75 @@ type maxPoolCtx struct {
 func (m *MaxPool2D) Name() string { return fmt.Sprintf("maxpool%dx%d", m.K, m.K) }
 
 // Forward implements Layer.
-func (m *MaxPool2D) Forward(x *tensor.Tensor) (*tensor.Tensor, any) {
-	y, arg := tensor.MaxPool2DForward(x, m.K, m.Stride)
-	shape := make([]int, len(x.Shape))
-	copy(shape, x.Shape)
-	return y, &maxPoolCtx{argmax: arg, xShape: shape}
+func (m *MaxPool2D) Forward(x *tensor.Tensor, ar *tensor.Arena) (*tensor.Tensor, any) {
+	if len(x.Shape) != 4 {
+		panic(fmt.Sprintf("nn: %s input %v, want [N,C,H,W]", m.Name(), x.Shape))
+	}
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	oh, ow := tensor.ConvOut(h, m.K, m.Stride, 0), tensor.ConvOut(w, m.K, m.Stride, 0)
+	cc := popCtx(ar, &m.ctxFree)
+	if cc == nil {
+		cc = &maxPoolCtx{}
+	}
+	cc.argmax = resize(cc.argmax, n*c*oh*ow)
+	cc.xShape = resize(cc.xShape, 4)
+	copy(cc.xShape, x.Shape)
+	y := ar.Get(n, c, oh, ow)
+	tensor.MaxPool2DForwardInto(y, cc.argmax, x, m.K, m.Stride)
+	ar.Put(x)
+	return y, cc
 }
 
 // Backward implements Layer.
-func (m *MaxPool2D) Backward(dy *tensor.Tensor, ctx any) *tensor.Tensor {
-	c := ctx.(*maxPoolCtx)
-	return tensor.MaxPool2DBackward(dy, c.argmax, c.xShape)
+func (m *MaxPool2D) Backward(dy *tensor.Tensor, ctx any, ar *tensor.Arena) *tensor.Tensor {
+	cc := ctx.(*maxPoolCtx)
+	dx := ar.Get(cc.xShape...)
+	tensor.MaxPool2DBackwardInto(dx, dy, cc.argmax)
+	ar.Put(dy)
+	if ar != nil {
+		m.ctxFree = append(m.ctxFree, cc)
+	}
+	return dx
 }
 
 // Params implements Layer.
 func (m *MaxPool2D) Params() []*Param { return nil }
 
 // GlobalAvgPool reduces [N,C,H,W] to [N,C].
-type GlobalAvgPool struct{}
+type GlobalAvgPool struct {
+	// ctxFree pools pre-boxed []int shape contexts (see LayerStage.ctxsFree).
+	ctxFree []any
+}
 
 // Name implements Layer.
-func (GlobalAvgPool) Name() string { return "gap" }
+func (*GlobalAvgPool) Name() string { return "gap" }
 
 // Forward implements Layer.
-func (GlobalAvgPool) Forward(x *tensor.Tensor) (*tensor.Tensor, any) {
-	shape := make([]int, len(x.Shape))
+func (l *GlobalAvgPool) Forward(x *tensor.Tensor, ar *tensor.Arena) (*tensor.Tensor, any) {
+	if len(x.Shape) != 4 {
+		panic(fmt.Sprintf("nn: gap input %v, want [N,C,H,W]", x.Shape))
+	}
+	ctxBox, shape := popShapeBox(ar, &l.ctxFree, len(x.Shape))
 	copy(shape, x.Shape)
-	return tensor.GlobalAvgPoolForward(x), shape
+	y := ar.Get(x.Shape[0], x.Shape[1])
+	tensor.GlobalAvgPoolForwardInto(y, x)
+	ar.Put(x)
+	return y, ctxBox
 }
 
 // Backward implements Layer.
-func (GlobalAvgPool) Backward(dy *tensor.Tensor, ctx any) *tensor.Tensor {
-	return tensor.GlobalAvgPoolBackward(dy, ctx.([]int))
+func (l *GlobalAvgPool) Backward(dy *tensor.Tensor, ctx any, ar *tensor.Arena) *tensor.Tensor {
+	dx := ar.Get(ctx.([]int)...)
+	tensor.GlobalAvgPoolBackwardInto(dx, dy)
+	ar.Put(dy)
+	if ar != nil {
+		l.ctxFree = append(l.ctxFree, ctx)
+	}
+	return dx
 }
 
 // Params implements Layer.
-func (GlobalAvgPool) Params() []*Param { return nil }
+func (*GlobalAvgPool) Params() []*Param { return nil }
 
 // Identity passes its input through unchanged. Useful as a placeholder stage.
 type Identity struct{}
@@ -133,10 +193,10 @@ type Identity struct{}
 func (Identity) Name() string { return "identity" }
 
 // Forward implements Layer.
-func (Identity) Forward(x *tensor.Tensor) (*tensor.Tensor, any) { return x, nil }
+func (Identity) Forward(x *tensor.Tensor, _ *tensor.Arena) (*tensor.Tensor, any) { return x, nil }
 
 // Backward implements Layer.
-func (Identity) Backward(dy *tensor.Tensor, _ any) *tensor.Tensor { return dy }
+func (Identity) Backward(dy *tensor.Tensor, _ any, _ *tensor.Arena) *tensor.Tensor { return dy }
 
 // Params implements Layer.
 func (Identity) Params() []*Param { return nil }

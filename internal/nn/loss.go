@@ -13,12 +13,21 @@ type SoftmaxCrossEntropy struct{}
 
 // Loss returns the mean loss and dL/dlogits for logits [N,K] and labels of
 // length N.
-func (SoftmaxCrossEntropy) Loss(logits *tensor.Tensor, labels []int) (float64, *tensor.Tensor) {
+func (s SoftmaxCrossEntropy) Loss(logits *tensor.Tensor, labels []int) (float64, *tensor.Tensor) {
+	dl := tensor.New(logits.Shape[0], logits.Shape[1])
+	return s.LossInto(dl, logits, labels), dl
+}
+
+// LossInto is Loss writing dL/dlogits into dl (fully overwritten), so hot
+// paths can reuse the gradient buffer.
+func (SoftmaxCrossEntropy) LossInto(dl, logits *tensor.Tensor, labels []int) float64 {
 	n, k := logits.Shape[0], logits.Shape[1]
 	if len(labels) != n {
 		panic("nn: SoftmaxCrossEntropy label count mismatch")
 	}
-	dl := tensor.New(n, k)
+	if dl.Size() != n*k {
+		panic("nn: SoftmaxCrossEntropy gradient size mismatch")
+	}
 	total := 0.0
 	for s := 0; s < n; s++ {
 		row := logits.Data[s*k : (s+1)*k]
@@ -40,7 +49,7 @@ func (SoftmaxCrossEntropy) Loss(logits *tensor.Tensor, labels []int) (float64, *
 		}
 		dl.Data[s*k+labels[s]] -= 1.0 / float64(n)
 	}
-	return total / float64(n), dl
+	return total / float64(n)
 }
 
 // Accuracy returns the number of rows whose argmax equals the label.

@@ -37,12 +37,14 @@ func (n *Network) ZeroGrad() {
 }
 
 // Forward runs a full forward pass, returning the logits and the per-stage
-// contexts needed for Backward.
+// contexts needed for Backward. It runs unpooled (no buffer reuse), which is
+// what evaluation and the reference trainers need: the caller keeps
+// ownership of x and of the returned logits.
 func (n *Network) Forward(x *tensor.Tensor) (*tensor.Tensor, []any) {
 	p := NewPacket(x)
 	ctxs := make([]any, len(n.Stages))
 	for i, s := range n.Stages {
-		p, ctxs[i] = s.Forward(p)
+		p, ctxs[i] = s.Forward(p, nil)
 	}
 	if len(p.Skips) != 0 {
 		panic("nn: network left unconsumed skip activations")
@@ -51,11 +53,12 @@ func (n *Network) Forward(x *tensor.Tensor) (*tensor.Tensor, []any) {
 }
 
 // Backward propagates dlogits through all stages in reverse, accumulating
-// parameter gradients, and returns the input gradient.
+// parameter gradients, and returns the input gradient. Unpooled, like
+// Forward.
 func (n *Network) Backward(dlogits *tensor.Tensor, ctxs []any) *tensor.Tensor {
 	dp := NewPacket(dlogits)
 	for i := len(n.Stages) - 1; i >= 0; i-- {
-		dp = n.Stages[i].Backward(dp, ctxs[i])
+		dp = n.Stages[i].Backward(dp, ctxs[i], nil)
 	}
 	return dp.X
 }

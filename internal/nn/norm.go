@@ -18,6 +18,7 @@ type GroupNorm struct {
 	Gamma     *Param
 	Beta      *Param
 	nameText  string
+	ctxFree   []*groupNormCtx
 }
 
 type groupNormCtx struct {
@@ -58,16 +59,22 @@ func GroupsForChannels(c, groupSize int) int {
 func (g *GroupNorm) Name() string { return g.nameText }
 
 // Forward implements Layer.
-func (g *GroupNorm) Forward(x *tensor.Tensor) (*tensor.Tensor, any) {
+func (g *GroupNorm) Forward(x *tensor.Tensor, ar *tensor.Arena) (*tensor.Tensor, any) {
 	if len(x.Shape) != 4 || x.Shape[1] != g.C {
 		panic(fmt.Sprintf("nn: groupnorm %s input %v, want [N,%d,H,W]", g.nameText, x.Shape, g.C))
 	}
 	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
 	cg := c / g.Groups
 	m := cg * h * w
-	y := tensor.New(x.Shape...)
-	xhat := tensor.New(x.Shape...)
-	invStd := make([]float64, n*g.Groups)
+	y := ar.Get(x.Shape...)
+	cc := popCtx(ar, &g.ctxFree)
+	if cc == nil {
+		cc = &groupNormCtx{}
+	}
+	cc.xhat = ar.Get(x.Shape...)
+	cc.invStd = resize(cc.invStd, n*g.Groups)
+	cc.xShape = resize(cc.xShape, 4)
+	copy(cc.xShape, x.Shape)
 	for s := 0; s < n; s++ {
 		for gr := 0; gr < g.Groups; gr++ {
 			base := (s*c + gr*cg) * h * w
@@ -84,27 +91,26 @@ func (g *GroupNorm) Forward(x *tensor.Tensor) (*tensor.Tensor, any) {
 			}
 			va /= float64(m)
 			is := 1.0 / math.Sqrt(va+normEps)
-			invStd[s*g.Groups+gr] = is
+			cc.invStd[s*g.Groups+gr] = is
 			for i, v := range seg {
 				xh := (v - mu) * is
-				xhat.Data[base+i] = xh
+				cc.xhat.Data[base+i] = xh
 				ch := gr*cg + i/(h*w)
 				y.Data[base+i] = g.Gamma.W.Data[ch]*xh + g.Beta.W.Data[ch]
 			}
 		}
 	}
-	shape := make([]int, 4)
-	copy(shape, x.Shape)
-	return y, &groupNormCtx{xhat: xhat, invStd: invStd, xShape: shape}
+	ar.Put(x)
+	return y, cc
 }
 
 // Backward implements Layer.
-func (g *GroupNorm) Backward(dy *tensor.Tensor, ctx any) *tensor.Tensor {
+func (g *GroupNorm) Backward(dy *tensor.Tensor, ctx any, ar *tensor.Arena) *tensor.Tensor {
 	cc := ctx.(*groupNormCtx)
 	n, c, h, w := cc.xShape[0], cc.xShape[1], cc.xShape[2], cc.xShape[3]
 	cg := c / g.Groups
 	m := cg * h * w
-	dx := tensor.New(cc.xShape...)
+	dx := ar.Get(cc.xShape...)
 	for s := 0; s < n; s++ {
 		for gr := 0; gr < g.Groups; gr++ {
 			base := (s*c + gr*cg) * h * w
@@ -131,6 +137,11 @@ func (g *GroupNorm) Backward(dy *tensor.Tensor, ctx any) *tensor.Tensor {
 			}
 		}
 	}
+	ar.Put(dy, cc.xhat)
+	if ar != nil {
+		cc.xhat = nil
+		g.ctxFree = append(g.ctxFree, cc)
+	}
 	return dx
 }
 
@@ -144,6 +155,7 @@ type LayerNorm struct {
 	Gamma    *Param
 	Beta     *Param
 	nameText string
+	ctxFree  []*layerNormCtx
 }
 
 type layerNormCtx struct {
@@ -165,14 +177,18 @@ func NewLayerNorm(name string, f int) *LayerNorm {
 func (l *LayerNorm) Name() string { return l.nameText }
 
 // Forward implements Layer.
-func (l *LayerNorm) Forward(x *tensor.Tensor) (*tensor.Tensor, any) {
+func (l *LayerNorm) Forward(x *tensor.Tensor, ar *tensor.Arena) (*tensor.Tensor, any) {
 	if len(x.Shape) != 2 || x.Shape[1] != l.F {
 		panic(fmt.Sprintf("nn: layernorm %s input %v, want [N,%d]", l.nameText, x.Shape, l.F))
 	}
 	n, f := x.Shape[0], x.Shape[1]
-	y := tensor.New(n, f)
-	xhat := tensor.New(n, f)
-	invStd := make([]float64, n)
+	y := ar.Get(n, f)
+	cc := popCtx(ar, &l.ctxFree)
+	if cc == nil {
+		cc = &layerNormCtx{}
+	}
+	cc.xhat = ar.Get(n, f)
+	cc.invStd = resize(cc.invStd, n)
 	for s := 0; s < n; s++ {
 		seg := x.Data[s*f : (s+1)*f]
 		mu := 0.0
@@ -187,21 +203,22 @@ func (l *LayerNorm) Forward(x *tensor.Tensor) (*tensor.Tensor, any) {
 		}
 		va /= float64(f)
 		is := 1.0 / math.Sqrt(va+normEps)
-		invStd[s] = is
+		cc.invStd[s] = is
 		for i, v := range seg {
 			xh := (v - mu) * is
-			xhat.Data[s*f+i] = xh
+			cc.xhat.Data[s*f+i] = xh
 			y.Data[s*f+i] = l.Gamma.W.Data[i]*xh + l.Beta.W.Data[i]
 		}
 	}
-	return y, &layerNormCtx{xhat: xhat, invStd: invStd}
+	ar.Put(x)
+	return y, cc
 }
 
 // Backward implements Layer.
-func (l *LayerNorm) Backward(dy *tensor.Tensor, ctx any) *tensor.Tensor {
+func (l *LayerNorm) Backward(dy *tensor.Tensor, ctx any, ar *tensor.Arena) *tensor.Tensor {
 	cc := ctx.(*layerNormCtx)
 	n, f := dy.Shape[0], dy.Shape[1]
-	dx := tensor.New(n, f)
+	dx := ar.Get(n, f)
 	for s := 0; s < n; s++ {
 		sumDxh, sumDxhXh := 0.0, 0.0
 		for i := 0; i < f; i++ {
@@ -221,6 +238,11 @@ func (l *LayerNorm) Backward(dy *tensor.Tensor, ctx any) *tensor.Tensor {
 			dx.Data[s*f+i] = cc.invStd[s] * (dxh - meanDxh - xh*meanDxhXh)
 		}
 	}
+	ar.Put(dy, cc.xhat)
+	if ar != nil {
+		cc.xhat = nil
+		l.ctxFree = append(l.ctxFree, cc)
+	}
 	return dx
 }
 
@@ -239,6 +261,7 @@ type BatchNorm2D struct {
 	RunMean, RunVar []float64
 	Training        bool
 	nameText        string
+	ctxFree         []*batchNormCtx
 }
 
 type batchNormCtx struct {
@@ -266,15 +289,21 @@ func NewBatchNorm2D(name string, c int) *BatchNorm2D {
 func (b *BatchNorm2D) Name() string { return b.nameText }
 
 // Forward implements Layer.
-func (b *BatchNorm2D) Forward(x *tensor.Tensor) (*tensor.Tensor, any) {
+func (b *BatchNorm2D) Forward(x *tensor.Tensor, ar *tensor.Arena) (*tensor.Tensor, any) {
 	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
 	if c != b.C {
 		panic(fmt.Sprintf("nn: batchnorm %s input %v, want C=%d", b.nameText, x.Shape, b.C))
 	}
 	m := n * h * w
-	y := tensor.New(x.Shape...)
-	xhat := tensor.New(x.Shape...)
-	invStd := make([]float64, c)
+	y := ar.Get(x.Shape...)
+	cc := popCtx(ar, &b.ctxFree)
+	if cc == nil {
+		cc = &batchNormCtx{}
+	}
+	cc.xhat = ar.Get(x.Shape...)
+	cc.invStd = resize(cc.invStd, c)
+	cc.xShape = resize(cc.xShape, 4)
+	copy(cc.xShape, x.Shape)
 	for ch := 0; ch < c; ch++ {
 		var mu, va float64
 		if b.Training {
@@ -299,27 +328,26 @@ func (b *BatchNorm2D) Forward(x *tensor.Tensor) (*tensor.Tensor, any) {
 			mu, va = b.RunMean[ch], b.RunVar[ch]
 		}
 		is := 1.0 / math.Sqrt(va+normEps)
-		invStd[ch] = is
+		cc.invStd[ch] = is
 		for s := 0; s < n; s++ {
 			base := (s*c + ch) * h * w
 			for k := 0; k < h*w; k++ {
 				xh := (x.Data[base+k] - mu) * is
-				xhat.Data[base+k] = xh
+				cc.xhat.Data[base+k] = xh
 				y.Data[base+k] = b.Gamma.W.Data[ch]*xh + b.Beta.W.Data[ch]
 			}
 		}
 	}
-	shape := make([]int, 4)
-	copy(shape, x.Shape)
-	return y, &batchNormCtx{xhat: xhat, invStd: invStd, xShape: shape}
+	ar.Put(x)
+	return y, cc
 }
 
 // Backward implements Layer (training-mode gradient).
-func (b *BatchNorm2D) Backward(dy *tensor.Tensor, ctx any) *tensor.Tensor {
+func (b *BatchNorm2D) Backward(dy *tensor.Tensor, ctx any, ar *tensor.Arena) *tensor.Tensor {
 	cc := ctx.(*batchNormCtx)
 	n, c, h, w := cc.xShape[0], cc.xShape[1], cc.xShape[2], cc.xShape[3]
 	m := n * h * w
-	dx := tensor.New(cc.xShape...)
+	dx := ar.Get(cc.xShape...)
 	for ch := 0; ch < c; ch++ {
 		sumDxh, sumDxhXh := 0.0, 0.0
 		for s := 0; s < n; s++ {
@@ -344,6 +372,11 @@ func (b *BatchNorm2D) Backward(dy *tensor.Tensor, ctx any) *tensor.Tensor {
 				dx.Data[base+k] = cc.invStd[ch] * (dxh - meanDxh - xh*meanDxhXh)
 			}
 		}
+	}
+	ar.Put(dy, cc.xhat)
+	if ar != nil {
+		cc.xhat = nil
+		b.ctxFree = append(b.ctxFree, cc)
 	}
 	return dx
 }

@@ -31,10 +31,16 @@ func (p *Packet) clone() *Packet {
 
 // Stage is one pipeline stage: a differentiable packet transformation.
 // Like Layer, any number of samples may be in flight.
+//
+// Buffer ownership follows the Layer contract (DESIGN.md §7): with a non-nil
+// arena the input packet and its tensors move into the stage, the returned
+// packet moves out (the input Packet struct may be reused as the output),
+// and context buffers are recycled into ar at Backward. With ar == nil
+// nothing is reused and the input packet is never mutated.
 type Stage interface {
 	Name() string
-	Forward(p *Packet) (*Packet, any)
-	Backward(dp *Packet, ctx any) *Packet
+	Forward(p *Packet, ar *tensor.Arena) (*Packet, any)
+	Backward(dp *Packet, ctx any, ar *tensor.Arena) *Packet
 	Params() []*Param
 }
 
@@ -44,6 +50,10 @@ type Stage interface {
 type LayerStage struct {
 	Layers   []Layer
 	nameText string
+	// ctxsFree pools per-sample context slices as pre-boxed `any` values:
+	// returning a pooled box avoids re-boxing the []any on every Forward
+	// (interface conversion of a slice allocates).
+	ctxsFree []any
 }
 
 // NewLayerStage fuses layers into one pipeline stage.
@@ -55,23 +65,42 @@ func NewLayerStage(name string, layers ...Layer) *LayerStage {
 func (s *LayerStage) Name() string { return s.nameText }
 
 // Forward implements Stage.
-func (s *LayerStage) Forward(p *Packet) (*Packet, any) {
-	ctxs := make([]any, len(s.Layers))
+func (s *LayerStage) Forward(p *Packet, ar *tensor.Arena) (*Packet, any) {
+	ctxBox := popBox(ar, &s.ctxsFree)
+	var ctxs []any
+	if ctxBox != nil {
+		ctxs = ctxBox.([]any)
+	} else {
+		ctxs = make([]any, len(s.Layers))
+		ctxBox = ctxs
+	}
 	x := p.X
 	for i, l := range s.Layers {
-		x, ctxs[i] = l.Forward(x)
+		x, ctxs[i] = l.Forward(x, ar)
+	}
+	if ar != nil {
+		p.X = x
+		return p, ctxBox
 	}
 	q := p.clone()
 	q.X = x
-	return q, ctxs
+	return q, ctxBox
 }
 
 // Backward implements Stage.
-func (s *LayerStage) Backward(dp *Packet, ctx any) *Packet {
+func (s *LayerStage) Backward(dp *Packet, ctx any, ar *tensor.Arena) *Packet {
 	ctxs := ctx.([]any)
 	dx := dp.X
 	for i := len(s.Layers) - 1; i >= 0; i-- {
-		dx = s.Layers[i].Backward(dx, ctxs[i])
+		dx = s.Layers[i].Backward(dx, ctxs[i], ar)
+	}
+	if ar != nil {
+		for i := range ctxs {
+			ctxs[i] = nil
+		}
+		s.ctxsFree = append(s.ctxsFree, ctx)
+		dp.X = dx
+		return dp
 	}
 	dq := dp.clone()
 	dq.X = dx
@@ -89,20 +118,21 @@ func (s *LayerStage) Params() []*Param {
 
 // Shortcut transforms the skip-branch activation. The paper's pre-activation
 // ResNets use parameter-free shortcuts so that all learnable state lives in
-// conv/norm stages.
+// conv/norm stages. Apply and Grad may return their input unchanged; callers
+// that recycle buffers must copy in that case (PushSkip does).
 type Shortcut interface {
-	Apply(x *tensor.Tensor) *tensor.Tensor
-	Grad(dy *tensor.Tensor, xShape []int) *tensor.Tensor
+	Apply(x *tensor.Tensor, ar *tensor.Arena) *tensor.Tensor
+	Grad(dy *tensor.Tensor, xShape []int, ar *tensor.Arena) *tensor.Tensor
 }
 
 // IdentityShortcut passes the activation through unchanged.
 type IdentityShortcut struct{}
 
 // Apply implements Shortcut.
-func (IdentityShortcut) Apply(x *tensor.Tensor) *tensor.Tensor { return x }
+func (IdentityShortcut) Apply(x *tensor.Tensor, _ *tensor.Arena) *tensor.Tensor { return x }
 
 // Grad implements Shortcut.
-func (IdentityShortcut) Grad(dy *tensor.Tensor, _ []int) *tensor.Tensor { return dy }
+func (IdentityShortcut) Grad(dy *tensor.Tensor, _ []int, _ *tensor.Arena) *tensor.Tensor { return dy }
 
 // DownsampleShortcut is the parameter-free "option A" ResNet shortcut:
 // 2x2 average pooling followed by zero-padding the channel dimension to OutC.
@@ -111,29 +141,35 @@ type DownsampleShortcut struct {
 }
 
 // Apply implements Shortcut.
-func (d DownsampleShortcut) Apply(x *tensor.Tensor) *tensor.Tensor {
-	p := tensor.AvgPool2DForward(x, 2)
-	n, c, h, w := p.Shape[0], p.Shape[1], p.Shape[2], p.Shape[3]
+func (d DownsampleShortcut) Apply(x *tensor.Tensor, ar *tensor.Arena) *tensor.Tensor {
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	oh, ow := h/2, w/2
+	p := ar.Get(n, c, oh, ow)
+	tensor.AvgPool2DForwardInto(p, x, 2)
 	if c == d.OutC {
 		return p
 	}
-	y := tensor.New(n, d.OutC, h, w)
+	y := ar.GetZeroed(n, d.OutC, oh, ow)
 	for s := 0; s < n; s++ {
-		copy(y.Data[s*d.OutC*h*w:s*d.OutC*h*w+c*h*w], p.Data[s*c*h*w:(s+1)*c*h*w])
+		copy(y.Data[s*d.OutC*oh*ow:s*d.OutC*oh*ow+c*oh*ow], p.Data[s*c*oh*ow:(s+1)*c*oh*ow])
 	}
+	ar.Put(p)
 	return y
 }
 
 // Grad implements Shortcut.
-func (d DownsampleShortcut) Grad(dy *tensor.Tensor, xShape []int) *tensor.Tensor {
+func (d DownsampleShortcut) Grad(dy *tensor.Tensor, xShape []int, ar *tensor.Arena) *tensor.Tensor {
 	n, c := xShape[0], xShape[1]
 	oh, ow := xShape[2]/2, xShape[3]/2
 	// Strip the zero-padded channels, then run the pooling adjoint.
-	dp := tensor.New(n, c, oh, ow)
+	dp := ar.Get(n, c, oh, ow)
 	for s := 0; s < n; s++ {
 		copy(dp.Data[s*c*oh*ow:(s+1)*c*oh*ow], dy.Data[s*d.OutC*oh*ow:s*d.OutC*oh*ow+c*oh*ow])
 	}
-	return tensor.AvgPool2DBackward(dp, xShape, 2)
+	dx := ar.Get(xShape...)
+	tensor.AvgPool2DBackwardInto(dx, dp, 2)
+	ar.Put(dp)
+	return dx
 }
 
 // PushSkip is the branch point of a residual block: it pushes a (possibly
@@ -141,6 +177,8 @@ func (d DownsampleShortcut) Grad(dy *tensor.Tensor, xShape []int) *tensor.Tensor
 type PushSkip struct {
 	Short    Shortcut
 	nameText string
+	// ctxFree pools pre-boxed []int shape contexts (see LayerStage.ctxsFree).
+	ctxFree []any
 }
 
 // NewPushSkip builds a branch-point stage; short may be nil for identity.
@@ -155,24 +193,50 @@ func NewPushSkip(name string, short Shortcut) *PushSkip {
 func (s *PushSkip) Name() string { return s.nameText }
 
 // Forward implements Stage.
-func (s *PushSkip) Forward(p *Packet) (*Packet, any) {
-	q := p.clone()
-	q.Skips = append(q.Skips, s.Short.Apply(p.X))
-	shape := make([]int, len(p.X.Shape))
+func (s *PushSkip) Forward(p *Packet, ar *tensor.Arena) (*Packet, any) {
+	skip := s.Short.Apply(p.X, ar)
+	if ar != nil && skip == p.X {
+		// Identity shortcuts alias the main path; copy so every tensor in
+		// the pipeline has exactly one owner (DESIGN.md §7).
+		c := ar.Get(p.X.Shape...)
+		c.CopyFrom(p.X)
+		skip = c
+	}
+	ctxBox, shape := popShapeBox(ar, &s.ctxFree, len(p.X.Shape))
 	copy(shape, p.X.Shape)
-	return q, shape
+	if ar != nil {
+		p.Skips = append(p.Skips, skip)
+		return p, ctxBox
+	}
+	q := p.clone()
+	q.Skips = append(q.Skips, skip)
+	return q, ctxBox
 }
 
 // Backward implements Stage. The incoming gradient packet carries the skip
 // gradient on top of its stack; it folds back into the main path here.
-func (s *PushSkip) Backward(dp *Packet, ctx any) *Packet {
+func (s *PushSkip) Backward(dp *Packet, ctx any, ar *tensor.Arena) *Packet {
 	if len(dp.Skips) == 0 {
 		panic("nn: PushSkip backward with empty skip-gradient stack")
 	}
 	xShape := ctx.([]int)
 	top := dp.Skips[len(dp.Skips)-1]
-	dq := &Packet{X: dp.X.Clone(), Skips: dp.Skips[:len(dp.Skips)-1]}
-	dq.X.Add(s.Short.Grad(top, xShape))
+	g := s.Short.Grad(top, xShape, ar)
+	if ar != nil {
+		// dp.X is solely owned here (AddSkip.Backward copied the skip
+		// gradient), so the fold is done in place — no copy, no buffer cycle.
+		dp.X.Add(g)
+		ar.Put(top)
+		if g != top {
+			ar.Put(g)
+		}
+		s.ctxFree = append(s.ctxFree, ctx)
+		dp.Skips = dp.Skips[:len(dp.Skips)-1]
+		return dp
+	}
+	dx := dp.X.Clone()
+	dx.Add(g)
+	dq := &Packet{X: dx, Skips: dp.Skips[:len(dp.Skips)-1]}
 	return dq
 }
 
@@ -192,7 +256,7 @@ func NewAddSkip(name string) *AddSkip { return &AddSkip{nameText: name} }
 func (s *AddSkip) Name() string { return s.nameText }
 
 // Forward implements Stage.
-func (s *AddSkip) Forward(p *Packet) (*Packet, any) {
+func (s *AddSkip) Forward(p *Packet, ar *tensor.Arena) (*Packet, any) {
 	if len(p.Skips) == 0 {
 		panic("nn: AddSkip forward with empty skip stack")
 	}
@@ -200,13 +264,29 @@ func (s *AddSkip) Forward(p *Packet) (*Packet, any) {
 	if !p.X.SameShape(top) {
 		panic(fmt.Sprintf("nn: AddSkip shape mismatch %v + %v", p.X.Shape, top.Shape))
 	}
-	y := p.X.Clone()
-	y.Add(top)
+	y := ar.Get(p.X.Shape...)
+	for i, v := range p.X.Data {
+		y.Data[i] = v + top.Data[i]
+	}
+	ar.Put(p.X, top)
+	if ar != nil {
+		p.X = y
+		p.Skips = p.Skips[:len(p.Skips)-1]
+		return p, nil
+	}
 	return &Packet{X: y, Skips: p.Skips[:len(p.Skips)-1]}, nil
 }
 
 // Backward implements Stage: the gradient flows to both branches.
-func (s *AddSkip) Backward(dp *Packet, _ any) *Packet {
+func (s *AddSkip) Backward(dp *Packet, _ any, ar *tensor.Arena) *Packet {
+	if ar != nil {
+		// Copy the gradient for the skip branch so the two paths do not
+		// alias (each will be consumed — and recycled — independently).
+		c := ar.Get(dp.X.Shape...)
+		c.CopyFrom(dp.X)
+		dp.Skips = append(dp.Skips, c)
+		return dp
+	}
 	dq := dp.clone()
 	dq.Skips = append(dq.Skips, dp.X)
 	return dq
@@ -222,6 +302,8 @@ func (s *AddSkip) Params() []*Param { return nil }
 type FusedStage struct {
 	Stages   []Stage
 	nameText string
+	// ctxsFree pools pre-boxed context slices (see LayerStage.ctxsFree).
+	ctxsFree []any
 }
 
 // FuseStages fuses stages into a single pipeline stage.
@@ -236,19 +318,32 @@ func FuseStages(name string, stages ...Stage) *FusedStage {
 func (f *FusedStage) Name() string { return f.nameText }
 
 // Forward implements Stage.
-func (f *FusedStage) Forward(p *Packet) (*Packet, any) {
-	ctxs := make([]any, len(f.Stages))
-	for i, s := range f.Stages {
-		p, ctxs[i] = s.Forward(p)
+func (f *FusedStage) Forward(p *Packet, ar *tensor.Arena) (*Packet, any) {
+	ctxBox := popBox(ar, &f.ctxsFree)
+	var ctxs []any
+	if ctxBox != nil {
+		ctxs = ctxBox.([]any)
+	} else {
+		ctxs = make([]any, len(f.Stages))
+		ctxBox = ctxs
 	}
-	return p, ctxs
+	for i, s := range f.Stages {
+		p, ctxs[i] = s.Forward(p, ar)
+	}
+	return p, ctxBox
 }
 
 // Backward implements Stage.
-func (f *FusedStage) Backward(dp *Packet, ctx any) *Packet {
+func (f *FusedStage) Backward(dp *Packet, ctx any, ar *tensor.Arena) *Packet {
 	ctxs := ctx.([]any)
 	for i := len(f.Stages) - 1; i >= 0; i-- {
-		dp = f.Stages[i].Backward(dp, ctxs[i])
+		dp = f.Stages[i].Backward(dp, ctxs[i], ar)
+	}
+	if ar != nil {
+		for i := range ctxs {
+			ctxs[i] = nil
+		}
+		f.ctxsFree = append(f.ctxsFree, ctx)
 	}
 	return dp
 }

@@ -109,6 +109,15 @@ func (o *Momentum) Vel(p *nn.Param) []float64 {
 	return v
 }
 
+// VelIfTracked returns p's velocity buffer, or nil when no update has
+// touched p yet. Unlike Vel it never mutates the optimizer, which makes it
+// safe for read-only snapshots (checkpointing).
+func (o *Momentum) VelIfTracked(p *nn.Param) []float64 { return o.vel[p] }
+
+// PrevIfTracked returns p's previous-weight buffer, or nil when none is
+// tracked. Read-only counterpart of Prev.
+func (o *Momentum) PrevIfTracked(p *nn.Param) []float64 { return o.prevMap[p] }
+
 // Prev returns the weights of p before the most recent Step, or the current
 // weights if no step has been taken. Only tracked when TrackPrev is set.
 func (o *Momentum) Prev(p *nn.Param) []float64 {

@@ -1,0 +1,190 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestMatMulPropagatesNaN is the regression test for the removed
+// `if av == 0 { continue }` short-circuit: a zero times NaN/Inf must
+// produce NaN, not silently flush to zero — masking divergence was worse
+// than reporting it.
+func TestMatMulPropagatesNaN(t *testing.T) {
+	a := FromSlice([]float64{0, 1}, 1, 2)
+	b := FromSlice([]float64{math.NaN(), math.NaN(), 2, 3}, 2, 2)
+	c := MatMul(a, b)
+	for j, v := range c.Data {
+		if !math.IsNaN(v) {
+			t.Fatalf("MatMul[%d] = %v, want NaN (0·NaN must propagate)", j, v)
+		}
+	}
+
+	// aᵀ·b with a zero row in a against an Inf row in b.
+	at := FromSlice([]float64{0, 1}, 2, 1) // [k=2, m=1]
+	bt := FromSlice([]float64{math.Inf(1), -1}, 2, 1)
+	ct := MatMulTransA(at, bt) // 0·Inf + 1·(−1) = NaN − 1
+	if !math.IsNaN(ct.Data[0]) {
+		t.Fatalf("MatMulTransA = %v, want NaN (0·Inf must propagate)", ct.Data[0])
+	}
+
+	d := MatMulTransB(a, FromSlice([]float64{math.NaN(), 1}, 1, 2))
+	if !math.IsNaN(d.Data[0]) {
+		t.Fatalf("MatMulTransB = %v, want NaN", d.Data[0])
+	}
+}
+
+// TestIntoKernelsMatchAllocating checks the Into variants against their
+// allocating counterparts on random inputs, including dirty destination
+// buffers (Into kernels must fully overwrite).
+func TestIntoKernelsMatchAllocating(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	a, b := New(3, 4), New(4, 5)
+	Normal(a, 1, rng)
+	Normal(b, 1, rng)
+	dirty := func(shape ...int) *Tensor {
+		d := New(shape...)
+		d.Fill(math.NaN()) // any residue must be overwritten
+		return d
+	}
+
+	c := dirty(3, 5)
+	MatMulInto(c, a, b)
+	if !c.AllClose(MatMul(a, b), 0) {
+		t.Fatal("MatMulInto differs from MatMul")
+	}
+
+	at := New(4, 3)
+	Normal(at, 1, rng)
+	cta := dirty(3, 5)
+	MatMulTransAInto(cta, at, b)
+	if !cta.AllClose(MatMulTransA(at, b), 0) {
+		t.Fatal("MatMulTransAInto differs from MatMulTransA")
+	}
+
+	bt := New(5, 4)
+	Normal(bt, 1, rng)
+	ctb := dirty(3, 5)
+	MatMulTransBInto(ctb, a, bt)
+	if !ctb.AllClose(MatMulTransB(a, bt), 0) {
+		t.Fatal("MatMulTransBInto differs from MatMulTransB")
+	}
+
+	// The accumulate variant: base + aᵀ·b, within float tolerance of the
+	// separate product-then-add (associativity differs by design).
+	acc := New(3, 5)
+	Normal(acc, 1, rng)
+	want := acc.Clone()
+	want.Add(MatMulTransA(at, b))
+	MatMulTransAAccInto(acc, at, b)
+	if !acc.AllClose(want, 1e-12) {
+		t.Fatal("MatMulTransAAccInto differs from product-then-add")
+	}
+
+	x := New(2, 5, 5)
+	Normal(x, 1, rng)
+	cols := dirty(2*9, 25)
+	Im2ColInto(cols, x, 3, 3, 1, 1)
+	if !cols.AllClose(Im2Col(x, 3, 3, 1, 1), 0) {
+		t.Fatal("Im2ColInto differs from Im2Col")
+	}
+
+	img := dirty(2, 5, 5)
+	Col2ImInto(img, cols, 2, 5, 5, 3, 3, 1, 1)
+	if !img.AllClose(Col2Im(cols, 2, 5, 5, 3, 3, 1, 1), 0) {
+		t.Fatal("Col2ImInto differs from Col2Im")
+	}
+}
+
+// TestArenaReusesBuffers checks the free-list mechanics: a returned buffer
+// of matching size is handed out again, foreign tensors and double-Puts are
+// ignored, and a nil arena degrades to plain allocation.
+func TestArenaReusesBuffers(t *testing.T) {
+	ar := NewArena()
+	a := ar.Get(2, 3)
+	data := &a.Data[0]
+	ar.Put(a)
+	b := ar.Get(3, 2) // same element count, different shape
+	if &b.Data[0] != data {
+		t.Fatal("arena did not reuse the returned buffer")
+	}
+	if b.Shape[0] != 3 || b.Shape[1] != 2 {
+		t.Fatalf("recycled tensor shape %v, want [3,2]", b.Shape)
+	}
+
+	// Double-Put must not hand the same buffer out twice.
+	ar.Put(b)
+	ar.Put(b)
+	c1, c2 := ar.Get(2, 3), ar.Get(2, 3)
+	if &c1.Data[0] == &c2.Data[0] {
+		t.Fatal("double-Put produced two owners of one buffer")
+	}
+
+	// Foreign tensors (not arena-born) are never pooled.
+	foreign := New(2, 3)
+	ar.Put(foreign)
+	d := ar.Get(2, 3)
+	if &d.Data[0] == &foreign.Data[0] {
+		t.Fatal("arena recycled a foreign tensor")
+	}
+
+	// nil arena: Get allocates, Put is a no-op.
+	var nilAr *Arena
+	e := nilAr.Get(4)
+	if e.Size() != 4 {
+		t.Fatal("nil arena Get failed")
+	}
+	nilAr.Put(e)
+}
+
+// TestArenaGetDoesNotAllocateWhenWarm locks in the zero-allocation property
+// of the pooled Get/Put cycle, including the variadic shape argument (which
+// must stay on the stack).
+func TestArenaGetDoesNotAllocateWhenWarm(t *testing.T) {
+	ar := NewArena()
+	ar.Put(ar.Get(2, 3, 4))
+	if allocs := testing.AllocsPerRun(50, func() {
+		x := ar.Get(2, 3, 4)
+		ar.Put(x)
+	}); allocs > 0 {
+		t.Fatalf("warm Get/Put allocates %v times per cycle, want 0", allocs)
+	}
+}
+
+// TestAvgPoolRejectsRemainder is the error-path test for the silent
+// remainder-dropping bug: pooling a size not divisible by k used to drop
+// rows/columns (and lose gradient) instead of failing.
+func TestAvgPoolRejectsRemainder(t *testing.T) {
+	x := New(1, 1, 5, 4) // H=5 not divisible by 2
+	mustPanic(t, "AvgPool2DForward H%k", func() { AvgPool2DForward(x, 2) })
+	dy := New(1, 1, 2, 2)
+	mustPanic(t, "AvgPool2DBackward H%k", func() { AvgPool2DBackward(dy, []int{1, 1, 5, 4}, 2) })
+	x2 := New(1, 1, 4, 6)
+	y := AvgPool2DForward(x2, 2) // divisible: fine
+	if y.Shape[2] != 2 || y.Shape[3] != 3 {
+		t.Fatalf("valid pool output %v", y.Shape)
+	}
+}
+
+// TestConvOutRejectsImpossibleGeometry checks that a kernel larger than the
+// padded input fails with a clear message instead of a downstream
+// non-positive-dimension panic from tensor.New.
+func TestConvOutRejectsImpossibleGeometry(t *testing.T) {
+	if got := ConvOut(8, 3, 1, 1); got != 8 {
+		t.Fatalf("ConvOut valid case = %d", got)
+	}
+	mustPanic(t, "ConvOut kernel > input", func() { ConvOut(2, 5, 1, 0) })
+	x := New(1, 1, 2, 2)
+	w := New(1, 1, 5, 5)
+	mustPanic(t, "Conv2DForward kernel > input", func() { Conv2DForward(x, w, nil, 1, 0) })
+}
+
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: expected panic", name)
+		}
+	}()
+	f()
+}

@@ -3,8 +3,83 @@ package tensor
 import "fmt"
 
 // ConvOut returns the output spatial size of a convolution along one axis.
+// It panics when the geometry yields a non-positive size (kernel larger than
+// the padded input), which would otherwise surface later as a confusing
+// tensor.New panic.
 func ConvOut(in, kernel, stride, pad int) int {
-	return (in+2*pad-kernel)/stride + 1
+	out := (in+2*pad-kernel)/stride + 1
+	if out <= 0 {
+		panic(fmt.Sprintf("tensor: ConvOut(in=%d, kernel=%d, stride=%d, pad=%d) = %d; kernel exceeds padded input",
+			in, kernel, stride, pad, out))
+	}
+	return out
+}
+
+// im2colSlice unfolds one channel plane xc [h,w] into the rows of cols that
+// correspond to channel ch. cols must be pre-zeroed (padding positions keep
+// their zeros).
+func im2colSlice(cols, xc []float64, ch, h, w, kh, kw, stride, pad, oh, ow int) {
+	for ki := 0; ki < kh; ki++ {
+		for kj := 0; kj < kw; kj++ {
+			rowBase := ((ch*kh+ki)*kw + kj) * oh * ow
+			for oi := 0; oi < oh; oi++ {
+				ii := oi*stride + ki - pad
+				if ii < 0 || ii >= h {
+					continue
+				}
+				for oj := 0; oj < ow; oj++ {
+					jj := oj*stride + kj - pad
+					if jj < 0 || jj >= w {
+						continue
+					}
+					cols[rowBase+oi*ow+oj] = xc[ii*w+jj]
+				}
+			}
+		}
+	}
+}
+
+// col2imSlice folds channel ch's rows of cols back into the plane xc [h,w],
+// accumulating overlapping contributions. xc must be pre-zeroed.
+func col2imSlice(xc, cols []float64, ch, h, w, kh, kw, stride, pad, oh, ow int) {
+	for ki := 0; ki < kh; ki++ {
+		for kj := 0; kj < kw; kj++ {
+			rowBase := ((ch*kh+ki)*kw + kj) * oh * ow
+			for oi := 0; oi < oh; oi++ {
+				ii := oi*stride + ki - pad
+				if ii < 0 || ii >= h {
+					continue
+				}
+				for oj := 0; oj < ow; oj++ {
+					jj := oj*stride + kj - pad
+					if jj < 0 || jj >= w {
+						continue
+					}
+					xc[ii*w+jj] += cols[rowBase+oi*ow+oj]
+				}
+			}
+		}
+	}
+}
+
+// Im2ColInto unfolds x [C, H, W] into dst [C*KH*KW, OH*OW], fully
+// overwriting dst (padding positions become zero).
+func Im2ColInto(dst, x *Tensor, kh, kw, stride, pad int) {
+	if len(x.Shape) != 3 {
+		panic(fmt.Sprintf("tensor: Im2Col requires [C,H,W], got %v", x.Shape))
+	}
+	c, h, w := x.Shape[0], x.Shape[1], x.Shape[2]
+	oh, ow := ConvOut(h, kh, stride, pad), ConvOut(w, kw, stride, pad)
+	checkDst("Im2ColInto", dst, c*kh*kw, oh*ow)
+	if pad > 0 {
+		// With padding, out-of-bounds positions keep their zeros; without,
+		// im2colSlice provably writes every element (ConvOut guarantees
+		// (oh−1)·stride+kh ≤ h), so the memset would be pure waste.
+		dst.Zero()
+	}
+	for ch := 0; ch < c; ch++ {
+		im2colSlice(dst.Data, x.Data[ch*h*w:(ch+1)*h*w], ch, h, w, kh, kw, stride, pad, oh, ow)
+	}
 }
 
 // Im2Col unfolds x [C, H, W] into a matrix [C*KH*KW, OH*OW] so that a
@@ -17,90 +92,72 @@ func Im2Col(x *Tensor, kh, kw, stride, pad int) *Tensor {
 	c, h, w := x.Shape[0], x.Shape[1], x.Shape[2]
 	oh, ow := ConvOut(h, kh, stride, pad), ConvOut(w, kw, stride, pad)
 	cols := New(c*kh*kw, oh*ow)
-	for ch := 0; ch < c; ch++ {
-		xc := x.Data[ch*h*w : (ch+1)*h*w]
-		for ki := 0; ki < kh; ki++ {
-			for kj := 0; kj < kw; kj++ {
-				rowBase := ((ch*kh+ki)*kw + kj) * oh * ow
-				for oi := 0; oi < oh; oi++ {
-					ii := oi*stride + ki - pad
-					if ii < 0 || ii >= h {
-						continue
-					}
-					for oj := 0; oj < ow; oj++ {
-						jj := oj*stride + kj - pad
-						if jj < 0 || jj >= w {
-							continue
-						}
-						cols.Data[rowBase+oi*ow+oj] = xc[ii*w+jj]
-					}
-				}
-			}
-		}
-	}
+	Im2ColInto(cols, x, kh, kw, stride, pad)
 	return cols
+}
+
+// Col2ImInto folds cols [C*KH*KW, OH*OW] back into dst [C, H, W], fully
+// overwriting dst and accumulating overlapping contributions. It is the
+// adjoint of Im2ColInto.
+func Col2ImInto(dst, cols *Tensor, c, h, w, kh, kw, stride, pad int) {
+	oh, ow := ConvOut(h, kh, stride, pad), ConvOut(w, kw, stride, pad)
+	if len(cols.Shape) != 2 || cols.Shape[0] != c*kh*kw || cols.Shape[1] != oh*ow {
+		panic(fmt.Sprintf("tensor: Col2Im shape %v does not match c=%d kh=%d kw=%d oh=%d ow=%d",
+			cols.Shape, c, kh, kw, oh, ow))
+	}
+	if len(dst.Shape) != 3 || dst.Shape[0] != c || dst.Shape[1] != h || dst.Shape[2] != w {
+		panic(fmt.Sprintf("tensor: Col2ImInto dst %v, want [%d,%d,%d]", dst.Shape, c, h, w))
+	}
+	dst.Zero()
+	for ch := 0; ch < c; ch++ {
+		col2imSlice(dst.Data[ch*h*w:(ch+1)*h*w], cols.Data, ch, h, w, kh, kw, stride, pad, oh, ow)
+	}
 }
 
 // Col2Im folds a [C*KH*KW, OH*OW] matrix back into an image [C, H, W],
 // accumulating overlapping contributions. It is the adjoint of Im2Col and is
 // used to compute input gradients of a convolution.
 func Col2Im(cols *Tensor, c, h, w, kh, kw, stride, pad int) *Tensor {
-	oh, ow := ConvOut(h, kh, stride, pad), ConvOut(w, kw, stride, pad)
-	if len(cols.Shape) != 2 || cols.Shape[0] != c*kh*kw || cols.Shape[1] != oh*ow {
-		panic(fmt.Sprintf("tensor: Col2Im shape %v does not match c=%d kh=%d kw=%d oh=%d ow=%d",
-			cols.Shape, c, kh, kw, oh, ow))
-	}
 	x := New(c, h, w)
-	for ch := 0; ch < c; ch++ {
-		xc := x.Data[ch*h*w : (ch+1)*h*w]
-		for ki := 0; ki < kh; ki++ {
-			for kj := 0; kj < kw; kj++ {
-				rowBase := ((ch*kh+ki)*kw + kj) * oh * ow
-				for oi := 0; oi < oh; oi++ {
-					ii := oi*stride + ki - pad
-					if ii < 0 || ii >= h {
-						continue
-					}
-					for oj := 0; oj < ow; oj++ {
-						jj := oj*stride + kj - pad
-						if jj < 0 || jj >= w {
-							continue
-						}
-						xc[ii*w+jj] += cols.Data[rowBase+oi*ow+oj]
-					}
-				}
-			}
-		}
-	}
+	Col2ImInto(x, cols, c, h, w, kh, kw, stride, pad)
 	return x
 }
 
-// Conv2DForward computes a 2-D convolution (really cross-correlation, as in
-// every deep-learning framework) for x [N,C,H,W], weights w [F,C,KH,KW] and
-// bias b [F] (nil for no bias). It returns y [N,F,OH,OW] and the per-sample
-// im2col matrices, which the backward pass reuses.
-func Conv2DForward(x, w, b *Tensor, stride, pad int) (y *Tensor, cols []*Tensor) {
+// Conv2DForwardArena computes a 2-D convolution (really cross-correlation,
+// as in every deep-learning framework) for x [N,C,H,W], weights w [F,C,KH,KW]
+// and bias b [F] (nil for no bias). It returns y [N,F,OH,OW] and the
+// per-sample im2col matrices, which the backward pass reuses. Output and
+// im2col buffers come from ar (nil falls back to fresh allocation); the
+// caller owns them and should return the cols to the arena after the
+// backward pass. colsBuf, when non-nil, is reused (via colsBuf[:0]) for the
+// returned slice so steady-state callers allocate no slice header.
+func Conv2DForwardArena(ar *Arena, x, w, b *Tensor, stride, pad int, colsBuf []*Tensor) (y *Tensor, cols []*Tensor) {
 	if len(x.Shape) != 4 || len(w.Shape) != 4 || x.Shape[1] != w.Shape[1] {
 		panic(fmt.Sprintf("tensor: Conv2DForward shapes x=%v w=%v", x.Shape, w.Shape))
 	}
 	n, c, h, wd := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
 	f, kh, kw := w.Shape[0], w.Shape[2], w.Shape[3]
 	oh, ow := ConvOut(h, kh, stride, pad), ConvOut(wd, kw, stride, pad)
-	y = New(n, f, oh, ow)
-	wm := w.Reshape(f, c*kh*kw)
-	cols = make([]*Tensor, n)
+	y = ar.Get(n, f, oh, ow)
+	cols = colsBuf[:0]
 	for s := 0; s < n; s++ {
-		xs := FromSlice(x.Data[s*c*h*wd:(s+1)*c*h*wd], c, h, wd)
-		col := Im2Col(xs, kh, kw, stride, pad)
-		cols[s] = col
-		ys := MatMul(wm, col) // [F, OH*OW]
-		copy(y.Data[s*f*oh*ow:(s+1)*f*oh*ow], ys.Data)
+		col := ar.Get(c*kh*kw, oh*ow)
+		if pad > 0 {
+			col.Zero() // see Im2ColInto: pad-0 geometry covers every element
+		}
+		for ch := 0; ch < c; ch++ {
+			base := (s*c + ch) * h * wd
+			im2colSlice(col.Data, x.Data[base:base+h*wd], ch, h, wd, kh, kw, stride, pad, oh, ow)
+		}
+		cols = append(cols, col)
+		// y[s] = w·col as [F, OH*OW], straight into y's sample block.
+		matMulSlices(y.Data[s*f*oh*ow:(s+1)*f*oh*ow], w.Data, col.Data, f, c*kh*kw, oh*ow)
 		if b != nil {
 			for ff := 0; ff < f; ff++ {
 				bias := b.Data[ff]
-				base := s*f*oh*ow + ff*oh*ow
-				for k := 0; k < oh*ow; k++ {
-					y.Data[base+k] += bias
+				row := y.Data[s*f*oh*ow+ff*oh*ow : s*f*oh*ow+(ff+1)*oh*ow]
+				for k := range row {
+					row[k] += bias
 				}
 			}
 		}
@@ -108,37 +165,54 @@ func Conv2DForward(x, w, b *Tensor, stride, pad int) (y *Tensor, cols []*Tensor)
 	return y, cols
 }
 
-// Conv2DBackward computes gradients of a convolution. dy is [N,F,OH,OW];
-// cols are the im2col matrices from the forward pass. It returns dx and
-// accumulates into dw [F,C,KH,KW] and db [F] (db may be nil).
-func Conv2DBackward(dy, w *Tensor, cols []*Tensor, dw, db *Tensor, xShape []int, stride, pad int) (dx *Tensor) {
+// Conv2DForward is Conv2DForwardArena without buffer reuse.
+func Conv2DForward(x, w, b *Tensor, stride, pad int) (y *Tensor, cols []*Tensor) {
+	return Conv2DForwardArena(nil, x, w, b, stride, pad, nil)
+}
+
+// Conv2DBackwardArena computes gradients of a convolution. dy is
+// [N,F,OH,OW]; cols are the im2col matrices from the forward pass. It
+// returns dx (allocated from ar) and accumulates into dw [F,C,KH,KW] and
+// db [F] (db may be nil). Scratch buffers are drawn from and returned to ar.
+// The caller keeps ownership of dy and cols.
+func Conv2DBackwardArena(ar *Arena, dy, w *Tensor, cols []*Tensor, dw, db *Tensor, xShape []int, stride, pad int) (dx *Tensor) {
 	n, c, h, wd := xShape[0], xShape[1], xShape[2], xShape[3]
 	f, kh, kw := w.Shape[0], w.Shape[2], w.Shape[3]
 	oh, ow := ConvOut(h, kh, stride, pad), ConvOut(wd, kw, stride, pad)
-	wm := w.Reshape(f, c*kh*kw)
-	dwm := dw.Reshape(f, c*kh*kw)
-	dx = New(n, c, h, wd)
+	fan := c * kh * kw
+	dx = ar.Get(n, c, h, wd)
+	dcols := ar.Get(fan, oh*ow) // wᵀ·dy of one sample
 	for s := 0; s < n; s++ {
-		dys := FromSlice(dy.Data[s*f*oh*ow:(s+1)*f*oh*ow], f, oh*ow)
-		// dW += dy · colsᵀ
-		g := MatMulTransB(dys, cols[s]) // [F, C*KH*KW]
-		dwm.Add(g)
+		dys := dy.Data[s*f*oh*ow : (s+1)*f*oh*ow]
+		// dW += dy · colsᵀ, accumulated dot-by-dot straight into dw
+		// (bit-identical to a scratch product followed by an add).
+		matMulTransBSlicesAcc(dw.Data, dys, cols[s].Data, f, oh*ow, fan)
 		if db != nil {
 			for ff := 0; ff < f; ff++ {
 				sum := 0.0
-				row := dys.Data[ff*oh*ow : (ff+1)*oh*ow]
-				for _, v := range row {
+				for _, v := range dys[ff*oh*ow : (ff+1)*oh*ow] {
 					sum += v
 				}
 				db.Data[ff] += sum
 			}
 		}
 		// dcols = wᵀ · dy, then fold back to image space.
-		dcols := MatMulTransA(wm, dys) // [C*KH*KW, OH*OW]
-		dxs := Col2Im(dcols, c, h, wd, kh, kw, stride, pad)
-		copy(dx.Data[s*c*h*wd:(s+1)*c*h*wd], dxs.Data)
+		matMulTransASlices(dcols.Data, w.Data, dys, f, fan, oh*ow)
+		dxs := dx.Data[s*c*h*wd : (s+1)*c*h*wd]
+		for i := range dxs {
+			dxs[i] = 0
+		}
+		for ch := 0; ch < c; ch++ {
+			col2imSlice(dxs[ch*h*wd:(ch+1)*h*wd], dcols.Data, ch, h, wd, kh, kw, stride, pad, oh, ow)
+		}
 	}
+	ar.Put(dcols)
 	return dx
+}
+
+// Conv2DBackward is Conv2DBackwardArena without buffer reuse.
+func Conv2DBackward(dy, w *Tensor, cols []*Tensor, dw, db *Tensor, xShape []int, stride, pad int) (dx *Tensor) {
+	return Conv2DBackwardArena(nil, dy, w, cols, dw, db, xShape, stride, pad)
 }
 
 // Conv2DNaive is a direct-loop reference convolution used only by tests to

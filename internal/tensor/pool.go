@@ -2,17 +2,27 @@ package tensor
 
 import "fmt"
 
-// MaxPool2DForward applies kxk max pooling with the given stride to
-// x [N,C,H,W]. It returns the pooled output and the flat argmax index of the
-// winning input element for every output element (used by the backward pass).
-func MaxPool2DForward(x *Tensor, k, stride int) (y *Tensor, argmax []int) {
+// check4D validates an [N,C,H,W] input for the pooling kernels.
+func check4D(op string, x *Tensor) {
 	if len(x.Shape) != 4 {
-		panic(fmt.Sprintf("tensor: MaxPool2DForward requires [N,C,H,W], got %v", x.Shape))
+		panic(fmt.Sprintf("tensor: %s requires [N,C,H,W], got %v", op, x.Shape))
 	}
+}
+
+// MaxPool2DForwardInto applies kxk max pooling with the given stride to
+// x [N,C,H,W], writing the pooled output into y [N,C,OH,OW] (fully
+// overwritten) and the flat argmax index of the winning input element for
+// every output element into argmax (len must equal y.Size()).
+func MaxPool2DForwardInto(y *Tensor, argmax []int, x *Tensor, k, stride int) {
+	check4D("MaxPool2D", x)
 	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
 	oh, ow := ConvOut(h, k, stride, 0), ConvOut(w, k, stride, 0)
-	y = New(n, c, oh, ow)
-	argmax = make([]int, n*c*oh*ow)
+	if len(y.Shape) != 4 || y.Shape[0] != n || y.Shape[1] != c || y.Shape[2] != oh || y.Shape[3] != ow {
+		panic(fmt.Sprintf("tensor: MaxPool2DForwardInto dst %v, want [%d,%d,%d,%d]", y.Shape, n, c, oh, ow))
+	}
+	if len(argmax) != n*c*oh*ow {
+		panic(fmt.Sprintf("tensor: MaxPool2DForwardInto argmax len %d, want %d", len(argmax), n*c*oh*ow))
+	}
 	oi := 0
 	for s := 0; s < n; s++ {
 		for ch := 0; ch < c; ch++ {
@@ -40,23 +50,47 @@ func MaxPool2DForward(x *Tensor, k, stride int) (y *Tensor, argmax []int) {
 			}
 		}
 	}
+}
+
+// MaxPool2DForward applies kxk max pooling with the given stride to
+// x [N,C,H,W]. It returns the pooled output and the flat argmax index of the
+// winning input element for every output element (used by the backward pass).
+func MaxPool2DForward(x *Tensor, k, stride int) (y *Tensor, argmax []int) {
+	check4D("MaxPool2D", x)
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	oh, ow := ConvOut(h, k, stride, 0), ConvOut(w, k, stride, 0)
+	y = New(n, c, oh, ow)
+	argmax = make([]int, n*c*oh*ow)
+	MaxPool2DForwardInto(y, argmax, x, k, stride)
 	return y, argmax
+}
+
+// MaxPool2DBackwardInto routes dy back to the argmax positions recorded by
+// the forward pass, fully overwriting dx (which has the input shape).
+func MaxPool2DBackwardInto(dx, dy *Tensor, argmax []int) {
+	if dy.Size() != len(argmax) {
+		panic(fmt.Sprintf("tensor: MaxPool2DBackwardInto dy size %d, argmax len %d", dy.Size(), len(argmax)))
+	}
+	dx.Zero()
+	for i, idx := range argmax {
+		dx.Data[idx] += dy.Data[i]
+	}
 }
 
 // MaxPool2DBackward routes dy back to the argmax positions recorded by the
 // forward pass, producing dx with the given input shape.
 func MaxPool2DBackward(dy *Tensor, argmax []int, xShape []int) *Tensor {
 	dx := New(xShape...)
-	for i, idx := range argmax {
-		dx.Data[idx] += dy.Data[i]
-	}
+	MaxPool2DBackwardInto(dx, dy, argmax)
 	return dx
 }
 
-// GlobalAvgPoolForward reduces x [N,C,H,W] to [N,C] by spatial averaging.
-func GlobalAvgPoolForward(x *Tensor) *Tensor {
+// GlobalAvgPoolForwardInto reduces x [N,C,H,W] into y [N,C] by spatial
+// averaging, fully overwriting y.
+func GlobalAvgPoolForwardInto(y, x *Tensor) {
+	check4D("GlobalAvgPool", x)
 	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
-	y := New(n, c)
+	checkDst("GlobalAvgPoolForwardInto", y, n, c)
 	hw := float64(h * w)
 	for s := 0; s < n; s++ {
 		for ch := 0; ch < c; ch++ {
@@ -68,14 +102,24 @@ func GlobalAvgPoolForward(x *Tensor) *Tensor {
 			y.Data[s*c+ch] = sum / hw
 		}
 	}
+}
+
+// GlobalAvgPoolForward reduces x [N,C,H,W] to [N,C] by spatial averaging.
+func GlobalAvgPoolForward(x *Tensor) *Tensor {
+	check4D("GlobalAvgPool", x)
+	y := New(x.Shape[0], x.Shape[1])
+	GlobalAvgPoolForwardInto(y, x)
 	return y
 }
 
-// GlobalAvgPoolBackward spreads dy [N,C] uniformly over the spatial positions
-// of the input shape [N,C,H,W].
-func GlobalAvgPoolBackward(dy *Tensor, xShape []int) *Tensor {
-	n, c, h, w := xShape[0], xShape[1], xShape[2], xShape[3]
-	dx := New(n, c, h, w)
+// GlobalAvgPoolBackwardInto spreads dy [N,C] uniformly over the spatial
+// positions of dx [N,C,H,W], fully overwriting dx.
+func GlobalAvgPoolBackwardInto(dx, dy *Tensor) {
+	check4D("GlobalAvgPool dx", dx)
+	n, c, h, w := dx.Shape[0], dx.Shape[1], dx.Shape[2], dx.Shape[3]
+	if dy.Size() != n*c {
+		panic(fmt.Sprintf("tensor: GlobalAvgPoolBackwardInto dy %v, want %d elements for dx %v", dy.Shape, n*c, dx.Shape))
+	}
 	hw := float64(h * w)
 	for s := 0; s < n; s++ {
 		for ch := 0; ch < c; ch++ {
@@ -86,15 +130,36 @@ func GlobalAvgPoolBackward(dy *Tensor, xShape []int) *Tensor {
 			}
 		}
 	}
+}
+
+// GlobalAvgPoolBackward spreads dy [N,C] uniformly over the spatial positions
+// of the input shape [N,C,H,W].
+func GlobalAvgPoolBackward(dy *Tensor, xShape []int) *Tensor {
+	dx := New(xShape...)
+	GlobalAvgPoolBackwardInto(dx, dy)
 	return dx
 }
 
-// AvgPool2DForward applies kxk average pooling with stride k (non-overlapping)
-// to x [N,C,H,W]. Used by the parameter-free ResNet shortcut downsampling.
-func AvgPool2DForward(x *Tensor, k int) *Tensor {
+// checkAvgPool validates the non-overlapping pooling geometry: silently
+// dropping remainder rows/columns would make the backward pass lose
+// gradient, so indivisible sizes are an error.
+func checkAvgPool(op string, h, w, k int) {
+	if k <= 0 || h%k != 0 || w%k != 0 {
+		panic(fmt.Sprintf("tensor: %s input %dx%d not divisible by pool size %d", op, h, w, k))
+	}
+}
+
+// AvgPool2DForwardInto applies kxk average pooling with stride k
+// (non-overlapping) to x [N,C,H,W], fully overwriting y [N,C,H/k,W/k].
+// H and W must be divisible by k.
+func AvgPool2DForwardInto(y, x *Tensor, k int) {
+	check4D("AvgPool2D", x)
 	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	checkAvgPool("AvgPool2DForward", h, w, k)
 	oh, ow := h/k, w/k
-	y := New(n, c, oh, ow)
+	if len(y.Shape) != 4 || y.Shape[0] != n || y.Shape[1] != c || y.Shape[2] != oh || y.Shape[3] != ow {
+		panic(fmt.Sprintf("tensor: AvgPool2DForwardInto dst %v, want [%d,%d,%d,%d]", y.Shape, n, c, oh, ow))
+	}
 	kk := float64(k * k)
 	for s := 0; s < n; s++ {
 		for ch := 0; ch < c; ch++ {
@@ -113,14 +178,30 @@ func AvgPool2DForward(x *Tensor, k int) *Tensor {
 			}
 		}
 	}
+}
+
+// AvgPool2DForward applies kxk average pooling with stride k (non-overlapping)
+// to x [N,C,H,W]. Used by the parameter-free ResNet shortcut downsampling.
+// H and W must be divisible by k.
+func AvgPool2DForward(x *Tensor, k int) *Tensor {
+	check4D("AvgPool2D", x)
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	checkAvgPool("AvgPool2DForward", h, w, k)
+	y := New(n, c, h/k, w/k)
+	AvgPool2DForwardInto(y, x, k)
 	return y
 }
 
-// AvgPool2DBackward is the adjoint of AvgPool2DForward.
-func AvgPool2DBackward(dy *Tensor, xShape []int, k int) *Tensor {
-	n, c, h, w := xShape[0], xShape[1], xShape[2], xShape[3]
+// AvgPool2DBackwardInto is the adjoint of AvgPool2DForwardInto, fully
+// overwriting dx (which has the input shape [N,C,H,W]).
+func AvgPool2DBackwardInto(dx, dy *Tensor, k int) {
+	check4D("AvgPool2D dx", dx)
+	n, c, h, w := dx.Shape[0], dx.Shape[1], dx.Shape[2], dx.Shape[3]
+	checkAvgPool("AvgPool2DBackward", h, w, k)
 	oh, ow := h/k, w/k
-	dx := New(n, c, h, w)
+	if dy.Size() != n*c*oh*ow {
+		panic(fmt.Sprintf("tensor: AvgPool2DBackwardInto dy %v, want %d elements for dx %v pool %d", dy.Shape, n*c*oh*ow, dx.Shape, k))
+	}
 	kk := float64(k * k)
 	for s := 0; s < n; s++ {
 		for ch := 0; ch < c; ch++ {
@@ -131,12 +212,18 @@ func AvgPool2DBackward(dy *Tensor, xShape []int, k int) *Tensor {
 					g := dy.Data[obase+i*ow+j] / kk
 					for ki := 0; ki < k; ki++ {
 						for kj := 0; kj < k; kj++ {
-							dx.Data[base+(i*k+ki)*w+(j*k+kj)] += g
+							dx.Data[base+(i*k+ki)*w+(j*k+kj)] = g
 						}
 					}
 				}
 			}
 		}
 	}
+}
+
+// AvgPool2DBackward is the adjoint of AvgPool2DForward.
+func AvgPool2DBackward(dy *Tensor, xShape []int, k int) *Tensor {
+	dx := New(xShape...)
+	AvgPool2DBackwardInto(dx, dy, k)
 	return dx
 }

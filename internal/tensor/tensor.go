@@ -16,6 +16,18 @@ import (
 type Tensor struct {
 	Shape []int
 	Data  []float64
+	// poolable marks tensors handed out by an Arena; only those are ever
+	// recycled by Arena.Put (see arena.go).
+	poolable bool
+}
+
+// panicBadShape reports a non-positive dimension. It formats a copy of the
+// shape so escape analysis keeps callers' variadic shape literals on the
+// stack — the allocation-free hot path depends on this.
+func panicBadShape(shape []int) {
+	c := make([]int, len(shape))
+	copy(c, shape)
+	panic(fmt.Sprintf("tensor: non-positive dimension in shape %v", c))
 }
 
 // New returns a zero-filled tensor with the given shape.
@@ -24,7 +36,7 @@ func New(shape ...int) *Tensor {
 	n := 1
 	for _, d := range shape {
 		if d <= 0 {
-			panic(fmt.Sprintf("tensor: non-positive dimension %d in shape %v", d, shape))
+			panicBadShape(shape)
 		}
 		n *= d
 	}
@@ -244,28 +256,159 @@ func (t *Tensor) ArgMaxRow(n int) int {
 	return bi
 }
 
+// checkDst validates an Into-kernel destination shape.
+func checkDst(op string, dst *Tensor, m, n int) {
+	if len(dst.Shape) != 2 || dst.Shape[0] != m || dst.Shape[1] != n {
+		panic(fmt.Sprintf("tensor: %s dst %v, want [%d,%d]", op, dst.Shape, m, n))
+	}
+}
+
+// matMulSlices computes dst = a·b over raw row-major slices (a [m,k],
+// b [k,n], dst [m,n]), fully overwriting dst. There is deliberately no
+// zero-operand short-circuit: 0·NaN and 0·Inf must propagate rather than be
+// silently flushed to zero, and the dense hot path avoids a data-dependent
+// branch.
+func matMulSlices(dst, a, b []float64, m, k, n int) {
+	for i := 0; i < m; i++ {
+		arow := a[i*k : (i+1)*k]
+		crow := dst[i*n : (i+1)*n]
+		for j := range crow {
+			crow[j] = 0
+		}
+		for p := 0; p < k; p++ {
+			av := arow[p]
+			brow := b[p*n : (p+1)*n]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+}
+
+// matMulTransASlices computes dst = aᵀ·b over raw slices (a [k,m], b [k,n],
+// dst [m,n]), fully overwriting dst.
+func matMulTransASlices(dst, a, b []float64, k, m, n int) {
+	for i := range dst[:m*n] {
+		dst[i] = 0
+	}
+	for p := 0; p < k; p++ {
+		arow := a[p*m : (p+1)*m]
+		brow := b[p*n : (p+1)*n]
+		for i := 0; i < m; i++ {
+			av := arow[i]
+			crow := dst[i*n : (i+1)*n]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+}
+
+// matMulTransASlicesAcc computes dst += aᵀ·b over raw slices (a [k,m],
+// b [k,n], dst [m,n]), accumulating into dst.
+func matMulTransASlicesAcc(dst, a, b []float64, k, m, n int) {
+	for p := 0; p < k; p++ {
+		arow := a[p*m : (p+1)*m]
+		brow := b[p*n : (p+1)*n]
+		for i := 0; i < m; i++ {
+			av := arow[i]
+			crow := dst[i*n : (i+1)*n]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+}
+
+// matMulTransBSlices computes dst = a·bᵀ over raw slices (a [m,k], b [n,k],
+// dst [m,n]), fully overwriting dst.
+func matMulTransBSlices(dst, a, b []float64, m, k, n int) {
+	for i := 0; i < m; i++ {
+		arow := a[i*k : (i+1)*k]
+		crow := dst[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			brow := b[j*k : (j+1)*k]
+			s := 0.0
+			for p, av := range arow {
+				s += av * brow[p]
+			}
+			crow[j] = s
+		}
+	}
+}
+
+// matMulTransBSlicesAcc computes dst += a·bᵀ over raw slices. Each dot
+// product is computed separately and added once, so the result is
+// bit-identical to matMulTransBSlices into scratch followed by an add —
+// without the scratch traffic.
+func matMulTransBSlicesAcc(dst, a, b []float64, m, k, n int) {
+	for i := 0; i < m; i++ {
+		arow := a[i*k : (i+1)*k]
+		crow := dst[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			brow := b[j*k : (j+1)*k]
+			s := 0.0
+			for p, av := range arow {
+				s += av * brow[p]
+			}
+			crow[j] += s
+		}
+	}
+}
+
+// MatMulInto computes dst = a·b for a [m,k] and b [k,n] into dst [m,n],
+// fully overwriting it. dst must not alias a or b.
+func MatMulInto(dst, a, b *Tensor) {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 || a.Shape[1] != b.Shape[0] {
+		panic(fmt.Sprintf("tensor: MatMul shape mismatch %v x %v", a.Shape, b.Shape))
+	}
+	m, k, n := a.Shape[0], a.Shape[1], b.Shape[1]
+	checkDst("MatMulInto", dst, m, n)
+	matMulSlices(dst.Data, a.Data, b.Data, m, k, n)
+}
+
+// MatMulTransAInto computes dst = aᵀ·b for a [k,m] and b [k,n] into
+// dst [m,n], fully overwriting it. dst must not alias a or b.
+func MatMulTransAInto(dst, a, b *Tensor) {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 || a.Shape[0] != b.Shape[0] {
+		panic(fmt.Sprintf("tensor: MatMulTransA shape mismatch %v x %v", a.Shape, b.Shape))
+	}
+	k, m, n := a.Shape[0], a.Shape[1], b.Shape[1]
+	checkDst("MatMulTransAInto", dst, m, n)
+	matMulTransASlices(dst.Data, a.Data, b.Data, k, m, n)
+}
+
+// MatMulTransAAccInto computes dst += aᵀ·b for a [k,m] and b [k,n] into
+// dst [m,n]. Used to accumulate weight gradients without a scratch product.
+// dst must not alias a or b.
+func MatMulTransAAccInto(dst, a, b *Tensor) {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 || a.Shape[0] != b.Shape[0] {
+		panic(fmt.Sprintf("tensor: MatMulTransA shape mismatch %v x %v", a.Shape, b.Shape))
+	}
+	k, m, n := a.Shape[0], a.Shape[1], b.Shape[1]
+	checkDst("MatMulTransAAccInto", dst, m, n)
+	matMulTransASlicesAcc(dst.Data, a.Data, b.Data, k, m, n)
+}
+
+// MatMulTransBInto computes dst = a·bᵀ for a [m,k] and b [n,k] into
+// dst [m,n], fully overwriting it. dst must not alias a or b.
+func MatMulTransBInto(dst, a, b *Tensor) {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 || a.Shape[1] != b.Shape[1] {
+		panic(fmt.Sprintf("tensor: MatMulTransB shape mismatch %v x %v", a.Shape, b.Shape))
+	}
+	m, k, n := a.Shape[0], a.Shape[1], b.Shape[0]
+	checkDst("MatMulTransBInto", dst, m, n)
+	matMulTransBSlices(dst.Data, a.Data, b.Data, m, k, n)
+}
+
 // MatMul computes c = a·b for 2-D tensors a [m,k] and b [k,n], returning
 // a new [m,n] tensor.
 func MatMul(a, b *Tensor) *Tensor {
 	if len(a.Shape) != 2 || len(b.Shape) != 2 || a.Shape[1] != b.Shape[0] {
 		panic(fmt.Sprintf("tensor: MatMul shape mismatch %v x %v", a.Shape, b.Shape))
 	}
-	m, k, n := a.Shape[0], a.Shape[1], b.Shape[1]
-	c := New(m, n)
-	for i := 0; i < m; i++ {
-		arow := a.Data[i*k : (i+1)*k]
-		crow := c.Data[i*n : (i+1)*n]
-		for p := 0; p < k; p++ {
-			av := arow[p]
-			if av == 0 {
-				continue
-			}
-			brow := b.Data[p*n : (p+1)*n]
-			for j := 0; j < n; j++ {
-				crow[j] += av * brow[j]
-			}
-		}
-	}
+	c := New(a.Shape[0], b.Shape[1])
+	MatMulInto(c, a, b)
 	return c
 }
 
@@ -274,22 +417,8 @@ func MatMulTransA(a, b *Tensor) *Tensor {
 	if len(a.Shape) != 2 || len(b.Shape) != 2 || a.Shape[0] != b.Shape[0] {
 		panic(fmt.Sprintf("tensor: MatMulTransA shape mismatch %v x %v", a.Shape, b.Shape))
 	}
-	k, m, n := a.Shape[0], a.Shape[1], b.Shape[1]
-	c := New(m, n)
-	for p := 0; p < k; p++ {
-		arow := a.Data[p*m : (p+1)*m]
-		brow := b.Data[p*n : (p+1)*n]
-		for i := 0; i < m; i++ {
-			av := arow[i]
-			if av == 0 {
-				continue
-			}
-			crow := c.Data[i*n : (i+1)*n]
-			for j := 0; j < n; j++ {
-				crow[j] += av * brow[j]
-			}
-		}
-	}
+	c := New(a.Shape[1], b.Shape[1])
+	MatMulTransAInto(c, a, b)
 	return c
 }
 
@@ -298,20 +427,8 @@ func MatMulTransB(a, b *Tensor) *Tensor {
 	if len(a.Shape) != 2 || len(b.Shape) != 2 || a.Shape[1] != b.Shape[1] {
 		panic(fmt.Sprintf("tensor: MatMulTransB shape mismatch %v x %v", a.Shape, b.Shape))
 	}
-	m, k, n := a.Shape[0], a.Shape[1], b.Shape[0]
-	c := New(m, n)
-	for i := 0; i < m; i++ {
-		arow := a.Data[i*k : (i+1)*k]
-		crow := c.Data[i*n : (i+1)*n]
-		for j := 0; j < n; j++ {
-			brow := b.Data[j*k : (j+1)*k]
-			s := 0.0
-			for p := 0; p < k; p++ {
-				s += arow[p] * brow[p]
-			}
-			crow[j] = s
-		}
-	}
+	c := New(a.Shape[0], b.Shape[0])
+	MatMulTransBInto(c, a, b)
 	return c
 }
 
