@@ -16,10 +16,7 @@ import (
 	"sync"
 	"testing"
 
-	"repro/internal/core"
-	"repro/internal/data"
 	"repro/internal/exp"
-	"repro/internal/models"
 )
 
 // printOnce emits a runner's output the first time each label is seen, so
@@ -150,49 +147,9 @@ func BenchmarkAppendixA_Memory(b *testing.B) {
 	run(b, "Appendix A — memory model", exp.AppendixAMemory)
 }
 
-// benchEngine streams b.N samples through the named PB engine on the 31-stage
-// RN20-mini pipeline and reports training throughput and the engine's
-// utilization measure (DESIGN.md §4 / engine table). The async engine must
-// beat the barrier engines on samples/sec while keeping its observed
-// staleness within D_s per stage.
-func benchEngine(b *testing.B, kind string) {
-	b.Helper()
-	imgs := data.CIFAR10Like(8, 64, 0, 1)
-	train, _ := data.GenerateImages(imgs)
-	net := models.ResNet(models.MiniResNet(20, 4, 8, 10, 1))
-	eng, err := core.NewEngine(kind, net, core.ScaledConfig(0.05, 0.9, 32, 1))
-	if err != nil {
-		b.Fatal(err)
-	}
-	defer eng.Close()
-	b.ReportAllocs()
-	b.ResetTimer()
-	done := 0
-	for i := 0; i < b.N; i++ {
-		x, y := train.Sample(i % train.Len())
-		done += len(eng.Submit(x, y))
-	}
-	done += len(eng.Drain())
-	b.StopTimer()
-	if done != b.N {
-		b.Fatalf("engine %s completed %d of %d samples", kind, done, b.N)
-	}
-	bound, got := eng.Delays(), eng.ObservedDelays()
-	for i := range bound {
-		if got[i] > bound[i] {
-			b.Fatalf("engine %s: stage %d staleness %d exceeds D_s=%d", kind, i, got[i], bound[i])
-		}
-	}
-	if s := b.Elapsed().Seconds(); s > 0 {
-		b.ReportMetric(float64(b.N)/s, "samples/sec")
-	}
-	b.ReportMetric(eng.Utilization(done), "utilization")
-}
-
-func BenchmarkEngine_Seq(b *testing.B)      { benchEngine(b, "seq") }
-func BenchmarkEngine_Lockstep(b *testing.B) { benchEngine(b, "lockstep") }
-func BenchmarkEngine_Async(b *testing.B)    { benchEngine(b, "async") }
-
+// The per-engine streaming benchmarks (BenchmarkEngine_Seq/Lockstep/Async)
+// live in internal/core/bench_test.go next to the engines they measure; the
+// root package keeps the experiment-level comparison below.
 func BenchmarkEngine_Throughput(b *testing.B) {
 	run(b, "Engine comparison — seq vs lockstep vs async", exp.EngineThroughput)
 }

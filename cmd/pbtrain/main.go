@@ -1,6 +1,7 @@
 // Command pbtrain trains a network on a synthetic dataset with any of the
 // paper's training methods and reports per-epoch validation accuracy plus
-// the pipeline geometry (stage count, per-stage delays, utilization).
+// the pipeline geometry (stage count, per-stage delays, utilization). It is
+// a thin CLI over the repro/train façade.
 //
 // Usage:
 //
@@ -8,23 +9,25 @@
 //	pbtrain -model mlp -depth 12 -method pb -epochs 4
 //	pbtrain -model vgg11 -method sgdm
 //	pbtrain -model rn20 -method pb -engine async   # free-running pipeline
+//	pbtrain -model rn20 -checkpoint rn20.ckpt      # save a resumable snapshot
+//	pbtrain -model rn20 -resume rn20.ckpt          # continue from it
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
+	"slices"
 	"strings"
 
-	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/models"
 	"repro/internal/nn"
 	"repro/internal/optim"
 	"repro/internal/partition"
-	"repro/internal/sched"
+	"repro/train"
 )
 
 // mitigations maps method names to presets.
@@ -42,119 +45,168 @@ var mitigations = map[string]core.Mitigation{
 	"pb+gradshrink": {GradShrink: 0.9},
 }
 
+// models the CLI accepts, keyed to their builder families.
+var knownModels = []string{"rn20", "rn32", "rn44", "rn56", "rn110", "vgg11", "vgg13", "vgg16", "mlp"}
+
+// fail prints a usage-style error and exits non-zero — bad flags must not
+// panic mid-run.
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "pbtrain: "+format+"\n", args...)
+	os.Exit(2)
+}
+
 func main() {
-	model := flag.String("model", "rn20", "model: rn20|rn32|rn44|rn56|rn110|vgg11|vgg13|vgg16|mlp")
+	model := flag.String("model", "rn20", "model: "+strings.Join(knownModels, "|"))
 	method := flag.String("method", "pb+lwpvd+scd", "sgdm or one of: "+keys())
-	engine := flag.String("engine", "seq", "PB engine: "+strings.Join(core.EngineNames, "|"))
+	engine := flag.String("engine", "seq", "PB engine: "+strings.Join(core.EngineNames(), "|"))
 	epochs := flag.Int("epochs", 8, "training epochs")
 	width := flag.Int("width", 4, "ResNet base width / MLP width scale")
 	depth := flag.Int("depth", 6, "MLP hidden-stage count")
 	size := flag.Int("size", 12, "image size")
-	train := flag.Int("train", 600, "training samples")
-	test := flag.Int("test", 200, "test samples")
+	trainN := flag.Int("train", 600, "training samples")
+	testN := flag.Int("test", 200, "test samples")
 	eta := flag.Float64("eta", 0.05, "reference learning rate (at -refbatch)")
 	mom := flag.Float64("momentum", 0.9, "reference momentum")
 	refBatch := flag.Int("refbatch", 32, "reference batch size the hyperparameters were tuned for")
 	seed := flag.Int64("seed", 1, "random seed")
 	workers := flag.Int("workers", 0, "regroup the pipeline onto this many balanced workers (0 = fine-grained)")
-	ckpt := flag.String("checkpoint", "", "save final weights to this file")
+	ckpt := flag.String("checkpoint", "", "save a resumable pipeline snapshot to this file after the final epoch")
+	resume := flag.String("resume", "", "resume weights/optimizer/schedule from this snapshot before training")
 	flag.Parse()
 
-	var net *nn.Network
+	// Validate every selector up front: an unknown model, method or engine
+	// must exit with a usage message, not panic somewhere mid-run.
+	sgdm := *method == "sgdm"
+	mit, knownMethod := mitigations[*method]
+	if !sgdm && !knownMethod {
+		fail("unknown method %q; options: sgdm %s", *method, keys())
+	}
+	if !slices.Contains(knownModels, *model) {
+		fail("unknown model %q; options: %s", *model, strings.Join(knownModels, " "))
+	}
+	if !sgdm && !slices.Contains(core.EngineNames(), *engine) {
+		fail("unknown engine %q; options: %s", *engine, strings.Join(core.EngineNames(), " "))
+	}
+	if *epochs < 0 {
+		fail("-epochs %d, want ≥ 0", *epochs)
+	}
+	if *refBatch < 1 {
+		fail("-refbatch %d, want ≥ 1", *refBatch)
+	}
+
+	var build train.Builder
 	var trainSet, testSet *data.Dataset
 	switch {
 	case *model == "mlp":
-		trainSet, testSet = data.GaussianBlobs(16, 4, *train, *test, 2.2, 1.3, *seed)
-		net = models.DeepMLP(16, 4**width, *depth, 4, *seed+7)
+		trainSet, testSet = data.GaussianBlobs(16, 4, *trainN, *testN, 2.2, 1.3, *seed)
+		build = func(seed int64) *nn.Network {
+			return models.DeepMLP(16, 4**width, *depth, 4, seed+7)
+		}
 	case strings.HasPrefix(*model, "rn"):
 		var d int
 		fmt.Sscanf(*model, "rn%d", &d)
-		cfg := data.CIFAR10Like(*size, *train, *test, *seed)
+		cfg := data.CIFAR10Like(*size, *trainN, *testN, *seed)
 		trainSet, testSet = data.GenerateImages(cfg)
-		net = models.ResNet(models.MiniResNet(d, *width, *size, 10, *seed+7))
-	case strings.HasPrefix(*model, "vgg"):
+		build = func(seed int64) *nn.Network {
+			return models.ResNet(models.MiniResNet(d, *width, *size, 10, seed+7))
+		}
+	default: // vgg
 		var d int
 		fmt.Sscanf(*model, "vgg%d", &d)
-		cfg := data.CIFAR10Like(*size, *train, *test, *seed)
+		cfg := data.CIFAR10Like(*size, *trainN, *testN, *seed)
 		trainSet, testSet = data.GenerateImages(cfg)
-		net = models.VGG(models.MiniVGG(d, 64 / *width, *size, 10, *seed+7))
-	default:
-		fmt.Fprintf(os.Stderr, "unknown model %q\n", *model)
-		os.Exit(2)
+		build = func(seed int64) *nn.Network {
+			return models.VGG(models.MiniVGG(d, 64 / *width, *size, 10, seed+7))
+		}
 	}
 
+	// Validate -workers against the chosen engine and pipeline: regrouping
+	// only applies to the PB engines, and cannot exceed the fine-grained
+	// stage count. One probe network serves the stage count and, with
+	// -workers, the partition display; the Trainer builds its own.
+	probe := build(*seed)
+	fineStages := probe.NumStages()
+	if *workers < 0 {
+		fail("-workers %d, want ≥ 0", *workers)
+	}
+	if *workers > 0 && sgdm {
+		fail("-workers regroups the PB pipeline; the sgdm reference has no pipeline (drop -workers or pick a pb method)")
+	}
+	if *workers > fineStages {
+		fail("-workers %d exceeds the %d fine-grained stages of %s (engine %s runs one worker per stage at most)",
+			*workers, fineStages, *model, *engine)
+	}
+
+	s := fineStages
 	if *workers > 0 {
 		inShape := append([]int{1}, trainSet.Shape...)
-		coarse, ratio := partition.Balance(net, inShape, *workers)
+		coarse, ratio := partition.Balance(probe, inShape, *workers)
 		fmt.Printf("partitioned %d fine stages onto %d workers (bottleneck/mean cost %.2f)\n",
-			net.NumStages(), coarse.NumStages(), ratio)
-		net = coarse
+			fineStages, coarse.NumStages(), ratio)
+		s = coarse.NumStages()
 	}
-	s := net.NumStages()
 	fmt.Printf("model=%s stages=%d max-delay=%d method=%s\n", *model, s, 2*(s-1), *method)
-
-	rng := rand.New(rand.NewSource(*seed * 31))
-	evalAcc := func() float64 {
-		xs, ys := testSet.Batches(32)
-		_, a := net.Evaluate(xs, ys)
-		return a
+	if !sgdm {
+		eta1, m1 := optim.Scale(*eta, *mom, *refBatch, 1)
+		fmt.Printf("Eq.9 scaling: (η=%.3g, m=%.4g) @N=%d → (η=%.3g, m=%.6g) @N=1\n",
+			*eta, *mom, *refBatch, eta1, m1)
+		fmt.Printf("engine=%s\n", *engine)
 	}
 
-	if *method == "sgdm" {
-		updates := (trainSet.Len() + *refBatch - 1) / *refBatch * *epochs
-		cfg := core.Config{LR: *eta, Momentum: *mom, WeightDecay: 1e-4,
-			Schedule: sched.MultiStep{Base: *eta, Milestones: []int{updates / 2, updates * 3 / 4}, Gamma: 0.1}}
-		tr := core.NewSGDTrainer(net, cfg, *refBatch)
-		for e := 0; e < *epochs; e++ {
-			loss, acc := tr.TrainEpoch(trainSet, trainSet.Perm(rng), nil, rng)
+	opts := []train.Option{
+		train.WithSeed(*seed),
+		train.WithRefHyper(train.RefHyper{Eta: *eta, Momentum: *mom, WeightDecay: 1e-4, RefBatch: *refBatch}),
+		train.OnEpochEnd(func(e train.EpochEvent) {
 			fmt.Printf("epoch %2d  train loss %.4f acc %.1f%%  val acc %.1f%%\n",
-				e+1, loss, acc*100, evalAcc()*100)
-		}
-		saveCheckpoint(*ckpt, net)
-		return
+				e.Epoch, e.TrainLoss, e.TrainAcc*100, e.ValAcc*100)
+		}),
+	}
+	if sgdm {
+		opts = append(opts, train.WithSGDM())
+	} else {
+		opts = append(opts, train.WithEngine(*engine), train.WithMitigations(mit))
+	}
+	if *workers > 0 {
+		opts = append(opts, train.WithWorkers(*workers))
+	}
+	if *ckpt != "" && *epochs > 0 {
+		opts = append(opts,
+			train.WithCheckpointEvery(*epochs, *ckpt),
+			train.OnCheckpoint(func(e train.CheckpointEvent) {
+				fmt.Printf("saved checkpoint to %s\n", e.Path)
+			}))
 	}
 
-	mit, ok := mitigations[*method]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown method %q; options: sgdm %s\n", *method, keys())
-		os.Exit(2)
-	}
-	eta1, m1 := optim.Scale(*eta, *mom, *refBatch, 1)
-	updates := trainSet.Len() * *epochs
-	cfg := core.Config{LR: eta1, Momentum: m1, WeightDecay: 1e-4, Mitigation: mit,
-		Schedule: sched.MultiStep{Base: eta1, Milestones: []int{updates / 2, updates * 3 / 4}, Gamma: 0.1}}
-	fmt.Printf("Eq.9 scaling: (η=%.3g, m=%.4g) @N=%d → (η=%.3g, m=%.6g) @N=1\n",
-		*eta, *mom, *refBatch, eta1, m1)
-	tr, err := core.NewEngine(*engine, net, cfg)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
-	}
+	tr := train.New(build, opts...)
 	defer tr.Close()
-	fmt.Printf("engine=%s\n", *engine)
-	completed := 0
-	for e := 0; e < *epochs; e++ {
-		loss, acc := core.RunEpoch(tr, trainSet, trainSet.Perm(rng), nil, rng)
-		completed += trainSet.Len()
-		fmt.Printf("epoch %2d  train loss %.4f acc %.1f%%  val acc %.1f%%\n",
-			e+1, loss, acc*100, evalAcc()*100)
+	ctx := context.Background()
+	if *resume != "" {
+		if err := tr.Resume(ctx, *resume); err != nil {
+			fmt.Fprintln(os.Stderr, "pbtrain:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("resumed from %s\n", *resume)
 	}
-	fmt.Printf("pipeline utilization %.3f (fill&drain bound at N=1: %.3f)\n",
-		tr.Utilization(completed), core.UtilizationBound(1, s))
-	fmt.Printf("observed max staleness per stage ≤ 2(S-1-s): %v\n", tr.ObservedDelays()[:min(6, s)])
-	saveCheckpoint(*ckpt, net)
-}
-
-// saveCheckpoint writes final weights when a path was requested.
-func saveCheckpoint(path string, net *nn.Network) {
-	if path == "" {
-		return
-	}
-	if err := checkpoint.Save(path, net, nil, 0, map[string]string{"tool": "pbtrain"}); err != nil {
-		fmt.Fprintf(os.Stderr, "checkpoint: %v\n", err)
+	rep, err := tr.Fit(ctx, trainSet, testSet, *epochs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pbtrain:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("saved checkpoint to %s\n", path)
+	if *ckpt != "" && *epochs == 0 {
+		// No epochs → no periodic save fired; honor -checkpoint anyway
+		// (e.g. re-saving a just-resumed snapshot).
+		if err := tr.Checkpoint(*ckpt); err != nil {
+			fmt.Fprintln(os.Stderr, "pbtrain:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("saved checkpoint to %s\n", *ckpt)
+	}
+	if !sgdm {
+		fmt.Printf("pipeline utilization %.3f (fill&drain bound at N=1: %.3f)\n",
+			rep.Utilization, core.UtilizationBound(1, rep.Stages))
+		fmt.Printf("observed max staleness per stage ≤ 2(S-1-s): %v\n",
+			rep.ObservedDelays[:min(6, len(rep.ObservedDelays))])
+	}
 }
 
 // keys lists available mitigation names.
@@ -163,6 +215,7 @@ func keys() string {
 	for k := range mitigations {
 		out = append(out, k)
 	}
+	slices.Sort(out)
 	return strings.Join(out, " ")
 }
 

@@ -34,10 +34,10 @@ import (
 )
 
 func main() {
-	engine := flag.String("engine", "seq", "PB engine: "+strings.Join(core.EngineNames, "|"))
+	engine := flag.String("engine", "seq", "PB engine: "+strings.Join(core.EngineNames(), "|"))
 	flag.Parse()
-	if !slices.Contains(core.EngineNames, *engine) {
-		fmt.Fprintf(os.Stderr, "unknown engine %q; options: %s\n", *engine, strings.Join(core.EngineNames, " "))
+	if !slices.Contains(core.EngineNames(), *engine) {
+		fmt.Fprintf(os.Stderr, "unknown engine %q; options: %s\n", *engine, strings.Join(core.EngineNames(), " "))
 		os.Exit(2)
 	}
 

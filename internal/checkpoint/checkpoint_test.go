@@ -2,6 +2,7 @@ package checkpoint
 
 import (
 	"bytes"
+	"context"
 	"path/filepath"
 	"testing"
 
@@ -171,9 +172,9 @@ func TestPipelineResumeMatchesUninterrupted(t *testing.T) {
 	feed := func(tr *core.PBTrainer, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			x, y := train.Sample(i)
-			tr.Submit(x, y)
+			tr.Submit(context.Background(), x, y)
 		}
-		tr.Drain()
+		tr.Drain(context.Background())
 	}
 
 	// Reference arm: train half an epoch, snapshot, keep the trainer in
@@ -262,14 +263,14 @@ func TestPipelineCheckpointAcrossEngines(t *testing.T) {
 	cfg.Mitigation = core.LWPvDSCD
 	cfg.Schedule = sched.MultiStep{Base: cfg.LR, Milestones: []int{50, 90}, Gamma: 0.5}
 	feed := func(tr interface {
-		Submit(x *tensor.Tensor, label int) []*core.Result
-		Drain() []*core.Result
+		Submit(ctx context.Context, x *tensor.Tensor, label int) ([]*core.Result, error)
+		Drain(ctx context.Context) ([]*core.Result, error)
 	}, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			x, y := train.Sample(i)
-			tr.Submit(x, y)
+			tr.Submit(context.Background(), x, y)
 		}
-		tr.Drain()
+		tr.Drain(context.Background())
 	}
 
 	// Lockstep engine: exact resume.
@@ -356,9 +357,9 @@ func TestRestorePipelineIsAtomic(t *testing.T) {
 	train, _ := data.GaussianBlobs(6, 3, 16, 0, 1, 0.5, seed)
 	for i := 0; i < train.Len(); i++ {
 		x, y := train.Sample(i)
-		tr.Submit(x, y)
+		tr.Submit(context.Background(), x, y)
 	}
-	tr.Drain()
+	tr.Drain(context.Background())
 	st, err := CapturePipeline(net, tr, nil)
 	if err != nil {
 		t.Fatal(err)
@@ -403,9 +404,9 @@ func TestAsyncLockstepCaptureResumesAsSeq(t *testing.T) {
 	feedA := func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			x, y := train.Sample(i)
-			trA.Submit(x, y)
+			trA.Submit(context.Background(), x, y)
 		}
-		trA.Drain()
+		trA.Drain(context.Background())
 	}
 	feedA(0, train.Len()/2)
 	st, err := CapturePipeline(netA, trA, nil)
@@ -420,9 +421,9 @@ func TestAsyncLockstepCaptureResumesAsSeq(t *testing.T) {
 	feedA(train.Len()/2, train.Len())
 	for i := train.Len() / 2; i < train.Len(); i++ {
 		x, y := train.Sample(i)
-		trS.Submit(x, y)
+		trS.Submit(context.Background(), x, y)
 	}
-	trS.Drain()
+	trS.Drain(context.Background())
 	pa, ps := netA.Params(), netS.Params()
 	for i := range pa {
 		if !pa[i].W.AllClose(ps[i].W, 0) {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"runtime"
 	"sync"
@@ -297,9 +298,14 @@ func (t *AsyncPBTrainer) InputBuffer(shape ...int) *tensor.Tensor {
 // input queue is full, and returns any results that completed in the
 // meantime. The engine takes ownership of x — callers must not reuse it
 // (obtain the next buffer from InputBuffer instead). It panics after Close.
-func (t *AsyncPBTrainer) Submit(x *tensor.Tensor, label int) []*Result {
+// A cancelled ctx aborts the blocking send: the sample is not admitted and
+// ctx's error is returned alongside any results harvested while waiting.
+func (t *AsyncPBTrainer) Submit(ctx context.Context, x *tensor.Tensor, label int) ([]*Result, error) {
 	if t.closed {
 		panic("core: Submit after Close")
+	}
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
 	}
 	if !t.running {
 		t.started = time.Now()
@@ -308,6 +314,10 @@ func (t *AsyncPBTrainer) Submit(x *tensor.Tensor, label int) []*Result {
 	in := &inflight{packet: nn.NewPacket(x), label: label, id: t.nextID}
 	t.nextID++
 	t.submitted++
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
 	var rs []*Result
 	for {
 		select {
@@ -316,11 +326,18 @@ func (t *AsyncPBTrainer) Submit(x *tensor.Tensor, label int) []*Result {
 				t.lastPush = t.step
 				t.step++
 			}
-			return t.harvest(rs)
+			return t.harvest(rs), nil
 		case r := <-t.resCh:
 			// Harvesting while blocked keeps the last stage from wedging on
 			// a full result queue.
 			rs = append(rs, r)
+		case <-done:
+			// The sample never entered the pipeline; undo its accounting so
+			// Outstanding stays truthful and a later Drain cannot hang
+			// waiting for a completion that will never come.
+			t.nextID--
+			t.submitted--
+			return t.harvest(rs), ctx.Err()
 		}
 	}
 }
@@ -329,15 +346,24 @@ func (t *AsyncPBTrainer) Submit(x *tensor.Tensor, label int) []*Result {
 // applied its final weight update and returns the collected results. In
 // lockstep mode it first issues exactly the empty rounds the sequential
 // schedule would execute, keeping the step counter (and any LR schedule)
-// aligned with PBTrainer.
-func (t *AsyncPBTrainer) Drain() []*Result {
+// aligned with PBTrainer. A cancelled ctx aborts the wait, returning the
+// results collected so far with ctx's error; samples may remain in flight
+// (Close abandons them).
+func (t *AsyncPBTrainer) Drain(ctx context.Context) ([]*Result, error) {
 	if t.closed {
 		if t.Outstanding() > 0 {
 			// Close abandoned the in-flight samples and the workers are
 			// gone; waiting would hang forever. Fail fast like Step/Submit.
 			panic("core: Drain after Close with samples in flight")
 		}
-		return nil
+		return nil, nil
+	}
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
 	}
 	var rs []*Result
 	if t.Mode == ModeLockstep && t.submitted > 0 {
@@ -352,6 +378,8 @@ func (t *AsyncPBTrainer) Drain() []*Result {
 				t.step++
 			case r := <-t.resCh:
 				rs = append(rs, r)
+			case <-done:
+				return t.harvest(rs), ctx.Err()
 			}
 		}
 	}
@@ -360,6 +388,8 @@ func (t *AsyncPBTrainer) Drain() []*Result {
 		case r := <-t.resCh:
 			rs = append(rs, r)
 		case <-t.donePing:
+		case <-done:
+			return t.harvest(rs), ctx.Err()
 		}
 	}
 	rs = t.harvest(rs)
@@ -367,7 +397,7 @@ func (t *AsyncPBTrainer) Drain() []*Result {
 		t.wallNs += time.Since(t.started).Nanoseconds()
 		t.running = false
 	}
-	return rs
+	return rs, nil
 }
 
 // Close terminates the stage goroutines. Idempotent; in-flight samples are
@@ -381,30 +411,44 @@ func (t *AsyncPBTrainer) Close() {
 	t.wg.Wait()
 }
 
-// Utilization reports how busy the available workers were: the summed
-// per-stage compute time divided by (min(S, GOMAXPROCS) × wall time),
-// where wall time covers only the active windows between first Submit and
-// Drain. With at least S cores this is the paper's notion of worker
-// utilization; on fewer cores it measures the useful-work share of the
-// cores actually available. The busy windows are self-timed wall clock, so
-// when the runtime is oversubscribed (GOMAXPROCS above the physical core
-// count) descheduled time leaks in and the measure can drift slightly
-// above 1. Only valid with the pipeline quiesced. The samplesCompleted
-// argument is ignored (kept for Engine interface compatibility).
-func (t *AsyncPBTrainer) Utilization(samplesCompleted int) float64 {
-	_ = samplesCompleted
+// Stats snapshots the engine's accounting. Utilization reports how busy
+// the available workers were: the summed per-stage compute time divided by
+// (min(S, GOMAXPROCS) × wall time), where wall time covers only the active
+// windows between first Submit and Drain. With at least S cores this is the
+// paper's notion of worker utilization; on fewer cores it measures the
+// useful-work share of the cores actually available. The busy windows are
+// self-timed wall clock, so when the runtime is oversubscribed (GOMAXPROCS
+// above the physical core count) descheduled time leaks in and the measure
+// can drift slightly above 1. Steps is only meaningful in lockstep mode
+// (the free-running engine has no global step counter and reports 0). Only
+// valid with the pipeline quiesced.
+func (t *AsyncPBTrainer) Stats() Stats {
+	s := Stats{
+		Stages:    len(t.stages),
+		Submitted: t.submitted,
+		Completed: int(t.completed.Load()),
+	}
+	if t.Mode == ModeLockstep {
+		s.Steps = t.step
+	}
+	for _, st := range t.stages {
+		if st.maxObserved > s.MaxObservedDelay {
+			s.MaxObservedDelay = st.maxObserved
+		}
+	}
 	if t.wallNs == 0 {
-		return 0
+		return s
 	}
 	var busy int64
-	for _, s := range t.stages {
-		busy += s.busyNs
+	for _, st := range t.stages {
+		busy += st.busyNs
 	}
 	workers := len(t.stages)
 	if p := runtime.GOMAXPROCS(0); p < workers {
 		workers = p
 	}
-	return float64(busy) / (float64(workers) * float64(t.wallNs))
+	s.Utilization = float64(busy) / (float64(workers) * float64(t.wallNs))
+	return s
 }
 
 // complete records a sample's final update and wakes a waiting Drain.
@@ -622,7 +666,13 @@ func (t *AsyncPBTrainer) workerLock(i int) {
 			dx = st.runBackward(g, t.Cfg.Mitigation, bwdHorizonFor(t.Cfg.Mitigation, i), lr)
 			didBwd = true
 		}
-		st.busyNs += time.Since(t0).Nanoseconds()
+		if in != nil || g != nil {
+			// Only working rounds count as busy — and only their writes are
+			// ordered before the sample's final completion, which is what
+			// makes a post-Drain Stats read race-free: trailing empty drain
+			// rounds may still be in flight then.
+			st.busyNs += time.Since(t0).Nanoseconds()
+		}
 		if !last {
 			select {
 			case t.stages[i+1].fwdIn <- fwdOut:

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"testing"
 	"time"
@@ -47,11 +48,11 @@ func TestAsyncLockstepMatchesSequential(t *testing.T) {
 			for i := lo; i < hi; i++ {
 				x, y := train.Sample(i)
 				x2 := x.Clone()
-				nSeq += len(seq.Submit(x, y))
-				nAsy += len(asy.Submit(x2, y))
+				nSeq += len(submit(seq, x, y))
+				nAsy += len(submit(asy, x2, y))
 			}
-			nSeq += len(seq.Drain())
-			nAsy += len(asy.Drain())
+			nSeq += len(drain(seq))
+			nAsy += len(drain(asy))
 			return nSeq, nAsy
 		}
 
@@ -91,17 +92,17 @@ func TestAsyncLockstepResultsMatch(t *testing.T) {
 	for i := 0; i < train.Len(); i++ {
 		x, y := train.Sample(i)
 		x2 := x.Clone()
-		for _, r := range seq.Submit(x, y) {
+		for _, r := range submit(seq, x, y) {
 			bySeq[r.ID] = r
 		}
-		for _, r := range asy.Submit(x2, y) {
+		for _, r := range submit(asy, x2, y) {
 			byAsy[r.ID] = r
 		}
 	}
-	for _, r := range seq.Drain() {
+	for _, r := range drain(seq) {
 		bySeq[r.ID] = r
 	}
-	for _, r := range asy.Drain() {
+	for _, r := range drain(asy) {
 		byAsy[r.ID] = r
 	}
 	if len(bySeq) != train.Len() || len(byAsy) != train.Len() {
@@ -132,9 +133,9 @@ func TestAsyncFreeStalenessBounded(t *testing.T) {
 		completed := 0
 		for i := 0; i < train.Len(); i++ {
 			x, y := train.Sample(i)
-			completed += len(asy.Submit(x, y))
+			completed += len(submit(asy, x, y))
 		}
-		completed += len(asy.Drain())
+		completed += len(drain(asy))
 		if completed != train.Len() {
 			t.Fatalf("%s: completed %d of %d samples", mit.Name(), completed, train.Len())
 		}
@@ -165,9 +166,9 @@ func TestAsyncFreeTrains(t *testing.T) {
 	var rs []*Result
 	for i := 0; i < train.Len(); i++ {
 		x, y := train.Sample(i)
-		rs = append(rs, asy.Submit(x, y)...)
+		rs = append(rs, submit(asy, x, y)...)
 	}
-	rs = append(rs, asy.Drain()...)
+	rs = append(rs, drain(asy)...)
 	q := len(rs) / 4
 	early, late := 0.0, 0.0
 	for _, r := range rs[:q] {
@@ -202,7 +203,10 @@ func TestAsyncRunEpochAgreesWithSequential(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		loss, acc := RunEpoch(e, train, nil, nil, nil)
+		loss, acc, err := RunEpoch(context.Background(), e, train, nil, nil, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
 		e.Close()
 		runs[kind] = run{loss: loss, acc: acc, weights: net.SnapshotWeights()}
 	}
@@ -256,7 +260,7 @@ func TestAsyncSubmitAfterClosePanics(t *testing.T) {
 			}()
 			train, _ := data.GaussianBlobs(4, 2, 1, 0, 1, 0.5, 1)
 			x, y := train.Sample(0)
-			asy.Submit(x, y)
+			submit(asy, x, y)
 		}()
 	}
 }
@@ -271,7 +275,7 @@ func TestAsyncNoGoroutineLeak(t *testing.T) {
 		train, _ := data.GaussianBlobs(6, 3, 4, 0, 1, 0.5, 1)
 		for i := 0; i < train.Len(); i++ {
 			x, y := train.Sample(i)
-			asy.Submit(x, y) // leave the pipeline partially filled
+			submit(asy, x, y) // leave the pipeline partially filled
 		}
 		asy.Close()
 	}
@@ -301,9 +305,9 @@ func TestAsyncDrainPartial(t *testing.T) {
 		got := 0
 		for i := 0; i < train.Len(); i++ {
 			x, y := train.Sample(i)
-			got += len(asy.Submit(x, y))
+			got += len(submit(asy, x, y))
 		}
-		got += len(asy.Drain())
+		got += len(drain(asy))
 		if got != train.Len() {
 			t.Fatalf("%v: partial drain returned %d of %d results", mode, got, train.Len())
 		}
@@ -311,7 +315,7 @@ func TestAsyncDrainPartial(t *testing.T) {
 			t.Fatalf("%v: outstanding %d after drain", mode, asy.Outstanding())
 		}
 		// A second drain on the now-empty pipeline must be a cheap no-op.
-		if rs := asy.Drain(); len(rs) != 0 {
+		if rs := drain(asy); len(rs) != 0 {
 			t.Fatalf("%v: drain of empty pipeline returned %d results", mode, len(rs))
 		}
 		asy.Close()
@@ -333,18 +337,18 @@ func TestAsyncLockstepDrainBeforeSubmit(t *testing.T) {
 	asy := NewAsyncPBTrainer(netAsy, cfg, ModeLockstep)
 	defer asy.Close()
 
-	seq.Drain()
-	if rs := asy.Drain(); len(rs) != 0 {
+	drain(seq)
+	if rs := drain(asy); len(rs) != 0 {
 		t.Fatalf("pre-feed drain returned %d results", len(rs))
 	}
 	for i := 0; i < train.Len(); i++ {
 		x, y := train.Sample(i)
 		x2 := x.Clone()
-		seq.Submit(x, y)
-		asy.Submit(x2, y)
+		submit(seq, x, y)
+		submit(asy, x2, y)
 	}
-	seq.Drain()
-	asy.Drain()
+	drain(seq)
+	drain(asy)
 	ps, pa := netSeq.Params(), netAsy.Params()
 	for i := range ps {
 		if !ps[i].W.AllClose(pa[i].W, 0) {
@@ -359,7 +363,7 @@ func TestAsyncDrainAfterClose(t *testing.T) {
 	for _, mode := range asyncModes() {
 		asy := NewAsyncPBTrainer(models.DeepMLP(4, 4, 2, 2, 1), Config{LR: 0.01}, mode)
 		asy.Close()
-		if rs := asy.Drain(); rs != nil {
+		if rs := drain(asy); rs != nil {
 			t.Fatalf("%v: drain of closed empty engine returned %v", mode, rs)
 		}
 
@@ -367,14 +371,14 @@ func TestAsyncDrainAfterClose(t *testing.T) {
 			asy := NewAsyncPBTrainer(models.DeepMLP(6, 8, 6, 3, 1), Config{LR: 0.01}, mode)
 			train, _ := data.GaussianBlobs(6, 3, 2, 0, 1, 0.5, 1)
 			x, y := train.Sample(0)
-			asy.Submit(x, y) // in flight
+			submit(asy, x, y) // in flight
 			asy.Close()
 			defer func() {
 				if recover() == nil {
 					t.Fatalf("%v: expected panic on Drain after Close with in-flight samples", mode)
 				}
 			}()
-			asy.Drain()
+			drain(asy)
 		}()
 	}
 }
@@ -396,11 +400,11 @@ func TestAsyncSingleStage(t *testing.T) {
 		for i := 0; i < train.Len(); i++ {
 			x, y := train.Sample(i)
 			x2 := x.Clone()
-			seq.Submit(x, y)
-			got += len(asy.Submit(x2, y))
+			submit(seq, x, y)
+			got += len(submit(asy, x2, y))
 		}
-		seq.Drain()
-		got += len(asy.Drain())
+		drain(seq)
+		got += len(drain(asy))
 		if got != train.Len() {
 			t.Fatalf("%v: single-stage pipeline completed %d of %d", mode, got, train.Len())
 		}

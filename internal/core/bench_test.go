@@ -66,3 +66,46 @@ func BenchmarkSGDBatch(b *testing.B) {
 		sgd.TrainEpoch(train, nil, nil, nil)
 	}
 }
+
+// benchEngine streams b.N samples through the named PB engine on the
+// 31-stage RN20-mini pipeline and reports training throughput and the
+// engine's utilization measure (DESIGN.md §4 / engine table). The async
+// engine must beat the barrier engines on samples/sec while keeping its
+// observed staleness within D_s per stage.
+func benchEngine(b *testing.B, kind string) {
+	b.Helper()
+	imgs := data.CIFAR10Like(8, 64, 0, 1)
+	train, _ := data.GenerateImages(imgs)
+	net := models.ResNet(models.MiniResNet(20, 4, 8, 10, 1))
+	eng, err := NewEngine(kind, net, ScaledConfig(0.05, 0.9, 32, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	done := 0
+	for i := 0; i < b.N; i++ {
+		x, y := train.Sample(i % train.Len())
+		done += len(submit(eng, x, y))
+	}
+	done += len(drain(eng))
+	b.StopTimer()
+	if done != b.N {
+		b.Fatalf("engine %s completed %d of %d samples", kind, done, b.N)
+	}
+	bound, got := eng.Delays(), eng.ObservedDelays()
+	for i := range bound {
+		if got[i] > bound[i] {
+			b.Fatalf("engine %s: stage %d staleness %d exceeds D_s=%d", kind, i, got[i], bound[i])
+		}
+	}
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(b.N)/s, "samples/sec")
+	}
+	b.ReportMetric(eng.Stats().Utilization, "utilization")
+}
+
+func BenchmarkEngine_Seq(b *testing.B)      { benchEngine(b, "seq") }
+func BenchmarkEngine_Lockstep(b *testing.B) { benchEngine(b, "lockstep") }
+func BenchmarkEngine_Async(b *testing.B)    { benchEngine(b, "async") }

@@ -201,7 +201,11 @@ func TestPBUtilizationApproachesOne(t *testing.T) {
 		pb.TrainEpoch(train, nil, nil, nil)
 		completed += train.Len()
 	}
-	util := pb.Utilization(completed)
+	st := pb.Stats()
+	if st.Completed != completed || st.Submitted != completed {
+		t.Fatalf("stats counted %d/%d samples, want %d", st.Completed, st.Submitted, completed)
+	}
+	util := st.Utilization
 	fdBound := UtilizationBound(1, net.NumStages())
 	if util <= fdBound {
 		t.Fatalf("PB utilization %v should far exceed the N=1 fill&drain bound %v", util, fdBound)
@@ -368,7 +372,7 @@ func TestResultsArriveInOrder(t *testing.T) {
 			lastID = r.ID
 		}
 	}
-	for _, r := range pb.Drain() {
+	for _, r := range drain(pb) {
 		if r.ID != lastID+1 {
 			t.Fatalf("out-of-order drain result: %d after %d", r.ID, lastID)
 		}

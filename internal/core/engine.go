@@ -1,8 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"sort"
+	"strings"
+	"sync"
 
 	"repro/internal/data"
 	"repro/internal/metrics"
@@ -10,8 +14,8 @@ import (
 	"repro/internal/tensor"
 )
 
-// Engine is the trainer interface shared by the three pipelined-
-// backpropagation engines:
+// Engine is the trainer interface shared by the pipelined-backpropagation
+// engines:
 //
 //   - "seq":      PBTrainer — single-threaded, cycle-accurate reference.
 //   - "lockstep": ParallelPBTrainer — goroutine per stage, global barrier
@@ -21,64 +25,164 @@ import (
 //   - "async-lockstep": AsyncPBTrainer in ModeLockstep — the async runtime
 //     driven as a deterministic systolic array; bit-identical to seq.
 //
+// Additional engines can be added with RegisterEngine.
+//
 // Submit feeds one sample and returns whatever results completed; the
 // engine takes ownership of x (its storage is recycled into the stage-0
 // buffer pool once the sample's final update is applied — get the next
 // input tensor from InputBuffer instead of reusing x). Drain quiesces the
-// pipeline. ObservedDelays and Utilization are only meaningful on a
-// quiesced pipeline.
+// pipeline.
+//
+// Submit and Drain observe ctx: when it is cancelled they stop blocking and
+// return ctx's error together with any results already collected (a nil ctx
+// is treated as context.Background()). A cancelled engine may still hold
+// in-flight samples; call Close to abandon them and release every engine
+// goroutine — cancellation plus Close never leaks.
+//
+// ObservedDelays and Stats are only meaningful on a quiesced pipeline
+// (after a completed Drain, or after Close).
 type Engine interface {
-	Submit(x *tensor.Tensor, label int) []*Result
+	Submit(ctx context.Context, x *tensor.Tensor, label int) ([]*Result, error)
 	// InputBuffer returns a tensor of the given shape for the next Submit,
 	// reusing a retired input buffer when one is available so steady-state
 	// feeding allocates nothing.
 	InputBuffer(shape ...int) *tensor.Tensor
-	Drain() []*Result
+	Drain(ctx context.Context) ([]*Result, error)
 	Close()
 	NumStages() int
 	Delays() []int
 	ObservedDelays() []int
-	Utilization(samplesCompleted int) float64
+	// Stats returns a snapshot of the engine's progress and utilization
+	// accounting. Only valid with the pipeline quiesced.
+	Stats() Stats
 }
 
-// EngineNames lists the accepted NewEngine selectors.
-var EngineNames = []string{"seq", "lockstep", "async", "async-lockstep"}
+// Stats is a point-in-time snapshot of an engine's accounting. It replaces
+// the old Utilization(samplesCompleted) call: engines count their own
+// completions now, so a snapshot needs no caller-supplied state.
+type Stats struct {
+	// Stages is the pipeline depth S.
+	Stages int
+	// Submitted counts samples accepted by Submit; Completed counts samples
+	// whose final (stage-0) weight update has been applied.
+	Submitted int
+	Completed int
+	// Steps counts pipeline steps driven, including fill/drain bubbles. The
+	// free-running async engine has no global step; it reports 0.
+	Steps int
+	// Utilization is the engine's own utilization measure: the fraction of
+	// fully utilized worker steps for the synchronous engines, measured
+	// busy-time share of the available cores for the free-running engine.
+	Utilization float64
+	// MaxObservedDelay is the largest forward→backward update gap seen at
+	// any stage (bounded by 2(S−1) — Eq. 5).
+	MaxObservedDelay int
+}
 
-// NewEngine constructs the named engine. Callers must Close it.
-func NewEngine(kind string, net *nn.Network, cfg Config) (Engine, error) {
-	switch kind {
-	case "", "seq":
-		return NewPBTrainer(net, cfg), nil
-	case "lockstep":
-		return NewParallelPBTrainer(net, cfg), nil
-	case "async":
-		return NewAsyncPBTrainer(net, cfg, ModeFree), nil
-	case "async-lockstep":
-		return NewAsyncPBTrainer(net, cfg, ModeLockstep), nil
+// EngineFactory constructs an engine over a staged network. Factories are
+// invoked by NewEngine; the caller owns (and must Close) the result.
+type EngineFactory func(net *nn.Network, cfg Config) Engine
+
+var (
+	engineMu       sync.RWMutex
+	engineRegistry = map[string]EngineFactory{}
+)
+
+// RegisterEngine adds a named engine factory to the registry used by
+// NewEngine and EngineNames. It panics on an empty name, a nil factory, or
+// a duplicate registration — engine names are load-time constants, so a
+// collision is a programming error, not a runtime condition.
+func RegisterEngine(name string, factory EngineFactory) {
+	if name == "" {
+		panic("core: RegisterEngine with empty name")
 	}
-	return nil, fmt.Errorf("core: unknown engine %q (want seq|lockstep|async|async-lockstep)", kind)
+	if factory == nil {
+		panic("core: RegisterEngine(" + name + ") with nil factory")
+	}
+	engineMu.Lock()
+	defer engineMu.Unlock()
+	if _, dup := engineRegistry[name]; dup {
+		panic("core: RegisterEngine(" + name + ") registered twice")
+	}
+	engineRegistry[name] = factory
+}
+
+// EngineNames lists the registered engine selectors, sorted.
+func EngineNames() []string {
+	engineMu.RLock()
+	defer engineMu.RUnlock()
+	names := make([]string, 0, len(engineRegistry))
+	for name := range engineRegistry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func init() {
+	RegisterEngine("seq", func(net *nn.Network, cfg Config) Engine {
+		return NewPBTrainer(net, cfg)
+	})
+	RegisterEngine("lockstep", func(net *nn.Network, cfg Config) Engine {
+		return NewParallelPBTrainer(net, cfg)
+	})
+	RegisterEngine("async", func(net *nn.Network, cfg Config) Engine {
+		return NewAsyncPBTrainer(net, cfg, ModeFree)
+	})
+	RegisterEngine("async-lockstep", func(net *nn.Network, cfg Config) Engine {
+		return NewAsyncPBTrainer(net, cfg, ModeLockstep)
+	})
+}
+
+// NewEngine constructs the named engine from the registry; the empty name
+// selects the sequential reference. Callers must Close the result.
+func NewEngine(kind string, net *nn.Network, cfg Config) (Engine, error) {
+	if kind == "" {
+		kind = "seq"
+	}
+	engineMu.RLock()
+	factory := engineRegistry[kind]
+	engineMu.RUnlock()
+	if factory == nil {
+		return nil, fmt.Errorf("core: unknown engine %q (want %s)", kind, strings.Join(EngineNames(), "|"))
+	}
+	return factory(net, cfg), nil
+}
+
+// ctxErr reports a context's error, treating nil as context.Background().
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
 }
 
 // Submit implements Engine for the sequential trainer: one Push plus one
 // pipeline Step.
-func (t *PBTrainer) Submit(x *tensor.Tensor, label int) []*Result {
+func (t *PBTrainer) Submit(ctx context.Context, x *tensor.Tensor, label int) ([]*Result, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 	t.Push(x, label)
 	if r := t.Step(); r != nil {
-		return []*Result{r}
+		return []*Result{r}, nil
 	}
-	return nil
+	return nil, nil
 }
 
 // Close implements Engine (no resources to release).
 func (t *PBTrainer) Close() {}
 
 // Submit implements Engine for the barrier-parallel trainer.
-func (t *ParallelPBTrainer) Submit(x *tensor.Tensor, label int) []*Result {
+func (t *ParallelPBTrainer) Submit(ctx context.Context, x *tensor.Tensor, label int) ([]*Result, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 	t.Push(x, label)
 	if r := t.Step(); r != nil {
-		return []*Result{r}
+		return []*Result{r}, nil
 	}
-	return nil
+	return nil, nil
 }
 
 // NumStages returns the pipeline depth S.
@@ -89,16 +193,38 @@ func (t *ParallelPBTrainer) InputBuffer(shape ...int) *tensor.Tensor {
 	return t.inner.InputBuffer(shape...)
 }
 
-// Utilization delegates to the step-based accounting of the inner trainer.
-func (t *ParallelPBTrainer) Utilization(samplesCompleted int) float64 {
-	return t.inner.Utilization(samplesCompleted)
-}
+// Stats delegates to the step-based accounting of the inner trainer.
+func (t *ParallelPBTrainer) Stats() Stats { return t.inner.Stats() }
+
+// augFallbackSeed seeds the RNG RunEpoch derives when an augmenter is
+// supplied without one — a fixed constant, so the no-RNG path is
+// deterministic run to run.
+const augFallbackSeed = 0x5eed
 
 // RunEpoch feeds one epoch of the dataset (in the order of perm, or
 // sequentially if perm is nil) through any engine, draining at the end, and
-// returns the mean training loss and accuracy. aug may be nil. This is the
-// engine-agnostic equivalent of PBTrainer.TrainEpoch.
-func RunEpoch(e Engine, ds *data.Dataset, perm []int, aug data.Augmenter, rng *rand.Rand) (meanLoss, acc float64) {
+// returns the mean training loss and accuracy. This is the engine-agnostic
+// training loop — every trainer in the repo (the train.Trainer façade, the
+// experiment runners, PBTrainer.TrainEpoch) funnels through it.
+//
+// aug may be nil. A non-nil augmenter with a nil rng used to crash deep
+// inside Augmenter.Apply; RunEpoch now derives a deterministic seeded RNG
+// instead (augFallbackSeed shifted by the engine's submitted-sample count,
+// so successive epochs on one engine draw fresh augmentations rather than
+// replaying the first epoch's), making augmented runs without an explicit
+// RNG reproducible. Pass your own rng whenever the draw stream matters.
+//
+// sink, when non-nil, receives every completed sample's Result in
+// completion order, as soon as the engine reports it — the streaming hook
+// the callback layer builds on. ctx cancels the epoch: the partial means
+// and ctx's error are returned, with samples possibly still in flight
+// (Close the engine to abandon them).
+func RunEpoch(ctx context.Context, e Engine, ds *data.Dataset, perm []int, aug data.Augmenter, rng *rand.Rand, sink func(*Result)) (meanLoss, acc float64, err error) {
+	if aug != nil && rng == nil {
+		// The pipeline is quiesced between epochs, so Submitted is a stable,
+		// deterministic epoch offset here.
+		rng = rand.New(rand.NewSource(augFallbackSeed + int64(e.Stats().Submitted)))
+	}
 	var lossMeter metrics.Meter
 	correct, count := 0, 0
 	record := func(rs []*Result) {
@@ -108,7 +234,16 @@ func RunEpoch(e Engine, ds *data.Dataset, perm []int, aug data.Augmenter, rng *r
 			if r.Correct {
 				correct++
 			}
+			if sink != nil {
+				sink(r)
+			}
 		}
+	}
+	summarize := func(err error) (float64, float64, error) {
+		if count == 0 {
+			return 0, 0, err
+		}
+		return lossMeter.Mean(), float64(correct) / float64(count), err
 	}
 	n := ds.Len()
 	shape := append([]int{1}, ds.Shape...)
@@ -125,11 +260,13 @@ func RunEpoch(e Engine, ds *data.Dataset, perm []int, aug data.Augmenter, rng *r
 		// retired ones, so the steady-state loop allocates no inputs.
 		x := e.InputBuffer(shape...)
 		copy(x.Data, sample)
-		record(e.Submit(x, ds.Labels[idx]))
+		rs, serr := e.Submit(ctx, x, ds.Labels[idx])
+		record(rs)
+		if serr != nil {
+			return summarize(serr)
+		}
 	}
-	record(e.Drain())
-	if count == 0 {
-		return 0, 0
-	}
-	return lossMeter.Mean(), float64(correct) / float64(count)
+	rs, derr := e.Drain(ctx)
+	record(rs)
+	return summarize(derr)
 }

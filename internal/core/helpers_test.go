@@ -1,0 +1,26 @@
+package core
+
+import (
+	"context"
+
+	"repro/internal/tensor"
+)
+
+// submit and drain keep the pre-context test call sites concise: with a
+// background context an engine error is impossible, so any error here is a
+// harness bug worth failing loudly on.
+func submit(e Engine, x *tensor.Tensor, label int) []*Result {
+	rs, err := e.Submit(context.Background(), x, label)
+	if err != nil {
+		panic(err)
+	}
+	return rs
+}
+
+func drain(e Engine) []*Result {
+	rs, err := e.Drain(context.Background())
+	if err != nil {
+		panic(err)
+	}
+	return rs
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 
 	"repro/internal/nn"
@@ -121,6 +122,7 @@ func (t *ParallelPBTrainer) backwardStage(i int) {
 		t.inner.backwardHorizon(i), t.inner.Cfg.lrAt(t.inner.updateStep))
 	if i == 0 {
 		t.inner.outstanding--
+		t.inner.completed++
 		recycleInput(&t.inner.inputFree, dx.X)
 	} else {
 		t.nextBwd[i-1] = dx
@@ -171,15 +173,22 @@ func (t *ParallelPBTrainer) signalAll(ph phase) {
 	}
 }
 
-// Drain completes all in-flight samples.
-func (t *ParallelPBTrainer) Drain() []*Result {
+// Drain completes all in-flight samples. A cancelled ctx stops the drain
+// early, returning the results collected so far and ctx's error.
+func (t *ParallelPBTrainer) Drain(ctx context.Context) ([]*Result, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 	var rs []*Result
 	for t.inner.outstanding > 0 {
+		if err := ctxErr(ctx); err != nil {
+			return rs, err
+		}
 		if r := t.Step(); r != nil {
 			rs = append(rs, r)
 		}
 	}
-	return rs
+	return rs, nil
 }
 
 // Close terminates the worker goroutines. The trainer is unusable after.

@@ -38,8 +38,8 @@ func TestParallelMatchesSequential(t *testing.T) {
 				t.Fatalf("%s: result mismatch at sample %d: %v vs %v", mit.Name(), i, rs, rp)
 			}
 		}
-		seq.Drain()
-		par.Drain()
+		drain(seq)
+		drain(par)
 
 		ps, pp := netSeq.Params(), netPar.Params()
 		for i := range ps {
@@ -61,7 +61,7 @@ func TestParallelObservedDelays(t *testing.T) {
 		par.Push(x, y)
 		par.Step()
 	}
-	par.Drain()
+	drain(par)
 	want := par.Delays()
 	got := par.ObservedDelays()
 	for i := range want {
@@ -120,9 +120,9 @@ func TestParallelDrainPartial(t *testing.T) {
 	got := 0
 	for i := 0; i < train.Len(); i++ {
 		x, y := train.Sample(i)
-		got += len(par.Submit(x, y))
+		got += len(submit(par, x, y))
 	}
-	got += len(par.Drain())
+	got += len(drain(par))
 	if got != train.Len() {
 		t.Fatalf("partial drain returned %d of %d results", got, train.Len())
 	}
@@ -135,7 +135,7 @@ func TestParallelDrainEmpty(t *testing.T) {
 	net := models.DeepMLP(4, 4, 2, 2, 1)
 	par := NewParallelPBTrainer(net, Config{LR: 0.01, Momentum: 0})
 	defer par.Close()
-	if rs := par.Drain(); len(rs) != 0 {
+	if rs := drain(par); len(rs) != 0 {
 		t.Fatal("drain of empty pipeline returned results")
 	}
 	if par.Outstanding() != 0 {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 
 	"repro/internal/data"
@@ -74,6 +75,7 @@ type PBTrainer struct {
 	// lossGrad carries the same-step backward input of the last stage.
 	pending     *inflight
 	outstanding int
+	completed   int
 	nextID      int
 	step        int
 	updateStep  int
@@ -275,6 +277,7 @@ func (t *PBTrainer) Step() *Result {
 		dx := st.runBackward(dIn, t.Cfg.Mitigation, t.backwardHorizon(i), t.Cfg.lrAt(t.updateStep))
 		if i == 0 {
 			t.outstanding--
+			t.completed++
 			recycleInput(&t.inputFree, dx.X)
 		} else {
 			t.bwd[i-1] = dx
@@ -319,33 +322,55 @@ func (s *stageState) pop() stageCtx {
 }
 
 // Drain advances the pipeline without feeding new samples until every
-// in-flight sample has completed, returning their results.
-func (t *PBTrainer) Drain() []*Result {
+// in-flight sample has completed, returning their results. A cancelled ctx
+// stops the drain early, returning the results collected so far and ctx's
+// error; remaining samples stay in flight.
+func (t *PBTrainer) Drain(ctx context.Context) ([]*Result, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 	var rs []*Result
 	for t.outstanding > 0 {
+		if err := ctxErr(ctx); err != nil {
+			return rs, err
+		}
 		if r := t.Step(); r != nil {
 			rs = append(rs, r)
 		}
 	}
-	return rs
+	return rs, nil
 }
 
 // TrainEpoch feeds one epoch of the dataset (in the order of perm, or
 // sequentially if perm is nil) through the pipeline, draining at the end,
-// and returns the mean training loss and accuracy. aug may be nil.
+// and returns the mean training loss and accuracy. aug may be nil. It is
+// RunEpoch without cancellation or streaming — the convenience form tests
+// and ablations use.
 func (t *PBTrainer) TrainEpoch(ds *data.Dataset, perm []int, aug data.Augmenter, rng *rand.Rand) (meanLoss, acc float64) {
-	return RunEpoch(t, ds, perm, aug, rng)
+	meanLoss, acc, _ = RunEpoch(context.Background(), t, ds, perm, aug, rng, nil)
+	return meanLoss, acc
 }
 
-// Utilization returns the fraction of fully utilized worker steps over the
-// trainer's lifetime: each of the S workers can do one forward plus one
-// backward per step; a completed sample contributes 2S work units.
-func (t *PBTrainer) Utilization(samplesCompleted int) float64 {
-	if t.Steps == 0 {
-		return 0
+// Stats snapshots the step-based accounting: utilization is the fraction of
+// fully utilized worker steps over the trainer's lifetime — each of the S
+// workers can do one forward plus one backward per step, and a completed
+// sample contributes 2S work units.
+func (t *PBTrainer) Stats() Stats {
+	s := Stats{
+		Stages:    len(t.stages),
+		Submitted: t.nextID,
+		Completed: t.completed,
+		Steps:     t.Steps,
 	}
-	capacity := float64(2 * len(t.stages) * t.Steps)
-	return float64(2*len(t.stages)*samplesCompleted) / capacity
+	if t.Steps > 0 {
+		s.Utilization = float64(2*len(t.stages)*t.completed) / float64(2*len(t.stages)*t.Steps)
+	}
+	for _, st := range t.stages {
+		if st.maxObserved > s.MaxObservedDelay {
+			s.MaxObservedDelay = st.maxObserved
+		}
+	}
+	return s
 }
 
 // StageOptimizer exposes stage i's optimizer (for checkpointing and

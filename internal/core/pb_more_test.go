@@ -82,10 +82,10 @@ func TestGradShrinkScalesUpdates(t *testing.T) {
 	trB := NewPBTrainer(netB, Config{LR: 0.1, Momentum: 0, Mitigation: Mitigation{GradShrink: gamma}})
 	x, y := train.Sample(0)
 	trA.Push(x.Clone(), y)
-	trA.Drain()
+	drain(trA)
 	x2, y2 := train.Sample(0)
 	trB.Push(x2, y2)
-	trB.Drain()
+	drain(trB)
 
 	delays := StageDelays(netA.NumStages())
 	pa, pb := netA.Params(), netB.Params()

@@ -21,9 +21,9 @@ func feedHalves(e Engine, train *data.Dataset, compare func(point string)) {
 		for i := lo; i < hi; i++ {
 			x := e.InputBuffer(shape...)
 			copy(x.Data, train.Samples[i])
-			e.Submit(x, train.Labels[i])
+			submit(e, x, train.Labels[i])
 		}
-		e.Drain()
+		drain(e)
 	}
 	feed(0, n/2)
 	compare("mid-training drain")
@@ -54,11 +54,11 @@ func TestPooledMatchesUnpooledMLP(t *testing.T) {
 		for i := 0; i < n; i++ {
 			x, y := train.Sample(i)
 			x2 := x.Clone()
-			pooled.Submit(x, y)
-			unpooled.Submit(x2, y)
+			submit(pooled, x, y)
+			submit(unpooled, x2, y)
 		}
-		pooled.Drain()
-		unpooled.Drain()
+		drain(pooled)
+		drain(unpooled)
 		pp, pu := netP.Params(), netU.Params()
 		for i := range pp {
 			if !pp[i].W.AllClose(pu[i].W, 0) {
@@ -166,7 +166,7 @@ func TestEngineSteadyStateAllocs(t *testing.T) {
 		submit := func() {
 			x := eng.InputBuffer(shape...)
 			copy(x.Data, train.Samples[i%train.Len()])
-			eng.Submit(x, train.Labels[i%train.Len()])
+			submit(eng, x, train.Labels[i%train.Len()])
 			i++
 		}
 		for w := 0; w < 3*train.Len(); w++ {
@@ -175,7 +175,7 @@ func TestEngineSteadyStateAllocs(t *testing.T) {
 		if allocs := testing.AllocsPerRun(100, submit); allocs > tc.budget {
 			t.Errorf("%s engine: %v allocs per sample, budget %v", tc.kind, allocs, tc.budget)
 		}
-		eng.Drain()
+		drain(eng)
 		eng.Close()
 	}
 }

@@ -5,6 +5,11 @@ import "math/rand"
 // Augmenter produces a randomized training view of a sample. The paper's
 // CIFAR experiments use 4-pixel pad-and-crop plus horizontal flips
 // (He et al. 2016a); PadCropFlip reproduces that at any image size.
+//
+// Randomized augmenters need a non-nil rng; implementations must reject a
+// nil one with a clear panic rather than crash on a nil dereference.
+// (core.RunEpoch derives a deterministic seeded RNG when its caller passes
+// an augmenter without one, so the training loops never hit that panic.)
 type Augmenter interface {
 	Apply(sample []float64, rng *rand.Rand) []float64
 }
@@ -21,8 +26,12 @@ type PadCropFlip struct {
 	Channels, Size, Pad int
 }
 
-// Apply implements Augmenter.
+// Apply implements Augmenter. rng must be non-nil: the crop offsets and the
+// flip are random draws.
 func (a PadCropFlip) Apply(sample []float64, rng *rand.Rand) []float64 {
+	if rng == nil {
+		panic("data: PadCropFlip.Apply needs a non-nil rng (seed one with rand.New, or let core.RunEpoch derive its default)")
+	}
 	c, s, p := a.Channels, a.Size, a.Pad
 	dx := rng.Intn(2*p+1) - p
 	dy := rng.Intn(2*p+1) - p

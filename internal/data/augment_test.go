@@ -1,0 +1,48 @@
+package data
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestPadCropFlipNilRNGPanics pins the contract: a randomized augmenter
+// must reject a nil RNG with a message naming the fix, not crash on a nil
+// dereference deep inside the draw.
+func TestPadCropFlipNilRNGPanics(t *testing.T) {
+	a := PadCropFlip{Channels: 1, Size: 4, Pad: 1}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected panic on nil rng")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "non-nil rng") {
+			t.Fatalf("panic %v does not explain the nil rng", r)
+		}
+	}()
+	a.Apply(make([]float64, 16), nil)
+}
+
+func TestNoAugmentIgnoresNilRNG(t *testing.T) {
+	sample := []float64{1, 2, 3}
+	out := NoAugment{}.Apply(sample, nil)
+	for i := range sample {
+		if out[i] != sample[i] {
+			t.Fatal("NoAugment changed the sample")
+		}
+	}
+}
+
+func TestPadCropFlipPreservesShape(t *testing.T) {
+	a := PadCropFlip{Channels: 2, Size: 4, Pad: 1}
+	rng := rand.New(rand.NewSource(1))
+	sample := make([]float64, 2*4*4)
+	for i := range sample {
+		sample[i] = float64(i)
+	}
+	out := a.Apply(sample, rng)
+	if len(out) != len(sample) {
+		t.Fatalf("augmented length %d, want %d", len(out), len(sample))
+	}
+}

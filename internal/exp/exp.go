@@ -6,6 +6,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -15,7 +16,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/models"
 	"repro/internal/nn"
-	"repro/internal/sched"
+	"repro/train"
 )
 
 // Scale selects the experiment size. The paper trained CIFAR-10/ImageNet for
@@ -56,14 +57,12 @@ func (s Scale) vggDiv() int { return 64 / s.Width }
 // RefHyper are the reference hyperparameters in the style of He et al.
 // (2016a), tuned once for the synthetic mini workloads at reference update
 // size RefBatch and reused — unscaled beyond Eq. 9 — by every method, which
-// is the paper's "no hyperparameter tuning" protocol.
-type RefHyper struct {
-	Eta, Momentum, WeightDecay float64
-	RefBatch                   int
-}
+// is the paper's "no hyperparameter tuning" protocol. It is the façade's
+// type: the experiment runners feed it straight into train.WithRefHyper.
+type RefHyper = train.RefHyper
 
 // DefaultRef is the reference setting used by all image experiments.
-var DefaultRef = RefHyper{Eta: 0.05, Momentum: 0.9, WeightDecay: 1e-4, RefBatch: 32}
+var DefaultRef = train.DefaultRef
 
 // MethodSpec names a training method: either the SGDM reference (mini-batch,
 // no pipeline) or PB with a mitigation preset. Engine selects the PB runtime
@@ -154,59 +153,42 @@ type TrainResult struct {
 }
 
 // RunMethod trains a network with the given method and returns the result.
-// Hyperparameters follow the paper's protocol: the SGDM reference uses
-// (Eta, Momentum) at RefBatch; PB uses the Eq. 9 scaling to update size one.
-// A He-style step decay fires at 50% and 75% of total updates.
-func RunMethod(build NetBuilder, train, test *data.Dataset, method MethodSpec,
+// It is a thin wrapper over the train.Trainer façade, which implements the
+// paper's protocol: the SGDM reference uses (Eta, Momentum) at RefBatch; PB
+// uses the Eq. 9 scaling to update size one. A He-style step decay fires at
+// 50% and 75% of total updates.
+func RunMethod(build NetBuilder, trainSet, testSet *data.Dataset, method MethodSpec,
 	ref RefHyper, epochs int, aug data.Augmenter, seed int64) TrainResult {
-	net := build(seed)
-	rng := rand.New(rand.NewSource(seed * 7919))
-	res := TrainResult{Stages: net.NumStages()}
-
-	evalAcc := func() (float64, float64) {
-		xs, ys := test.Batches(32)
-		l, a := net.Evaluate(xs, ys)
-		return l, a
+	opts := []train.Option{
+		train.WithEngine(method.Engine),
+		train.WithMitigations(method.Mit),
+		train.WithRefHyper(ref),
+		train.WithSeed(seed),
+		train.WithAugment(aug),
 	}
-
 	if method.SGDM {
-		updatesPerEpoch := (train.Len() + ref.RefBatch - 1) / ref.RefBatch
-		total := updatesPerEpoch * epochs
-		cfg := core.Config{LR: ref.Eta, Momentum: ref.Momentum, WeightDecay: ref.WeightDecay,
-			Schedule: sched.MultiStep{Base: ref.Eta, Milestones: []int{total / 2, total * 3 / 4}, Gamma: 0.1}}
-		tr := core.NewSGDTrainer(net, cfg, ref.RefBatch)
-		for e := 0; e < epochs; e++ {
-			tr.TrainEpoch(train, train.Perm(rng), aug, rng)
-			_, a := evalAcc()
-			res.Curve = append(res.Curve, a)
-		}
-	} else {
-		cfg := core.ScaledConfig(ref.Eta, ref.Momentum, ref.RefBatch, 1)
-		cfg.WeightDecay = ref.WeightDecay
-		cfg.Mitigation = method.Mit
-		total := train.Len() * epochs
-		cfg.Schedule = sched.MultiStep{Base: cfg.LR, Milestones: []int{total / 2, total * 3 / 4}, Gamma: 0.1}
-		eng, err := core.NewEngine(method.Engine, net, cfg)
-		if err != nil {
-			panic(err)
-		}
-		defer eng.Close()
-		for e := 0; e < epochs; e++ {
-			core.RunEpoch(eng, train, train.Perm(rng), aug, rng)
-			_, a := evalAcc()
-			res.Curve = append(res.Curve, a)
-		}
+		opts = append(opts, train.WithSGDM())
 	}
-	res.FinalLoss, res.FinalValAcc = evalAcc()
-	return res
+	tr := train.New(train.Builder(build), opts...)
+	defer tr.Close()
+	rep, err := tr.Fit(context.Background(), trainSet, testSet, epochs)
+	if err != nil {
+		panic(err)
+	}
+	return TrainResult{
+		FinalValAcc: rep.ValAcc,
+		FinalLoss:   rep.ValLoss,
+		Stages:      rep.Stages,
+		Curve:       rep.Curve,
+	}
 }
 
 // RunSeeds runs a method for several seeds and returns the accuracies (%).
-func RunSeeds(build NetBuilder, train, test *data.Dataset, method MethodSpec,
+func RunSeeds(build NetBuilder, trainSet, testSet *data.Dataset, method MethodSpec,
 	ref RefHyper, epochs, seeds int, aug data.Augmenter) []float64 {
 	var accs []float64
 	for s := 0; s < seeds; s++ {
-		r := RunMethod(build, train, test, method, ref, epochs, aug, int64(1000+s))
+		r := RunMethod(build, trainSet, testSet, method, ref, epochs, aug, int64(1000+s))
 		accs = append(accs, r.FinalValAcc*100)
 	}
 	return accs

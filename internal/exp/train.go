@@ -1,12 +1,12 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
 	"math/rand"
 	"runtime"
-	"time"
 
 	"repro/internal/core"
 	"repro/internal/data"
@@ -14,6 +14,7 @@ import (
 	"repro/internal/models"
 	"repro/internal/nn"
 	"repro/internal/optim"
+	"repro/train"
 )
 
 // cifarTask builds the synthetic CIFAR-10 stand-in at this scale. The
@@ -155,35 +156,25 @@ func Table6LWPForms(w io.Writer, s Scale) {
 // observed gradient staleness against the analytic bound D_0 = 2(S−1) —
 // the async engine must stay within the bound (DESIGN.md, engine table).
 func EngineThroughput(w io.Writer, s Scale) {
-	train, _, _ := cifarTask(s, 111)
+	trainSet, _, _ := cifarTask(s, 111)
 	build := func(seed int64) *nn.Network {
 		return models.ResNet(models.MiniResNet(20, s.Width, s.ImageSize, 10, seed))
 	}
 	stages := build(1).NumStages()
 	fmt.Fprintf(w, "Engine throughput — RN20-mini, %d stages, %d samples/epoch (scale=%s, GOMAXPROCS=%d)\n",
-		stages, train.Len(), s.Name, runtime.GOMAXPROCS(0))
+		stages, trainSet.Len(), s.Name, runtime.GOMAXPROCS(0))
 	tab := metrics.NewTable("ENGINE", "SAMPLES/SEC", "UTILIZATION", "MAX STALENESS", "BOUND 2(S-1)")
 	for _, kind := range []string{"seq", "lockstep", "async"} {
-		net := build(1)
-		cfg := core.ScaledConfig(DefaultRef.Eta, DefaultRef.Momentum, DefaultRef.RefBatch, 1)
-		eng, err := core.NewEngine(kind, net, cfg)
+		tr := train.New(build, train.WithEngine(kind), train.WithSeed(1))
+		rep, err := tr.Fit(context.Background(), trainSet, nil, 1)
 		if err != nil {
 			panic(err)
 		}
-		t0 := time.Now()
-		core.RunEpoch(eng, train, nil, nil, nil)
-		elapsed := time.Since(t0)
-		maxObs := 0
-		for _, d := range eng.ObservedDelays() {
-			if d > maxObs {
-				maxObs = d
-			}
-		}
 		tab.AddRow(kind,
-			fmt.Sprintf("%.0f", float64(train.Len())/elapsed.Seconds()),
-			fmt.Sprintf("%.3f", eng.Utilization(train.Len())),
-			maxObs, 2*(stages-1))
-		eng.Close()
+			fmt.Sprintf("%.0f", float64(rep.Samples)/rep.TrainDuration.Seconds()),
+			fmt.Sprintf("%.3f", rep.Utilization),
+			rep.MaxStaleness, 2*(stages-1))
+		tr.Close()
 	}
 	fmt.Fprint(w, tab.String())
 	fmt.Fprintln(w, "utilization: seq/lockstep count full worker-steps; async measures busy time on the available cores")

@@ -1,0 +1,83 @@
+package train_test
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/train"
+)
+
+// ExampleNew trains a small MLP pipeline on a blob task with the paper's
+// combined mitigation and reports the run's shape.
+func ExampleNew() {
+	trainSet, testSet := data.GaussianBlobs(8, 4, 64, 32, 3, 0.8, 11)
+	builder := func(seed int64) *nn.Network { return models.DeepMLP(8, 12, 3, 4, seed) }
+
+	tr := train.New(builder,
+		train.WithEngine("seq"),
+		train.WithSeed(2),
+		train.WithMitigations(core.LWPvDSCD),
+		train.WithRefHyper(train.RefHyper{Eta: 0.1, Momentum: 0.9, RefBatch: 16}))
+	defer tr.Close()
+
+	report, err := tr.Fit(context.Background(), trainSet, testSet, 2)
+	if err != nil {
+		fmt.Println("fit failed:", err)
+		return
+	}
+	fmt.Println("stages:", report.Stages)
+	fmt.Println("epochs:", report.Epochs)
+	fmt.Println("samples:", report.Samples)
+	fmt.Println("curve points:", len(report.Curve))
+	// Output:
+	// stages: 4
+	// epochs: 2
+	// samples: 128
+	// curve points: 2
+}
+
+// ExampleOnEpochEnd streams per-epoch progress through the hook system
+// instead of waiting for the final Report.
+func ExampleOnEpochEnd() {
+	trainSet, _ := data.GaussianBlobs(8, 4, 32, 0, 3, 0.8, 11)
+	builder := func(seed int64) *nn.Network { return models.DeepMLP(8, 12, 2, 4, seed) }
+
+	tr := train.New(builder,
+		train.OnEpochEnd(func(e train.EpochEvent) {
+			fmt.Printf("epoch %d trained %d samples\n", e.Epoch, e.Stats.Completed)
+		}))
+	defer tr.Close()
+
+	if _, err := tr.Fit(context.Background(), trainSet, nil, 3); err != nil {
+		fmt.Println("fit failed:", err)
+	}
+	// Output:
+	// epoch 1 trained 32 samples
+	// epoch 2 trained 64 samples
+	// epoch 3 trained 96 samples
+}
+
+// ExampleTrainer_Fit shows cancellation: a context cancelled from a sample
+// hook stops training mid-epoch and closes the engine cleanly.
+func ExampleTrainer_Fit() {
+	trainSet, _ := data.GaussianBlobs(8, 4, 128, 0, 3, 0.8, 11)
+	builder := func(seed int64) *nn.Network { return models.DeepMLP(8, 12, 2, 4, seed) }
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	tr := train.New(builder,
+		train.WithEngine("async"),
+		train.OnSampleDone(func(e train.SampleEvent) {
+			if e.Completed == 10 {
+				cancel()
+			}
+		}))
+	_, err := tr.Fit(ctx, trainSet, nil, 8)
+	fmt.Println("cancelled:", err == context.Canceled)
+	// Output:
+	// cancelled: true
+}

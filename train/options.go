@@ -1,0 +1,183 @@
+package train
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/sched"
+)
+
+// RefHyper are reference hyperparameters in the style of He et al. (2016a):
+// tuned once at reference update size RefBatch and reused by every method.
+// The Trainer applies the paper's Eq. 9 scaling to update size one for the
+// pipelined engines and uses them unscaled for the SGDM reference — the
+// paper's "no hyperparameter tuning" protocol.
+type RefHyper struct {
+	Eta, Momentum, WeightDecay float64
+	RefBatch                   int
+}
+
+// DefaultRef is the reference setting used by the repo's image experiments.
+var DefaultRef = RefHyper{Eta: 0.05, Momentum: 0.9, WeightDecay: 1e-4, RefBatch: 32}
+
+// Option configures a Trainer at construction. Invalid values are collected
+// and reported by the first Fit or Resume call, so New never fails.
+type Option func(*options)
+
+type options struct {
+	engine    string
+	mit       core.Mitigation
+	schedule  sched.Schedule
+	ref       RefHyper
+	workers   int
+	ckptEvery int
+	ckptPath  string
+	unpooled  bool
+	seed      int64
+	sgdm      bool
+	aug       data.Augmenter
+	evalBatch int
+
+	onSample []func(SampleEvent)
+	onEpoch  []func(EpochEvent)
+	onCkpt   []func(CheckpointEvent)
+
+	errs []error
+}
+
+func defaultOptions() options {
+	return options{engine: "seq", ref: DefaultRef, seed: 1, evalBatch: 32}
+}
+
+// WithEngine selects the pipelined-backpropagation runtime by registry name
+// (core.EngineNames lists them; "seq", "lockstep", "async" and
+// "async-lockstep" are built in). The empty string keeps the sequential
+// reference. Unknown names surface as an error from Fit, when the engine is
+// constructed.
+func WithEngine(name string) Option {
+	return func(o *options) { o.engine = name }
+}
+
+// WithMitigations applies a delay-mitigation preset (e.g. core.LWPvDSCD,
+// the paper's best combination) to the pipelined engines. Ignored by the
+// SGDM reference, which has no delay to mitigate.
+func WithMitigations(m core.Mitigation) Option {
+	return func(o *options) { o.mit = m }
+}
+
+// WithSchedule overrides the learning-rate schedule. By default the Trainer
+// installs the paper's He-style MultiStep decay, dropping the rate 10× at
+// 50% and 75% of the total planned updates (derived from the first Fit's
+// dataset size and epoch count).
+func WithSchedule(s sched.Schedule) Option {
+	return func(o *options) { o.schedule = s }
+}
+
+// WithRefHyper replaces the reference hyperparameters (DefaultRef
+// otherwise).
+func WithRefHyper(r RefHyper) Option {
+	return func(o *options) {
+		if r.RefBatch < 1 {
+			o.errs = append(o.errs, fmt.Errorf("train: RefHyper.RefBatch %d, want ≥ 1", r.RefBatch))
+			return
+		}
+		if r.Eta <= 0 {
+			o.errs = append(o.errs, fmt.Errorf("train: RefHyper.Eta %v, want > 0", r.Eta))
+			return
+		}
+		o.ref = r
+	}
+}
+
+// WithWorkers regroups the fine-grained pipeline onto n cost-balanced
+// workers before training (internal/partition), trading the shorter
+// delays of a coarse pipeline against worker specialization. Zero keeps
+// the fine-grained decomposition (every layer a stage).
+func WithWorkers(n int) Option {
+	return func(o *options) {
+		if n < 0 {
+			o.errs = append(o.errs, fmt.Errorf("train: %d workers, want ≥ 0", n))
+			return
+		}
+		o.workers = n
+	}
+}
+
+// WithCheckpointEvery saves a pipeline snapshot to path after every n
+// epochs (checkpoint.SavePipeline; atomic tmp+rename). The OnCheckpoint
+// hooks fire after each successful save. Resume restores such snapshots.
+func WithCheckpointEvery(n int, path string) Option {
+	return func(o *options) {
+		if n < 1 {
+			o.errs = append(o.errs, fmt.Errorf("train: checkpoint every %d epochs, want ≥ 1", n))
+			return
+		}
+		if path == "" {
+			o.errs = append(o.errs, fmt.Errorf("train: checkpoint path is empty"))
+			return
+		}
+		o.ckptEvery, o.ckptPath = n, path
+	}
+}
+
+// WithUnpooled disables the per-stage tensor arenas, allocating fresh
+// buffers for every operation exactly like the pre-pooling engines. Slower,
+// numerically identical — the reference mode the pooled-equivalence tests
+// compare against.
+func WithUnpooled() Option {
+	return func(o *options) { o.unpooled = true }
+}
+
+// WithSeed sets the run seed: the Builder is invoked with it, and the
+// epoch-permutation/augmentation RNG is derived from it (seed*7919, the
+// stream the experiment runners have always used). Default 1.
+func WithSeed(seed int64) Option {
+	return func(o *options) { o.seed = seed }
+}
+
+// WithSGDM trains with the paper's mini-batch SGDM reference (update size
+// RefBatch, no pipeline, no delay) instead of a pipelined engine. Engine,
+// mitigation, worker and unpooled options are ignored in this mode, and
+// per-sample hooks do not fire (the reference trainer reports per batch).
+func WithSGDM() Option {
+	return func(o *options) { o.sgdm = true }
+}
+
+// WithAugment applies a data augmentation policy to every training sample.
+// A nil augmenter is the same as not setting one.
+func WithAugment(aug data.Augmenter) Option {
+	return func(o *options) { o.aug = aug }
+}
+
+// OnSampleDone registers a callback streaming every completed training
+// sample in completion order — the live loss/accuracy feed. Callbacks run
+// on the Fit goroutine (between engine submissions), so they see a
+// quiescent Trainer but should return quickly.
+func OnSampleDone(fn func(SampleEvent)) Option {
+	return func(o *options) {
+		if fn != nil {
+			o.onSample = append(o.onSample, fn)
+		}
+	}
+}
+
+// OnEpochEnd registers a callback invoked after each epoch's drain (and
+// evaluation, when a test set was supplied).
+func OnEpochEnd(fn func(EpochEvent)) Option {
+	return func(o *options) {
+		if fn != nil {
+			o.onEpoch = append(o.onEpoch, fn)
+		}
+	}
+}
+
+// OnCheckpoint registers a callback invoked after each successful periodic
+// checkpoint save (see WithCheckpointEvery).
+func OnCheckpoint(fn func(CheckpointEvent)) Option {
+	return func(o *options) {
+		if fn != nil {
+			o.onCkpt = append(o.onCkpt, fn)
+		}
+	}
+}

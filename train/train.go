@@ -1,0 +1,374 @@
+// Package train is the public façade over the repo's pipelined-
+// backpropagation runtimes: a context-aware Trainer configured with
+// functional options, streaming progress through callbacks, with periodic
+// checkpointing and resume.
+//
+//	tr := train.New(builder,
+//		train.WithEngine("async"),
+//		train.WithMitigations(core.LWPvDSCD),
+//		train.OnEpochEnd(func(e train.EpochEvent) { fmt.Println(e.Epoch, e.ValAcc) }))
+//	defer tr.Close()
+//	report, err := tr.Fit(ctx, trainSet, testSet, epochs)
+//
+// Fit drives core.RunEpoch — the single training loop every consumer of the
+// engines shares — with the paper's hyperparameter protocol: reference
+// hyperparameters (RefHyper) are Eq. 9-scaled to update size one for the
+// pipelined engines, and a He-style MultiStep decay fires at 50% and 75% of
+// the planned updates unless WithSchedule overrides it. The deterministic
+// engines ("seq", "lockstep", "async-lockstep") produce bit-identical
+// weight trajectories through this façade for a given seed.
+//
+// Cancelling ctx mid-epoch stops the run at the next engine interaction,
+// closes the engine (unwinding every stage goroutine — no leaks), and
+// returns ctx's error with the partial Report.
+package train
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/nn"
+	"repro/internal/partition"
+	"repro/internal/sched"
+)
+
+// Builder constructs a fresh network for a seed. The Trainer invokes it
+// once, on the first Fit (or Resume-into-built), with the WithSeed value.
+type Builder func(seed int64) *nn.Network
+
+// Trainer owns one training run: a network built from its Builder, the
+// selected engine, and the RNG stream driving data order and augmentation.
+// It is not safe for concurrent use. Close releases the engine's
+// goroutines; a Trainer whose Fit was cancelled is closed automatically.
+type Trainer struct {
+	build Builder
+	o     options
+
+	net   *nn.Network
+	eng   core.Engine
+	sgd   *core.SGDTrainer
+	rng   *rand.Rand
+	built bool
+
+	// resume holds a snapshot loaded before the first Fit, applied once the
+	// engine exists.
+	resume *checkpoint.State
+
+	closed    bool
+	epochs    int // lifetime epochs completed
+	completed int // lifetime samples completed
+}
+
+// New builds a Trainer around a network Builder. Options validate lazily:
+// invalid values are reported by the first Fit or Resume call.
+func New(build Builder, opts ...Option) *Trainer {
+	t := &Trainer{build: build, o: defaultOptions()}
+	for _, opt := range opts {
+		if opt != nil {
+			opt(&t.o)
+		}
+	}
+	return t
+}
+
+// Network exposes the trained network (nil before the first Fit or Resume
+// builds it). Callers may evaluate it; mutating weights mid-Fit is
+// undefined.
+func (t *Trainer) Network() *nn.Network { return t.net }
+
+// Close releases the engine's goroutines, abandoning any in-flight
+// samples. Idempotent; the Trainer is unusable afterwards.
+func (t *Trainer) Close() {
+	if t.closed {
+		return
+	}
+	t.closed = true
+	if t.eng != nil {
+		t.eng.Close()
+	}
+}
+
+// precheck validates the call-independent state shared by Fit and Resume.
+func (t *Trainer) precheck(ctx context.Context) error {
+	if t.closed {
+		return errors.New("train: Trainer is closed")
+	}
+	if len(t.o.errs) > 0 {
+		return errors.Join(t.o.errs...)
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// scheduleOr returns the configured schedule, or the paper's MultiStep
+// default over the planned update count. A zero-epoch first Fit plans no
+// updates — milestones at {0, 0} would permanently decay the rate 100×
+// before the first real update — so that case falls back to a constant
+// rate; callers mixing a zero-epoch evaluation Fit with later training
+// should pass WithSchedule explicitly.
+func (t *Trainer) scheduleOr(base float64, totalUpdates int) sched.Schedule {
+	if t.o.schedule != nil {
+		return t.o.schedule
+	}
+	if totalUpdates <= 0 {
+		return sched.Constant{Base: base}
+	}
+	return sched.MultiStep{Base: base, Milestones: []int{totalUpdates / 2, totalUpdates * 3 / 4}, Gamma: 0.1}
+}
+
+// ensureBuilt constructs the network, RNG stream and trainer/engine on the
+// first Fit. The default LR schedule is sized from this Fit's dataset and
+// epoch count; later Fit calls continue on the same engine and schedule.
+func (t *Trainer) ensureBuilt(trainSet *data.Dataset, epochs int) error {
+	if t.built {
+		return nil
+	}
+	if t.build == nil {
+		return errors.New("train: nil Builder")
+	}
+	net := t.build(t.o.seed)
+	if net == nil {
+		return errors.New("train: Builder returned a nil network")
+	}
+	if t.o.workers > 0 {
+		if t.o.workers > net.NumStages() {
+			return fmt.Errorf("train: %d workers exceed the pipeline's %d fine-grained stages", t.o.workers, net.NumStages())
+		}
+		inShape := append([]int{1}, trainSet.Shape...)
+		net, _ = partition.Balance(net, inShape, t.o.workers)
+	}
+	t.rng = rand.New(rand.NewSource(t.o.seed * 7919))
+	n := trainSet.Len()
+	ref := t.o.ref
+	if t.o.sgdm {
+		updatesPerEpoch := (n + ref.RefBatch - 1) / ref.RefBatch
+		cfg := core.Config{
+			LR: ref.Eta, Momentum: ref.Momentum, WeightDecay: ref.WeightDecay,
+			Schedule: t.scheduleOr(ref.Eta, updatesPerEpoch*epochs),
+		}
+		t.sgd = core.NewSGDTrainer(net, cfg, ref.RefBatch)
+	} else {
+		cfg := core.ScaledConfig(ref.Eta, ref.Momentum, ref.RefBatch, 1)
+		cfg.WeightDecay = ref.WeightDecay
+		cfg.Mitigation = t.o.mit
+		cfg.Unpooled = t.o.unpooled
+		cfg.Schedule = t.scheduleOr(cfg.LR, n*epochs)
+		eng, err := core.NewEngine(t.o.engine, net, cfg)
+		if err != nil {
+			return err
+		}
+		t.eng = eng
+	}
+	t.net = net
+	t.built = true
+	if t.resume != nil {
+		st := t.resume
+		t.resume = nil
+		if err := t.applyState(st); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// applyState restores a snapshot into the built trainer.
+func (t *Trainer) applyState(st *checkpoint.State) error {
+	if t.sgd != nil {
+		if len(st.Stages) > 0 {
+			// A pipeline snapshot keeps its optimizer state per stage and
+			// its step counter in sample units; loading it into the
+			// batch-stepped SGDM trainer would "succeed" with zeroed
+			// momentum and a wrong schedule position. Refuse loudly.
+			return fmt.Errorf("train: snapshot holds per-stage pipeline state (engine %q); this Trainer is SGDM — resume it with a pipeline engine instead", st.Meta["engine"])
+		}
+		if err := checkpoint.Restore(st, t.net, t.sgd.Optimizer()); err != nil {
+			return err
+		}
+		t.sgd.SetStep(st.Step)
+		return nil
+	}
+	pt, ok := t.eng.(checkpoint.PipelineTrainer)
+	if !ok {
+		return fmt.Errorf("train: engine %q does not support checkpoint restore", t.o.engine)
+	}
+	return checkpoint.RestorePipeline(st, t.net, pt)
+}
+
+// Resume loads a snapshot saved by WithCheckpointEvery (or the checkpoint
+// package) into the Trainer: weights, per-stage optimizer state and the
+// LR-schedule position. Called before the first Fit it defers the restore
+// until the engine exists; called between Fits it restores immediately
+// (the pipeline is drained between epochs, as the checkpoint contract
+// requires). The data-order RNG is not part of a snapshot: a resumed run
+// replays the permutation stream from its seed.
+func (t *Trainer) Resume(ctx context.Context, path string) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := t.precheck(ctx); err != nil {
+		return err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("train: resume: %w", err)
+	}
+	defer f.Close()
+	st, err := checkpoint.Read(f)
+	if err != nil {
+		return fmt.Errorf("train: resume %s: %w", path, err)
+	}
+	if !t.built {
+		t.resume = st
+		return nil
+	}
+	return t.applyState(st)
+}
+
+// Checkpoint writes a snapshot of the current training state (weights,
+// optimizer state, LR-schedule position) to path, exactly like the
+// periodic WithCheckpointEvery saves. The Trainer must have been built by
+// a Fit or Resume, and the pipeline is quiesced between Fit calls — call
+// it there.
+func (t *Trainer) Checkpoint(path string) error {
+	if t.closed {
+		return errors.New("train: Trainer is closed")
+	}
+	if !t.built {
+		return errors.New("train: nothing to checkpoint before the first Fit or Resume")
+	}
+	meta := map[string]string{"engine": t.o.engine, "epoch": fmt.Sprint(t.epochs)}
+	if t.sgd != nil {
+		meta["engine"] = "sgdm"
+		return checkpoint.Save(path, t.net, t.sgd.Optimizer(), t.sgd.Step(), meta)
+	}
+	pt, ok := t.eng.(checkpoint.PipelineTrainer)
+	if !ok {
+		return fmt.Errorf("train: engine %q does not support checkpointing", t.o.engine)
+	}
+	return checkpoint.SavePipeline(path, t.net, pt, meta)
+}
+
+// Fit trains for the given number of epochs, evaluating on testSet after
+// each (pass nil to skip evaluation), and returns a Report of what this
+// call completed. The first Fit builds the network and engine; later calls
+// continue training the same state. On ctx cancellation Fit closes the
+// Trainer — every engine goroutine unwinds — and returns ctx's error
+// alongside the partial Report.
+func (t *Trainer) Fit(ctx context.Context, trainSet, testSet *data.Dataset, epochs int) (Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var rep Report
+	if err := t.precheck(ctx); err != nil {
+		return rep, err
+	}
+	if trainSet == nil || trainSet.Len() == 0 {
+		return rep, errors.New("train: empty training set")
+	}
+	if epochs < 0 {
+		return rep, fmt.Errorf("train: %d epochs, want ≥ 0", epochs)
+	}
+	if err := t.ensureBuilt(trainSet, epochs); err != nil {
+		return rep, err
+	}
+	rep.Stages = t.net.NumStages()
+
+	eval := func() (loss, acc float64, ok bool) {
+		if testSet == nil || testSet.Len() == 0 {
+			return 0, 0, false
+		}
+		xs, ys := testSet.Batches(t.o.evalBatch)
+		loss, acc = t.net.Evaluate(xs, ys)
+		return loss, acc, true
+	}
+
+	for e := 0; e < epochs; e++ {
+		if err := ctx.Err(); err != nil {
+			t.Close()
+			return rep, err
+		}
+		epoch := t.epochs + 1
+		sink := func(r *core.Result) {
+			t.completed++
+			rep.Samples++
+			for _, fn := range t.o.onSample {
+				fn(SampleEvent{Epoch: epoch, ID: r.ID, Loss: r.Loss, Correct: r.Correct, Completed: t.completed})
+			}
+		}
+		perm := trainSet.Perm(t.rng)
+		start := time.Now()
+		var trainLoss, trainAcc float64
+		var err error
+		if t.sgd != nil {
+			trainLoss, trainAcc = t.sgd.TrainEpoch(trainSet, perm, t.o.aug, t.rng)
+		} else {
+			trainLoss, trainAcc, err = core.RunEpoch(ctx, t.eng, trainSet, perm, t.o.aug, t.rng, sink)
+		}
+		elapsed := time.Since(start)
+		rep.TrainDuration += elapsed
+		if err != nil {
+			// Cancelled mid-epoch: abandon the in-flight samples and unwind
+			// the engine goroutines before handing control back.
+			t.Close()
+			return rep, err
+		}
+		if t.sgd != nil {
+			t.completed += trainSet.Len()
+			rep.Samples += trainSet.Len()
+		}
+		t.epochs++
+		rep.Epochs++
+		rep.TrainLoss, rep.TrainAcc = trainLoss, trainAcc
+
+		valLoss, valAcc, hasVal := eval()
+		if hasVal {
+			rep.Curve = append(rep.Curve, valAcc)
+			rep.ValLoss, rep.ValAcc = valLoss, valAcc
+		}
+		if len(t.o.onEpoch) > 0 {
+			ev := EpochEvent{
+				Epoch:     epoch,
+				TrainLoss: trainLoss, TrainAcc: trainAcc,
+				ValLoss: valLoss, ValAcc: valAcc, HasVal: hasVal,
+				Elapsed: elapsed,
+			}
+			if t.eng != nil {
+				ev.Stats = t.eng.Stats()
+			}
+			for _, fn := range t.o.onEpoch {
+				fn(ev)
+			}
+		}
+		if t.o.ckptEvery > 0 && t.epochs%t.o.ckptEvery == 0 {
+			if err := t.Checkpoint(t.o.ckptPath); err != nil {
+				return rep, err
+			}
+			for _, fn := range t.o.onCkpt {
+				fn(CheckpointEvent{Epoch: t.epochs, Path: t.o.ckptPath})
+			}
+		}
+	}
+	if epochs == 0 {
+		// A zero-epoch Fit still reports where the (possibly resumed)
+		// network stands.
+		if valLoss, valAcc, hasVal := eval(); hasVal {
+			rep.ValLoss, rep.ValAcc = valLoss, valAcc
+		}
+	}
+	if t.eng != nil {
+		st := t.eng.Stats()
+		rep.Utilization = st.Utilization
+		rep.MaxStaleness = st.MaxObservedDelay
+		rep.ObservedDelays = append([]int(nil), t.eng.ObservedDelays()...)
+	}
+	return rep, nil
+}
