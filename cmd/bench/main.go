@@ -1,0 +1,277 @@
+// Command bench runs the repo's kernel and engine benchmarks outside the
+// test harness and records the results as JSON, so the performance
+// trajectory of the compute layer is versioned alongside the code:
+//
+//	go run ./cmd/bench -out .
+//
+// writes BENCH_kernels.json (tensor-kernel microbenchmarks: reference
+// scalar vs blocked vs blocked+workers) and BENCH_engines.json (streaming
+// samples/sec per engine at the machine's worker budget). Passing -prev
+// with an earlier BENCH_engines.json carries its "current" block forward as
+// "previous", recording a before/after pair. The schema is documented in
+// DESIGN.md §9.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/models"
+	"repro/internal/tensor"
+)
+
+// Result is one benchmark record of the BENCH_*.json schema (v1).
+type Result struct {
+	Name          string  `json:"name"`
+	Workers       int     `json:"workers"`
+	Iters         int     `json:"iters"`
+	NsPerOp       float64 `json:"ns_per_op"`
+	AllocsPerOp   int64   `json:"allocs_per_op"`
+	BytesPerOp    int64   `json:"bytes_per_op"`
+	SamplesPerSec float64 `json:"samples_per_sec,omitempty"` // engines only
+}
+
+// File is the top-level BENCH_*.json schema (v1): environment, the run's
+// results, and optionally the previous run's results for a before/after.
+type File struct {
+	Schema     string    `json:"schema"`
+	GOOS       string    `json:"goos"`
+	GOARCH     string    `json:"goarch"`
+	GoVersion  string    `json:"go_version"`
+	GOMAXPROCS int       `json:"gomaxprocs"`
+	Generated  time.Time `json:"generated"`
+	Note       string    `json:"note,omitempty"`
+	Current    []Result  `json:"current"`
+	Previous   *File     `json:"previous,omitempty"`
+}
+
+func newFile(note string) *File {
+	return &File{
+		Schema:     "repro/bench/v1",
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Generated:  time.Now().UTC(),
+		Note:       note,
+	}
+}
+
+// record runs one benchmark body under testing.Benchmark and appends it.
+func record(out *[]Result, name string, workers int, body func(b *testing.B)) {
+	r := testing.Benchmark(body)
+	res := Result{
+		Name:        name,
+		Workers:     workers,
+		Iters:       r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+	if v, ok := r.Extra["samples/sec"]; ok {
+		res.SamplesPerSec = v
+	}
+	*out = append(*out, res)
+	fmt.Printf("%-32s workers=%-2d %12.0f ns/op %6d allocs/op", name, workers, res.NsPerOp, res.AllocsPerOp)
+	if res.SamplesPerSec > 0 {
+		fmt.Printf(" %10.0f samples/sec", res.SamplesPerSec)
+	}
+	fmt.Println()
+}
+
+// kernelBenches measures the GEMM and conv kernels: the reference scalar
+// forms, the blocked serial forms (nil group), and the blocked forms on a
+// full-machine worker group.
+func kernelBenches() []Result {
+	var out []Result
+	par := tensor.NewParallel(runtime.GOMAXPROCS(0))
+	defer par.Close()
+	groups := []struct {
+		tag string
+		p   *tensor.Parallel
+	}{{"blocked", nil}, {fmt.Sprintf("workers%d", par.Workers()), par}}
+
+	mk := func(m, k, n int, seed int64) (a, b, dst *tensor.Tensor) {
+		a, b, dst = tensor.New(m, k), tensor.New(k, n), tensor.New(m, n)
+		fill(a, seed)
+		fill(b, seed+1)
+		return
+	}
+	// 64³ square GEMM: the conv-backward shape class.
+	a, b, dst := mk(64, 64, 64, 1)
+	record(&out, "MatMul64/reference", 1, func(bb *testing.B) {
+		bb.ReportAllocs()
+		for i := 0; i < bb.N; i++ {
+			tensor.MatMulInto(dst, a, b)
+		}
+	})
+	for _, g := range groups {
+		g := g
+		record(&out, "MatMul64/"+g.tag, g.p.Workers(), func(bb *testing.B) {
+			bb.ReportAllocs()
+			for i := 0; i < bb.N; i++ {
+				g.p.MatMulInto(dst, a, b)
+			}
+		})
+	}
+	// Row-vector a·bᵀ: the batch-size-one dense-forward shape class.
+	xv, wv, yv := tensor.New(1, 256), tensor.New(256, 256), tensor.New(1, 256)
+	fill(xv, 3)
+	fill(wv, 4)
+	record(&out, "DenseFwd1x256/reference", 1, func(bb *testing.B) {
+		bb.ReportAllocs()
+		for i := 0; i < bb.N; i++ {
+			tensor.MatMulTransBInto(yv, xv, wv)
+		}
+	})
+	for _, g := range groups {
+		g := g
+		record(&out, "DenseFwd1x256/"+g.tag, g.p.Workers(), func(bb *testing.B) {
+			bb.ReportAllocs()
+			for i := 0; i < bb.N; i++ {
+				g.p.MatMulTransBInto(yv, xv, wv)
+			}
+		})
+	}
+	// Conv forward+backward, ResNet-block geometry: scalar reference vs the
+	// fused blocked path, both on an arena so only the kernels differ.
+	x, w := tensor.New(1, 8, 16, 16), tensor.New(8, 8, 3, 3)
+	fill(x, 5)
+	fill(w, 6)
+	refAr := tensor.NewArena()
+	refDw := tensor.New(8, 8, 3, 3)
+	record(&out, "Conv8x16x16/reference", 1, func(bb *testing.B) {
+		bb.ReportAllocs()
+		for i := 0; i < bb.N; i++ {
+			y, cols := tensor.Conv2DForwardArena(refAr, x, w, nil, 1, 1, nil)
+			dx := tensor.Conv2DBackwardArena(refAr, y, w, cols, refDw, nil, x.Shape, 1, 1)
+			refAr.Put(y, dx)
+			refAr.Put(cols...)
+		}
+	})
+	for _, g := range groups {
+		g := g
+		ar := tensor.NewArena()
+		dw := tensor.New(8, 8, 3, 3)
+		record(&out, "Conv8x16x16/fused-"+g.tag, g.p.Workers(), func(bb *testing.B) {
+			bb.ReportAllocs()
+			for i := 0; i < bb.N; i++ {
+				y, cols := g.p.ConvForward(ar, x, w, nil, 1, 1, nil)
+				dx := g.p.ConvBackward(ar, y, w, cols, dw, nil, x.Shape, 1, 1)
+				ar.Put(y, dx)
+				ar.Put(cols...)
+			}
+		})
+	}
+	return out
+}
+
+func fill(t *tensor.Tensor, seed int64) {
+	v := float64(seed)
+	for i := range t.Data {
+		v = v*1664525 + 1013904223
+		if v > 1e12 {
+			v = v / 1e13
+		}
+		t.Data[i] = v / 1e9
+	}
+}
+
+// engineBenches streams samples through each PB engine on the RN20-mini
+// pipeline with the machine's cores as worker budget — the same workload as
+// BenchmarkEngine_* in internal/core.
+func engineBenches() []Result {
+	var out []Result
+	for _, kind := range []string{"seq", "lockstep", "async"} {
+		kind := kind
+		record(&out, "Engine_"+kind, runtime.GOMAXPROCS(0), func(bb *testing.B) {
+			imgs := data.CIFAR10Like(8, 64, 0, 1)
+			train, _ := data.GenerateImages(imgs)
+			net := models.ResNet(models.MiniResNet(20, 4, 8, 10, 1))
+			cfg := core.ScaledConfig(0.05, 0.9, 32, 1)
+			cfg.Workers = runtime.GOMAXPROCS(0)
+			eng, err := core.NewEngine(kind, net, cfg)
+			if err != nil {
+				panic(err)
+			}
+			defer eng.Close()
+			shape := append([]int{1}, train.Shape...)
+			bb.ReportAllocs()
+			bb.ResetTimer()
+			for i := 0; i < bb.N; i++ {
+				x := eng.InputBuffer(shape...)
+				copy(x.Data, train.Samples[i%train.Len()])
+				if _, err := eng.Submit(nil, x, train.Labels[i%train.Len()]); err != nil {
+					panic(err)
+				}
+			}
+			if _, err := eng.Drain(nil); err != nil {
+				panic(err)
+			}
+			bb.StopTimer()
+			if s := bb.Elapsed().Seconds(); s > 0 {
+				bb.ReportMetric(float64(bb.N)/s, "samples/sec")
+			}
+		})
+	}
+	return out
+}
+
+func writeFile(path string, f *File) {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		panic(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", path)
+}
+
+func loadPrev(path string) *File {
+	if path == "" {
+		return nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: -prev %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: -prev %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	f.Previous = nil // keep one level of history, not a chain
+	return &f
+}
+
+func main() {
+	out := flag.String("out", ".", "directory for BENCH_kernels.json / BENCH_engines.json")
+	prev := flag.String("prev", "", "earlier BENCH_engines.json whose results become the new file's previous block")
+	note := flag.String("note", "", "free-form annotation stored in the output files")
+	kernelsOnly := flag.Bool("kernels-only", false, "skip the engine benchmarks")
+	flag.Parse()
+
+	kf := newFile(*note)
+	kf.Current = kernelBenches()
+	writeFile(filepath.Join(*out, "BENCH_kernels.json"), kf)
+
+	if *kernelsOnly {
+		return
+	}
+	ef := newFile(*note)
+	ef.Current = engineBenches()
+	ef.Previous = loadPrev(*prev)
+	writeFile(filepath.Join(*out, "BENCH_engines.json"), ef)
+}

@@ -70,6 +70,7 @@ func main() {
 	refBatch := flag.Int("refbatch", 32, "reference batch size the hyperparameters were tuned for")
 	seed := flag.Int64("seed", 1, "random seed")
 	workers := flag.Int("workers", 0, "regroup the pipeline onto this many balanced workers (0 = fine-grained)")
+	kernelWorkers := flag.Int("kernel-workers", 0, "engine compute-worker budget, split between stage concurrency and intra-kernel parallelism (0 = serial kernels; results are bit-identical at any value)")
 	ckpt := flag.String("checkpoint", "", "save a resumable pipeline snapshot to this file after the final epoch")
 	resume := flag.String("resume", "", "resume weights/optimizer/schedule from this snapshot before training")
 	flag.Parse()
@@ -132,6 +133,12 @@ func main() {
 	if *workers > 0 && sgdm {
 		fail("-workers regroups the PB pipeline; the sgdm reference has no pipeline (drop -workers or pick a pb method)")
 	}
+	if *kernelWorkers < 0 {
+		fail("-kernel-workers %d, want ≥ 0", *kernelWorkers)
+	}
+	if *kernelWorkers > 0 && sgdm {
+		fail("-kernel-workers budgets the PB engines' kernels; the sgdm reference does not take it (drop -kernel-workers or pick a pb method)")
+	}
 	if *workers > fineStages {
 		fail("-workers %d exceeds the %d fine-grained stages of %s (engine %s runs one worker per stage at most)",
 			*workers, fineStages, *model, *engine)
@@ -168,6 +175,9 @@ func main() {
 	}
 	if *workers > 0 {
 		opts = append(opts, train.WithWorkers(*workers))
+	}
+	if *kernelWorkers > 0 {
+		opts = append(opts, train.WithKernelWorkers(*kernelWorkers))
 	}
 	if *ckpt != "" && *epochs > 0 {
 		opts = append(opts,

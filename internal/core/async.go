@@ -109,6 +109,8 @@ type AsyncPBTrainer struct {
 	stop      chan struct{}
 	wg        sync.WaitGroup
 	closed    bool
+	// pars are the per-stage kernel-worker groups (closed by Close).
+	pars []*tensor.Parallel
 
 	// Driver-local bookkeeping (single-goroutine).
 	submitted int
@@ -132,7 +134,7 @@ type AsyncPBTrainer struct {
 // NewAsyncPBTrainer builds the engine around the same per-stage state as
 // NewPBTrainer and starts one goroutine per stage.
 func NewAsyncPBTrainer(net *nn.Network, cfg Config, mode AsyncMode) *AsyncPBTrainer {
-	inner := NewPBTrainer(net, cfg) // reuse stage construction (optimizers, delays)
+	inner := newPBTrainer(net, cfg) // reuse stage construction (optimizers, delays)
 	s := len(inner.stages)
 	t := &AsyncPBTrainer{
 		Net:       net,
@@ -167,6 +169,10 @@ func NewAsyncPBTrainer(net *nn.Network, cfg Config, mode AsyncMode) *AsyncPBTrai
 		}
 		t.stages = append(t.stages, as)
 	}
+	// Every stage goroutine counts against the worker budget; the surplus
+	// becomes per-stage kernel workers, front-loaded onto the early stages,
+	// whose kernels dominate the uneven per-stage FLOPs (workers.go).
+	t.pars = attachPerStageKernelWorkers(inner.stages, cfg.Workers)
 	for i := range t.stages {
 		t.wg.Add(1)
 		if mode == ModeLockstep {
@@ -409,6 +415,7 @@ func (t *AsyncPBTrainer) Close() {
 	t.closed = true
 	close(t.stop)
 	t.wg.Wait()
+	closeParallels(t.pars)
 }
 
 // Stats snapshots the engine's accounting. Utilization reports how busy

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"runtime"
 	"testing"
 
 	"repro/internal/data"
@@ -77,7 +78,11 @@ func benchEngine(b *testing.B, kind string) {
 	imgs := data.CIFAR10Like(8, 64, 0, 1)
 	train, _ := data.GenerateImages(imgs)
 	net := models.ResNet(models.MiniResNet(20, 4, 8, 10, 1))
-	eng, err := NewEngine(kind, net, ScaledConfig(0.05, 0.9, 32, 1))
+	cfg := ScaledConfig(0.05, 0.9, 32, 1)
+	// Budget the machine's cores; the engine splits them between stage
+	// concurrency and intra-kernel workers (results are unaffected).
+	cfg.Workers = runtime.GOMAXPROCS(0)
+	eng, err := NewEngine(kind, net, cfg)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -143,6 +143,16 @@ type Config struct {
 	// equality tests and for debugging; training is slower but numerically
 	// identical.
 	Unpooled bool
+	// Workers is the engine's compute-worker budget: the total number of
+	// concurrently busy goroutines the engine may use for stage compute,
+	// split between pipeline-stage concurrency and intra-kernel parallelism
+	// (tensor.Parallel). The sequential engine runs stages one at a time, so
+	// its whole budget becomes one shared kernel group; the concurrent
+	// engines reserve one worker per stage goroutine and spread the
+	// remainder as per-stage kernel workers, front-loaded onto the earliest
+	// stages (see kernelShares). 0 or 1 disables intra-kernel parallelism.
+	// Results are bit-identical at every setting (DESIGN.md §9).
+	Workers int
 }
 
 // ScaledConfig builds a Config from reference hyperparameters tuned at

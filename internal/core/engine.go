@@ -170,8 +170,9 @@ func (t *PBTrainer) Submit(ctx context.Context, x *tensor.Tensor, label int) ([]
 	return nil, nil
 }
 
-// Close implements Engine (no resources to release).
-func (t *PBTrainer) Close() {}
+// Close implements Engine: it releases the trainer's kernel-worker groups.
+// Idempotent; the trainer remains usable afterwards with serial kernels.
+func (t *PBTrainer) Close() { closeParallels(t.pars) }
 
 // Submit implements Engine for the barrier-parallel trainer.
 func (t *ParallelPBTrainer) Submit(ctx context.Context, x *tensor.Tensor, label int) ([]*Result, error) {

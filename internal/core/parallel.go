@@ -36,6 +36,8 @@ type ParallelPBTrainer struct {
 	// same-step loss handoff (last stage forward → last stage backward).
 	lossGrad *nn.Packet
 	result   *Result
+	// pars are the per-stage kernel-worker groups (closed by Close).
+	pars []*tensor.Parallel
 }
 
 // phase tells a worker which half-step to execute.
@@ -50,8 +52,12 @@ const (
 // NewParallelPBTrainer builds the concurrent engine around the same stage
 // state as NewPBTrainer.
 func NewParallelPBTrainer(net *nn.Network, cfg Config) *ParallelPBTrainer {
-	t := &ParallelPBTrainer{inner: NewPBTrainer(net, cfg)}
+	t := &ParallelPBTrainer{inner: newPBTrainer(net, cfg)}
 	s := len(t.inner.stages)
+	// All stages compute concurrently here, so the worker budget is split
+	// per stage: one worker for the stage goroutine itself plus its share of
+	// the surplus as kernel workers.
+	t.pars = attachPerStageKernelWorkers(t.inner.stages, cfg.Workers)
 	t.start = make([]chan phase, s)
 	t.done = make([]chan struct{}, s)
 	t.nextFwd = make([]*inflight, s)
@@ -199,6 +205,7 @@ func (t *ParallelPBTrainer) Close() {
 	t.stopped = true
 	t.signalAll(phaseStop)
 	t.wg.Wait()
+	closeParallels(t.pars)
 }
 
 // StageOptimizer, StageParams, StageUpdates, SetStageUpdates, UpdateStep and

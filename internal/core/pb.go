@@ -41,6 +41,10 @@ type stageState struct {
 	// arena is the stage's private buffer pool (nil = unpooled reference
 	// mode). Only the goroutine driving the stage may touch it.
 	arena *tensor.Arena
+	// par is the stage's intra-kernel worker group (nil = serial kernels).
+	// Engines assign it from Config.Workers — see attachKernelWorkers. Like
+	// the arena, it is only driven by the goroutine running the stage.
+	par *tensor.Parallel
 	// labelBuf backs the one-element label slice of the loss head, so the
 	// hot path does not allocate it per sample.
 	labelBuf [1]int
@@ -84,6 +88,8 @@ type PBTrainer struct {
 	// inputFree holds input tensors retired by stage 0's backward pass, for
 	// reuse by InputBuffer (bounded by maxFreeInputs).
 	inputFree []*tensor.Tensor
+	// pars are the kernel-worker groups this trainer owns (closed by Close).
+	pars []*tensor.Parallel
 }
 
 // NewPBTrainer builds the engine. The network's stages become pipeline
@@ -92,6 +98,17 @@ type PBTrainer struct {
 // every stage gets a private tensor arena so steady-state training reuses
 // all activation/gradient buffers.
 func NewPBTrainer(net *nn.Network, cfg Config) *PBTrainer {
+	t := newPBTrainer(net, cfg)
+	// The sequential engine drives stages one at a time, so the whole
+	// Config.Workers budget becomes one kernel group shared by every stage.
+	t.pars = attachSharedKernelWorkers(t.stages, cfg.Workers)
+	return t
+}
+
+// newPBTrainer builds the per-stage state without attaching kernel-worker
+// groups; the concurrent engines reuse it and split Config.Workers their
+// own way (see workers.go).
+func newPBTrainer(net *nn.Network, cfg Config) *PBTrainer {
 	s := net.NumStages()
 	delays := StageDelays(s)
 	t := &PBTrainer{Net: net, Cfg: cfg}

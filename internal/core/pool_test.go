@@ -84,9 +84,20 @@ func TestPooledMatchesUnpooledResNet(t *testing.T) {
 	ref := NewPBTrainer(netU, cfgU)
 	feedHalves(ref, train, func(string) {})
 
-	for _, kind := range []string{"seq", "lockstep", "async-lockstep"} {
+	// The kernel-worker variants prove the parallel blocked kernels leave
+	// the weight trajectory bit-identical: seq with its shared group, and
+	// the deterministic lockstep schedules with per-stage groups.
+	for _, tc := range []struct {
+		kind    string
+		workers int
+	}{
+		{"seq", 0}, {"lockstep", 0}, {"async-lockstep", 0},
+		{"seq", 4}, {"lockstep", 48}, {"async-lockstep", 48},
+	} {
 		netP := build()
-		eng, err := NewEngine(kind, netP, cfg)
+		cfgW := cfg
+		cfgW.Workers = tc.workers
+		eng, err := NewEngine(tc.kind, netP, cfgW)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -94,7 +105,8 @@ func TestPooledMatchesUnpooledResNet(t *testing.T) {
 		pp, pu := netP.Params(), netU.Params()
 		for i := range pp {
 			if !pp[i].W.AllClose(pu[i].W, 0) {
-				t.Fatalf("%s: pooled trajectory deviates from unpooled seq at %s", kind, pp[i].Name)
+				t.Fatalf("%s (workers=%d): pooled trajectory deviates from unpooled seq at %s",
+					tc.kind, tc.workers, pp[i].Name)
 			}
 		}
 		eng.Close()
@@ -109,31 +121,42 @@ func TestLayerSteadyStateAllocs(t *testing.T) {
 		t.Skip("allocation counts are inflated by race-detector instrumentation")
 	}
 	rng := rand.New(rand.NewSource(55))
+	// Dense and conv are sized so every GEMM/conv dispatch clears the
+	// parallel grain threshold (~16k MACs): the worker-group arm below must
+	// actually fan out, not fall back to the serial path.
 	cases := []struct {
 		name  string
 		layer nn.Layer
 		shape []int
 	}{
-		{"dense", nn.NewDense("fc", 16, 8, true, rng), []int{1, 16}},
-		{"conv", nn.NewConv2D("cv", 2, 4, 3, 1, 1, false, rng), []int{1, 2, 8, 8}},
+		{"dense", nn.NewDense("fc", 256, 128, true, rng), []int{1, 256}},
+		{"conv", nn.NewConv2D("cv", 8, 8, 3, 1, 1, false, rng), []int{1, 8, 16, 16}},
 		{"relu", nn.ReLU{}, []int{1, 64}},
 		{"groupnorm", nn.NewGroupNorm("gn", 4, 2), []int{1, 4, 6, 6}},
 	}
+	// Each case runs serially and through a kernel-worker group: parallel
+	// dispatch must add zero steady-state allocations (pre-spawned workers,
+	// no per-call channel or closure churn).
+	par := tensor.NewParallel(2)
+	defer par.Close()
 	for _, c := range cases {
-		ar := tensor.NewArena()
-		run := func() {
-			x := ar.Get(c.shape...)
-			y, ctx := c.layer.Forward(x, ar)
-			dy := ar.Get(y.Shape...)
-			ar.Put(y)
-			dx := c.layer.Backward(dy, ctx, ar)
-			ar.Put(dx)
-		}
-		for i := 0; i < 3; i++ {
-			run() // warm the arena and context pools
-		}
-		if allocs := testing.AllocsPerRun(20, run); allocs > 0 {
-			t.Errorf("%s: %v allocs per forward+backward, want 0", c.name, allocs)
+		for _, p := range []*tensor.Parallel{nil, par} {
+			ar := tensor.NewArena()
+			run := func() {
+				x := ar.Get(c.shape...)
+				y, ctx := c.layer.Forward(x, ar, p)
+				dy := ar.Get(y.Shape...)
+				ar.Put(y)
+				dx := c.layer.Backward(dy, ctx, ar, p)
+				ar.Put(dx)
+			}
+			for i := 0; i < 3; i++ {
+				run() // warm the arena and context pools
+			}
+			if allocs := testing.AllocsPerRun(20, run); allocs > 0 {
+				t.Errorf("%s (workers=%d): %v allocs per forward+backward, want 0",
+					c.name, p.Workers(), allocs)
+			}
 		}
 	}
 }
@@ -151,14 +174,21 @@ func TestEngineSteadyStateAllocs(t *testing.T) {
 	train, _ := data.GenerateImages(imgs)
 	shape := append([]int{1}, train.Shape...)
 	for _, tc := range []struct {
-		kind   string
-		budget float64
+		kind    string
+		workers int
+		budget  float64
 	}{
-		{"seq", 15},
-		{"async", 30}, // channel hops and runtime scheduling included
+		{"seq", 0, 15},
+		{"async", 0, 30}, // channel hops and runtime scheduling included
+		// Kernel-worker groups must not change the budget: dispatch reuses
+		// pre-spawned workers and a shared job slot (tensor.Parallel).
+		{"seq", 4, 15},
+		{"async", 40, 30},
 	} {
 		net := models.ResNet(models.MiniResNet(20, 4, 8, 10, 1))
-		eng, err := NewEngine(tc.kind, net, ScaledConfig(0.05, 0.9, 32, 1))
+		cfg := ScaledConfig(0.05, 0.9, 32, 1)
+		cfg.Workers = tc.workers
+		eng, err := NewEngine(tc.kind, net, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -173,7 +203,7 @@ func TestEngineSteadyStateAllocs(t *testing.T) {
 			submit() // fill the pipeline and warm every stage arena
 		}
 		if allocs := testing.AllocsPerRun(100, submit); allocs > tc.budget {
-			t.Errorf("%s engine: %v allocs per sample, budget %v", tc.kind, allocs, tc.budget)
+			t.Errorf("%s engine (workers=%d): %v allocs per sample, budget %v", tc.kind, tc.workers, allocs, tc.budget)
 		}
 		drain(eng)
 		eng.Close()

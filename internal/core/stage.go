@@ -62,7 +62,7 @@ func (st *stageState) runForward(in *inflight, mit Mitigation, horizon float64, 
 			pred[j] = st.opt.Predict(p, form, horizon)
 		}
 		old := swapIn(st.params, pred)
-		out, ctx := st.stage.Forward(in.packet, st.arena)
+		out, ctx := st.stage.Forward(in.packet, st.arena, st.par)
 		swapIn(st.params, old)
 		if mit.WeightStash {
 			usedWeights = pred
@@ -76,7 +76,7 @@ func (st *stageState) runForward(in *inflight, mit Mitigation, horizon float64, 
 			usedWeights[j] = p.Snapshot()
 		}
 	}
-	out, ctx := st.stage.Forward(in.packet, st.arena)
+	out, ctx := st.stage.Forward(in.packet, st.arena, st.par)
 	st.push(ctx, usedWeights, in.id)
 	return out
 }
@@ -93,7 +93,7 @@ func (st *stageState) runBackward(dIn *nn.Packet, mit Mitigation, bwdHorizon, lr
 	switch {
 	case c.stash != nil && len(st.params) > 0:
 		old := swapIn(st.params, c.stash)
-		dx = st.stage.Backward(dIn, c.ctx, st.arena)
+		dx = st.stage.Backward(dIn, c.ctx, st.arena, st.par)
 		swapIn(st.params, old)
 	case bwdHorizon > 0 && len(st.params) > 0:
 		pred := make([][]float64, len(st.params))
@@ -101,10 +101,10 @@ func (st *stageState) runBackward(dIn *nn.Packet, mit Mitigation, bwdHorizon, lr
 			pred[j] = st.opt.Predict(p, optim.LWPVelocity, bwdHorizon)
 		}
 		old := swapIn(st.params, pred)
-		dx = st.stage.Backward(dIn, c.ctx, st.arena)
+		dx = st.stage.Backward(dIn, c.ctx, st.arena, st.par)
 		swapIn(st.params, old)
 	default:
-		dx = st.stage.Backward(dIn, c.ctx, st.arena)
+		dx = st.stage.Backward(dIn, c.ctx, st.arena, st.par)
 	}
 	if gap := st.updates - c.fwdUpdates; gap > st.maxObserved {
 		st.maxObserved = gap

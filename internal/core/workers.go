@@ -1,0 +1,71 @@
+package core
+
+import "repro/internal/tensor"
+
+// This file splits Config.Workers — the engine's compute-worker budget —
+// between pipeline-stage concurrency and intra-kernel parallelism. The split
+// never changes results (tensor.Parallel kernels are bit-identical at any
+// worker count); it only decides which cores do the work.
+
+// kernelShares splits a worker budget across s concurrently running stage
+// goroutines, returning each stage's kernel-group size (≥ 1; 1 means the
+// stage goroutine computes its kernels serially). Each stage first counts
+// itself against the budget; the surplus is spread as evenly as possible
+// with the remainder front-loaded onto the earliest stages — in this repo's
+// conv pipelines the early stages own the largest spatial GEMMs, and stage
+// FLOPs shrink toward the head, so uneven leftovers go where the work is
+// (DESIGN.md §9).
+func kernelShares(total, s int) []int {
+	shares := make([]int, s)
+	for i := range shares {
+		shares[i] = 1
+	}
+	extra := total - s
+	if extra <= 0 {
+		return shares
+	}
+	base, rem := extra/s, extra%s
+	for i := range shares {
+		shares[i] += base
+		if i < rem {
+			shares[i]++
+		}
+	}
+	return shares
+}
+
+// attachSharedKernelWorkers gives every stage one shared kernel group of the
+// full budget — correct only for engines that run stages one at a time (the
+// sequential reference). Returns the groups to Close (nil when the budget
+// yields no parallelism).
+func attachSharedKernelWorkers(stages []*stageState, budget int) []*tensor.Parallel {
+	p := tensor.NewParallel(budget)
+	if p == nil {
+		return nil
+	}
+	for _, st := range stages {
+		st.par = p
+	}
+	return []*tensor.Parallel{p}
+}
+
+// attachPerStageKernelWorkers gives each concurrently running stage its own
+// kernel group sized by kernelShares. Returns the groups to Close.
+func attachPerStageKernelWorkers(stages []*stageState, budget int) []*tensor.Parallel {
+	shares := kernelShares(budget, len(stages))
+	var pars []*tensor.Parallel
+	for i, st := range stages {
+		if p := tensor.NewParallel(shares[i]); p != nil {
+			st.par = p
+			pars = append(pars, p)
+		}
+	}
+	return pars
+}
+
+// closeParallels releases every kernel-worker group an engine created.
+func closeParallels(pars []*tensor.Parallel) {
+	for _, p := range pars {
+		p.Close()
+	}
+}

@@ -165,7 +165,11 @@ func EngineThroughput(w io.Writer, s Scale) {
 		stages, trainSet.Len(), s.Name, runtime.GOMAXPROCS(0))
 	tab := metrics.NewTable("ENGINE", "SAMPLES/SEC", "UTILIZATION", "MAX STALENESS", "BOUND 2(S-1)")
 	for _, kind := range []string{"seq", "lockstep", "async"} {
-		tr := train.New(build, train.WithEngine(kind), train.WithSeed(1))
+		// Budget the machine's cores to each engine; the split between stage
+		// concurrency and intra-kernel workers is the engine's (DESIGN.md §9)
+		// and never changes results.
+		tr := train.New(build, train.WithEngine(kind), train.WithSeed(1),
+			train.WithKernelWorkers(runtime.GOMAXPROCS(0)))
 		rep, err := tr.Fit(context.Background(), trainSet, nil, 1)
 		if err != nil {
 			panic(err)

@@ -48,19 +48,19 @@ func (b *blockStart) getCtx(ar *tensor.Arena) *blockStartCtx {
 }
 
 // Forward implements nn.Stage.
-func (b *blockStart) Forward(p *nn.Packet, ar *tensor.Arena) (*nn.Packet, any) {
+func (b *blockStart) Forward(p *nn.Packet, ar *tensor.Arena, par *tensor.Parallel) (*nn.Packet, any) {
 	c := b.getCtx(ar)
-	q, pc := b.push.Forward(p, ar)
-	r, lc := b.layers.Forward(q, ar)
+	q, pc := b.push.Forward(p, ar, par)
+	r, lc := b.layers.Forward(q, ar, par)
 	c.pushCtx, c.layerCtx = pc, lc
 	return r, c
 }
 
 // Backward implements nn.Stage.
-func (b *blockStart) Backward(dp *nn.Packet, ctx any, ar *tensor.Arena) *nn.Packet {
+func (b *blockStart) Backward(dp *nn.Packet, ctx any, ar *tensor.Arena, par *tensor.Parallel) *nn.Packet {
 	c := ctx.(*blockStartCtx)
-	dq := b.layers.Backward(dp, c.layerCtx, ar)
-	out := b.push.Backward(dq, c.pushCtx, ar)
+	dq := b.layers.Backward(dp, c.layerCtx, ar, par)
+	out := b.push.Backward(dq, c.pushCtx, ar, par)
 	if ar != nil {
 		c.pushCtx, c.layerCtx = nil, nil
 		b.ctxFree = append(b.ctxFree, c)

@@ -43,7 +43,7 @@ func NewFRN(name string, c int) *FRN {
 func (f *FRN) Name() string { return f.nameText }
 
 // Forward implements Layer.
-func (f *FRN) Forward(x *tensor.Tensor, ar *tensor.Arena) (*tensor.Tensor, any) {
+func (f *FRN) Forward(x *tensor.Tensor, ar *tensor.Arena, par *tensor.Parallel) (*tensor.Tensor, any) {
 	if len(x.Shape) != 4 || x.Shape[1] != f.C {
 		panic(fmt.Sprintf("nn: FRN %s input %v, want [N,%d,H,W]", f.nameText, x.Shape, f.C))
 	}
@@ -86,7 +86,7 @@ func (f *FRN) Forward(x *tensor.Tensor, ar *tensor.Arena) (*tensor.Tensor, any) 
 }
 
 // Backward implements Layer.
-func (f *FRN) Backward(dz *tensor.Tensor, ctx any, ar *tensor.Arena) *tensor.Tensor {
+func (f *FRN) Backward(dz *tensor.Tensor, ctx any, ar *tensor.Arena, par *tensor.Parallel) *tensor.Tensor {
 	cc := ctx.(*frnCtx)
 	n, c, h, w := cc.xShape[0], cc.xShape[1], cc.xShape[2], cc.xShape[3]
 	m := h * w
@@ -191,13 +191,13 @@ func (c *WSConv2D) standardize(ar *tensor.Arena) (*tensor.Tensor, []float64) {
 }
 
 // Forward implements Layer.
-func (c *WSConv2D) Forward(x *tensor.Tensor, ar *tensor.Arena) (*tensor.Tensor, any) {
+func (c *WSConv2D) Forward(x *tensor.Tensor, ar *tensor.Arena, par *tensor.Parallel) (*tensor.Tensor, any) {
 	what, inv := c.standardize(ar)
 	var b *tensor.Tensor
 	if c.Bias != nil {
 		b = c.Bias.W
 	}
-	y, cols := tensor.Conv2DForwardArena(ar, x, what, b, c.Stride, c.Pad, nil)
+	y, cols := par.ConvForward(ar, x, what, b, c.Stride, c.Pad, nil)
 	shape := make([]int, 4)
 	copy(shape, x.Shape)
 	ar.Put(x)
@@ -209,7 +209,7 @@ func (c *WSConv2D) Forward(x *tensor.Tensor, ar *tensor.Arena) (*tensor.Tensor, 
 }
 
 // Backward implements Layer.
-func (c *WSConv2D) Backward(dy *tensor.Tensor, ctx any, ar *tensor.Arena) *tensor.Tensor {
+func (c *WSConv2D) Backward(dy *tensor.Tensor, ctx any, ar *tensor.Arena, par *tensor.Parallel) *tensor.Tensor {
 	cc := ctx.(*wsConvCtx)
 	inner := cc.convCtx.(*convCtx)
 	var db *tensor.Tensor
@@ -217,7 +217,7 @@ func (c *WSConv2D) Backward(dy *tensor.Tensor, ctx any, ar *tensor.Arena) *tenso
 		db = c.Bias.G
 	}
 	dWhat := ar.GetZeroed(c.OutC, c.InC, c.K, c.K)
-	dx := tensor.Conv2DBackwardArena(ar, dy, cc.what, inner.cols, dWhat, db, inner.xShape, c.Stride, c.Pad)
+	dx := par.ConvBackward(ar, dy, cc.what, inner.cols, dWhat, db, inner.xShape, c.Stride, c.Pad)
 	// Chain through the standardization: like LayerNorm over each filter.
 	fan := c.InC * c.K * c.K
 	for f := 0; f < c.OutC; f++ {

@@ -26,7 +26,7 @@ func TestFRNNormalizesRMS(t *testing.T) {
 	f.Tau.W.Fill(-1e9) // disable TLU clipping for the check
 	x := tensor.New(1, 2, 4, 4)
 	tensor.Normal(x, 7, rng)
-	y, _ := f.Forward(x, nil)
+	y, _ := f.Forward(x, nil, nil)
 	for ch := 0; ch < 2; ch++ {
 		seg := y.Data[ch*16 : (ch+1)*16]
 		ms := 0.0
@@ -44,7 +44,7 @@ func TestFRNTLUClips(t *testing.T) {
 	f := NewFRN("frn", 1)
 	f.Tau.W.Data[0] = 0.5
 	x := tensor.FromSlice([]float64{-3, -1, 1, 3}, 1, 1, 2, 2)
-	y, _ := f.Forward(x, nil)
+	y, _ := f.Forward(x, nil, nil)
 	for _, v := range y.Data {
 		if v < 0.5 {
 			t.Fatalf("TLU failed to clip: %v", y.Data)
@@ -66,11 +66,11 @@ func TestWSConvWeightsAreStandardized(t *testing.T) {
 	// Shift the raw weights; the effective filter must be invariant.
 	x := tensor.New(1, 3, 5, 5)
 	tensor.Normal(x, 1, rng)
-	y1, _ := c.Forward(x, nil)
+	y1, _ := c.Forward(x, nil, nil)
 	for i := range c.Raw.W.Data {
 		c.Raw.W.Data[i] += 5 // uniform shift per filter is removed by WS
 	}
-	y2, _ := c.Forward(x, nil)
+	y2, _ := c.Forward(x, nil, nil)
 	if !y1.AllClose(y2, 1e-9) {
 		t.Fatal("weight standardization is not shift-invariant")
 	}
@@ -78,7 +78,7 @@ func TestWSConvWeightsAreStandardized(t *testing.T) {
 	for i := range c.Raw.W.Data {
 		c.Raw.W.Data[i] *= 3
 	}
-	y3, _ := c.Forward(x, nil)
+	y3, _ := c.Forward(x, nil, nil)
 	// Invariance is approximate because of the variance epsilon.
 	if !y1.AllClose(y3, 1e-3) {
 		t.Fatal("weight standardization is not scale-invariant")
@@ -89,7 +89,7 @@ func TestWSConvOutputShape(t *testing.T) {
 	rng := rand.New(rand.NewSource(94))
 	c := NewWSConv2D("ws", 2, 4, 3, 2, 1, false, rng)
 	x := tensor.New(2, 2, 8, 8)
-	y, _ := c.Forward(x, nil)
+	y, _ := c.Forward(x, nil, nil)
 	if y.Shape[1] != 4 || y.Shape[2] != 4 || y.Shape[3] != 4 {
 		t.Fatalf("WS conv output %v", y.Shape)
 	}

@@ -30,13 +30,13 @@ func NewDense(name string, in, out int, bias bool, rng *rand.Rand) *Dense {
 func (d *Dense) Name() string { return d.nameText }
 
 // Forward implements Layer; the context is the input.
-func (d *Dense) Forward(x *tensor.Tensor, ar *tensor.Arena) (*tensor.Tensor, any) {
+func (d *Dense) Forward(x *tensor.Tensor, ar *tensor.Arena, par *tensor.Parallel) (*tensor.Tensor, any) {
 	if len(x.Shape) != 2 || x.Shape[1] != d.In {
 		panic(fmt.Sprintf("nn: dense %s input %v, want [N,%d]", d.nameText, x.Shape, d.In))
 	}
 	n := x.Shape[0]
 	y := ar.Get(n, d.Out)
-	tensor.MatMulTransBInto(y, x, d.Weight.W) // [N,In]·[Out,In]ᵀ = [N,Out]
+	par.MatMulTransBInto(y, x, d.Weight.W) // [N,In]·[Out,In]ᵀ = [N,Out]
 	if d.Bias != nil {
 		for s := 0; s < n; s++ {
 			row := y.Data[s*d.Out : (s+1)*d.Out]
@@ -49,10 +49,10 @@ func (d *Dense) Forward(x *tensor.Tensor, ar *tensor.Arena) (*tensor.Tensor, any
 }
 
 // Backward implements Layer.
-func (d *Dense) Backward(dy *tensor.Tensor, ctx any, ar *tensor.Arena) *tensor.Tensor {
+func (d *Dense) Backward(dy *tensor.Tensor, ctx any, ar *tensor.Arena, par *tensor.Parallel) *tensor.Tensor {
 	x := ctx.(*tensor.Tensor)
 	// dW += dyᵀ·x → [Out, In], accumulated directly into the gradient.
-	tensor.MatMulTransAAccInto(d.Weight.G, dy, x)
+	par.MatMulTransAAccInto(d.Weight.G, dy, x)
 	if d.Bias != nil {
 		n := dy.Shape[0]
 		for s := 0; s < n; s++ {
@@ -64,7 +64,7 @@ func (d *Dense) Backward(dy *tensor.Tensor, ctx any, ar *tensor.Arena) *tensor.T
 	}
 	// dx = dy·W → [N, In]
 	dx := ar.Get(dy.Shape[0], d.In)
-	tensor.MatMulInto(dx, dy, d.Weight.W)
+	par.MatMulInto(dx, dy, d.Weight.W)
 	ar.Put(dy, x)
 	return dx
 }
@@ -107,7 +107,7 @@ func NewConv2D(name string, inC, outC, k, stride, pad int, bias bool, rng *rand.
 func (c *Conv2D) Name() string { return c.nameText }
 
 // Forward implements Layer.
-func (c *Conv2D) Forward(x *tensor.Tensor, ar *tensor.Arena) (*tensor.Tensor, any) {
+func (c *Conv2D) Forward(x *tensor.Tensor, ar *tensor.Arena, par *tensor.Parallel) (*tensor.Tensor, any) {
 	if len(x.Shape) != 4 || x.Shape[1] != c.InC {
 		panic(fmt.Sprintf("nn: conv %s input %v, want [N,%d,H,W]", c.nameText, x.Shape, c.InC))
 	}
@@ -120,7 +120,7 @@ func (c *Conv2D) Forward(x *tensor.Tensor, ar *tensor.Arena) (*tensor.Tensor, an
 		cc = &convCtx{}
 	}
 	var y *tensor.Tensor
-	y, cc.cols = tensor.Conv2DForwardArena(ar, x, c.Weight.W, b, c.Stride, c.Pad, cc.cols)
+	y, cc.cols = par.ConvForward(ar, x, c.Weight.W, b, c.Stride, c.Pad, cc.cols)
 	cc.xShape = resize(cc.xShape, 4)
 	copy(cc.xShape, x.Shape)
 	ar.Put(x) // the backward pass needs only the im2col matrices
@@ -128,13 +128,13 @@ func (c *Conv2D) Forward(x *tensor.Tensor, ar *tensor.Arena) (*tensor.Tensor, an
 }
 
 // Backward implements Layer.
-func (c *Conv2D) Backward(dy *tensor.Tensor, ctx any, ar *tensor.Arena) *tensor.Tensor {
+func (c *Conv2D) Backward(dy *tensor.Tensor, ctx any, ar *tensor.Arena, par *tensor.Parallel) *tensor.Tensor {
 	cc := ctx.(*convCtx)
 	var db *tensor.Tensor
 	if c.Bias != nil {
 		db = c.Bias.G
 	}
-	dx := tensor.Conv2DBackwardArena(ar, dy, c.Weight.W, cc.cols, c.Weight.G, db, cc.xShape, c.Stride, c.Pad)
+	dx := par.ConvBackward(ar, dy, c.Weight.W, cc.cols, c.Weight.G, db, cc.xShape, c.Stride, c.Pad)
 	ar.Put(dy)
 	ar.Put(cc.cols...)
 	if ar != nil {

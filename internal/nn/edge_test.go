@@ -13,7 +13,7 @@ func TestConv1x1Stride2(t *testing.T) {
 	c := NewConv2D("c", 4, 2, 1, 2, 0, true, rng)
 	x := tensor.New(1, 4, 6, 6)
 	tensor.Normal(x, 1, rng)
-	y, _ := c.Forward(x, nil)
+	y, _ := c.Forward(x, nil, nil)
 	if y.Shape[2] != 3 || y.Shape[3] != 3 {
 		t.Fatalf("1x1 stride-2 output %v", y.Shape)
 	}
@@ -26,7 +26,7 @@ func TestGroupNormSingleGroup(t *testing.T) {
 	g := NewGroupNorm("gn", 4, 1)
 	x := tensor.New(1, 4, 2, 2)
 	tensor.Normal(x, 3, rng)
-	y, _ := g.Forward(x, nil)
+	y, _ := g.Forward(x, nil, nil)
 	mu := y.Mean()
 	if math.Abs(mu) > 1e-9 {
 		t.Fatalf("single-group mean %v", mu)
@@ -41,7 +41,7 @@ func TestGroupNormChannelwise(t *testing.T) {
 	x := tensor.New(2, 3, 4, 4)
 	tensor.Normal(x, 2, rng)
 	x.Data[0] += 50
-	y, _ := g.Forward(x, nil)
+	y, _ := g.Forward(x, nil, nil)
 	seg := y.Data[:16] // sample 0, channel 0
 	mu := 0.0
 	for _, v := range seg {
@@ -72,8 +72,8 @@ func TestNestedSkipStacks(t *testing.T) {
 	logits, ctxs := net.Forward(x)
 	// y = (d2(d1(x)) + d1(x)) + x
 	manual := func() *tensor.Tensor {
-		h1, _ := d1.Forward(x, nil)
-		h2, _ := d2.Forward(h1, nil)
+		h1, _ := d1.Forward(x, nil, nil)
+		h2, _ := d2.Forward(h1, nil, nil)
 		out := h2.Clone()
 		out.Add(h1)
 		out.Add(x)
@@ -151,7 +151,7 @@ func TestLayerStageEmptySkipPass(t *testing.T) {
 	st := NewLayerStage("s", NewDense("d", 3, 3, false, rng))
 	skip := tensor.New(1, 3)
 	p := &Packet{X: tensor.New(1, 3), Skips: []*tensor.Tensor{skip}}
-	q, _ := st.Forward(p, nil)
+	q, _ := st.Forward(p, nil, nil)
 	if len(q.Skips) != 1 || q.Skips[0] != skip {
 		t.Fatal("LayerStage disturbed the skip stack")
 	}

@@ -30,7 +30,7 @@ func NewDropout(name string, p float64, seed int64) *Dropout {
 func (d *Dropout) Name() string { return d.nameText }
 
 // Forward implements Layer; the context is the mask.
-func (d *Dropout) Forward(x *tensor.Tensor, ar *tensor.Arena) (*tensor.Tensor, any) {
+func (d *Dropout) Forward(x *tensor.Tensor, ar *tensor.Arena, par *tensor.Parallel) (*tensor.Tensor, any) {
 	if !d.Training || d.P == 0 {
 		return x, nil
 	}
@@ -51,7 +51,7 @@ func (d *Dropout) Forward(x *tensor.Tensor, ar *tensor.Arena) (*tensor.Tensor, a
 }
 
 // Backward implements Layer.
-func (d *Dropout) Backward(dy *tensor.Tensor, ctx any, ar *tensor.Arena) *tensor.Tensor {
+func (d *Dropout) Backward(dy *tensor.Tensor, ctx any, ar *tensor.Arena, par *tensor.Parallel) *tensor.Tensor {
 	if ctx == nil {
 		return dy
 	}
@@ -117,7 +117,7 @@ func NewOnlineNorm(name string, c int) *OnlineNorm {
 func (o *OnlineNorm) Name() string { return o.nameText }
 
 // Forward implements Layer.
-func (o *OnlineNorm) Forward(x *tensor.Tensor, ar *tensor.Arena) (*tensor.Tensor, any) {
+func (o *OnlineNorm) Forward(x *tensor.Tensor, ar *tensor.Arena, par *tensor.Parallel) (*tensor.Tensor, any) {
 	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
 	m := n * h * w
 	y := ar.Get(x.Shape...)
@@ -168,7 +168,7 @@ func (o *OnlineNorm) Forward(x *tensor.Tensor, ar *tensor.Arena) (*tensor.Tensor
 
 // Backward implements Layer: statistics are constants, so
 // dx = γ·invStd·dy and the affine parameters receive their usual gradients.
-func (o *OnlineNorm) Backward(dy *tensor.Tensor, ctx any, ar *tensor.Arena) *tensor.Tensor {
+func (o *OnlineNorm) Backward(dy *tensor.Tensor, ctx any, ar *tensor.Arena, par *tensor.Parallel) *tensor.Tensor {
 	cc := ctx.(*onlineNormCtx)
 	n, c, h, w := cc.xShape[0], cc.xShape[1], cc.xShape[2], cc.xShape[3]
 	dx := ar.Get(cc.xShape...)
@@ -212,7 +212,7 @@ func NewScaleLayer(name string, initVal float64) *ScaleLayer {
 func (l *ScaleLayer) Name() string { return l.nameText }
 
 // Forward implements Layer; the context is the input.
-func (l *ScaleLayer) Forward(x *tensor.Tensor, ar *tensor.Arena) (*tensor.Tensor, any) {
+func (l *ScaleLayer) Forward(x *tensor.Tensor, ar *tensor.Arena, par *tensor.Parallel) (*tensor.Tensor, any) {
 	y := ar.Get(x.Shape...)
 	s := l.S.W.Data[0]
 	for i, v := range x.Data {
@@ -222,7 +222,7 @@ func (l *ScaleLayer) Forward(x *tensor.Tensor, ar *tensor.Arena) (*tensor.Tensor
 }
 
 // Backward implements Layer.
-func (l *ScaleLayer) Backward(dy *tensor.Tensor, ctx any, ar *tensor.Arena) *tensor.Tensor {
+func (l *ScaleLayer) Backward(dy *tensor.Tensor, ctx any, ar *tensor.Arena, par *tensor.Parallel) *tensor.Tensor {
 	x := ctx.(*tensor.Tensor)
 	s := 0.0
 	for i := range dy.Data {

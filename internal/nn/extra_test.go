@@ -12,12 +12,12 @@ func TestDropoutEvalIsIdentity(t *testing.T) {
 	d := NewDropout("do", 0.5, 1)
 	d.Training = false
 	x := tensor.FromSlice([]float64{1, 2, 3}, 1, 3)
-	y, ctx := d.Forward(x, nil)
+	y, ctx := d.Forward(x, nil, nil)
 	if !y.AllClose(x, 0) {
 		t.Fatal("eval-mode dropout must be identity")
 	}
 	dy := tensor.FromSlice([]float64{1, 1, 1}, 1, 3)
-	if dx := d.Backward(dy, ctx, nil); !dx.AllClose(dy, 0) {
+	if dx := d.Backward(dy, ctx, nil, nil); !dx.AllClose(dy, 0) {
 		t.Fatal("eval-mode dropout backward must be identity")
 	}
 }
@@ -26,7 +26,7 @@ func TestDropoutMaskAndScaling(t *testing.T) {
 	d := NewDropout("do", 0.5, 2)
 	x := tensor.New(1, 10000)
 	x.Fill(1)
-	y, ctx := d.Forward(x, nil)
+	y, ctx := d.Forward(x, nil, nil)
 	zeros, twos := 0, 0
 	for _, v := range y.Data {
 		switch {
@@ -44,7 +44,7 @@ func TestDropoutMaskAndScaling(t *testing.T) {
 	// Backward respects the same mask.
 	dy := tensor.New(1, 10000)
 	dy.Fill(1)
-	dx := d.Backward(dy, ctx, nil)
+	dx := d.Backward(dy, ctx, nil, nil)
 	for i := range dx.Data {
 		if (y.Data[i] == 0) != (dx.Data[i] == 0) {
 			t.Fatal("backward mask mismatch")
@@ -72,7 +72,7 @@ func TestOnlineNormNormalizesAndLearns(t *testing.T) {
 	x := tensor.New(4, 2, 3, 3)
 	tensor.Normal(x, 3, rng)
 	x.Data[0] += 10
-	y, _ := o.Forward(x, nil)
+	y, _ := o.Forward(x, nil, nil)
 	// First call initializes trackers from the batch → output ~ standardized.
 	mu := y.Mean()
 	if math.Abs(mu) > 0.2 {
@@ -81,10 +81,10 @@ func TestOnlineNormNormalizesAndLearns(t *testing.T) {
 	// Gradients flow to gamma/beta and inputs.
 	o.Gamma.ZeroGrad()
 	o.Beta.ZeroGrad()
-	_, ctx := o.Forward(x, nil)
+	_, ctx := o.Forward(x, nil, nil)
 	dy := tensor.New(x.Shape...)
 	tensor.Normal(dy, 1, rng)
-	dx := o.Backward(dy, ctx, nil)
+	dx := o.Backward(dy, ctx, nil, nil)
 	if o.Gamma.G.MaxAbs() == 0 || o.Beta.G.MaxAbs() == 0 || dx.MaxAbs() == 0 {
 		t.Fatal("OnlineNorm gradients vanished")
 	}
@@ -95,14 +95,14 @@ func TestOnlineNormTracksSlowly(t *testing.T) {
 	o := NewOnlineNorm("on", 1)
 	x := tensor.New(2, 1, 2, 2)
 	tensor.Normal(x, 1, rng)
-	o.Forward(x, nil)
+	o.Forward(x, nil, nil)
 	m0 := o.mean[0]
 	// A wildly shifted batch moves the tracker only by (1-decay).
 	x2 := x.Clone()
 	for i := range x2.Data {
 		x2.Data[i] += 100
 	}
-	o.Forward(x2, nil)
+	o.Forward(x2, nil, nil)
 	shift := o.mean[0] - m0
 	if shift < 0.5 || shift > 2.5 {
 		t.Fatalf("tracker moved by %v, want ≈ (1-0.99)*100 = 1", shift)
@@ -123,12 +123,12 @@ func TestScaleLayerZeroInitBlocksForward(t *testing.T) {
 	// the scale itself must flow.
 	l := NewScaleLayer("sc", 0)
 	x := tensor.FromSlice([]float64{1, 2}, 1, 2)
-	y, ctx := l.Forward(x, nil)
+	y, ctx := l.Forward(x, nil, nil)
 	if y.MaxAbs() != 0 {
 		t.Fatal("zero scale must zero the branch")
 	}
 	dy := tensor.FromSlice([]float64{1, 1}, 1, 2)
-	l.Backward(dy, ctx, nil)
+	l.Backward(dy, ctx, nil, nil)
 	if l.S.G.Data[0] != 3 {
 		t.Fatalf("scale grad %v, want 3", l.S.G.Data[0])
 	}

@@ -23,8 +23,8 @@ import (
 // trainers use.
 type Layer interface {
 	Name() string
-	Forward(x *tensor.Tensor, ar *tensor.Arena) (y *tensor.Tensor, ctx any)
-	Backward(dy *tensor.Tensor, ctx any, ar *tensor.Arena) (dx *tensor.Tensor)
+	Forward(x *tensor.Tensor, ar *tensor.Arena, par *tensor.Parallel) (y *tensor.Tensor, ctx any)
+	Backward(dy *tensor.Tensor, ctx any, ar *tensor.Arena, par *tensor.Parallel) (dx *tensor.Tensor)
 	Params() []*Param
 }
 
@@ -35,7 +35,7 @@ type ReLU struct{}
 func (ReLU) Name() string { return "relu" }
 
 // Forward implements Layer. The context is the input (its sign is the mask).
-func (ReLU) Forward(x *tensor.Tensor, ar *tensor.Arena) (*tensor.Tensor, any) {
+func (ReLU) Forward(x *tensor.Tensor, ar *tensor.Arena, par *tensor.Parallel) (*tensor.Tensor, any) {
 	y := ar.Get(x.Shape...)
 	for i, v := range x.Data {
 		if v > 0 {
@@ -48,7 +48,7 @@ func (ReLU) Forward(x *tensor.Tensor, ar *tensor.Arena) (*tensor.Tensor, any) {
 }
 
 // Backward implements Layer.
-func (ReLU) Backward(dy *tensor.Tensor, ctx any, ar *tensor.Arena) *tensor.Tensor {
+func (ReLU) Backward(dy *tensor.Tensor, ctx any, ar *tensor.Arena, par *tensor.Parallel) *tensor.Tensor {
 	x := ctx.(*tensor.Tensor)
 	dx := ar.Get(dy.Shape...)
 	for i, v := range dy.Data {
@@ -75,7 +75,7 @@ type Flatten struct {
 func (*Flatten) Name() string { return "flatten" }
 
 // Forward implements Layer; the context is the original shape.
-func (l *Flatten) Forward(x *tensor.Tensor, ar *tensor.Arena) (*tensor.Tensor, any) {
+func (l *Flatten) Forward(x *tensor.Tensor, ar *tensor.Arena, par *tensor.Parallel) (*tensor.Tensor, any) {
 	n := x.Shape[0]
 	f := x.Size() / n
 	y := ar.Get(n, f)
@@ -87,7 +87,7 @@ func (l *Flatten) Forward(x *tensor.Tensor, ar *tensor.Arena) (*tensor.Tensor, a
 }
 
 // Backward implements Layer.
-func (l *Flatten) Backward(dy *tensor.Tensor, ctx any, ar *tensor.Arena) *tensor.Tensor {
+func (l *Flatten) Backward(dy *tensor.Tensor, ctx any, ar *tensor.Arena, par *tensor.Parallel) *tensor.Tensor {
 	shape := ctx.([]int)
 	dx := ar.Get(shape...)
 	dx.CopyFrom(dy)
@@ -116,7 +116,7 @@ type maxPoolCtx struct {
 func (m *MaxPool2D) Name() string { return fmt.Sprintf("maxpool%dx%d", m.K, m.K) }
 
 // Forward implements Layer.
-func (m *MaxPool2D) Forward(x *tensor.Tensor, ar *tensor.Arena) (*tensor.Tensor, any) {
+func (m *MaxPool2D) Forward(x *tensor.Tensor, ar *tensor.Arena, par *tensor.Parallel) (*tensor.Tensor, any) {
 	if len(x.Shape) != 4 {
 		panic(fmt.Sprintf("nn: %s input %v, want [N,C,H,W]", m.Name(), x.Shape))
 	}
@@ -136,7 +136,7 @@ func (m *MaxPool2D) Forward(x *tensor.Tensor, ar *tensor.Arena) (*tensor.Tensor,
 }
 
 // Backward implements Layer.
-func (m *MaxPool2D) Backward(dy *tensor.Tensor, ctx any, ar *tensor.Arena) *tensor.Tensor {
+func (m *MaxPool2D) Backward(dy *tensor.Tensor, ctx any, ar *tensor.Arena, par *tensor.Parallel) *tensor.Tensor {
 	cc := ctx.(*maxPoolCtx)
 	dx := ar.Get(cc.xShape...)
 	tensor.MaxPool2DBackwardInto(dx, dy, cc.argmax)
@@ -160,7 +160,7 @@ type GlobalAvgPool struct {
 func (*GlobalAvgPool) Name() string { return "gap" }
 
 // Forward implements Layer.
-func (l *GlobalAvgPool) Forward(x *tensor.Tensor, ar *tensor.Arena) (*tensor.Tensor, any) {
+func (l *GlobalAvgPool) Forward(x *tensor.Tensor, ar *tensor.Arena, par *tensor.Parallel) (*tensor.Tensor, any) {
 	if len(x.Shape) != 4 {
 		panic(fmt.Sprintf("nn: gap input %v, want [N,C,H,W]", x.Shape))
 	}
@@ -173,7 +173,7 @@ func (l *GlobalAvgPool) Forward(x *tensor.Tensor, ar *tensor.Arena) (*tensor.Ten
 }
 
 // Backward implements Layer.
-func (l *GlobalAvgPool) Backward(dy *tensor.Tensor, ctx any, ar *tensor.Arena) *tensor.Tensor {
+func (l *GlobalAvgPool) Backward(dy *tensor.Tensor, ctx any, ar *tensor.Arena, par *tensor.Parallel) *tensor.Tensor {
 	dx := ar.Get(ctx.([]int)...)
 	tensor.GlobalAvgPoolBackwardInto(dx, dy)
 	ar.Put(dy)
@@ -193,10 +193,14 @@ type Identity struct{}
 func (Identity) Name() string { return "identity" }
 
 // Forward implements Layer.
-func (Identity) Forward(x *tensor.Tensor, _ *tensor.Arena) (*tensor.Tensor, any) { return x, nil }
+func (Identity) Forward(x *tensor.Tensor, _ *tensor.Arena, par *tensor.Parallel) (*tensor.Tensor, any) {
+	return x, nil
+}
 
 // Backward implements Layer.
-func (Identity) Backward(dy *tensor.Tensor, _ any, _ *tensor.Arena) *tensor.Tensor { return dy }
+func (Identity) Backward(dy *tensor.Tensor, _ any, _ *tensor.Arena, par *tensor.Parallel) *tensor.Tensor {
+	return dy
+}
 
 // Params implements Layer.
 func (Identity) Params() []*Param { return nil }

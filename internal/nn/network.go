@@ -44,7 +44,7 @@ func (n *Network) Forward(x *tensor.Tensor) (*tensor.Tensor, []any) {
 	p := NewPacket(x)
 	ctxs := make([]any, len(n.Stages))
 	for i, s := range n.Stages {
-		p, ctxs[i] = s.Forward(p, nil)
+		p, ctxs[i] = s.Forward(p, nil, nil)
 	}
 	if len(p.Skips) != 0 {
 		panic("nn: network left unconsumed skip activations")
@@ -58,7 +58,7 @@ func (n *Network) Forward(x *tensor.Tensor) (*tensor.Tensor, []any) {
 func (n *Network) Backward(dlogits *tensor.Tensor, ctxs []any) *tensor.Tensor {
 	dp := NewPacket(dlogits)
 	for i := len(n.Stages) - 1; i >= 0; i-- {
-		dp = n.Stages[i].Backward(dp, ctxs[i], nil)
+		dp = n.Stages[i].Backward(dp, ctxs[i], nil, nil)
 	}
 	return dp.X
 }

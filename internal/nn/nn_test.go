@@ -13,11 +13,11 @@ import (
 // finite differences through a random linear functional of the output.
 func gradCheckLayer(t *testing.T, l Layer, x *tensor.Tensor, tol float64, rng *rand.Rand) {
 	t.Helper()
-	y, _ := l.Forward(x, nil)
+	y, _ := l.Forward(x, nil, nil)
 	rw := tensor.New(y.Shape...)
 	tensor.Normal(rw, 1, rng)
 	loss := func() float64 {
-		yy, _ := l.Forward(x, nil)
+		yy, _ := l.Forward(x, nil, nil)
 		s := 0.0
 		for i := range yy.Data {
 			s += yy.Data[i] * rw.Data[i]
@@ -27,8 +27,8 @@ func gradCheckLayer(t *testing.T, l Layer, x *tensor.Tensor, tol float64, rng *r
 	for _, p := range l.Params() {
 		p.ZeroGrad()
 	}
-	_, ctx := l.Forward(x, nil)
-	dx := l.Backward(rw.Clone(), ctx, nil)
+	_, ctx := l.Forward(x, nil, nil)
+	dx := l.Backward(rw.Clone(), ctx, nil, nil)
 
 	const eps = 1e-6
 	checkTensor := func(name string, w, g *tensor.Tensor, trials int) {
@@ -115,7 +115,7 @@ func TestGroupNormNormalizes(t *testing.T) {
 	x := tensor.New(1, 6, 4, 4)
 	tensor.Normal(x, 5, rng)
 	x.Data[0] += 100 // large shift should be removed
-	y, _ := g.Forward(x, nil)
+	y, _ := g.Forward(x, nil, nil)
 	// Each group (2 channels x 16 px = 32 values) must have ~zero mean, ~unit var.
 	for gr := 0; gr < 3; gr++ {
 		seg := y.Data[gr*32 : (gr+1)*32]
@@ -179,16 +179,16 @@ func TestBatchNormEvalUsesRunningStats(t *testing.T) {
 	x := tensor.New(8, 2, 2, 2)
 	tensor.Normal(x, 1, rng)
 	for i := 0; i < 20; i++ {
-		b.Forward(x, nil)
+		b.Forward(x, nil, nil)
 	}
 	b.Training = false
-	y1, _ := b.Forward(x, nil)
+	y1, _ := b.Forward(x, nil, nil)
 	// Shift input; with frozen stats the output must shift too (no renormalization).
 	x2 := x.Clone()
 	for i := range x2.Data {
 		x2.Data[i] += 10
 	}
-	y2, _ := b.Forward(x2, nil)
+	y2, _ := b.Forward(x2, nil, nil)
 	diff := y2.Data[0] - y1.Data[0]
 	if diff < 1 {
 		t.Fatalf("eval-mode batchnorm renormalized the shift: diff=%v", diff)
@@ -416,24 +416,24 @@ func TestMultipleInFlightContexts(t *testing.T) {
 	x2 := tensor.New(1, 4)
 	tensor.Normal(x1, 1, rng)
 	tensor.Normal(x2, 1, rng)
-	y1, c1 := d.Forward(x1, nil)
-	y2, c2 := d.Forward(x2, nil)
+	y1, c1 := d.Forward(x1, nil, nil)
+	y2, c2 := d.Forward(x2, nil, nil)
 
 	// Backward in reverse order; gradients must match running them separately.
 	d.Weight.ZeroGrad()
 	d.Bias.ZeroGrad()
 	dy := tensor.New(1, 4)
 	dy.Fill(1)
-	d.Backward(dy, c2, nil)
-	d.Backward(dy, c1, nil)
+	d.Backward(dy, c2, nil, nil)
+	d.Backward(dy, c1, nil, nil)
 	combined := d.Weight.G.Clone()
 
 	d.Weight.ZeroGrad()
 	d.Bias.ZeroGrad()
-	_, c1b := d.Forward(x1, nil)
-	d.Backward(dy, c1b, nil)
-	_, c2b := d.Forward(x2, nil)
-	d.Backward(dy, c2b, nil)
+	_, c1b := d.Forward(x1, nil, nil)
+	d.Backward(dy, c1b, nil, nil)
+	_, c2b := d.Forward(x2, nil, nil)
+	d.Backward(dy, c2b, nil, nil)
 	if !combined.AllClose(d.Weight.G, 1e-12) {
 		t.Fatal("interleaved contexts corrupt gradients")
 	}

@@ -59,7 +59,7 @@ func GroupsForChannels(c, groupSize int) int {
 func (g *GroupNorm) Name() string { return g.nameText }
 
 // Forward implements Layer.
-func (g *GroupNorm) Forward(x *tensor.Tensor, ar *tensor.Arena) (*tensor.Tensor, any) {
+func (g *GroupNorm) Forward(x *tensor.Tensor, ar *tensor.Arena, par *tensor.Parallel) (*tensor.Tensor, any) {
 	if len(x.Shape) != 4 || x.Shape[1] != g.C {
 		panic(fmt.Sprintf("nn: groupnorm %s input %v, want [N,%d,H,W]", g.nameText, x.Shape, g.C))
 	}
@@ -105,7 +105,7 @@ func (g *GroupNorm) Forward(x *tensor.Tensor, ar *tensor.Arena) (*tensor.Tensor,
 }
 
 // Backward implements Layer.
-func (g *GroupNorm) Backward(dy *tensor.Tensor, ctx any, ar *tensor.Arena) *tensor.Tensor {
+func (g *GroupNorm) Backward(dy *tensor.Tensor, ctx any, ar *tensor.Arena, par *tensor.Parallel) *tensor.Tensor {
 	cc := ctx.(*groupNormCtx)
 	n, c, h, w := cc.xShape[0], cc.xShape[1], cc.xShape[2], cc.xShape[3]
 	cg := c / g.Groups
@@ -177,7 +177,7 @@ func NewLayerNorm(name string, f int) *LayerNorm {
 func (l *LayerNorm) Name() string { return l.nameText }
 
 // Forward implements Layer.
-func (l *LayerNorm) Forward(x *tensor.Tensor, ar *tensor.Arena) (*tensor.Tensor, any) {
+func (l *LayerNorm) Forward(x *tensor.Tensor, ar *tensor.Arena, par *tensor.Parallel) (*tensor.Tensor, any) {
 	if len(x.Shape) != 2 || x.Shape[1] != l.F {
 		panic(fmt.Sprintf("nn: layernorm %s input %v, want [N,%d]", l.nameText, x.Shape, l.F))
 	}
@@ -215,7 +215,7 @@ func (l *LayerNorm) Forward(x *tensor.Tensor, ar *tensor.Arena) (*tensor.Tensor,
 }
 
 // Backward implements Layer.
-func (l *LayerNorm) Backward(dy *tensor.Tensor, ctx any, ar *tensor.Arena) *tensor.Tensor {
+func (l *LayerNorm) Backward(dy *tensor.Tensor, ctx any, ar *tensor.Arena, par *tensor.Parallel) *tensor.Tensor {
 	cc := ctx.(*layerNormCtx)
 	n, f := dy.Shape[0], dy.Shape[1]
 	dx := ar.Get(n, f)
@@ -289,7 +289,7 @@ func NewBatchNorm2D(name string, c int) *BatchNorm2D {
 func (b *BatchNorm2D) Name() string { return b.nameText }
 
 // Forward implements Layer.
-func (b *BatchNorm2D) Forward(x *tensor.Tensor, ar *tensor.Arena) (*tensor.Tensor, any) {
+func (b *BatchNorm2D) Forward(x *tensor.Tensor, ar *tensor.Arena, par *tensor.Parallel) (*tensor.Tensor, any) {
 	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
 	if c != b.C {
 		panic(fmt.Sprintf("nn: batchnorm %s input %v, want C=%d", b.nameText, x.Shape, b.C))
@@ -343,7 +343,7 @@ func (b *BatchNorm2D) Forward(x *tensor.Tensor, ar *tensor.Arena) (*tensor.Tenso
 }
 
 // Backward implements Layer (training-mode gradient).
-func (b *BatchNorm2D) Backward(dy *tensor.Tensor, ctx any, ar *tensor.Arena) *tensor.Tensor {
+func (b *BatchNorm2D) Backward(dy *tensor.Tensor, ctx any, ar *tensor.Arena, par *tensor.Parallel) *tensor.Tensor {
 	cc := ctx.(*batchNormCtx)
 	n, c, h, w := cc.xShape[0], cc.xShape[1], cc.xShape[2], cc.xShape[3]
 	m := n * h * w

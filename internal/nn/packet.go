@@ -39,8 +39,8 @@ func (p *Packet) clone() *Packet {
 // nothing is reused and the input packet is never mutated.
 type Stage interface {
 	Name() string
-	Forward(p *Packet, ar *tensor.Arena) (*Packet, any)
-	Backward(dp *Packet, ctx any, ar *tensor.Arena) *Packet
+	Forward(p *Packet, ar *tensor.Arena, par *tensor.Parallel) (*Packet, any)
+	Backward(dp *Packet, ctx any, ar *tensor.Arena, par *tensor.Parallel) *Packet
 	Params() []*Param
 }
 
@@ -65,7 +65,7 @@ func NewLayerStage(name string, layers ...Layer) *LayerStage {
 func (s *LayerStage) Name() string { return s.nameText }
 
 // Forward implements Stage.
-func (s *LayerStage) Forward(p *Packet, ar *tensor.Arena) (*Packet, any) {
+func (s *LayerStage) Forward(p *Packet, ar *tensor.Arena, par *tensor.Parallel) (*Packet, any) {
 	ctxBox := popBox(ar, &s.ctxsFree)
 	var ctxs []any
 	if ctxBox != nil {
@@ -76,7 +76,7 @@ func (s *LayerStage) Forward(p *Packet, ar *tensor.Arena) (*Packet, any) {
 	}
 	x := p.X
 	for i, l := range s.Layers {
-		x, ctxs[i] = l.Forward(x, ar)
+		x, ctxs[i] = l.Forward(x, ar, par)
 	}
 	if ar != nil {
 		p.X = x
@@ -88,11 +88,11 @@ func (s *LayerStage) Forward(p *Packet, ar *tensor.Arena) (*Packet, any) {
 }
 
 // Backward implements Stage.
-func (s *LayerStage) Backward(dp *Packet, ctx any, ar *tensor.Arena) *Packet {
+func (s *LayerStage) Backward(dp *Packet, ctx any, ar *tensor.Arena, par *tensor.Parallel) *Packet {
 	ctxs := ctx.([]any)
 	dx := dp.X
 	for i := len(s.Layers) - 1; i >= 0; i-- {
-		dx = s.Layers[i].Backward(dx, ctxs[i], ar)
+		dx = s.Layers[i].Backward(dx, ctxs[i], ar, par)
 	}
 	if ar != nil {
 		for i := range ctxs {
@@ -193,7 +193,7 @@ func NewPushSkip(name string, short Shortcut) *PushSkip {
 func (s *PushSkip) Name() string { return s.nameText }
 
 // Forward implements Stage.
-func (s *PushSkip) Forward(p *Packet, ar *tensor.Arena) (*Packet, any) {
+func (s *PushSkip) Forward(p *Packet, ar *tensor.Arena, par *tensor.Parallel) (*Packet, any) {
 	skip := s.Short.Apply(p.X, ar)
 	if ar != nil && skip == p.X {
 		// Identity shortcuts alias the main path; copy so every tensor in
@@ -215,7 +215,7 @@ func (s *PushSkip) Forward(p *Packet, ar *tensor.Arena) (*Packet, any) {
 
 // Backward implements Stage. The incoming gradient packet carries the skip
 // gradient on top of its stack; it folds back into the main path here.
-func (s *PushSkip) Backward(dp *Packet, ctx any, ar *tensor.Arena) *Packet {
+func (s *PushSkip) Backward(dp *Packet, ctx any, ar *tensor.Arena, par *tensor.Parallel) *Packet {
 	if len(dp.Skips) == 0 {
 		panic("nn: PushSkip backward with empty skip-gradient stack")
 	}
@@ -256,7 +256,7 @@ func NewAddSkip(name string) *AddSkip { return &AddSkip{nameText: name} }
 func (s *AddSkip) Name() string { return s.nameText }
 
 // Forward implements Stage.
-func (s *AddSkip) Forward(p *Packet, ar *tensor.Arena) (*Packet, any) {
+func (s *AddSkip) Forward(p *Packet, ar *tensor.Arena, par *tensor.Parallel) (*Packet, any) {
 	if len(p.Skips) == 0 {
 		panic("nn: AddSkip forward with empty skip stack")
 	}
@@ -278,7 +278,7 @@ func (s *AddSkip) Forward(p *Packet, ar *tensor.Arena) (*Packet, any) {
 }
 
 // Backward implements Stage: the gradient flows to both branches.
-func (s *AddSkip) Backward(dp *Packet, _ any, ar *tensor.Arena) *Packet {
+func (s *AddSkip) Backward(dp *Packet, _ any, ar *tensor.Arena, par *tensor.Parallel) *Packet {
 	if ar != nil {
 		// Copy the gradient for the skip branch so the two paths do not
 		// alias (each will be consumed — and recycled — independently).
@@ -318,7 +318,7 @@ func FuseStages(name string, stages ...Stage) *FusedStage {
 func (f *FusedStage) Name() string { return f.nameText }
 
 // Forward implements Stage.
-func (f *FusedStage) Forward(p *Packet, ar *tensor.Arena) (*Packet, any) {
+func (f *FusedStage) Forward(p *Packet, ar *tensor.Arena, par *tensor.Parallel) (*Packet, any) {
 	ctxBox := popBox(ar, &f.ctxsFree)
 	var ctxs []any
 	if ctxBox != nil {
@@ -328,16 +328,16 @@ func (f *FusedStage) Forward(p *Packet, ar *tensor.Arena) (*Packet, any) {
 		ctxBox = ctxs
 	}
 	for i, s := range f.Stages {
-		p, ctxs[i] = s.Forward(p, ar)
+		p, ctxs[i] = s.Forward(p, ar, par)
 	}
 	return p, ctxBox
 }
 
 // Backward implements Stage.
-func (f *FusedStage) Backward(dp *Packet, ctx any, ar *tensor.Arena) *Packet {
+func (f *FusedStage) Backward(dp *Packet, ctx any, ar *tensor.Arena, par *tensor.Parallel) *Packet {
 	ctxs := ctx.([]any)
 	for i := len(f.Stages) - 1; i >= 0; i-- {
-		dp = f.Stages[i].Backward(dp, ctxs[i], ar)
+		dp = f.Stages[i].Backward(dp, ctxs[i], ar, par)
 	}
 	if ar != nil {
 		for i := range ctxs {

@@ -47,7 +47,7 @@ func EstimateCosts(net *nn.Network, inputShape []int) []StageCost {
 	costs := make([]StageCost, 0, net.NumStages())
 	for _, st := range net.Stages {
 		inElems := p.X.Size()
-		q, _ := st.Forward(p, nil)
+		q, _ := st.Forward(p, nil, nil)
 		outElems := q.X.Size()
 		macs := 0.0
 		params := 0

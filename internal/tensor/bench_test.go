@@ -81,3 +81,44 @@ func BenchmarkMaxPool(b *testing.B) {
 		MaxPool2DForward(x, 2, 2)
 	}
 }
+
+func BenchmarkMatMulBlocked64(b *testing.B) {
+	x, y := benchTensors(64, 64, 64)
+	dst := New(64, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		(*Parallel)(nil).MatMulInto(dst, x, y)
+	}
+}
+
+func BenchmarkMatMulBlocked64Workers2(b *testing.B) {
+	x, y := benchTensors(64, 64, 64)
+	dst := New(64, 64)
+	p := NewParallel(2)
+	defer p.Close()
+	old := parGrainFLOPs
+	parGrainFLOPs = 0 // force fan-out even at GOMAXPROCS=1
+	defer func() { parGrainFLOPs = old }()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.MatMulInto(dst, x, y)
+	}
+}
+
+func BenchmarkConvFusedForwardBackward(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	x := New(1, 8, 12, 12)
+	w := New(8, 8, 3, 3)
+	Normal(x, 1, rng)
+	Normal(w, 1, rng)
+	ar := NewArena()
+	dw := New(8, 8, 3, 3)
+	var p *Parallel // serial blocked path; cmd/bench covers worker groups
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		y, cols := p.ConvForward(ar, x, w, nil, 1, 1, nil)
+		dx := p.ConvBackward(ar, y, w, cols, dw, nil, x.Shape, 1, 1)
+		ar.Put(y, dx)
+		ar.Put(cols...)
+	}
+}

@@ -1,0 +1,424 @@
+package tensor
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Parallel is a reusable group of intra-kernel workers: a fixed set of
+// pre-spawned goroutines that split one compute kernel (GEMM, im2col,
+// fused conv) by output tiles. It is the CPU analogue of the per-stage
+// compute resources the paper's hardware model gives each pipeline worker:
+// the pipelined-backpropagation engines hand every stage a *Parallel
+// alongside its *Arena, splitting the engine's worker budget between
+// pipeline-stage concurrency and intra-kernel parallelism (DESIGN.md §9).
+//
+// Determinism: every kernel partitions the *output* space — each output
+// element is computed in full by exactly one worker, and its accumulation
+// order over the reduction dimension is the same ascending order the
+// reference scalar kernels use. The result is therefore bit-identical to
+// the reference kernels at any worker count, including nil.
+//
+// A nil *Parallel is valid everywhere and runs the same blocked kernels
+// serially on the caller. Dispatch allocates nothing in steady state
+// (pre-spawned workers, per-worker signal channels, one shared job slot),
+// so the allocation-free hot path of the engines is preserved.
+//
+// A Parallel is owned by one driving goroutine at a time: Run-style kernel
+// calls and Close must not race with each other. Kernel calls made after
+// Close fall back to serial execution.
+type Parallel struct {
+	n      int             // total workers, including the calling goroutine
+	start  []chan struct{} // one signal channel per spawned worker
+	quit   chan struct{}
+	wg     sync.WaitGroup // per-dispatch completion
+	exitWg sync.WaitGroup // worker shutdown, for leak-free Close
+	closed bool
+	job    job // shared job slot, written by the caller before each dispatch
+}
+
+// parGrainFLOPs is the minimum estimated multiply-accumulate count before a
+// kernel fans out to the worker group; below it the dispatch overhead
+// (wakeup + join) outweighs the win and the caller runs the kernel serially.
+// The cutover never changes results — only which goroutines compute them.
+// Tests shrink it to force tiny shapes through the parallel path.
+var parGrainFLOPs = 16 * 1024
+
+// NewParallel returns a worker group of the given total size (including the
+// calling goroutine), or nil — the valid serial group — when workers ≤ 1.
+// Callers must Close a non-nil group to release its goroutines.
+func NewParallel(workers int) *Parallel {
+	if workers <= 1 {
+		return nil
+	}
+	p := &Parallel{
+		n:     workers,
+		start: make([]chan struct{}, workers-1),
+		quit:  make(chan struct{}),
+	}
+	for i := range p.start {
+		p.start[i] = make(chan struct{})
+		p.exitWg.Add(1)
+		go p.worker(i + 1)
+	}
+	return p
+}
+
+// Workers reports the group's total worker count (1 for nil).
+func (p *Parallel) Workers() int {
+	if p == nil {
+		return 1
+	}
+	return p.n
+}
+
+// Close releases the worker goroutines and waits for them to exit.
+// Idempotent; later kernel calls run serially. nil-safe.
+func (p *Parallel) Close() {
+	if p == nil || p.closed {
+		return
+	}
+	p.closed = true
+	close(p.quit)
+	p.exitWg.Wait()
+}
+
+// worker is the loop of spawned worker id (1..n−1; the caller is worker 0).
+// The signal-channel receive orders the job write before the read, and
+// wg.Done orders the tile writes before the caller's Wait returns.
+func (p *Parallel) worker(id int) {
+	defer p.exitWg.Done()
+	for {
+		select {
+		case <-p.start[id-1]:
+			lo, hi := unitRange(p.job.units, p.n, id)
+			runJob(&p.job, lo, hi)
+			p.wg.Done()
+		case <-p.quit:
+			return
+		}
+	}
+}
+
+// unitRange is the static partition: worker idx of workers gets units
+// [lo, hi). Contiguous chunks keep each worker's tile writes sequential.
+func unitRange(units, workers, idx int) (lo, hi int) {
+	return idx * units / workers, (idx + 1) * units / workers
+}
+
+// run executes one kernel job, fanning out to the worker group when the
+// estimated work clears the grain threshold. The caller participates as
+// worker 0, so a dispatch keeps all n workers busy.
+func (p *Parallel) run(work int, j job) {
+	if p == nil || p.closed || j.units <= 1 || work < parGrainFLOPs {
+		runJob(&j, 0, j.units)
+		return
+	}
+	p.job = j
+	p.wg.Add(p.n - 1)
+	for _, c := range p.start {
+		c <- struct{}{}
+	}
+	_, hi := unitRange(j.units, p.n, 0)
+	runJob(&p.job, 0, hi)
+	p.wg.Wait()
+}
+
+// jobKind selects the tile kernel a dispatch runs.
+type jobKind uint8
+
+const (
+	jobMM      jobKind = iota // dst = a·b
+	jobMMTA                   // dst = aᵀ·b
+	jobMMTAAcc                // dst += aᵀ·b
+	jobMMTB                   // dst = a·bᵀ
+	jobMMTBAcc                // dst += a·bᵀ
+	jobIm2Col                 // unfold src into dst, split by channel
+	jobCol2Im                 // fold a into dst, split by channel
+	jobConvFwd                // fused im2col + GEMM + bias, split by output row
+)
+
+// job is the shared kernel descriptor read by every worker of a dispatch.
+// units is the size of the partition space (rows, columns, channels or
+// output rows depending on kind); splitCols flips GEMM partitioning to the
+// column axis, which keeps single-row products (the batch-size-one dense
+// layers) parallel.
+type job struct {
+	kind      jobKind
+	units     int
+	splitCols bool
+	dst, a, b []float64
+	m, k, n   int
+	// Convolution geometry (im2col/col2im/fused kinds).
+	src                                  []float64 // input image plane(s)
+	bias                                 []float64 // nil for no bias
+	c, h, w, kh, kw, stride, pad, oh, ow int
+}
+
+// runJob executes units [u0, u1) of a job. It is the single dispatch point
+// for both the caller (worker 0) and the spawned workers.
+func runJob(j *job, u0, u1 int) {
+	if u0 >= u1 {
+		return
+	}
+	switch j.kind {
+	case jobMM:
+		if j.splitCols {
+			mmTile(j.dst, j.a, j.b, j.k, j.n, 0, j.m, u0, u1)
+		} else {
+			mmTile(j.dst, j.a, j.b, j.k, j.n, u0, u1, 0, j.n)
+		}
+	case jobMMTA:
+		if j.splitCols {
+			mmTATile(j.dst, j.a, j.b, j.k, j.m, j.n, 0, j.m, u0, u1)
+		} else {
+			mmTATile(j.dst, j.a, j.b, j.k, j.m, j.n, u0, u1, 0, j.n)
+		}
+	case jobMMTAAcc:
+		if j.splitCols {
+			mmTATileAcc(j.dst, j.a, j.b, j.k, j.m, j.n, 0, j.m, u0, u1)
+		} else {
+			mmTATileAcc(j.dst, j.a, j.b, j.k, j.m, j.n, u0, u1, 0, j.n)
+		}
+	case jobMMTB:
+		if j.splitCols {
+			mmTBTile(j.dst, j.a, j.b, j.k, j.n, 0, j.m, u0, u1, false)
+		} else {
+			mmTBTile(j.dst, j.a, j.b, j.k, j.n, u0, u1, 0, j.n, false)
+		}
+	case jobMMTBAcc:
+		if j.splitCols {
+			mmTBTile(j.dst, j.a, j.b, j.k, j.n, 0, j.m, u0, u1, true)
+		} else {
+			mmTBTile(j.dst, j.a, j.b, j.k, j.n, u0, u1, 0, j.n, true)
+		}
+	case jobIm2Col:
+		for ch := u0; ch < u1; ch++ {
+			if j.pad > 0 {
+				base := ch * j.kh * j.kw * j.oh * j.ow
+				zeroSlice(j.dst[base : base+j.kh*j.kw*j.oh*j.ow])
+			}
+			im2colRange(j.dst, j.src[ch*j.h*j.w:(ch+1)*j.h*j.w], ch,
+				j.h, j.w, j.kh, j.kw, j.stride, j.pad, j.oh, j.ow, 0, j.oh)
+		}
+	case jobCol2Im:
+		for ch := u0; ch < u1; ch++ {
+			plane := j.dst[ch*j.h*j.w : (ch+1)*j.h*j.w]
+			zeroSlice(plane)
+			col2imSlice(plane, j.a, ch, j.h, j.w, j.kh, j.kw, j.stride, j.pad, j.oh, j.ow)
+		}
+	case jobConvFwd:
+		convFwdRange(j, u0, u1)
+	}
+}
+
+// convFwdRange is the fused conv-forward panel: for output rows [o0, o1) it
+// unfolds the im2col columns, multiplies them against the filter matrix and
+// adds the bias — the whole column stripe stays cache-hot between the three
+// steps. Workers touch disjoint column stripes of both cols and dst.
+func convFwdRange(j *job, o0, o1 int) {
+	fan := j.c * j.kh * j.kw
+	ohow := j.oh * j.ow
+	j0, j1 := o0*j.ow, o1*j.ow
+	if j.pad > 0 {
+		// Padding positions keep their zeros; pad-0 geometry writes every
+		// element of the stripe (see Im2ColInto).
+		for r := 0; r < fan; r++ {
+			zeroSlice(j.b[r*ohow+j0 : r*ohow+j1])
+		}
+	}
+	for ch := 0; ch < j.c; ch++ {
+		im2colRange(j.b, j.src[ch*j.h*j.w:(ch+1)*j.h*j.w], ch,
+			j.h, j.w, j.kh, j.kw, j.stride, j.pad, j.oh, j.ow, o0, o1)
+	}
+	mmTile(j.dst, j.a, j.b, fan, ohow, 0, j.m, j0, j1)
+	if j.bias != nil {
+		for ff := 0; ff < j.m; ff++ {
+			bias := j.bias[ff]
+			row := j.dst[ff*ohow+j0 : ff*ohow+j1]
+			for i := range row {
+				row[i] += bias
+			}
+		}
+	}
+}
+
+// zeroSlice clears s (kept out-of-line so tile kernels stay readable).
+func zeroSlice(s []float64) {
+	for i := range s {
+		s[i] = 0
+	}
+}
+
+// gemmSplitCols picks the GEMM partition axis: output rows by default,
+// columns when the row count is the smaller split space. The choice affects
+// only load balance, never results.
+func gemmSplitCols(m, n int) bool { return n > m }
+
+// MatMulInto computes dst = a·b like the package-level MatMulInto, using the
+// group's blocked kernel — bit-identical to the reference at any worker
+// count. nil-safe (serial).
+func (p *Parallel) MatMulInto(dst, a, b *Tensor) {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 || a.Shape[1] != b.Shape[0] {
+		panic(fmt.Sprintf("tensor: MatMul shape mismatch %v x %v", a.Shape, b.Shape))
+	}
+	m, k, n := a.Shape[0], a.Shape[1], b.Shape[1]
+	checkDst("MatMulInto", dst, m, n)
+	j := job{kind: jobMM, dst: dst.Data, a: a.Data, b: b.Data, m: m, k: k, n: n}
+	if j.splitCols = gemmSplitCols(m, n); j.splitCols {
+		j.units = n
+	} else {
+		j.units = m
+	}
+	p.run(m*k*n, j)
+}
+
+// MatMulTransAInto computes dst = aᵀ·b (a [k,m], b [k,n]) with the blocked
+// kernel; bit-identical to the reference at any worker count.
+func (p *Parallel) MatMulTransAInto(dst, a, b *Tensor) {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 || a.Shape[0] != b.Shape[0] {
+		panic(fmt.Sprintf("tensor: MatMulTransA shape mismatch %v x %v", a.Shape, b.Shape))
+	}
+	k, m, n := a.Shape[0], a.Shape[1], b.Shape[1]
+	checkDst("MatMulTransAInto", dst, m, n)
+	j := job{kind: jobMMTA, dst: dst.Data, a: a.Data, b: b.Data, m: m, k: k, n: n}
+	if j.splitCols = gemmSplitCols(m, n); j.splitCols {
+		j.units = n
+	} else {
+		j.units = m
+	}
+	p.run(m*k*n, j)
+}
+
+// MatMulTransAAccInto computes dst += aᵀ·b with the blocked kernel;
+// bit-identical to the reference at any worker count.
+func (p *Parallel) MatMulTransAAccInto(dst, a, b *Tensor) {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 || a.Shape[0] != b.Shape[0] {
+		panic(fmt.Sprintf("tensor: MatMulTransA shape mismatch %v x %v", a.Shape, b.Shape))
+	}
+	k, m, n := a.Shape[0], a.Shape[1], b.Shape[1]
+	checkDst("MatMulTransAAccInto", dst, m, n)
+	j := job{kind: jobMMTAAcc, dst: dst.Data, a: a.Data, b: b.Data, m: m, k: k, n: n}
+	if j.splitCols = gemmSplitCols(m, n); j.splitCols {
+		j.units = n
+	} else {
+		j.units = m
+	}
+	p.run(m*k*n, j)
+}
+
+// MatMulTransBInto computes dst = a·bᵀ (a [m,k], b [n,k]) with the blocked
+// kernel; bit-identical to the reference at any worker count.
+func (p *Parallel) MatMulTransBInto(dst, a, b *Tensor) {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 || a.Shape[1] != b.Shape[1] {
+		panic(fmt.Sprintf("tensor: MatMulTransB shape mismatch %v x %v", a.Shape, b.Shape))
+	}
+	m, k, n := a.Shape[0], a.Shape[1], b.Shape[0]
+	checkDst("MatMulTransBInto", dst, m, n)
+	j := job{kind: jobMMTB, dst: dst.Data, a: a.Data, b: b.Data, m: m, k: k, n: n}
+	if j.splitCols = gemmSplitCols(m, n); j.splitCols {
+		j.units = n
+	} else {
+		j.units = m
+	}
+	p.run(m*k*n, j)
+}
+
+// Im2ColInto unfolds x [C,H,W] into dst [C·KH·KW, OH·OW] like the
+// package-level Im2ColInto, split across channels.
+func (p *Parallel) Im2ColInto(dst, x *Tensor, kh, kw, stride, pad int) {
+	if len(x.Shape) != 3 {
+		panic(fmt.Sprintf("tensor: Im2Col requires [C,H,W], got %v", x.Shape))
+	}
+	c, h, w := x.Shape[0], x.Shape[1], x.Shape[2]
+	oh, ow := ConvOut(h, kh, stride, pad), ConvOut(w, kw, stride, pad)
+	checkDst("Im2ColInto", dst, c*kh*kw, oh*ow)
+	p.run(c*kh*kw*oh*ow, job{kind: jobIm2Col, units: c, dst: dst.Data, src: x.Data,
+		c: c, h: h, w: w, kh: kh, kw: kw, stride: stride, pad: pad, oh: oh, ow: ow})
+}
+
+// Col2ImInto folds cols back into dst [C,H,W] like the package-level
+// Col2ImInto, split across channels.
+func (p *Parallel) Col2ImInto(dst, cols *Tensor, c, h, w, kh, kw, stride, pad int) {
+	oh, ow := ConvOut(h, kh, stride, pad), ConvOut(w, kw, stride, pad)
+	if len(cols.Shape) != 2 || cols.Shape[0] != c*kh*kw || cols.Shape[1] != oh*ow {
+		panic(fmt.Sprintf("tensor: Col2Im shape %v does not match c=%d kh=%d kw=%d oh=%d ow=%d",
+			cols.Shape, c, kh, kw, oh, ow))
+	}
+	if len(dst.Shape) != 3 || dst.Shape[0] != c || dst.Shape[1] != h || dst.Shape[2] != w {
+		panic(fmt.Sprintf("tensor: Col2ImInto dst %v, want [%d,%d,%d]", dst.Shape, c, h, w))
+	}
+	p.run(c*kh*kw*oh*ow, job{kind: jobCol2Im, units: c, dst: dst.Data, a: cols.Data,
+		c: c, h: h, w: w, kh: kh, kw: kw, stride: stride, pad: pad, oh: oh, ow: ow})
+}
+
+// ConvForward is the fused, parallel form of Conv2DForwardArena: per sample
+// it unfolds, multiplies and biases one output-row panel at a time, with
+// panels split across the worker group. Buffer semantics (arena ownership,
+// colsBuf reuse, returned cols) are identical to Conv2DForwardArena, and the
+// results are bit-identical to it at any worker count.
+func (p *Parallel) ConvForward(ar *Arena, x, w, b *Tensor, stride, pad int, colsBuf []*Tensor) (y *Tensor, cols []*Tensor) {
+	if len(x.Shape) != 4 || len(w.Shape) != 4 || x.Shape[1] != w.Shape[1] {
+		panic(fmt.Sprintf("tensor: Conv2DForward shapes x=%v w=%v", x.Shape, w.Shape))
+	}
+	n, c, h, wd := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	f, kh, kw := w.Shape[0], w.Shape[2], w.Shape[3]
+	oh, ow := ConvOut(h, kh, stride, pad), ConvOut(wd, kw, stride, pad)
+	fan := c * kh * kw
+	y = ar.Get(n, f, oh, ow)
+	cols = colsBuf[:0]
+	var bias []float64
+	if b != nil {
+		bias = b.Data
+	}
+	for s := 0; s < n; s++ {
+		col := ar.Get(fan, oh*ow)
+		cols = append(cols, col)
+		p.run(f*fan*oh*ow, job{kind: jobConvFwd, units: oh,
+			dst: y.Data[s*f*oh*ow : (s+1)*f*oh*ow], a: w.Data, b: col.Data,
+			src: x.Data[s*c*h*wd : (s+1)*c*h*wd], bias: bias, m: f,
+			c: c, h: h, w: wd, kh: kh, kw: kw, stride: stride, pad: pad, oh: oh, ow: ow})
+	}
+	return y, cols
+}
+
+// ConvBackward is the parallel form of Conv2DBackwardArena: the weight
+// gradient accumulates filter rows across the group, the column gradient
+// splits by im2col rows, and the fold back to image space splits by channel.
+// Buffer semantics and results are identical to Conv2DBackwardArena at any
+// worker count.
+func (p *Parallel) ConvBackward(ar *Arena, dy, w *Tensor, cols []*Tensor, dw, db *Tensor, xShape []int, stride, pad int) (dx *Tensor) {
+	n, c, h, wd := xShape[0], xShape[1], xShape[2], xShape[3]
+	f, kh, kw := w.Shape[0], w.Shape[2], w.Shape[3]
+	oh, ow := ConvOut(h, kh, stride, pad), ConvOut(wd, kw, stride, pad)
+	fan := c * kh * kw
+	ohow := oh * ow
+	dx = ar.Get(n, c, h, wd)
+	dcols := ar.Get(fan, ohow)
+	for s := 0; s < n; s++ {
+		dys := dy.Data[s*f*ohow : (s+1)*f*ohow]
+		// dW += dy · colsᵀ, one filter row per unit (accumulation order per
+		// element matches matMulTransBSlicesAcc).
+		p.run(f*ohow*fan, job{kind: jobMMTBAcc, units: f,
+			dst: dw.Data, a: dys, b: cols[s].Data, m: f, k: ohow, n: fan})
+		if db != nil {
+			for ff := 0; ff < f; ff++ {
+				sum := 0.0
+				for _, v := range dys[ff*ohow : (ff+1)*ohow] {
+					sum += v
+				}
+				db.Data[ff] += sum
+			}
+		}
+		// dcols = wᵀ · dy, split by im2col row.
+		p.run(f*fan*ohow, job{kind: jobMMTA, units: fan,
+			dst: dcols.Data, a: w.Data, b: dys, m: fan, k: f, n: ohow})
+		// Fold back to image space, one channel plane per unit (each worker
+		// zeroes its own planes).
+		p.run(fan*ohow, job{kind: jobCol2Im, units: c,
+			dst: dx.Data[s*c*h*wd : (s+1)*c*h*wd], a: dcols.Data,
+			c: c, h: h, w: wd, kh: kh, kw: kw, stride: stride, pad: pad, oh: oh, ow: ow})
+	}
+	ar.Put(dcols)
+	return dx
+}

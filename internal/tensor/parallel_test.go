@@ -1,0 +1,285 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// forceParallel routes every kernel through the worker fan-out regardless of
+// size, restoring the grain threshold on cleanup — edge shapes must exercise
+// the tiled path, not the serial cutover.
+func forceParallel(t *testing.T) {
+	t.Helper()
+	old := parGrainFLOPs
+	parGrainFLOPs = 0
+	t.Cleanup(func() { parGrainFLOPs = old })
+}
+
+// testGroups yields the worker counts the equivalence properties run at:
+// serial (nil), two workers, eight workers (more workers than most edge
+// shapes have rows, so empty tiles are exercised too).
+func testGroups(t *testing.T) []*Parallel {
+	t.Helper()
+	groups := []*Parallel{nil, NewParallel(2), NewParallel(8)}
+	t.Cleanup(func() {
+		for _, p := range groups {
+			p.Close()
+		}
+	})
+	return groups
+}
+
+func randTensor(rng *rand.Rand, shape ...int) *Tensor {
+	x := New(shape...)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	return x
+}
+
+// bitEqual reports exact float64 equality element-wise (the determinism
+// contract is bit-identity, not closeness).
+func bitEqual(a, b *Tensor) bool {
+	if len(a.Data) != len(b.Data) {
+		return false
+	}
+	for i, v := range a.Data {
+		if v != b.Data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// gemmShapes are the property-test shapes: randomized sizes plus the edge
+// geometry the tiling must survive — unit dimensions, sizes just off the
+// 2-row/4-step unroll boundaries, and reduction lengths 1..5.
+func gemmShapes(rng *rand.Rand) [][3]int {
+	shapes := [][3]int{
+		{1, 1, 1}, {1, 7, 1}, {1, 64, 33}, {2, 4, 8}, {3, 5, 7},
+		{8, 1, 8}, {33, 3, 2}, {16, 16, 16}, {2, 2, 31}, {5, 9, 1},
+	}
+	for i := 0; i < 8; i++ {
+		shapes = append(shapes, [3]int{1 + rng.Intn(24), 1 + rng.Intn(24), 1 + rng.Intn(24)})
+	}
+	return shapes
+}
+
+// TestBlockedGEMMMatchesReference proves the blocked, parallel GEMM kernels
+// bit-identical to the reference scalar kernels for every transpose form,
+// across randomized and edge shapes and worker counts 1/2/8.
+func TestBlockedGEMMMatchesReference(t *testing.T) {
+	forceParallel(t)
+	rng := rand.New(rand.NewSource(42))
+	groups := testGroups(t)
+	for _, sh := range gemmShapes(rng) {
+		m, k, n := sh[0], sh[1], sh[2]
+		a := randTensor(rng, m, k)
+		b := randTensor(rng, k, n)
+		at := randTensor(rng, k, m) // for the ᵀa form
+		bt := randTensor(rng, n, k) // for the bᵀ form
+		acc0 := randTensor(rng, m, n)
+
+		wantMM := New(m, n)
+		matMulSlices(wantMM.Data, a.Data, b.Data, m, k, n)
+		wantTA := New(m, n)
+		matMulTransASlices(wantTA.Data, at.Data, b.Data, k, m, n)
+		wantTAAcc := acc0.Clone()
+		matMulTransASlicesAcc(wantTAAcc.Data, at.Data, b.Data, k, m, n)
+		wantTB := New(m, n)
+		matMulTransBSlices(wantTB.Data, a.Data, bt.Data, m, k, n)
+
+		for _, p := range groups {
+			got := New(m, n)
+			p.MatMulInto(got, a, b)
+			if !bitEqual(got, wantMM) {
+				t.Fatalf("MatMul m=%d k=%d n=%d workers=%d deviates from reference", m, k, n, p.Workers())
+			}
+			p.MatMulTransAInto(got, at, b)
+			if !bitEqual(got, wantTA) {
+				t.Fatalf("MatMulTransA m=%d k=%d n=%d workers=%d deviates", m, k, n, p.Workers())
+			}
+			gotAcc := acc0.Clone()
+			p.MatMulTransAAccInto(gotAcc, at, b)
+			if !bitEqual(gotAcc, wantTAAcc) {
+				t.Fatalf("MatMulTransAAcc m=%d k=%d n=%d workers=%d deviates", m, k, n, p.Workers())
+			}
+			p.MatMulTransBInto(got, a, bt)
+			if !bitEqual(got, wantTB) {
+				t.Fatalf("MatMulTransB m=%d k=%d n=%d workers=%d deviates", m, k, n, p.Workers())
+			}
+		}
+	}
+}
+
+// convCase is one convolution geometry of the equivalence properties.
+type convCase struct {
+	c, h, w, f, kh, stride, pad int
+}
+
+// convCases covers the edge geometry: no padding (the unzeroed im2col fast
+// path), kernel == input, stride 2, single channel/filter, and typical
+// ResNet-block shapes.
+func convCases() []convCase {
+	return []convCase{
+		{c: 1, h: 3, w: 3, f: 1, kh: 3, stride: 1, pad: 0},   // kernel == input
+		{c: 2, h: 5, w: 5, f: 3, kh: 3, stride: 1, pad: 1},   // zero-padded
+		{c: 3, h: 8, w: 8, f: 4, kh: 3, stride: 2, pad: 1},   // strided
+		{c: 4, h: 6, w: 6, f: 2, kh: 1, stride: 1, pad: 0},   // 1x1, pad-0
+		{c: 2, h: 9, w: 9, f: 5, kh: 5, stride: 2, pad: 2},   // big kernel
+		{c: 8, h: 12, w: 12, f: 8, kh: 3, stride: 1, pad: 1}, // bench shape
+	}
+}
+
+// TestParallelConvMatchesReference proves the fused parallel conv forward
+// and backward bit-identical to the scalar im2col reference
+// (Conv2DForwardArena / Conv2DBackwardArena) across geometries and worker
+// counts, including the produced im2col matrices the backward pass stores.
+func TestParallelConvMatchesReference(t *testing.T) {
+	forceParallel(t)
+	rng := rand.New(rand.NewSource(43))
+	groups := testGroups(t)
+	for _, tc := range convCases() {
+		x := randTensor(rng, 1, tc.c, tc.h, tc.w)
+		w := randTensor(rng, tc.f, tc.c, tc.kh, tc.kh)
+		bias := randTensor(rng, tc.f)
+		yRef, colsRef := Conv2DForward(x, w, bias, tc.stride, tc.pad)
+		dy := randTensor(rng, yRef.Shape...)
+		dwRef, dbRef := New(w.Shape...), New(tc.f)
+		dxRef := Conv2DBackward(dy, w, colsRef, dwRef, dbRef, x.Shape, tc.stride, tc.pad)
+
+		for _, p := range groups {
+			y, cols := p.ConvForward(nil, x, w, bias, tc.stride, tc.pad, nil)
+			if !bitEqual(y, yRef) {
+				t.Fatalf("ConvForward %+v workers=%d output deviates", tc, p.Workers())
+			}
+			for s := range cols {
+				if !bitEqual(cols[s], colsRef[s]) {
+					t.Fatalf("ConvForward %+v workers=%d im2col deviates", tc, p.Workers())
+				}
+			}
+			dw, db := New(w.Shape...), New(tc.f)
+			dx := p.ConvBackward(nil, dy, w, cols, dw, db, x.Shape, tc.stride, tc.pad)
+			if !bitEqual(dx, dxRef) || !bitEqual(dw, dwRef) || !bitEqual(db, dbRef) {
+				t.Fatalf("ConvBackward %+v workers=%d gradients deviate", tc, p.Workers())
+			}
+		}
+	}
+}
+
+// TestConv2DNaiveMatchesIm2Col closes the oracle gap: the direct-loop
+// Conv2DNaive and the im2col fast path must agree (to rounding — the naive
+// loop adds the bias before the products, the GEMM after) on every
+// geometry, making Conv2DNaive a valid oracle for the fused parallel path.
+func TestConv2DNaiveMatchesIm2Col(t *testing.T) {
+	forceParallel(t)
+	rng := rand.New(rand.NewSource(44))
+	groups := testGroups(t)
+	for _, tc := range convCases() {
+		x := randTensor(rng, 2, tc.c, tc.h, tc.w)
+		w := randTensor(rng, tc.f, tc.c, tc.kh, tc.kh)
+		bias := randTensor(rng, tc.f)
+		want := Conv2DNaive(x, w, bias, tc.stride, tc.pad)
+		yIm2col, _ := Conv2DForward(x, w, bias, tc.stride, tc.pad)
+		if !yIm2col.AllClose(want, 1e-9) {
+			t.Fatalf("im2col conv deviates from naive oracle at %+v", tc)
+		}
+		for _, p := range groups {
+			y, _ := p.ConvForward(nil, x, w, bias, tc.stride, tc.pad, nil)
+			if !y.AllClose(want, 1e-9) {
+				t.Fatalf("fused conv (workers=%d) deviates from naive oracle at %+v", p.Workers(), tc)
+			}
+		}
+	}
+}
+
+// TestParallelIm2ColCol2ImMatchesReference checks the standalone unfold/fold
+// kernels against their scalar references across worker counts.
+func TestParallelIm2ColCol2ImMatchesReference(t *testing.T) {
+	forceParallel(t)
+	rng := rand.New(rand.NewSource(45))
+	groups := testGroups(t)
+	for _, tc := range convCases() {
+		x := randTensor(rng, tc.c, tc.h, tc.w)
+		want := Im2Col(x, tc.kh, tc.kh, tc.stride, tc.pad)
+		backWant := Col2Im(want, tc.c, tc.h, tc.w, tc.kh, tc.kh, tc.stride, tc.pad)
+		for _, p := range groups {
+			got := New(want.Shape...)
+			p.Im2ColInto(got, x, tc.kh, tc.kh, tc.stride, tc.pad)
+			if !bitEqual(got, want) {
+				t.Fatalf("Im2Col %+v workers=%d deviates", tc, p.Workers())
+			}
+			back := New(tc.c, tc.h, tc.w)
+			p.Col2ImInto(back, got, tc.c, tc.h, tc.w, tc.kh, tc.kh, tc.stride, tc.pad)
+			if !bitEqual(back, backWant) {
+				t.Fatalf("Col2Im %+v workers=%d deviates", tc, p.Workers())
+			}
+		}
+	}
+}
+
+// TestParallelLifecycle pins the group API: worker counts, nil-safety, Close
+// idempotence, and the serial fallback after Close still computing correct
+// results.
+func TestParallelLifecycle(t *testing.T) {
+	if got := (*Parallel)(nil).Workers(); got != 1 {
+		t.Fatalf("nil group Workers() = %d, want 1", got)
+	}
+	(*Parallel)(nil).Close() // must not panic
+	if p := NewParallel(1); p != nil {
+		t.Fatal("NewParallel(1) should be the nil serial group")
+	}
+	p := NewParallel(3)
+	if p.Workers() != 3 {
+		t.Fatalf("Workers() = %d, want 3", p.Workers())
+	}
+	rng := rand.New(rand.NewSource(46))
+	a, b := randTensor(rng, 8, 8), randTensor(rng, 8, 8)
+	want := MatMul(a, b)
+	got := New(8, 8)
+	p.MatMulInto(got, a, b)
+	if !bitEqual(got, want) {
+		t.Fatal("open group deviates from reference")
+	}
+	p.Close()
+	p.Close() // idempotent
+	got.Zero()
+	p.MatMulInto(got, a, b) // serial fallback after Close
+	if !bitEqual(got, want) {
+		t.Fatal("closed group's serial fallback deviates from reference")
+	}
+}
+
+// TestParallelSteadyStateAllocs locks in that kernel dispatch through a
+// worker group allocates nothing: pre-spawned workers, reused signal
+// channels, no per-call closures.
+func TestParallelSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are inflated by race-detector instrumentation")
+	}
+	forceParallel(t)
+	rng := rand.New(rand.NewSource(47))
+	p := NewParallel(4)
+	defer p.Close()
+	a, b := randTensor(rng, 32, 32), randTensor(rng, 32, 32)
+	dst := New(32, 32)
+	ar := NewArena()
+	x := randTensor(rng, 1, 4, 10, 10)
+	w := randTensor(rng, 4, 4, 3, 3)
+	dwT := New(4, 4, 3, 3)
+	colsBuf := make([]*Tensor, 0, 1)
+	warm := func() {
+		p.MatMulInto(dst, a, b)
+		y, cols := p.ConvForward(ar, x, w, nil, 1, 1, colsBuf)
+		colsBuf = cols[:0]
+		dx := p.ConvBackward(ar, y, w, cols, dwT, nil, x.Shape, 1, 1)
+		ar.Put(y, dx)
+		ar.Put(cols...)
+	}
+	for i := 0; i < 3; i++ {
+		warm()
+	}
+	if allocs := testing.AllocsPerRun(50, warm); allocs > 0 {
+		t.Errorf("parallel kernel dispatch allocates %v per call, want 0", allocs)
+	}
+}

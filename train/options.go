@@ -26,18 +26,19 @@ var DefaultRef = RefHyper{Eta: 0.05, Momentum: 0.9, WeightDecay: 1e-4, RefBatch:
 type Option func(*options)
 
 type options struct {
-	engine    string
-	mit       core.Mitigation
-	schedule  sched.Schedule
-	ref       RefHyper
-	workers   int
-	ckptEvery int
-	ckptPath  string
-	unpooled  bool
-	seed      int64
-	sgdm      bool
-	aug       data.Augmenter
-	evalBatch int
+	engine        string
+	mit           core.Mitigation
+	schedule      sched.Schedule
+	ref           RefHyper
+	workers       int
+	kernelWorkers int
+	ckptEvery     int
+	ckptPath      string
+	unpooled      bool
+	seed          int64
+	sgdm          bool
+	aug           data.Augmenter
+	evalBatch     int
 
 	onSample []func(SampleEvent)
 	onEpoch  []func(EpochEvent)
@@ -101,6 +102,28 @@ func WithWorkers(n int) Option {
 			return
 		}
 		o.workers = n
+	}
+}
+
+// WithKernelWorkers sets the engine's compute-worker budget n: the total
+// number of concurrently busy goroutines the engine may use for stage
+// compute, split between pipeline-stage concurrency and intra-kernel
+// (blocked GEMM / fused conv) parallelism. The sequential engine gives the
+// whole budget to one shared kernel group; the concurrent engines reserve
+// one worker per stage and spread the surplus as per-stage kernel workers,
+// front-loaded onto the early (FLOP-heavy) stages. 0 (the default) and 1
+// disable intra-kernel parallelism. Training results are bit-identical at
+// every setting — the parallel kernels partition output tiles without
+// changing any accumulation order (DESIGN.md §9). Ignored by the SGDM
+// reference. Not to be confused with WithWorkers, which regroups the
+// pipeline stages themselves.
+func WithKernelWorkers(n int) Option {
+	return func(o *options) {
+		if n < 0 {
+			o.errs = append(o.errs, fmt.Errorf("train: %d kernel workers, want ≥ 0", n))
+			return
+		}
+		o.kernelWorkers = n
 	}
 }
 

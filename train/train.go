@@ -161,6 +161,7 @@ func (t *Trainer) ensureBuilt(trainSet *data.Dataset, epochs int) error {
 		cfg.WeightDecay = ref.WeightDecay
 		cfg.Mitigation = t.o.mit
 		cfg.Unpooled = t.o.unpooled
+		cfg.Workers = t.o.kernelWorkers
 		cfg.Schedule = t.scheduleOr(cfg.LR, n*epochs)
 		eng, err := core.NewEngine(t.o.engine, net, cfg)
 		if err != nil {
