@@ -25,6 +25,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/models"
+	"repro/internal/nn"
+	syncpol "repro/internal/sync"
 	"repro/internal/tensor"
 )
 
@@ -32,6 +34,7 @@ import (
 type Result struct {
 	Name          string  `json:"name"`
 	Workers       int     `json:"workers"`
+	Replicas      int     `json:"replicas,omitempty"` // cluster benches only
 	Iters         int     `json:"iters"`
 	NsPerOp       float64 `json:"ns_per_op"`
 	AllocsPerOp   int64   `json:"allocs_per_op"`
@@ -225,6 +228,74 @@ func engineBenches() []Result {
 	return out
 }
 
+// clusterBenches streams samples through the replicated-pipeline cluster at
+// R ∈ {1, 2, 4} with a FIXED total kernel-worker budget (GOMAXPROCS), so the
+// replica axis is isolated from raw compute: replicas shard the stream
+// round-robin and split the same budget. Free-running async replicas under
+// the "none" and "avg-every-64" policies measure the throughput path;
+// sync-grad (stepped, barrier per update) measures the coordination cost.
+func clusterBenches() []Result {
+	var out []Result
+	budget := runtime.GOMAXPROCS(0)
+	specs := []struct {
+		r      int
+		engine string
+		sync   string
+	}{
+		{1, "async", "none"},
+		{2, "async", "none"},
+		{4, "async", "none"},
+		{2, "async", "avg-every-64"},
+		{2, "seq", "sync-grad"},
+	}
+	for _, spec := range specs {
+		name := fmt.Sprintf("Cluster_%s_R%d_%s", spec.engine, spec.r, spec.sync)
+		record(&out, name, budget, func(bb *testing.B) {
+			imgs := data.CIFAR10Like(8, 64, 0, 1)
+			train, _ := data.GenerateImages(imgs)
+			pol, err := syncpol.Parse(spec.sync)
+			if err != nil {
+				panic(err)
+			}
+			nets := make([]*nn.Network, spec.r)
+			nets[0] = models.ResNet(models.MiniResNet(20, 4, 8, 10, 1))
+			snap := nets[0].SnapshotWeights()
+			for i := 1; i < spec.r; i++ {
+				nets[i] = models.ResNet(models.MiniResNet(20, 4, 8, 10, 1))
+				nets[i].RestoreWeights(snap)
+			}
+			cfg := core.ScaledConfig(0.05, 0.9, 32, 1)
+			cfg.Workers = budget
+			cl, err := core.NewCluster(nets, cfg, core.ClusterConfig{
+				Replicas: spec.r, Engine: spec.engine, Policy: pol,
+			})
+			if err != nil {
+				panic(err)
+			}
+			defer cl.Close()
+			shape := append([]int{1}, train.Shape...)
+			bb.ReportAllocs()
+			bb.ResetTimer()
+			for i := 0; i < bb.N; i++ {
+				x := cl.InputBuffer(shape...)
+				copy(x.Data, train.Samples[i%train.Len()])
+				if _, err := cl.Submit(nil, x, train.Labels[i%train.Len()]); err != nil {
+					panic(err)
+				}
+			}
+			if _, err := cl.Drain(nil); err != nil {
+				panic(err)
+			}
+			bb.StopTimer()
+			if s := bb.Elapsed().Seconds(); s > 0 {
+				bb.ReportMetric(float64(bb.N)/s, "samples/sec")
+			}
+		})
+		out[len(out)-1].Replicas = spec.r
+	}
+	return out
+}
+
 func writeFile(path string, f *File) {
 	data, err := json.MarshalIndent(f, "", "  ")
 	if err != nil {
@@ -257,10 +328,11 @@ func loadPrev(path string) *File {
 }
 
 func main() {
-	out := flag.String("out", ".", "directory for BENCH_kernels.json / BENCH_engines.json")
+	out := flag.String("out", ".", "directory for BENCH_kernels.json / BENCH_engines.json / BENCH_cluster.json")
 	prev := flag.String("prev", "", "earlier BENCH_engines.json whose results become the new file's previous block")
+	prevCluster := flag.String("prev-cluster", "", "earlier BENCH_cluster.json whose results become the new file's previous block")
 	note := flag.String("note", "", "free-form annotation stored in the output files")
-	kernelsOnly := flag.Bool("kernels-only", false, "skip the engine benchmarks")
+	kernelsOnly := flag.Bool("kernels-only", false, "skip the engine and cluster benchmarks")
 	flag.Parse()
 
 	kf := newFile(*note)
@@ -274,4 +346,9 @@ func main() {
 	ef.Current = engineBenches()
 	ef.Previous = loadPrev(*prev)
 	writeFile(filepath.Join(*out, "BENCH_engines.json"), ef)
+
+	cf := newFile(*note)
+	cf.Current = clusterBenches()
+	cf.Previous = loadPrev(*prevCluster)
+	writeFile(filepath.Join(*out, "BENCH_cluster.json"), cf)
 }

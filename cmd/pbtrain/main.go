@@ -27,6 +27,7 @@ import (
 	"repro/internal/nn"
 	"repro/internal/optim"
 	"repro/internal/partition"
+	syncpol "repro/internal/sync"
 	"repro/train"
 )
 
@@ -71,6 +72,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	workers := flag.Int("workers", 0, "regroup the pipeline onto this many balanced workers (0 = fine-grained)")
 	kernelWorkers := flag.Int("kernel-workers", 0, "engine compute-worker budget, split between stage concurrency and intra-kernel parallelism (0 = serial kernels; results are bit-identical at any value)")
+	replicas := flag.Int("replicas", 0, "run this many data-parallel pipeline replicas behind a cluster engine (0 = single pipeline)")
+	syncName := flag.String("sync", "none", "cluster weight-sync policy: none | avg-every-<k> | sync-grad (needs -replicas)")
 	ckpt := flag.String("checkpoint", "", "save a resumable pipeline snapshot to this file after the final epoch")
 	resume := flag.String("resume", "", "resume weights/optimizer/schedule from this snapshot before training")
 	flag.Parse()
@@ -143,6 +146,22 @@ func main() {
 		fail("-workers %d exceeds the %d fine-grained stages of %s (engine %s runs one worker per stage at most)",
 			*workers, fineStages, *model, *engine)
 	}
+	if *replicas < 0 {
+		fail("-replicas %d, want ≥ 0", *replicas)
+	}
+	policy, perr := syncpol.Parse(*syncName)
+	if perr != nil {
+		fail("%v", perr)
+	}
+	if *replicas == 0 && *syncName != "none" {
+		fail("-sync %s needs -replicas ≥ 1 (a single pipeline has nothing to synchronize)", *syncName)
+	}
+	if *replicas > 0 && sgdm {
+		fail("-replicas replicates the PB pipeline; the sgdm reference has none (drop -replicas or pick a pb method)")
+	}
+	if policy.GradReduce() && *replicas > 1 && *engine != "seq" && *engine != "lockstep" {
+		fail("-sync sync-grad averages per-update gradients and needs a stepped engine: -engine seq or lockstep, not %s", *engine)
+	}
 
 	s := fineStages
 	if *workers > 0 {
@@ -154,10 +173,19 @@ func main() {
 	}
 	fmt.Printf("model=%s stages=%d max-delay=%d method=%s\n", *model, s, 2*(s-1), *method)
 	if !sgdm {
-		eta1, m1 := optim.Scale(*eta, *mom, *refBatch, 1)
-		fmt.Printf("Eq.9 scaling: (η=%.3g, m=%.4g) @N=%d → (η=%.3g, m=%.6g) @N=1\n",
-			*eta, *mom, *refBatch, eta1, m1)
+		// sync-grad averages R gradients per update: effective update size R.
+		updateSize := 1
+		if policy.GradReduce() && *replicas > 0 {
+			updateSize = *replicas
+		}
+		eta1, m1 := optim.Scale(*eta, *mom, *refBatch, updateSize)
+		fmt.Printf("Eq.9 scaling: (η=%.3g, m=%.4g) @N=%d → (η=%.3g, m=%.6g) @N=%d\n",
+			*eta, *mom, *refBatch, eta1, m1, updateSize)
 		fmt.Printf("engine=%s\n", *engine)
+		if *replicas > 0 {
+			fmt.Printf("cluster: %d replicas, sync=%s (sample g → replica g mod %d)\n",
+				*replicas, policy.Name(), *replicas)
+		}
 	}
 
 	opts := []train.Option{
@@ -178,6 +206,9 @@ func main() {
 	}
 	if *kernelWorkers > 0 {
 		opts = append(opts, train.WithKernelWorkers(*kernelWorkers))
+	}
+	if *replicas > 0 {
+		opts = append(opts, train.WithReplicas(*replicas, *syncName))
 	}
 	if *ckpt != "" && *epochs > 0 {
 		opts = append(opts,
@@ -216,6 +247,9 @@ func main() {
 			rep.Utilization, core.UtilizationBound(1, rep.Stages))
 		fmt.Printf("observed max staleness per stage ≤ 2(S-1-s): %v\n",
 			rep.ObservedDelays[:min(6, len(rep.ObservedDelays))])
+		if rep.Replicas > 0 {
+			fmt.Printf("cluster: %d replicas, %d weight syncs\n", rep.Replicas, rep.Syncs)
+		}
 	}
 }
 

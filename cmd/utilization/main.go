@@ -9,6 +9,7 @@
 //	utilization -stages 34 -batch 1
 //	utilization -diagram -stages 6 -batch 2
 //	utilization -measure
+//	utilization -measure -cluster   # replica-scaling table too
 package main
 
 import (
@@ -27,10 +28,15 @@ func main() {
 	diagram := flag.Bool("diagram", false, "print schedule diagrams")
 	sweep := flag.Bool("sweep", false, "print the full sweep table")
 	measure := flag.Bool("measure", false, "measure real engine throughput and utilization")
+	cluster := flag.Bool("cluster", false, "with -measure: also measure replicated-pipeline (cluster) throughput per sync policy")
 	flag.Parse()
 
 	if *measure {
 		exp.EngineThroughput(os.Stdout, exp.Default)
+		if *cluster {
+			fmt.Println()
+			exp.ClusterThroughput(os.Stdout, exp.Default)
+		}
 		return
 	}
 

@@ -23,9 +23,10 @@ import (
 )
 
 // Version is bumped on incompatible format changes. Version 2 added the
-// per-stage optimizer state; version-1 snapshots (weights + one optimizer)
-// still restore.
-const Version = 2
+// per-stage optimizer state; version 3 added replicated-pipeline (cluster)
+// state. Version-1 (weights + one optimizer) and version-2 snapshots still
+// restore.
+const Version = 3
 
 // StageState is the serialized optimizer state of one pipeline stage.
 type StageState struct {
@@ -52,8 +53,39 @@ type State struct {
 	Velocities map[string][]float64
 	// Stages holds per-stage optimizer state, indexed like the pipeline.
 	Stages []StageState
+	// Cluster holds replicated-pipeline state (version 3+, cluster runs
+	// only). When set, Weights/Stages mirror replica 0 (the canonical view)
+	// and the full per-replica state lives in Cluster.Replicas.
+	Cluster *ClusterState
 	// Meta carries free-form run metadata (method name, scale, seed...).
 	Meta map[string]string
+}
+
+// ReplicaState is the serialized training state of one pipeline replica of a
+// cluster: its weights, per-stage optimizer state and schedule position.
+type ReplicaState struct {
+	Weights map[string][]float64
+	Stages  []StageState
+	Step    int
+}
+
+// ClusterState is the serialized state of a replicated-pipeline cluster
+// (core.Cluster): per-replica pipelines plus the sync clock and shard cursor,
+// so a restored cluster resumes its averaging cadence and round-robin routing
+// exactly where it stopped.
+type ClusterState struct {
+	// Policy and Interval identify the weight-sync policy; restore refuses a
+	// mismatch (the sync cadence is part of the algorithm).
+	Policy   string
+	Interval int
+	// Replicas holds each pipeline's full state, replica-indexed.
+	Replicas []ReplicaState
+	// Syncs counts completed sync operations (the sync clock); Submitted is
+	// the global sample cursor (next replica = Submitted mod R); LastSync is
+	// the cursor at the most recent sync.
+	Syncs     int
+	Submitted int
+	LastSync  int
 }
 
 // PipelineTrainer is the engine surface CapturePipeline/RestorePipeline
@@ -106,8 +138,14 @@ func CapturePipeline(net *nn.Network, tr PipelineTrainer, meta map[string]string
 	if err != nil {
 		return nil, err
 	}
-	st.Stages = make([]StageState, tr.NumStages())
-	for i := range st.Stages {
+	st.Stages = captureStages(tr)
+	return st, nil
+}
+
+// captureStages copies a trainer's per-stage optimizer state.
+func captureStages(tr PipelineTrainer) []StageState {
+	stages := make([]StageState, tr.NumStages())
+	for i := range stages {
 		ss := StageState{
 			Velocities:  map[string][]float64{},
 			PrevWeights: map[string][]float64{},
@@ -126,15 +164,84 @@ func CapturePipeline(net *nn.Network, tr PipelineTrainer, meta map[string]string
 				ss.PrevWeights[p.Name] = wc
 			}
 		}
-		st.Stages[i] = ss
+		stages[i] = ss
 	}
+	return stages
+}
+
+// ClusterTrainer is the engine surface CaptureCluster/RestoreCluster need:
+// replica-indexed access to networks and pipeline trainers plus the sync
+// clock and shard cursor. *core.Cluster implements it; every replica must be
+// quiesced around both calls. ReplicaEngine is typed any so the core package
+// needs no checkpoint import — the returned engine must implement
+// PipelineTrainer (all built-in engines do).
+type ClusterTrainer interface {
+	ReplicaCount() int
+	ReplicaNet(i int) *nn.Network
+	ReplicaEngine(i int) any
+	PolicyName() string
+	PolicyInterval() int
+	ClusterCursor() (submitted, syncs, lastSync int)
+	SetClusterCursor(submitted, syncs, lastSync int)
+}
+
+// replicaPipeline asserts replica i's engine down to the PipelineTrainer
+// capture/restore surface.
+func replicaPipeline(ct ClusterTrainer, i int) (PipelineTrainer, error) {
+	tr, ok := ct.ReplicaEngine(i).(PipelineTrainer)
+	if !ok {
+		return nil, fmt.Errorf("checkpoint: cluster replica %d engine (%T) does not support checkpointing", i, ct.ReplicaEngine(i))
+	}
+	return tr, nil
+}
+
+// CaptureCluster snapshots a replicated-pipeline cluster: every replica's
+// weights and per-stage optimizer state, the sync clock and the shard
+// cursor. The top-level Weights/Stages/Step mirror replica 0 — the canonical
+// view — so generic tooling can still read a cluster snapshot. All replicas
+// must be quiesced.
+func CaptureCluster(ct ClusterTrainer, meta map[string]string) (*State, error) {
+	tr0, err := replicaPipeline(ct, 0)
+	if err != nil {
+		return nil, err
+	}
+	st, err := CapturePipeline(ct.ReplicaNet(0), tr0, meta)
+	if err != nil {
+		return nil, err
+	}
+	submitted, syncs, lastSync := ct.ClusterCursor()
+	cs := &ClusterState{
+		Policy:    ct.PolicyName(),
+		Interval:  ct.PolicyInterval(),
+		Replicas:  make([]ReplicaState, ct.ReplicaCount()),
+		Syncs:     syncs,
+		Submitted: submitted,
+		LastSync:  lastSync,
+	}
+	for i := 0; i < ct.ReplicaCount(); i++ {
+		tr, err := replicaPipeline(ct, i)
+		if err != nil {
+			return nil, err
+		}
+		rst, err := Capture(ct.ReplicaNet(i), nil, tr.UpdateStep(), nil)
+		if err != nil {
+			return nil, err
+		}
+		cs.Replicas[i] = ReplicaState{
+			Weights: rst.Weights,
+			Stages:  captureStages(tr),
+			Step:    tr.UpdateStep(),
+		}
+	}
+	st.Cluster = cs
 	return st, nil
 }
 
-// checkVersion accepts the current version and the still-readable version 1.
+// checkVersion accepts the current version and the still-readable versions
+// 1 and 2.
 func checkVersion(v int) error {
-	if v != Version && v != 1 {
-		return fmt.Errorf("checkpoint: version %d, want %d", v, Version)
+	if v < 1 || v > Version {
+		return fmt.Errorf("checkpoint: version %d, want ≤ %d", v, Version)
 	}
 	return nil
 }
@@ -197,16 +304,28 @@ func RestorePipeline(st *State, net *nn.Network, tr PipelineTrainer) error {
 	if err := checkVersion(st.Version); err != nil {
 		return err
 	}
+	if st.Cluster != nil {
+		return fmt.Errorf("checkpoint: snapshot holds %d-replica cluster state (policy %q); restore it with a cluster engine (RestoreCluster)",
+			len(st.Cluster.Replicas), st.Cluster.Policy)
+	}
 	if len(st.Stages) == 0 {
 		return fmt.Errorf("checkpoint: snapshot has no per-stage state (version %d, single-optimizer format?); use Restore/Load for it", st.Version)
 	}
-	if len(st.Stages) != tr.NumStages() {
-		return fmt.Errorf("checkpoint: snapshot has %d stages, trainer has %d", len(st.Stages), tr.NumStages())
+	if err := validatePipelineState(st.Weights, st.Stages, net, tr); err != nil {
+		return err
 	}
-	// Validate everything before mutating anything, so a rejected snapshot
-	// leaves the trainer untouched.
+	applyPipelineState(st.Weights, st.Stages, st.Step, net, tr)
+	return nil
+}
+
+// validatePipelineState checks a pipeline snapshot against a trainer without
+// mutating anything, so a rejected snapshot leaves the trainer untouched.
+func validatePipelineState(weights map[string][]float64, stages []StageState, net *nn.Network, tr PipelineTrainer) error {
+	if len(stages) != tr.NumStages() {
+		return fmt.Errorf("checkpoint: snapshot has %d stages, trainer has %d", len(stages), tr.NumStages())
+	}
 	for _, p := range net.Params() {
-		w, ok := st.Weights[p.Name]
+		w, ok := weights[p.Name]
 		if !ok {
 			return fmt.Errorf("checkpoint: missing parameter %q", p.Name)
 		}
@@ -214,7 +333,7 @@ func RestorePipeline(st *State, net *nn.Network, tr PipelineTrainer) error {
 			return fmt.Errorf("checkpoint: parameter %q has %d values, want %d", p.Name, len(w), p.W.Size())
 		}
 	}
-	for i := range st.Stages {
+	for i := range stages {
 		// Every saved buffer must belong to a parameter of the SAME stage:
 		// a shifted stage boundary (same depth, different partitioning)
 		// would otherwise restore "successfully" with silently zeroed
@@ -223,7 +342,7 @@ func RestorePipeline(st *State, net *nn.Network, tr PipelineTrainer) error {
 		for _, p := range tr.StageParams(i) {
 			names[p.Name] = p.W.Size()
 		}
-		for name, v := range st.Stages[i].Velocities {
+		for name, v := range stages[i].Velocities {
 			size, ok := names[name]
 			if !ok {
 				return fmt.Errorf("checkpoint: stage %d holds velocity for %q, which is not in that stage (different partitioning?)", i, name)
@@ -232,7 +351,7 @@ func RestorePipeline(st *State, net *nn.Network, tr PipelineTrainer) error {
 				return fmt.Errorf("checkpoint: stage %d velocity %q has %d values, want %d", i, name, len(v), size)
 			}
 		}
-		for name, w := range st.Stages[i].PrevWeights {
+		for name, w := range stages[i].PrevWeights {
 			size, ok := names[name]
 			if !ok {
 				return fmt.Errorf("checkpoint: stage %d holds prev weights for %q, which is not in that stage (different partitioning?)", i, name)
@@ -242,11 +361,16 @@ func RestorePipeline(st *State, net *nn.Network, tr PipelineTrainer) error {
 			}
 		}
 	}
+	return nil
+}
+
+// applyPipelineState loads validated pipeline state into a trainer.
+func applyPipelineState(weights map[string][]float64, stages []StageState, step int, net *nn.Network, tr PipelineTrainer) {
 	for _, p := range net.Params() {
-		p.SetData(st.Weights[p.Name])
+		p.SetData(weights[p.Name])
 	}
-	for i := range st.Stages {
-		ss := st.Stages[i]
+	for i := range stages {
+		ss := stages[i]
 		opt := tr.StageOptimizer(i)
 		for _, p := range tr.StageParams(i) {
 			if v, ok := ss.Velocities[p.Name]; ok {
@@ -258,7 +382,50 @@ func RestorePipeline(st *State, net *nn.Network, tr PipelineTrainer) error {
 		}
 		tr.SetStageUpdates(i, ss.Updates)
 	}
-	tr.SetUpdateStep(st.Step)
+	tr.SetUpdateStep(step)
+}
+
+// RestoreCluster loads a cluster snapshot into a freshly constructed (or
+// drained) cluster: every replica's weights, per-stage optimizer state and
+// schedule position, plus the sync clock and shard cursor. The cluster must
+// match the snapshot's replica count, sync policy and interval — the sync
+// cadence is part of the algorithm, not a runtime preference. Every replica
+// is validated before anything is mutated.
+func RestoreCluster(st *State, ct ClusterTrainer) error {
+	if err := checkVersion(st.Version); err != nil {
+		return err
+	}
+	cs := st.Cluster
+	if cs == nil {
+		return fmt.Errorf("checkpoint: snapshot has no cluster state (version %d single-pipeline snapshot?); use RestorePipeline for it", st.Version)
+	}
+	if len(cs.Replicas) != ct.ReplicaCount() {
+		return fmt.Errorf("checkpoint: snapshot has %d replicas, cluster has %d", len(cs.Replicas), ct.ReplicaCount())
+	}
+	if cs.Policy != ct.PolicyName() || cs.Interval != ct.PolicyInterval() {
+		return fmt.Errorf("checkpoint: snapshot was taken under policy %q (interval %d), cluster runs %q (interval %d)",
+			cs.Policy, cs.Interval, ct.PolicyName(), ct.PolicyInterval())
+	}
+	trs := make([]PipelineTrainer, len(cs.Replicas))
+	for i := range cs.Replicas {
+		tr, err := replicaPipeline(ct, i)
+		if err != nil {
+			return err
+		}
+		if rc, ok := tr.(ResumeChecker); ok {
+			if err := rc.CheckResume(); err != nil {
+				return fmt.Errorf("checkpoint: cluster replica %d: %w", i, err)
+			}
+		}
+		if err := validatePipelineState(cs.Replicas[i].Weights, cs.Replicas[i].Stages, ct.ReplicaNet(i), tr); err != nil {
+			return fmt.Errorf("checkpoint: cluster replica %d: %w", i, err)
+		}
+		trs[i] = tr
+	}
+	for i, rs := range cs.Replicas {
+		applyPipelineState(rs.Weights, rs.Stages, rs.Step, ct.ReplicaNet(i), trs[i])
+	}
+	ct.SetClusterCursor(cs.Submitted, cs.Syncs, cs.LastSync)
 	return nil
 }
 
@@ -292,6 +459,27 @@ func SavePipeline(path string, net *nn.Network, tr PipelineTrainer, meta map[str
 		return err
 	}
 	return writeFile(path, st)
+}
+
+// SaveCluster captures and writes a cluster snapshot atomically.
+func SaveCluster(path string, ct ClusterTrainer, meta map[string]string) error {
+	st, err := CaptureCluster(ct, meta)
+	if err != nil {
+		return err
+	}
+	return writeFile(path, st)
+}
+
+// LoadCluster reads a cluster snapshot from path and restores it.
+func LoadCluster(path string, ct ClusterTrainer) (*State, error) {
+	st, err := readFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := RestoreCluster(st, ct); err != nil {
+		return nil, err
+	}
+	return st, nil
 }
 
 // writeFile writes a State to path via tmp + rename.

@@ -12,6 +12,7 @@ import (
 	"repro/internal/nn"
 	"repro/internal/optim"
 	"repro/internal/sched"
+	syncpol "repro/internal/sync"
 	"repro/internal/tensor"
 )
 
@@ -429,5 +430,246 @@ func TestAsyncLockstepCaptureResumesAsSeq(t *testing.T) {
 		if !pa[i].W.AllClose(ps[i].W, 0) {
 			t.Fatalf("lockstep→seq resume deviates at %s", pa[i].Name)
 		}
+	}
+}
+
+// clusterNets builds r weight-identical replica networks.
+func clusterNets(r int, seed int64) []*nn.Network {
+	nets := make([]*nn.Network, r)
+	nets[0] = models.DeepMLP(6, 8, 3, 3, seed)
+	snap := nets[0].SnapshotWeights()
+	for i := 1; i < r; i++ {
+		nets[i] = models.DeepMLP(6, 8, 3, 3, seed)
+		nets[i].RestoreWeights(snap)
+	}
+	return nets
+}
+
+// feedCluster streams samples [lo, hi) through a cluster engine and drains.
+func feedCluster(t *testing.T, cl *core.Cluster, ds *data.Dataset, lo, hi int) {
+	t.Helper()
+	shape := append([]int{1}, ds.Shape...)
+	for i := lo; i < hi; i++ {
+		x := cl.InputBuffer(shape...)
+		copy(x.Data, ds.Samples[i])
+		if _, err := cl.Submit(context.Background(), x, ds.Labels[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := cl.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestClusterResumeMatchesUninterrupted is the v3 gold standard: a cluster
+// trained one epoch, captured, restored into a fresh cluster and trained a
+// second epoch must match — bit for bit — the same cluster kept in memory
+// across both epochs: per-replica weights and velocities, the sync clock,
+// and the shard cursor all resume. Both sync policies with state are
+// exercised (the gradient-reducing sync-grad and the averaging avg-every-k).
+func TestClusterResumeMatchesUninterrupted(t *testing.T) {
+	seed := int64(21)
+	train, _ := data.GaussianBlobs(6, 3, 45, 0, 1, 0.5, seed) // odd: partial tail round
+	for _, tc := range []struct {
+		engine string
+		policy string
+	}{
+		{"seq", "sync-grad"},
+		{"seq", "avg-every-7"},
+		{"lockstep", "sync-grad"},
+	} {
+		t.Run(tc.engine+"/"+tc.policy, func(t *testing.T) {
+			mk := func(netSeed int64) (*core.Cluster, []*nn.Network) {
+				pol, err := syncpol.Parse(tc.policy)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg := core.ScaledConfig(0.1, 0.9, 16, 1)
+				cfg.Mitigation = core.LWPwDSCD // velocities AND prev-weights per stage
+				nets := clusterNets(2, netSeed)
+				cl, err := core.NewCluster(nets, cfg, core.ClusterConfig{Replicas: 2, Engine: tc.engine, Policy: pol})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return cl, nets
+			}
+			// Reference arm: epoch, capture, keep training in memory.
+			clA, netsA := mk(seed)
+			defer clA.Close()
+			feedCluster(t, clA, train, 0, train.Len())
+			subAt, syncsAt, lastAt := clA.ClusterCursor()
+			st, err := CaptureCluster(clA, map[string]string{"engine": tc.engine})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := Write(&buf, st); err != nil {
+				t.Fatal(err)
+			}
+			st2, err := Read(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			feedCluster(t, clA, train, 0, train.Len())
+
+			// Resumed arm: fresh cluster (different init, overwritten), restore,
+			// second epoch.
+			clB, netsB := mk(seed + 500)
+			defer clB.Close()
+			if err := RestoreCluster(st2, clB); err != nil {
+				t.Fatal(err)
+			}
+			subB, syncsB, lastB := clB.ClusterCursor()
+			if subB != subAt || syncsB != syncsAt || lastB != lastAt {
+				t.Fatalf("restored cursor (%d,%d,%d), captured (%d,%d,%d)",
+					subB, syncsB, lastB, subAt, syncsAt, lastAt)
+			}
+			feedCluster(t, clB, train, 0, train.Len())
+
+			for r := 0; r < 2; r++ {
+				pa, pb := netsA[r].Params(), netsB[r].Params()
+				for i := range pa {
+					if !pa[i].W.AllClose(pb[i].W, 0) {
+						t.Fatalf("replica %d resumed trajectory deviates at %s", r, pa[i].Name)
+					}
+				}
+			}
+			sA, sB := clA.Stats(), clB.Stats()
+			if sA.Syncs != sB.Syncs {
+				t.Fatalf("sync clock after epoch 2: resumed %d vs uninterrupted %d", sB.Syncs, sA.Syncs)
+			}
+		})
+	}
+}
+
+// TestClusterSnapshotRejects pins the v3 validation: wrong restore surface,
+// replica-count and policy mismatches all fail loudly without mutating.
+func TestClusterSnapshotRejects(t *testing.T) {
+	cfg := core.ScaledConfig(0.1, 0.9, 16, 1)
+	mk := func(r int, policy string) *core.Cluster {
+		pol, _ := syncpol.Parse(policy)
+		cl, err := core.NewCluster(clusterNets(r, 31), cfg, core.ClusterConfig{Replicas: r, Engine: "seq", Policy: pol})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cl
+	}
+	cl := mk(2, "avg-every-4")
+	defer cl.Close()
+	st, err := CaptureCluster(cl, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A cluster snapshot cannot restore into a bare pipeline...
+	net := models.DeepMLP(6, 8, 3, 3, 31)
+	tr := core.NewPBTrainer(net, cfg)
+	if err := RestorePipeline(st, net, tr); err == nil {
+		t.Fatal("cluster snapshot restored into a single pipeline")
+	}
+	// ...nor a pipeline snapshot into a cluster.
+	pst, err := CapturePipeline(net, tr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := RestoreCluster(pst, cl); err == nil {
+		t.Fatal("pipeline snapshot restored into a cluster")
+	}
+	// Replica-count mismatch.
+	cl3 := mk(3, "avg-every-4")
+	defer cl3.Close()
+	if err := RestoreCluster(st, cl3); err == nil {
+		t.Fatal("2-replica snapshot restored into a 3-replica cluster")
+	}
+	// Policy mismatch.
+	clPol := mk(2, "sync-grad")
+	defer clPol.Close()
+	if err := RestoreCluster(st, clPol); err == nil {
+		t.Fatal("avg-every-4 snapshot restored under sync-grad")
+	}
+	// Interval mismatch within the same family.
+	clInt := mk(2, "avg-every-9")
+	defer clInt.Close()
+	if err := RestoreCluster(st, clInt); err == nil {
+		t.Fatal("avg-every-4 snapshot restored under avg-every-9")
+	}
+}
+
+// TestClusterSaveLoadFile round-trips a cluster snapshot through disk.
+func TestClusterSaveLoadFile(t *testing.T) {
+	cfg := core.ScaledConfig(0.1, 0.9, 16, 1)
+	train, _ := data.GaussianBlobs(6, 3, 20, 0, 1, 0.5, 41)
+	pol, _ := syncpol.Parse("avg-every-5")
+	clA, err := core.NewCluster(clusterNets(2, 41), cfg, core.ClusterConfig{Replicas: 2, Engine: "seq", Policy: pol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer clA.Close()
+	feedCluster(t, clA, train, 0, train.Len())
+	path := filepath.Join(t.TempDir(), "cluster.ckpt")
+	if err := SaveCluster(path, clA, map[string]string{"scope": "test"}); err != nil {
+		t.Fatal(err)
+	}
+	netsB := clusterNets(2, 99)
+	clB, err := core.NewCluster(netsB, cfg, core.ClusterConfig{Replicas: 2, Engine: "seq", Policy: pol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer clB.Close()
+	st, err := LoadCluster(path, clB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Meta["scope"] != "test" || st.Version != Version || st.Cluster == nil {
+		t.Fatalf("loaded snapshot malformed: version %d meta %v", st.Version, st.Meta)
+	}
+	for r := 0; r < 2; r++ {
+		pa, pb := clA.ReplicaNet(r).Params(), netsB[r].Params()
+		for i := range pa {
+			if !pa[i].W.AllClose(pb[i].W, 0) {
+				t.Fatalf("replica %d weights differ after disk round-trip", r)
+			}
+		}
+	}
+}
+
+// TestVersion2StillRestores guards compatibility with pre-cluster pipeline
+// snapshots: a version-2 State (no Cluster field) restores exactly as
+// before.
+func TestVersion2StillRestores(t *testing.T) {
+	seed := int64(51)
+	net := models.DeepMLP(6, 8, 3, 3, seed)
+	cfg := core.ScaledConfig(0.1, 0.9, 16, 1)
+	tr := core.NewPBTrainer(net, cfg)
+	train, _ := data.GaussianBlobs(6, 3, 16, 0, 1, 0.5, seed)
+	for i := 0; i < train.Len(); i++ {
+		x, y := train.Sample(i)
+		tr.Submit(context.Background(), x, y)
+	}
+	tr.Drain(context.Background())
+	st, err := CapturePipeline(net, tr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Version = 2 // what a pre-cluster build wrote
+	var buf bytes.Buffer
+	if err := Write(&buf, st); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net2 := models.DeepMLP(6, 8, 3, 3, seed+1)
+	tr2 := core.NewPBTrainer(net2, cfg)
+	if err := RestorePipeline(st2, net2, tr2); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range net.Params() {
+		if !p.W.AllClose(net2.Params()[i].W, 0) {
+			t.Fatalf("v2 restore deviates at %s", p.Name)
+		}
+	}
+	if tr2.UpdateStep() != tr.UpdateStep() {
+		t.Fatalf("v2 restore schedule position %d, want %d", tr2.UpdateStep(), tr.UpdateStep())
 	}
 }

@@ -6,6 +6,8 @@ import (
 
 	"repro/internal/data"
 	"repro/internal/models"
+	"repro/internal/nn"
+	syncpol "repro/internal/sync"
 )
 
 // BenchmarkPBStepMLP measures one pipeline step of an 11-stage MLP pipeline
@@ -114,3 +116,54 @@ func benchEngine(b *testing.B, kind string) {
 func BenchmarkEngine_Seq(b *testing.B)      { benchEngine(b, "seq") }
 func BenchmarkEngine_Lockstep(b *testing.B) { benchEngine(b, "lockstep") }
 func BenchmarkEngine_Async(b *testing.B)    { benchEngine(b, "async") }
+
+// benchCluster streams b.N samples through a replicated-pipeline cluster on
+// the RN20-mini workload at a fixed total kernel-worker budget, isolating
+// the replica-scaling axis (cmd/bench records the same dimension into
+// BENCH_cluster.json).
+func benchCluster(b *testing.B, r int, engine, policy string) {
+	b.Helper()
+	imgs := data.CIFAR10Like(8, 64, 0, 1)
+	train, _ := data.GenerateImages(imgs)
+	pol, err := syncpol.Parse(policy)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nets := make([]*nn.Network, r)
+	nets[0] = models.ResNet(models.MiniResNet(20, 4, 8, 10, 1))
+	snap := nets[0].SnapshotWeights()
+	for i := 1; i < r; i++ {
+		nets[i] = models.ResNet(models.MiniResNet(20, 4, 8, 10, 1))
+		nets[i].RestoreWeights(snap)
+	}
+	cfg := ScaledConfig(0.05, 0.9, 32, 1)
+	cfg.Workers = runtime.GOMAXPROCS(0)
+	cl, err := NewCluster(nets, cfg, ClusterConfig{Replicas: r, Engine: engine, Policy: pol})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+	shape := append([]int{1}, train.Shape...)
+	b.ReportAllocs()
+	b.ResetTimer()
+	done := 0
+	for i := 0; i < b.N; i++ {
+		x := cl.InputBuffer(shape...)
+		copy(x.Data, train.Samples[i%train.Len()])
+		done += len(submit(cl, x, train.Labels[i%train.Len()]))
+	}
+	done += len(drain(cl))
+	b.StopTimer()
+	if done != b.N {
+		b.Fatalf("cluster R=%d completed %d of %d samples", r, done, b.N)
+	}
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(b.N)/s, "samples/sec")
+	}
+}
+
+func BenchmarkCluster_Async_R1(b *testing.B)    { benchCluster(b, 1, "async", "none") }
+func BenchmarkCluster_Async_R2(b *testing.B)    { benchCluster(b, 2, "async", "none") }
+func BenchmarkCluster_Async_R4(b *testing.B)    { benchCluster(b, 4, "async", "none") }
+func BenchmarkCluster_AvgEvery_R2(b *testing.B) { benchCluster(b, 2, "async", "avg-every-64") }
+func BenchmarkCluster_SyncGrad_R2(b *testing.B) { benchCluster(b, 2, "seq", "sync-grad") }

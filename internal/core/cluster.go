@@ -1,0 +1,688 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	stdsync "sync"
+
+	"repro/internal/nn"
+	"repro/internal/optim"
+	syncpol "repro/internal/sync"
+	"repro/internal/tensor"
+)
+
+// This file implements the replicated-pipeline cluster engine: R independent
+// pipeline replicas — each an ordinary seq/lockstep/async engine over its own
+// copy of the network — behind the same Engine interface, fed by a
+// deterministic round-robin shard of the sample stream (sample g goes to
+// replica g mod R, exactly the data.Shard striding) and coordinated by a
+// pluggable weight-sync policy (internal/sync). This is the data+pipeline
+// hybrid of PipeDream (Harlap et al. 2018) and the replicated stages of
+// PipeDream-2BW (Narayanan et al. 2021) mapped onto the paper's fine-grained
+// pipelines; DESIGN.md §10 documents the semantics and the determinism
+// arguments.
+//
+// Determinism anchors:
+//
+//   - R=1: every policy degenerates to a transparent wrapper. The cluster
+//     routes all samples to the one replica, never quiesces mid-stream, and
+//     releases results in completion order, so Cluster(R=1) is bit-identical
+//     to the bare engine (TestClusterR1MatchesEngine).
+//   - sync-grad: replicas run in lockstep rounds over a shared permutation and
+//     every stage update applies the replica-index-ordered mean gradient, so
+//     the weight trajectory is engine-order-deterministic at any R
+//     (TestSyncGradDeterministic).
+
+// replicaView is what the cluster needs from each inner engine beyond the
+// Engine interface: stage-indexed parameter/optimizer access for the sync
+// policies and checkpointing. All built-in engines satisfy it.
+type replicaView interface {
+	Engine
+	StageParams(i int) []*nn.Param
+	StageOptimizer(i int) *optim.Momentum
+	StageUpdates(i int) int
+	SetStageUpdates(i, updates int)
+}
+
+// steppedEngine is the drive surface the sync-grad policy needs: explicit
+// Push/Step control so the cluster can run all replicas through the same
+// pipeline round concurrently, with the gradient-reduction barrier pairing
+// their same-numbered stage updates. PBTrainer and ParallelPBTrainer qualify;
+// the free-running async engine does not (it has no global step).
+type steppedEngine interface {
+	Push(x *tensor.Tensor, label int)
+	Step() *Result
+	Outstanding() int
+}
+
+// ClusterConfig configures NewCluster beyond the shared training Config.
+type ClusterConfig struct {
+	// Replicas is R. 0 means len(nets).
+	Replicas int
+	// Engine names the inner engine built per replica (NewEngine registry;
+	// "" = "seq"). Policies with GradReduce need a stepped engine
+	// ("seq" or "lockstep").
+	Engine string
+	// Policy coordinates replica weights; nil means sync.None.
+	Policy syncpol.Policy
+}
+
+// pendingSample is a sample buffered by the sync-grad drive until a full
+// round (one sample per replica) is available.
+type pendingSample struct {
+	x       *tensor.Tensor
+	label   int
+	replica int
+}
+
+// Cluster runs R pipeline replicas behind the Engine interface. Submit
+// shards the sample stream round-robin across replicas; Drain quiesces all
+// of them (and runs the policy's drain sync); results are re-numbered with
+// their global submission index and released strictly in that order, so the
+// result stream is deterministic whenever the inner engines are.
+//
+// The compute-worker budget Config.Workers is split across replicas first
+// (replicaShares) and then within each replica across stages (workers.go),
+// so total concurrency stays within the budget no matter how R and the
+// pipeline depth trade off.
+type Cluster struct {
+	cfg    Config
+	policy syncpol.Policy
+
+	nets    []*nn.Network
+	engines []replicaView
+	views   []syncpol.Replica
+
+	// submitted is the global sample cursor: sample g routes to replica
+	// g mod R. lastSync/syncs drive the policy cadence.
+	submitted int
+	lastSync  int
+	syncs     int
+	closed    bool
+
+	// ids holds, per replica, the global IDs of its in-flight samples in
+	// submission order (replicas complete in FIFO order, so the head is
+	// always the next completion). pending/nextOut release results in global
+	// order.
+	ids     [][]int
+	pending map[int]*Result
+	nextOut int
+
+	// sync-grad drive state (nil/unused for other policies).
+	reducer  *gradReducer
+	stepped  []steppedEngine
+	roundBuf []pendingSample
+}
+
+// NewCluster builds a cluster over the given replica networks. The networks
+// must share the pipeline decomposition (stage count and parameter names,
+// validated here) and must not share *nn.Param instances — each replica owns
+// its weights outright; weight identity across replicas is the caller's
+// choice (train.Builder clones with shared init; ensembles may differ).
+func NewCluster(nets []*nn.Network, cfg Config, cc ClusterConfig) (*Cluster, error) {
+	r := cc.Replicas
+	if r == 0 {
+		r = len(nets)
+	}
+	if r < 1 {
+		return nil, fmt.Errorf("core: cluster needs ≥ 1 replica, got %d", r)
+	}
+	if len(nets) != r {
+		return nil, fmt.Errorf("core: cluster wants %d replica networks, got %d", r, len(nets))
+	}
+	policy := cc.Policy
+	if policy == nil {
+		policy = syncpol.None{}
+	}
+	if err := validateReplicaNets(nets); err != nil {
+		return nil, err
+	}
+
+	c := &Cluster{
+		cfg:     cfg,
+		policy:  policy,
+		nets:    nets,
+		ids:     make([][]int, r),
+		pending: map[int]*Result{},
+	}
+	shares := replicaShares(cfg.Workers, r)
+	for i, net := range nets {
+		rcfg := cfg
+		rcfg.Workers = shares[i]
+		eng, err := NewEngine(cc.Engine, net, rcfg)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		rv, ok := eng.(replicaView)
+		if !ok {
+			eng.Close()
+			c.Close()
+			return nil, fmt.Errorf("core: engine %q cannot join a cluster (no stage-state access)", cc.Engine)
+		}
+		c.engines = append(c.engines, rv)
+		c.views = append(c.views, rv)
+	}
+	if policy.GradReduce() && r > 1 {
+		// With one replica the mean gradient is the gradient itself, so the
+		// reduction harness (and its stepped-engine requirement) only
+		// engages at R > 1 — Cluster(R=1) stays a transparent wrapper for
+		// every engine under every policy.
+		for _, e := range c.engines {
+			se, ok := e.(steppedEngine)
+			if !ok {
+				c.Close()
+				return nil, fmt.Errorf("core: policy %q averages per-update gradients and needs a stepped engine (seq|lockstep), not %q",
+					policy.Name(), cc.Engine)
+			}
+			c.stepped = append(c.stepped, se)
+		}
+		c.reducer = newGradReducer(c.engines)
+		for ri, e := range c.engines {
+			for _, ss := range engineStages(e) {
+				ss.reduce = c.reducer.hook(ri)
+			}
+		}
+	}
+	return c, nil
+}
+
+// validateReplicaNets checks that every replica network has the same pipeline
+// decomposition and that no *nn.Param is shared between replicas.
+func validateReplicaNets(nets []*nn.Network) error {
+	seen := map[*nn.Param]int{}
+	s0 := nets[0].NumStages()
+	for r, net := range nets {
+		if net == nil {
+			return fmt.Errorf("core: cluster replica %d network is nil", r)
+		}
+		if net.NumStages() != s0 {
+			return fmt.Errorf("core: cluster replica %d has %d stages, replica 0 has %d", r, net.NumStages(), s0)
+		}
+		for s := 0; s < s0; s++ {
+			ps, ps0 := net.Stages[s].Params(), nets[0].Stages[s].Params()
+			if len(ps) != len(ps0) {
+				return fmt.Errorf("core: cluster replica %d stage %d has %d params, replica 0 has %d", r, s, len(ps), len(ps0))
+			}
+			for j, p := range ps {
+				if p.Name != ps0[j].Name || p.W.Size() != ps0[j].W.Size() {
+					return fmt.Errorf("core: cluster replica %d stage %d param %q/%d mismatches replica 0's %q/%d",
+						r, s, p.Name, p.W.Size(), ps0[j].Name, ps0[j].W.Size())
+				}
+				if prev, dup := seen[p]; dup {
+					return fmt.Errorf("core: replicas %d and %d share parameter %q — replicas need their own weight copies (clone with shared init, don't alias)", prev, r, p.Name)
+				}
+				seen[p] = r
+			}
+		}
+	}
+	return nil
+}
+
+// engineStages exposes the per-stage runtime state of a stepped engine so the
+// cluster can install the gradient-reduction hook.
+func engineStages(e Engine) []*stageState {
+	switch t := e.(type) {
+	case *PBTrainer:
+		return t.stages
+	case *ParallelPBTrainer:
+		return t.inner.stages
+	}
+	return nil
+}
+
+// Replicas returns R.
+func (c *Cluster) Replicas() int { return len(c.engines) }
+
+// Policy returns the cluster's weight-sync policy.
+func (c *Cluster) Policy() syncpol.Policy { return c.policy }
+
+// ReplicaNet exposes replica i's network. Replica 0 is the canonical one
+// (evaluation, round-robin tail priority).
+func (c *Cluster) ReplicaNet(i int) *nn.Network { return c.nets[i] }
+
+// NumStages returns the pipeline depth S (identical across replicas).
+func (c *Cluster) NumStages() int { return c.engines[0].NumStages() }
+
+// Delays returns the analytic per-stage delays (identical across replicas).
+func (c *Cluster) Delays() []int { return c.engines[0].Delays() }
+
+// ObservedDelays returns the element-wise maximum observed staleness across
+// replicas. Only valid with the cluster quiesced.
+func (c *Cluster) ObservedDelays() []int {
+	out := append([]int(nil), c.engines[0].ObservedDelays()...)
+	for _, e := range c.engines[1:] {
+		for i, d := range e.ObservedDelays() {
+			if d > out[i] {
+				out[i] = d
+			}
+		}
+	}
+	return out
+}
+
+// InputBuffer returns an input tensor for the next Submit, drawn from the
+// free list of the replica that sample will route to.
+func (c *Cluster) InputBuffer(shape ...int) *tensor.Tensor {
+	return c.engines[c.submitted%len(c.engines)].InputBuffer(shape...)
+}
+
+// Stats aggregates the replica engines' accounting: sample counts and steps
+// sum, utilization averages, staleness takes the maximum. Replicas and Syncs
+// report the cluster geometry and the policy's completed sync operations.
+func (c *Cluster) Stats() Stats {
+	s := Stats{
+		Stages:   c.NumStages(),
+		Replicas: len(c.engines),
+		Syncs:    c.syncs,
+	}
+	var util float64
+	for _, e := range c.engines {
+		es := e.Stats()
+		s.Submitted += es.Submitted
+		s.Completed += es.Completed
+		s.Steps += es.Steps
+		util += es.Utilization
+		if es.MaxObservedDelay > s.MaxObservedDelay {
+			s.MaxObservedDelay = es.MaxObservedDelay
+		}
+	}
+	s.Utilization = util / float64(len(c.engines))
+	return s
+}
+
+// Close releases every replica engine. Idempotent; in-flight and round-
+// buffered samples are abandoned.
+func (c *Cluster) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	for _, e := range c.engines {
+		e.Close()
+	}
+	c.roundBuf = nil
+}
+
+// absorb renumbers a batch of replica-r results with their global submission
+// IDs (replicas complete strictly in submission order) and returns every
+// result that became releasable — results leave the cluster in global-ID
+// order, so the stream is deterministic whenever the replicas are.
+func (c *Cluster) absorb(r int, rs []*Result) []*Result {
+	for _, res := range rs {
+		if len(c.ids[r]) == 0 {
+			panic("core: cluster got a result from a replica with no sample in flight")
+		}
+		g := c.ids[r][0]
+		c.ids[r] = c.ids[r][1:]
+		res.ID = g
+		c.pending[g] = res
+	}
+	var out []*Result
+	for {
+		res, ok := c.pending[c.nextOut]
+		if !ok {
+			return out
+		}
+		delete(c.pending, c.nextOut)
+		c.nextOut++
+		out = append(out, res)
+	}
+}
+
+// Submit feeds one sample to the cluster: it routes to replica
+// (submitted mod R), triggers the policy's periodic sync when due, and
+// returns the results that became releasable. The engine takes ownership of
+// x. A cancelled ctx returns before the sample is admitted.
+func (c *Cluster) Submit(ctx context.Context, x *tensor.Tensor, label int) ([]*Result, error) {
+	if c.closed {
+		panic("core: Submit after Close")
+	}
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	r := c.submitted % len(c.engines)
+	g := c.submitted
+	c.submitted++
+	c.ids[r] = append(c.ids[r], g)
+
+	var out []*Result
+	if c.reducer != nil {
+		// sync-grad: buffer until a full round (one sample per replica) is
+		// available, then drive all replicas through it together.
+		c.roundBuf = append(c.roundBuf, pendingSample{x: x, label: label, replica: r})
+		if len(c.roundBuf) == len(c.engines) {
+			out = c.flushRound()
+		}
+	} else {
+		rs, err := c.engines[r].Submit(ctx, x, label)
+		out = c.absorb(r, rs)
+		if err != nil {
+			// The inner engine did not admit the sample (cancelled ctx); undo
+			// the global accounting so IDs stay dense and Drain can't wedge.
+			c.submitted--
+			c.ids[r] = c.ids[r][:len(c.ids[r])-1]
+			return out, err
+		}
+	}
+
+	if k := c.policy.Interval(); k > 0 && len(c.engines) > 1 &&
+		c.submitted-c.lastSync >= k*len(c.engines) {
+		qrs, err := c.quiesce(ctx)
+		out = append(out, qrs...)
+		if err != nil {
+			return out, err
+		}
+		c.runSync()
+	}
+	return out, nil
+}
+
+// runSync executes the policy's sync on the quiesced replicas and advances
+// the sync clock. For gradient-reducing policies the sync re-aligns every
+// replica's state to the tail owner's (Broadcast), so the reducer's
+// per-replica update targets are re-aligned with it.
+func (c *Cluster) runSync() {
+	c.policy.Sync(c.views)
+	c.syncs++
+	c.lastSync = c.submitted
+	if c.reducer != nil {
+		c.reducer.realign()
+	}
+}
+
+// quiesce drains every replica (in replica order) and returns the released
+// results.
+func (c *Cluster) quiesce(ctx context.Context) ([]*Result, error) {
+	var out []*Result
+	if c.reducer != nil {
+		return out, c.drainRounds(ctx, &out)
+	}
+	for r, e := range c.engines {
+		rs, err := e.Drain(ctx)
+		out = append(out, c.absorb(r, rs)...)
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+// Drain quiesces every replica, runs the policy's drain sync (R > 1 only,
+// and only when samples flowed since the last sync), and returns the
+// remaining results in global order.
+func (c *Cluster) Drain(ctx context.Context) ([]*Result, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	out, err := c.quiesce(ctx)
+	if err != nil {
+		return out, err
+	}
+	if len(c.engines) > 1 && c.policy.SyncOnDrain() && c.submitted > c.lastSync {
+		c.runSync()
+	}
+	return out, nil
+}
+
+// flushRound dispatches the buffered (possibly partial) round to the
+// replicas and collects its results. Counts are published to the reducer
+// before any replica steps, so the reduction barrier knows exactly which
+// replicas will contribute each update.
+func (c *Cluster) flushRound() []*Result {
+	pushes := c.roundBuf
+	c.roundBuf = c.roundBuf[:0]
+	for i := range pushes {
+		c.reducer.counts[pushes[i].replica]++
+	}
+	return c.gradRound(pushes)
+}
+
+// gradRound advances every active replica by one pipeline step — with their
+// per-round sample pushes — concurrently, so the gradient-reduction barrier
+// can pair the replicas' same-numbered stage updates. Results are absorbed
+// in replica order, keeping the release stream deterministic.
+func (c *Cluster) gradRound(pushes []pendingSample) []*Result {
+	res := make([]*Result, len(c.engines))
+	var wg stdsync.WaitGroup
+	for r := range c.engines {
+		var push *pendingSample
+		for i := range pushes {
+			if pushes[i].replica == r {
+				push = &pushes[i]
+			}
+		}
+		if push == nil && c.stepped[r].Outstanding() == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(r int, push *pendingSample) {
+			defer wg.Done()
+			if push != nil {
+				c.stepped[r].Push(push.x, push.label)
+			}
+			res[r] = c.stepped[r].Step()
+		}(r, push)
+	}
+	wg.Wait()
+	var out []*Result
+	for r, re := range res {
+		if re != nil {
+			out = append(out, c.absorb(r, []*Result{re})...)
+		}
+	}
+	return out
+}
+
+// drainRounds flushes a partial round and then steps the active replicas
+// until every pipeline is empty, appending released results to out. The ctx
+// is checked between rounds; a started round always completes.
+func (c *Cluster) drainRounds(ctx context.Context, out *[]*Result) error {
+	if len(c.roundBuf) > 0 {
+		*out = append(*out, c.flushRound()...)
+	}
+	for {
+		active := false
+		for _, se := range c.stepped {
+			if se.Outstanding() > 0 {
+				active = true
+				break
+			}
+		}
+		if !active {
+			return nil
+		}
+		if err := ctxErr(ctx); err != nil {
+			return err
+		}
+		*out = append(*out, c.gradRound(nil)...)
+	}
+}
+
+// ---- checkpointing (checkpoint.ClusterTrainer) ----
+
+// ReplicaCount returns R for checkpointing.
+func (c *Cluster) ReplicaCount() int { return len(c.engines) }
+
+// ReplicaEngine returns replica i's engine; every built-in engine implements
+// checkpoint.PipelineTrainer. Declared as any to keep core free of the
+// checkpoint package (interfaces match structurally at the caller).
+func (c *Cluster) ReplicaEngine(i int) any { return c.engines[i] }
+
+// PolicyName records the sync policy in snapshots; RestoreCluster refuses a
+// snapshot taken under a different policy.
+func (c *Cluster) PolicyName() string { return c.policy.Name() }
+
+// PolicyInterval records the policy's averaging interval in snapshots.
+func (c *Cluster) PolicyInterval() int { return c.policy.Interval() }
+
+// ClusterCursor exposes the shard and sync positions for checkpointing:
+// the global sample cursor (next replica = submitted mod R), the completed
+// sync count, and the cursor value at the last sync.
+func (c *Cluster) ClusterCursor() (submitted, syncs, lastSync int) {
+	return c.submitted, c.syncs, c.lastSync
+}
+
+// SetClusterCursor restores the shard and sync positions. The cluster must
+// be quiesced (freshly built or drained); result numbering continues from
+// the restored cursor.
+func (c *Cluster) SetClusterCursor(submitted, syncs, lastSync int) {
+	c.submitted = submitted
+	c.syncs = syncs
+	c.lastSync = lastSync
+	c.nextOut = submitted
+	if c.reducer != nil {
+		// Resume the per-replica update targets from the restored update
+		// counters (a checkpoint is taken on a drained cluster, whose drain
+		// broadcast aligned every replica to the tail owner — so counters,
+		// not raw sample counts, are the ground truth).
+		for r := range c.reducer.counts {
+			c.reducer.counts[r] = c.engines[r].StageUpdates(0)
+		}
+		// The reduction slots continue at each stage's next update index.
+		for s := range c.reducer.slots {
+			c.reducer.slots[s].done = c.engines[0].StageUpdates(s)
+		}
+	}
+}
+
+// ---- sync-grad gradient reduction ----
+
+// gradReducer implements the cross-replica gradient-averaging barrier of the
+// sync-grad policy. Every stage has one slot; a replica entering its u-th
+// update at stage s blocks until all replicas that own a u-th sample have
+// contributed, then one goroutine computes the replica-index-ordered mean
+// into every contributor's gradient accumulator and releases them all. The
+// deterministic summation order makes the whole trajectory run-to-run
+// identical regardless of goroutine scheduling.
+type gradReducer struct {
+	// counts[r] is the number of samples routed to replica r, published by
+	// the driver before each round (happens-before via goroutine dispatch).
+	// A replica contributes update u at a stage iff counts[r] > u.
+	counts []int
+	// params[s][r] are replica r's stage-s parameters (fixed at setup).
+	params [][][]*nn.Param
+	slots  []reduceSlot
+}
+
+// reduceSlot is one stage's barrier state.
+type reduceSlot struct {
+	mu      stdsync.Mutex
+	cond    *stdsync.Cond
+	arrived int
+	// done is the number of completed reductions — the next update index.
+	done int
+}
+
+func newGradReducer(engines []replicaView) *gradReducer {
+	s := engines[0].NumStages()
+	rd := &gradReducer{
+		counts: make([]int, len(engines)),
+		params: make([][][]*nn.Param, s),
+		slots:  make([]reduceSlot, s),
+	}
+	for i := 0; i < s; i++ {
+		rd.params[i] = make([][]*nn.Param, len(engines))
+		for r, e := range engines {
+			rd.params[i][r] = e.StageParams(i)
+		}
+		rd.slots[i].cond = stdsync.NewCond(&rd.slots[i].mu)
+	}
+	return rd
+}
+
+// hook returns the stageState.reduce callback for replica r.
+func (rd *gradReducer) hook(r int) func(stage int, params []*nn.Param) {
+	return func(stage int, _ []*nn.Param) { rd.reduce(r, stage) }
+}
+
+// realign raises every replica's update target to the maximum — called right
+// after a broadcast sync, which set every replica's weights, optimizer state
+// and update counters to the tail owner's. Without this, a replica that
+// missed the partial final round would re-enter the next epoch one update
+// index behind its (broadcast-aligned) peers and the barrier bookkeeping
+// would diverge from the counters (TestSyncGradSecondEpochAfterOddTail).
+func (rd *gradReducer) realign() {
+	max := 0
+	for _, cnt := range rd.counts {
+		if cnt > max {
+			max = cnt
+		}
+	}
+	for r := range rd.counts {
+		rd.counts[r] = max
+	}
+}
+
+// expected counts the replicas that own a u-th sample.
+func (rd *gradReducer) expected(u int) int {
+	n := 0
+	for _, cnt := range rd.counts {
+		if cnt > u {
+			n++
+		}
+	}
+	return n
+}
+
+// reduce is the barrier body: called by replica r's stage goroutine between
+// gradient computation and the optimizer step.
+func (rd *gradReducer) reduce(r, stage int) {
+	sl := &rd.slots[stage]
+	sl.mu.Lock()
+	u := sl.done
+	sl.arrived++
+	if sl.arrived == rd.expected(u) {
+		rd.average(stage, u)
+		sl.arrived = 0
+		sl.done++
+		sl.cond.Broadcast()
+	} else {
+		for sl.done == u {
+			sl.cond.Wait()
+		}
+	}
+	sl.mu.Unlock()
+}
+
+// average replaces each contributing replica's stage gradients with the mean
+// over contributors, summing in replica-index order. Runs under the slot
+// lock; non-contributing replicas are quiesced past this update. With one
+// contributor the gradient is multiplied by exactly 1.0 — bit-identical to
+// no reduction, the R=1 anchor.
+func (rd *gradReducer) average(stage, u int) {
+	first := -1
+	n := 0
+	for r, cnt := range rd.counts {
+		if cnt > u {
+			n++
+			if first < 0 {
+				first = r
+			}
+		}
+	}
+	if first < 0 {
+		panic("core: gradient reduction with no contributors")
+	}
+	inv := 1.0 / float64(n)
+	base := rd.params[stage][first]
+	for j := range base {
+		dst := base[j].G.Data
+		for r := first + 1; r < len(rd.counts); r++ {
+			if rd.counts[r] > u {
+				g := rd.params[stage][r][j].G.Data
+				for i := range dst {
+					dst[i] += g[i]
+				}
+			}
+		}
+		for i := range dst {
+			dst[i] *= inv
+		}
+		for r := first + 1; r < len(rd.counts); r++ {
+			if rd.counts[r] > u {
+				copy(rd.params[stage][r][j].G.Data, dst)
+			}
+		}
+	}
+}

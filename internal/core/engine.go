@@ -77,6 +77,12 @@ type Stats struct {
 	// MaxObservedDelay is the largest forward→backward update gap seen at
 	// any stage (bounded by 2(S−1) — Eq. 5).
 	MaxObservedDelay int
+	// Replicas is the number of pipeline replicas (cluster engine only;
+	// single-pipeline engines report 0).
+	Replicas int
+	// Syncs counts completed weight-synchronization operations (cluster
+	// engine only).
+	Syncs int
 }
 
 // EngineFactory constructs an engine over a staged network. Factories are

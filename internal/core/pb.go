@@ -27,6 +27,13 @@ type stageState struct {
 	params []*nn.Param
 	opt    *optim.Momentum
 	delay  int
+	// idx is the stage's pipeline position (set at construction).
+	idx int
+	// reduce, when non-nil, is invoked between gradient computation and the
+	// optimizer step of every weight update — the cluster's sync-grad policy
+	// installs a cross-replica averaging barrier here (cluster.go). Nil for
+	// standalone engines.
+	reduce func(stage int, params []*nn.Param)
 	// queue is a ring buffer of pending per-sample contexts: qhead indexes
 	// the oldest entry and qlen counts entries. Outstanding contexts per
 	// stage are bounded (≤ delay+2), so the ring stops growing — and the
@@ -113,7 +120,7 @@ func newPBTrainer(net *nn.Network, cfg Config) *PBTrainer {
 	delays := StageDelays(s)
 	t := &PBTrainer{Net: net, Cfg: cfg}
 	for i, st := range net.Stages {
-		ss := &stageState{stage: st, params: st.Params(), delay: delays[i]}
+		ss := &stageState{stage: st, params: st.Params(), delay: delays[i], idx: i}
 		if !cfg.Unpooled {
 			ss.arena = tensor.NewArena()
 		}

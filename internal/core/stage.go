@@ -113,6 +113,12 @@ func (st *stageState) runBackward(dIn *nn.Packet, mit Mitigation, bwdHorizon, lr
 		if g := mit.GradShrink; g > 0 {
 			optim.ShrinkGradients(st.params, g, float64(st.delay))
 		}
+		if st.reduce != nil {
+			// Cross-replica gradient averaging (cluster sync-grad): blocks
+			// until every peer replica's same-numbered update at this stage
+			// has contributed, then all proceed with the identical mean.
+			st.reduce(st.idx, st.params)
+		}
 		st.opt.LR = lr
 		st.opt.Step(st.params)
 	}

@@ -34,6 +34,28 @@ func kernelShares(total, s int) []int {
 	return shares
 }
 
+// replicaShares splits a cluster's total compute-worker budget across r
+// pipeline replicas: an even division with the remainder front-loaded onto
+// the low-index replicas (replica 0 is the canonical one and — with
+// round-robin sharding — the only one that ever receives a partial round's
+// extra sample). Each replica then splits its share between stage concurrency
+// and kernel workers exactly like a standalone engine (kernelShares). A share
+// of 0 builds a serial replica.
+func replicaShares(total, r int) []int {
+	shares := make([]int, r)
+	if total <= 0 {
+		return shares
+	}
+	base, rem := total/r, total%r
+	for i := range shares {
+		shares[i] = base
+		if i < rem {
+			shares[i]++
+		}
+	}
+	return shares
+}
+
 // attachSharedKernelWorkers gives every stage one shared kernel group of the
 // full budget — correct only for engines that run stages one at a time (the
 // sequential reference). Returns the groups to Close (nil when the budget

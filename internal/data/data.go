@@ -81,6 +81,27 @@ func (d *Dataset) Perm(rng *rand.Rand) []int {
 	return rng.Perm(d.Len())
 }
 
+// Shard returns the i-th of n strided views over an epoch order: the
+// elements perm[i], perm[i+n], perm[i+2n], … This is the deterministic
+// sharded sampler of the replicated-pipeline cluster (core.Cluster routes
+// sample g to replica g mod n, so replica i trains on exactly Shard(perm, i,
+// n)). The n shards of one perm are pairwise disjoint, their union is
+// exactly perm, and their sizes differ by at most one — the partition
+// properties TestShardPartition pins. Shard never aliases perm's storage.
+func Shard(perm []int, i, n int) []int {
+	if n < 1 {
+		panic(fmt.Sprintf("data: Shard with %d shards, want ≥ 1", n))
+	}
+	if i < 0 || i >= n {
+		panic(fmt.Sprintf("data: Shard index %d out of range [0,%d)", i, n))
+	}
+	out := make([]int, 0, (len(perm)-i+n-1)/n)
+	for j := i; j < len(perm); j += n {
+		out = append(out, perm[j])
+	}
+	return out
+}
+
 // ImageConfig parameterizes the synthetic image generator.
 type ImageConfig struct {
 	Classes    int

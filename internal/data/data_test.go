@@ -268,3 +268,74 @@ func TestNoAugment(t *testing.T) {
 		}
 	}
 }
+
+func TestShardPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, tc := range []struct{ n, shards int }{
+		{10, 1}, {10, 2}, {10, 3}, {11, 4}, {3, 5}, {0, 2},
+	} {
+		perm := rng.Perm(tc.n)
+		seen := map[int]int{}
+		total := 0
+		sizes := make([]int, tc.shards)
+		for i := 0; i < tc.shards; i++ {
+			sh := Shard(perm, i, tc.shards)
+			sizes[i] = len(sh)
+			total += len(sh)
+			for _, v := range sh {
+				if _, dup := seen[v]; dup {
+					t.Fatalf("n=%d shards=%d: index %d appears in two shards", tc.n, tc.shards, v)
+				}
+				seen[v] = i
+			}
+		}
+		// Covering: the union is exactly the epoch.
+		if total != tc.n || len(seen) != tc.n {
+			t.Fatalf("n=%d shards=%d: union has %d of %d indices", tc.n, tc.shards, len(seen), tc.n)
+		}
+		// Balance: shard sizes differ by at most one, largest first.
+		for i := 1; i < tc.shards; i++ {
+			if sizes[i] > sizes[i-1] || sizes[0]-sizes[i] > 1 {
+				t.Fatalf("n=%d shards=%d: unbalanced shard sizes %v", tc.n, tc.shards, sizes)
+			}
+		}
+	}
+}
+
+func TestShardStableUnderSeed(t *testing.T) {
+	permA := rand.New(rand.NewSource(99)).Perm(64)
+	permB := rand.New(rand.NewSource(99)).Perm(64)
+	for i := 0; i < 4; i++ {
+		a, b := Shard(permA, i, 4), Shard(permB, i, 4)
+		if len(a) != len(b) {
+			t.Fatalf("shard %d sizes differ: %d vs %d", i, len(a), len(b))
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("shard %d differs at %d under identical seeds", i, j)
+			}
+		}
+	}
+}
+
+func TestShardDoesNotAlias(t *testing.T) {
+	perm := []int{3, 1, 2, 0}
+	sh := Shard(perm, 0, 2)
+	sh[0] = 99
+	if perm[0] != 3 {
+		t.Fatal("Shard must copy, not alias the permutation")
+	}
+}
+
+func TestShardPanics(t *testing.T) {
+	for _, tc := range []struct{ i, n int }{{0, 0}, {-1, 2}, {2, 2}, {0, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Shard(perm, %d, %d) must panic", tc.i, tc.n)
+				}
+			}()
+			Shard([]int{1, 2, 3}, tc.i, tc.n)
+		}()
+	}
+}

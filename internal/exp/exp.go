@@ -67,12 +67,17 @@ var DefaultRef = train.DefaultRef
 // MethodSpec names a training method: either the SGDM reference (mini-batch,
 // no pipeline) or PB with a mitigation preset. Engine selects the PB runtime
 // ("seq"|"lockstep"|"async"|"async-lockstep", see core.NewEngine); empty
-// means the sequential reference engine.
+// means the sequential reference engine. Replicas > 0 runs that many
+// data-parallel pipeline replicas behind the cluster engine, coordinated by
+// the Sync policy ("none" | "avg-every-<k>" | "sync-grad"; see
+// internal/sync).
 type MethodSpec struct {
-	Name   string
-	SGDM   bool
-	Mit    core.Mitigation
-	Engine string
+	Name     string
+	SGDM     bool
+	Mit      core.Mitigation
+	Engine   string
+	Replicas int
+	Sync     string
 }
 
 // Paper method lineups.
@@ -168,6 +173,9 @@ func RunMethod(build NetBuilder, trainSet, testSet *data.Dataset, method MethodS
 	}
 	if method.SGDM {
 		opts = append(opts, train.WithSGDM())
+	}
+	if method.Replicas > 0 {
+		opts = append(opts, train.WithReplicas(method.Replicas, method.Sync))
 	}
 	tr := train.New(train.Builder(build), opts...)
 	defer tr.Close()

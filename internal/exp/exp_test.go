@@ -5,6 +5,8 @@ import (
 	"testing"
 
 	"repro/internal/data"
+	"repro/internal/models"
+	"repro/internal/nn"
 )
 
 // tiny is an even smaller scale than Bench for unit-test speed.
@@ -205,6 +207,29 @@ func TestEngineThroughput(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Fatalf("EngineThroughput output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+func TestClusterThroughput(t *testing.T) {
+	var b strings.Builder
+	ClusterThroughput(&b, tiny)
+	out := b.String()
+	for _, want := range []string{"REPLICAS", "SYNC", "SAMPLES/SEC", "none", "avg-every-64", "sync-grad"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("ClusterThroughput output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunMethodReplicated(t *testing.T) {
+	train, test, _ := cifarTask(tiny, 42)
+	build := func(seed int64) *nn.Network {
+		return models.TinyCNN(3, tiny.ImageSize, 10, seed)
+	}
+	spec := MethodSpec{Name: "PB×2", Engine: "seq", Replicas: 2, Sync: "avg-every-8"}
+	r := RunMethod(build, train, test, spec, DefaultRef, 1, nil, 5)
+	if r.FinalValAcc < 0 || r.FinalValAcc > 1 || len(r.Curve) != 1 {
+		t.Fatalf("replicated RunMethod result %+v", r)
 	}
 }
 

@@ -184,6 +184,50 @@ func EngineThroughput(w io.Writer, s Scale) {
 	fmt.Fprintln(w, "utilization: seq/lockstep count full worker-steps; async measures busy time on the available cores")
 }
 
+// ClusterThroughput measures the replicated-pipeline scaling axis: RN20-mini
+// async replicas at R ∈ {1, 2, 4} under a fixed total kernel-worker budget
+// (GOMAXPROCS), for each sync policy shipped by internal/sync. On a single
+// core the replicas time-slice and samples/sec flatlines (the replication
+// overhead is the interesting number there); with R ≤ cores the free-running
+// replicas scale near-linearly until the budget is exhausted. The cluster's
+// weight-sync count and the staleness bound are reported alongside.
+func ClusterThroughput(w io.Writer, s Scale) {
+	trainSet, _, _ := cifarTask(s, 121)
+	build := func(seed int64) *nn.Network {
+		return models.ResNet(models.MiniResNet(20, s.Width, s.ImageSize, 10, seed))
+	}
+	stages := build(1).NumStages()
+	budget := runtime.GOMAXPROCS(0)
+	fmt.Fprintf(w, "Cluster throughput — RN20-mini, %d stages, %d samples/epoch, %d total kernel workers (scale=%s)\n",
+		stages, trainSet.Len(), budget, s.Name)
+	tab := metrics.NewTable("REPLICAS", "SYNC", "SAMPLES/SEC", "SYNCS", "MAX STALENESS")
+	for _, spec := range []struct {
+		r    int
+		sync string
+	}{
+		{1, "none"}, {2, "none"}, {4, "none"},
+		{2, "avg-every-64"}, {2, "sync-grad"},
+	} {
+		engine := "async"
+		if spec.sync == "sync-grad" {
+			engine = "seq" // gradient averaging needs a stepped engine
+		}
+		tr := train.New(build, train.WithEngine(engine), train.WithSeed(1),
+			train.WithKernelWorkers(budget),
+			train.WithReplicas(spec.r, spec.sync))
+		rep, err := tr.Fit(context.Background(), trainSet, nil, 1)
+		if err != nil {
+			panic(err)
+		}
+		tab.AddRow(spec.r, spec.sync,
+			fmt.Sprintf("%.0f", float64(rep.Samples)/rep.TrainDuration.Seconds()),
+			rep.Syncs, rep.MaxStaleness)
+		tr.Close()
+	}
+	fmt.Fprint(w, tab.String())
+	fmt.Fprintln(w, "replicas shard the stream round-robin (data.Shard); the worker budget splits across replicas first, stages second")
+}
+
 // Fig16EngineValidation reproduces the GProp validation of Fig. 16: batch
 // SGD and fill-and-drain SGD must coincide (here: exactly), and both train.
 func Fig16EngineValidation(w io.Writer, s Scale) {

@@ -129,6 +129,34 @@ func (o *Momentum) Prev(p *nn.Param) []float64 {
 	return v
 }
 
+// Gather exposes the optimizer state of p for cross-replica coordination
+// (internal/sync): the live velocity buffer (allocated zeroed on first use —
+// an untouched parameter's algorithmic velocity) and the live previous-weight
+// buffer, nil when not tracked. Callers own nothing; mutating the returned
+// slices mutates the optimizer, which is the point.
+func (o *Momentum) Gather(p *nn.Param) (vel, prev []float64) {
+	return o.Vel(p), o.prevMap[p]
+}
+
+// Scatter copies externally coordinated state into the optimizer's buffers
+// for p: a non-nil vel replaces the velocity and a non-nil prev the tracked
+// previous weights (allocating either on demand). Nil slices leave the
+// corresponding buffer untouched. Lengths must match p.
+func (o *Momentum) Scatter(p *nn.Param, vel, prev []float64) {
+	if vel != nil {
+		if len(vel) != p.W.Size() {
+			panic("optim: Scatter velocity length mismatch for " + p.Name)
+		}
+		copy(o.Vel(p), vel)
+	}
+	if prev != nil {
+		if len(prev) != p.W.Size() {
+			panic("optim: Scatter prev-weights length mismatch for " + p.Name)
+		}
+		copy(o.Prev(p), prev)
+	}
+}
+
 // Step applies one update to every parameter and zeroes the gradients.
 func (o *Momentum) Step(params []*nn.Param) {
 	for _, p := range params {

@@ -41,13 +41,24 @@ type StageCost struct {
 // and derives a per-stage cost model. Costs are analytic where the layer
 // type is known (Dense, Conv2D) and size-proportional otherwise, so the
 // model is deterministic — no wall-clock profiling noise.
+//
+// The probe releases every Forward context by unwinding a zero gradient
+// through the matching Backward calls (the Layer/Stage contract says a
+// context lives until its Backward; dropping them on the floor leaks any
+// state a stage retains per in-flight sample — with an arena-backed caller
+// it would leak pooled buffers outright). The zero gradient accumulates
+// exactly zero into every parameter, and the probe still clears the
+// gradients afterwards, so training state is untouched
+// (TestEstimateCostsReleasesContexts).
 func EstimateCosts(net *nn.Network, inputShape []int) []StageCost {
 	x := tensor.New(inputShape...)
 	p := nn.NewPacket(x)
 	costs := make([]StageCost, 0, net.NumStages())
+	ctxs := make([]any, 0, net.NumStages())
 	for _, st := range net.Stages {
 		inElems := p.X.Size()
-		q, _ := st.Forward(p, nil, nil)
+		q, ctx := st.Forward(p, nil, nil)
+		ctxs = append(ctxs, ctx)
 		outElems := q.X.Size()
 		macs := 0.0
 		params := 0
@@ -63,6 +74,11 @@ func EstimateCosts(net *nn.Network, inputShape []int) []StageCost {
 		})
 		p = q
 	}
+	dp := nn.NewPacket(tensor.New(p.X.Shape...))
+	for i := len(ctxs) - 1; i >= 0; i-- {
+		dp = net.Stages[i].Backward(dp, ctxs[i], nil, nil)
+	}
+	net.ZeroGrad()
 	return costs
 }
 

@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/models"
+	"repro/internal/nn"
 	"repro/internal/tensor"
 )
 
@@ -190,4 +191,78 @@ func TestBoundsValidation(t *testing.T) {
 		}
 	}()
 	Regroup(net, []int{1}) // does not cover all stages
+}
+
+// countingStage wraps a Stage and tracks contexts outstanding between
+// Forward and Backward — the probe-leak detector for EstimateCosts.
+type countingStage struct {
+	inner       nn.Stage
+	outstanding int
+}
+
+func (c *countingStage) Name() string        { return c.inner.Name() }
+func (c *countingStage) Params() []*nn.Param { return c.inner.Params() }
+
+func (c *countingStage) Forward(p *nn.Packet, ar *tensor.Arena, par *tensor.Parallel) (*nn.Packet, any) {
+	q, ctx := c.inner.Forward(p, ar, par)
+	c.outstanding++
+	return q, ctx
+}
+
+func (c *countingStage) Backward(dp *nn.Packet, ctx any, ar *tensor.Arena, par *tensor.Parallel) *nn.Packet {
+	c.outstanding--
+	return c.inner.Backward(dp, ctx, ar, par)
+}
+
+// TestEstimateCostsReleasesContexts is the regression test for the probe
+// leak: EstimateCosts used to drop every Forward context on the floor,
+// leaving one sample permanently in flight per stage. The Layer/Stage
+// contract ties context (and, for arena-backed callers, pooled buffer)
+// lifetime to the matching Backward, so the probe must unwind.
+func TestEstimateCostsReleasesContexts(t *testing.T) {
+	net := models.ResNet(models.MiniResNet(20, 4, 8, 10, 3))
+	counting := make([]*countingStage, net.NumStages())
+	for i, st := range net.Stages {
+		counting[i] = &countingStage{inner: st}
+		net.Stages[i] = counting[i]
+	}
+	EstimateCosts(net, []int{1, 3, 8, 8})
+	for i, cs := range counting {
+		if cs.outstanding != 0 {
+			t.Fatalf("stage %d (%s) holds %d unreleased probe contexts", i, cs.Name(), cs.outstanding)
+		}
+	}
+}
+
+// TestEstimateCostsLeavesTrainingStateUntouched pins that the probe's
+// backward unwind accumulates exactly zero gradient and that repeated
+// probes agree.
+func TestEstimateCostsLeavesTrainingStateUntouched(t *testing.T) {
+	net := models.ResNet(models.MiniResNet(20, 4, 8, 10, 3))
+	before := net.SnapshotWeights()
+	costsA := EstimateCosts(net, []int{1, 3, 8, 8})
+	for _, p := range net.Params() {
+		for i, g := range p.G.Data {
+			if g != 0 {
+				t.Fatalf("param %q gradient[%d] = %v after probe, want 0", p.Name, i, g)
+			}
+		}
+	}
+	after := net.SnapshotWeights()
+	for i := range before {
+		for j := range before[i] {
+			if before[i][j] != after[i][j] {
+				t.Fatalf("probe mutated weights at param %d elem %d", i, j)
+			}
+		}
+	}
+	costsB := EstimateCosts(net, []int{1, 3, 8, 8})
+	if len(costsA) != len(costsB) {
+		t.Fatalf("probe not idempotent: %d vs %d stages", len(costsA), len(costsB))
+	}
+	for i := range costsA {
+		if costsA[i] != costsB[i] {
+			t.Fatalf("stage %d costs differ across probes: %+v vs %+v", i, costsA[i], costsB[i])
+		}
+	}
 }

@@ -75,4 +75,8 @@ type Report struct {
 	// TrainDuration is the wall time spent inside the training loop
 	// (excluding evaluation and callbacks).
 	TrainDuration time.Duration
+	// Replicas is the pipeline replica count (0 unless WithReplicas built a
+	// cluster engine); Syncs is the cluster's completed weight-sync count.
+	Replicas int
+	Syncs    int
 }

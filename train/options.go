@@ -6,6 +6,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/sched"
+	syncpol "repro/internal/sync"
 )
 
 // RefHyper are reference hyperparameters in the style of He et al. (2016a):
@@ -32,6 +33,8 @@ type options struct {
 	ref           RefHyper
 	workers       int
 	kernelWorkers int
+	replicas      int
+	policy        syncpol.Policy
 	ckptEvery     int
 	ckptPath      string
 	unpooled      bool
@@ -124,6 +127,36 @@ func WithKernelWorkers(n int) Option {
 			return
 		}
 		o.kernelWorkers = n
+	}
+}
+
+// WithReplicas trains r data-parallel replicas of the whole pipeline behind
+// one cluster engine (core.Cluster): the Builder is invoked once per replica
+// with the run seed and every replica is forced weight-identical to the
+// first (clone with shared init — independent parameter storage, identical
+// values), the sample stream is sharded round-robin across replicas
+// (data.Shard striding), and the compute-worker budget of WithKernelWorkers
+// is split across replicas before each replica splits it across stages.
+//
+// policy selects the weight-sync policy: "none" (independent replicas —
+// throughput ceiling / ensemble), "avg-every-<k>" (local-SGD-style parameter
+// averaging every k samples per replica and at every drain) or "sync-grad"
+// (per-update gradient averaging; at r > 1 it needs the "seq" or "lockstep"
+// engine and keeps all replicas bit-identical — PB with effective update
+// size r). A cluster with r=1 is bit-identical to the bare engine under
+// every policy. Ignored by WithSGDM (error at Fit). See DESIGN.md §10.
+func WithReplicas(r int, policy string) Option {
+	return func(o *options) {
+		if r < 1 {
+			o.errs = append(o.errs, fmt.Errorf("train: %d replicas, want ≥ 1", r))
+			return
+		}
+		p, err := syncpol.Parse(policy)
+		if err != nil {
+			o.errs = append(o.errs, fmt.Errorf("train: %w", err))
+			return
+		}
+		o.replicas, o.policy = r, p
 	}
 }
 

@@ -135,28 +135,78 @@ func (t *Trainer) ensureBuilt(trainSet *data.Dataset, epochs int) error {
 	if t.build == nil {
 		return errors.New("train: nil Builder")
 	}
-	net := t.build(t.o.seed)
-	if net == nil {
-		return errors.New("train: Builder returned a nil network")
+	if t.o.sgdm && t.o.replicas > 0 {
+		return errors.New("train: WithReplicas replicates the PB pipeline; the SGDM reference has none (drop WithReplicas or the pipeline options)")
 	}
-	if t.o.workers > 0 {
-		if t.o.workers > net.NumStages() {
-			return fmt.Errorf("train: %d workers exceed the pipeline's %d fine-grained stages", t.o.workers, net.NumStages())
+	buildOne := func() (*nn.Network, error) {
+		net := t.build(t.o.seed)
+		if net == nil {
+			return nil, errors.New("train: Builder returned a nil network")
 		}
-		inShape := append([]int{1}, trainSet.Shape...)
-		net, _ = partition.Balance(net, inShape, t.o.workers)
+		if t.o.workers > 0 {
+			if t.o.workers > net.NumStages() {
+				return nil, fmt.Errorf("train: %d workers exceed the pipeline's %d fine-grained stages", t.o.workers, net.NumStages())
+			}
+			inShape := append([]int{1}, trainSet.Shape...)
+			net, _ = partition.Balance(net, inShape, t.o.workers)
+		}
+		return net, nil
+	}
+	net, err := buildOne()
+	if err != nil {
+		return err
 	}
 	t.rng = rand.New(rand.NewSource(t.o.seed * 7919))
 	n := trainSet.Len()
 	ref := t.o.ref
-	if t.o.sgdm {
+	switch {
+	case t.o.sgdm:
 		updatesPerEpoch := (n + ref.RefBatch - 1) / ref.RefBatch
 		cfg := core.Config{
 			LR: ref.Eta, Momentum: ref.Momentum, WeightDecay: ref.WeightDecay,
 			Schedule: t.scheduleOr(ref.Eta, updatesPerEpoch*epochs),
 		}
 		t.sgd = core.NewSGDTrainer(net, cfg, ref.RefBatch)
-	} else {
+	case t.o.replicas > 0:
+		// Replicated pipelines: R weight-identical networks (clone with
+		// shared init — the Builder runs once per replica and every copy is
+		// forced onto replica 0's exact initial weights) behind the cluster
+		// engine. Replica 0 is the canonical network evaluation sees.
+		nets := make([]*nn.Network, t.o.replicas)
+		nets[0] = net
+		snap := net.SnapshotWeights()
+		for i := 1; i < t.o.replicas; i++ {
+			ni, err := buildOne()
+			if err != nil {
+				return err
+			}
+			ni.RestoreWeights(snap)
+			nets[i] = ni
+		}
+		// sync-grad averages R gradients into every stage update — effective
+		// update size R — so the Eq. 9 scaling targets R; the other policies
+		// keep each replica at update size one.
+		updateSize := 1
+		if t.o.policy != nil && t.o.policy.GradReduce() {
+			updateSize = t.o.replicas
+		}
+		cfg := core.ScaledConfig(ref.Eta, ref.Momentum, ref.RefBatch, updateSize)
+		cfg.WeightDecay = ref.WeightDecay
+		cfg.Mitigation = t.o.mit
+		cfg.Unpooled = t.o.unpooled
+		cfg.Workers = t.o.kernelWorkers
+		// Each replica sees ~1/R of the stream, so the default MultiStep
+		// decay is sized in per-replica updates.
+		perReplica := (n + t.o.replicas - 1) / t.o.replicas
+		cfg.Schedule = t.scheduleOr(cfg.LR, perReplica*epochs)
+		eng, err := core.NewCluster(nets, cfg, core.ClusterConfig{
+			Replicas: t.o.replicas, Engine: t.o.engine, Policy: t.o.policy,
+		})
+		if err != nil {
+			return err
+		}
+		t.eng = eng
+	default:
 		cfg := core.ScaledConfig(ref.Eta, ref.Momentum, ref.RefBatch, 1)
 		cfg.WeightDecay = ref.WeightDecay
 		cfg.Mitigation = t.o.mit
@@ -196,6 +246,15 @@ func (t *Trainer) applyState(st *checkpoint.State) error {
 		}
 		t.sgd.SetStep(st.Step)
 		return nil
+	}
+	if cl, ok := t.eng.(*core.Cluster); ok {
+		// RestoreCluster validates the snapshot's replica count, policy and
+		// per-replica state and rejects single-pipeline snapshots loudly.
+		return checkpoint.RestoreCluster(st, cl)
+	}
+	if st.Cluster != nil {
+		return fmt.Errorf("train: snapshot holds %d-replica cluster state (policy %q); resume it with WithReplicas",
+			len(st.Cluster.Replicas), st.Cluster.Policy)
 	}
 	pt, ok := t.eng.(checkpoint.PipelineTrainer)
 	if !ok {
@@ -250,6 +309,11 @@ func (t *Trainer) Checkpoint(path string) error {
 	if t.sgd != nil {
 		meta["engine"] = "sgdm"
 		return checkpoint.Save(path, t.net, t.sgd.Optimizer(), t.sgd.Step(), meta)
+	}
+	if cl, ok := t.eng.(*core.Cluster); ok {
+		meta["replicas"] = fmt.Sprint(cl.Replicas())
+		meta["sync"] = cl.PolicyName()
+		return checkpoint.SaveCluster(path, cl, meta)
 	}
 	pt, ok := t.eng.(checkpoint.PipelineTrainer)
 	if !ok {
@@ -370,6 +434,8 @@ func (t *Trainer) Fit(ctx context.Context, trainSet, testSet *data.Dataset, epoc
 		rep.Utilization = st.Utilization
 		rep.MaxStaleness = st.MaxObservedDelay
 		rep.ObservedDelays = append([]int(nil), t.eng.ObservedDelays()...)
+		rep.Replicas = st.Replicas
+		rep.Syncs = st.Syncs
 	}
 	return rep, nil
 }
