@@ -1,0 +1,146 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+)
+
+// BenchSchema validates committed BENCH_*.json benchmark artifacts against
+// the repro/bench/v1 schema (DESIGN.md §9): the before/after perf record
+// the trajectory is judged on must stay machine-readable. Parsing is strict
+// (unknown fields are errors, so schema drift in cmd/bench and stale
+// artifacts cannot diverge silently), and the numeric sanity bounds reject
+// truncated or hand-edited files.
+var BenchSchema = &Analyzer{
+	Name: "benchschema",
+	Doc:  "BENCH_*.json artifacts parse and conform to repro/bench/v1",
+	// Only directories that actually hold BENCH_*.json files produce work;
+	// scoping to every package keeps the rule self-maintaining when
+	// artifacts move.
+	RunDir: runBenchSchema,
+}
+
+// benchResult mirrors cmd/bench.Result (schema repro/bench/v1).
+type benchResult struct {
+	Name          string  `json:"name"`
+	Workers       int     `json:"workers"`
+	Replicas      int     `json:"replicas,omitempty"`
+	Iters         int     `json:"iters"`
+	NsPerOp       float64 `json:"ns_per_op"`
+	AllocsPerOp   int64   `json:"allocs_per_op"`
+	BytesPerOp    int64   `json:"bytes_per_op"`
+	SamplesPerSec float64 `json:"samples_per_sec,omitempty"`
+}
+
+// benchFile mirrors cmd/bench.File (schema repro/bench/v1).
+type benchFile struct {
+	Schema     string        `json:"schema"`
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	GoVersion  string        `json:"go_version"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Generated  time.Time     `json:"generated"`
+	Note       string        `json:"note,omitempty"`
+	Current    []benchResult `json:"current"`
+	Previous   *benchFile    `json:"previous,omitempty"`
+}
+
+const benchSchemaV1 = "repro/bench/v1"
+
+func runBenchSchema(dir string, report func(file string, line int, msg string)) {
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return
+	}
+	sort.Strings(matches)
+	for _, path := range matches {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			report(path, 1, fmt.Sprintf("unreadable benchmark artifact: %v", err))
+			continue
+		}
+		dec := json.NewDecoder(bytes.NewReader(data))
+		dec.DisallowUnknownFields()
+		var f benchFile
+		if err := dec.Decode(&f); err != nil {
+			report(path, 1, fmt.Sprintf("not valid %s JSON: %v", benchSchemaV1, err))
+			continue
+		}
+		for _, msg := range validateBenchFile(&f, false) {
+			report(path, 1, msg)
+		}
+	}
+}
+
+// validateBenchFile returns every schema violation in the file, recursing
+// into the carried-forward previous block.
+func validateBenchFile(f *benchFile, isPrevious bool) []string {
+	var errs []string
+	where := ""
+	if isPrevious {
+		where = "previous: "
+	}
+	bad := func(format string, args ...any) {
+		errs = append(errs, where+fmt.Sprintf(format, args...))
+	}
+	if f.Schema != benchSchemaV1 {
+		bad("schema %q, want %q", f.Schema, benchSchemaV1)
+	}
+	if f.GOOS == "" || f.GOARCH == "" || f.GoVersion == "" {
+		bad("missing environment fields (goos/goarch/go_version)")
+	}
+	if f.GOMAXPROCS < 1 {
+		bad("gomaxprocs %d, want >= 1", f.GOMAXPROCS)
+	}
+	if f.Generated.IsZero() {
+		bad("missing or zero generated timestamp")
+	}
+	if len(f.Current) == 0 {
+		bad("empty current block")
+	}
+	seen := map[string]bool{}
+	for i, r := range f.Current {
+		at := func(format string, args ...any) {
+			bad("current[%d] (%s): %s", i, r.Name, fmt.Sprintf(format, args...))
+		}
+		if r.Name == "" {
+			bad("current[%d]: empty name", i)
+			continue
+		}
+		if seen[r.Name] {
+			at("duplicate name")
+		}
+		seen[r.Name] = true
+		if r.Workers < 1 {
+			at("workers %d, want >= 1", r.Workers)
+		}
+		if r.Replicas < 0 {
+			at("replicas %d, want >= 0", r.Replicas)
+		}
+		if r.Iters < 1 {
+			at("iters %d, want >= 1", r.Iters)
+		}
+		if !(r.NsPerOp > 0) {
+			at("ns_per_op %v, want > 0", r.NsPerOp)
+		}
+		if r.AllocsPerOp < 0 || r.BytesPerOp < 0 {
+			at("negative allocs_per_op/bytes_per_op")
+		}
+		if r.SamplesPerSec < 0 {
+			at("samples_per_sec %v, want >= 0", r.SamplesPerSec)
+		}
+	}
+	if f.Previous != nil {
+		if isPrevious {
+			bad("previous blocks must not nest beyond one level")
+		} else {
+			errs = append(errs, validateBenchFile(f.Previous, true)...)
+		}
+	}
+	return errs
+}

@@ -1,0 +1,51 @@
+package analysis
+
+import (
+	"go/ast"
+	"path/filepath"
+)
+
+// GoroutineBudget pins the set of files allowed to spawn goroutines. The
+// repo's concurrency is deliberately concentrated: the tensor.Parallel
+// kernel worker group, the engine run loops (lockstep and async), and the
+// cluster's per-replica round dispatch. Every other `go` statement is a new
+// unaudited concurrency surface — new goroutines must either live in one of
+// the approved files or carry a per-site //lint:allow(goroutinebudget)
+// annotation that documents their lifecycle (who stops them, and when).
+var GoroutineBudget = &Analyzer{
+	Name: "goroutinebudget",
+	Doc:  "`go` statements only in the approved worker files (tensor/parallel.go, core engine loops, cluster.go)",
+	Run:  runGoroutineBudget,
+}
+
+// goroutineFiles is the approved budget, keyed by package-path suffix and
+// file base name.
+var goroutineFiles = map[[2]string]bool{
+	{"internal/tensor", "parallel.go"}: true, // kernel worker group
+	{"internal/core", "parallel.go"}:   true, // lockstep engine workers
+	{"internal/core", "async.go"}:      true, // async engine stage loops
+	{"internal/core", "cluster.go"}:    true, // per-replica round dispatch
+}
+
+func runGoroutineBudget(pass *Pass) {
+	approved := func(file string) bool {
+		base := filepath.Base(file)
+		for key := range goroutineFiles {
+			if pathHasSuffix(pass.Pkg.ImportPath, key[0]) && base == key[1] {
+				return true
+			}
+		}
+		return false
+	}
+	walkStack(pass.Files, func(n ast.Node, _ []ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		file := pass.Fset.Position(g.Pos()).Filename
+		if !approved(file) {
+			pass.Reportf(g.Pos(), "goroutine outside the approved worker budget (see DESIGN.md §11)")
+		}
+		return true
+	})
+}

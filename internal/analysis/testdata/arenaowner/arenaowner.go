@@ -1,0 +1,69 @@
+// Package arenaowner is the executable spec for the arenaowner rule: the
+// marked lines violate the tensor.Arena move-semantics ownership contract
+// (DESIGN.md §7); the unmarked functions are the blessed shapes.
+package arenaowner
+
+import "repro/internal/tensor"
+
+// leak gets a buffer that never escapes the function and is never Put.
+func leak(ar *tensor.Arena) {
+	buf := ar.Get(4, 4) // want "never Put, returned, or transferred"
+	buf.Zero()
+}
+
+// balanced is the plain borrow: Get, use, Put.
+func balanced(ar *tensor.Arena) {
+	buf := ar.Get(4, 4)
+	buf.Zero()
+	ar.Put(buf)
+}
+
+// transferReturn moves ownership to the caller.
+func transferReturn(ar *tensor.Arena) *tensor.Tensor {
+	out := ar.GetZeroed(2, 2)
+	return out
+}
+
+// transferCall moves ownership into the callee.
+func transferCall(ar *tensor.Arena) {
+	tmp := ar.Get(8)
+	consume(ar, tmp)
+}
+
+// consume takes over tmp and releases it.
+func consume(ar *tensor.Arena, t *tensor.Tensor) { ar.Put(t) }
+
+// doublePut releases the same buffer twice in one straight-line block.
+func doublePut(ar *tensor.Arena) {
+	buf := ar.Get(4)
+	ar.Put(buf)
+	ar.Put(buf) // want "double Put"
+}
+
+// branchPut releases once on each path — allowed (same-block rule only).
+func branchPut(ar *tensor.Arena, cond bool) {
+	buf := ar.Get(4)
+	if cond {
+		buf.Zero()
+		ar.Put(buf)
+	} else {
+		ar.Put(buf)
+	}
+}
+
+// loopAlias re-Puts a buffer obtained outside the loop on every iteration.
+func loopAlias(ar *tensor.Arena, n int) {
+	buf := ar.Get(4)
+	for i := 0; i < n; i++ {
+		ar.Put(buf) // want "loop-captured alias"
+	}
+}
+
+// loopOwned releases the loop variable, which is rebound per iteration.
+func loopOwned(ar *tensor.Arena, ts []*tensor.Tensor) {
+	for _, t := range ts {
+		ar.Put(t)
+	}
+}
+
+var _ = []any{leak, balanced, transferReturn, transferCall, doublePut, branchPut, loopAlias, loopOwned}

@@ -1,0 +1,4 @@
+// Package benchschema anchors the benchschema testdata directory: the
+// BENCH_*.json files beside this file violate the repro/bench/v1 schema in
+// known ways, and the golden test asserts each violation's diagnostic.
+package benchschema

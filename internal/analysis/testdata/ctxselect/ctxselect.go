@@ -1,0 +1,87 @@
+// Package ctxselect is the executable spec for the ctxselect rule: channel
+// operations inside goroutine bodies must sit in a select that can always
+// escape (a default case or a ctx/done/stop receive), per the PR 3 engine
+// contract.
+package ctxselect
+
+import "context"
+
+// wedges can block forever on either operation once its peer is gone.
+func wedges(ch, out chan int) {
+	go func() {
+		v := <-ch    // want "blocking channel receive"
+		out <- v + 1 // want "blocking channel send"
+	}()
+}
+
+// rangeChan blocks until someone remembers to close the channel.
+func rangeChan(ch chan int) {
+	go func() {
+		for range ch { // want "range over a channel"
+		}
+	}()
+}
+
+// deafSelect has a select, but every case can block forever.
+func deafSelect(a, b chan int) {
+	go func() {
+		select {
+		case v := <-a: // want "blocking channel receive"
+			_ = v
+		case b <- 1: // want "blocking channel send"
+		}
+	}()
+}
+
+// stoppable escapes through its stop channel.
+func stoppable(ch chan int, stop chan struct{}) {
+	go func() {
+		for {
+			select {
+			case v := <-ch:
+				_ = v
+			case <-stop:
+				return
+			}
+		}
+	}()
+}
+
+// ctxAware escapes through ctx cancellation.
+func ctxAware(ctx context.Context, ch chan int) {
+	go func() {
+		select {
+		case ch <- 1:
+		case <-ctx.Done():
+		}
+	}()
+}
+
+// probe never blocks at all.
+func probe(ch chan int) {
+	go func() {
+		select {
+		case ch <- 1:
+		default:
+		}
+	}()
+}
+
+// namedWorker is checked because launch starts it with `go`; its selects
+// all carry a stop case, so it is clean.
+func namedWorker(ch chan int, stop chan struct{}) {
+	for {
+		select {
+		case <-ch:
+		case <-stop:
+			return
+		}
+	}
+}
+
+// launch starts the named worker.
+func launch(ch chan int, stop chan struct{}) {
+	go namedWorker(ch, stop)
+}
+
+var _ = []any{wedges, rangeChan, deafSelect, stoppable, ctxAware, probe, launch}

@@ -1,0 +1,59 @@
+// Package determinism is the executable spec for the determinism rule:
+// every marked line must produce exactly the diagnostic its `want` comment
+// matches, and every unmarked line must produce none.
+package determinism
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// wallClock uses the two banned wall-clock sources.
+func wallClock() time.Duration {
+	t0 := time.Now()      // want "time.Now is a nondeterminism source"
+	return time.Since(t0) // want "time.Since is a nondeterminism source"
+}
+
+// globalRNG consults the process-global generator, whose state is shared
+// and unseeded.
+func globalRNG() int {
+	return rand.Intn(10) // want "rand.Intn uses the global RNG"
+}
+
+// seeded is the blessed pattern: an explicitly seeded generator threaded
+// through the call.
+func seeded(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+
+// rawRange reduces in Go's randomized map order.
+func rawRange(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { // want "map iteration order is randomized"
+		sum += v
+	}
+	return sum
+}
+
+// sortedRange is the blessed sorted-keys idiom.
+func sortedRange(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sum float64
+	for _, k := range keys {
+		sum += m[k]
+	}
+	return sum
+}
+
+// annotated documents a justified exception per the suppression contract.
+func annotated() time.Time {
+	return time.Now() //lint:allow(determinism) spec example: a documented wall-clock exception
+}
+
+var _ = []any{wallClock, globalRNG, seeded, rawRange, sortedRange, annotated}

@@ -1,0 +1,19 @@
+// Package goroutinebudget is the executable spec for the goroutinebudget
+// rule: `go` statements are only allowed in the approved worker files, so
+// any spawn here — outside that budget — is a diagnostic unless annotated.
+package goroutinebudget
+
+// spawn opens a new, unaudited concurrency surface.
+func spawn(fn func()) {
+	go fn() // want "goroutine outside the approved worker budget"
+}
+
+// annotated documents its lifecycle per the suppression contract.
+func annotated(fn func(), done chan struct{}) {
+	go func() { //lint:allow(goroutinebudget) spec example: joined via done by the caller before return
+		defer close(done)
+		fn()
+	}()
+}
+
+var _ = []any{spawn, annotated}

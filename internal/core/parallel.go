@@ -76,6 +76,10 @@ func NewParallelPBTrainer(net *nn.Network, cfg Config) *ParallelPBTrainer {
 // slot in the shared next-step buffers, and reports completion.
 func (t *ParallelPBTrainer) worker(i int) {
 	defer t.wg.Done()
+	// The lockstep barrier is synchronously paired: signalAll always sends a
+	// phase and then receives the matching done, so neither side can wedge,
+	// and the phaseStop token (not a ctx) is the engine's shutdown signal.
+	//lint:allow(ctxselect) barrier receive is paired with signalAll's send; phaseStop is the shutdown path
 	for ph := range t.start[i] {
 		switch ph {
 		case phaseForward:
@@ -83,10 +87,10 @@ func (t *ParallelPBTrainer) worker(i int) {
 		case phaseBackward:
 			t.backwardStage(i)
 		case phaseStop:
-			t.done[i] <- struct{}{}
+			t.done[i] <- struct{}{} //lint:allow(ctxselect) paired with signalAll's unconditional done receive
 			return
 		}
-		t.done[i] <- struct{}{}
+		t.done[i] <- struct{}{} //lint:allow(ctxselect) paired with signalAll's unconditional done receive
 	}
 }
 

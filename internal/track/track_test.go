@@ -82,3 +82,54 @@ func TestReadJSONRejectsGarbage(t *testing.T) {
 		t.Fatal("expected decode error")
 	}
 }
+
+// TestJSONByteIdentical pins the committed-output determinism invariant
+// (DESIGN.md §11): exporting the same history twice — including map-valued
+// run labels and per-point metrics — produces byte-identical JSON. Two
+// fresh recorders built from the same inputs must also agree, so no map
+// iteration order leaks into artifacts.
+func TestJSONByteIdentical(t *testing.T) {
+	build := func() *Recorder {
+		r := NewRecorder(map[string]string{"model": "rn20", "method": "PB+LWPvD", "seed": "3"})
+		for step := 1; step <= 5; step++ {
+			r.Record(step, map[string]float64{
+				"trainloss": 1.0 / float64(step),
+				"valacc":    0.5 + 0.01*float64(step),
+				"lr":        0.1,
+				"staleness": float64(step % 3),
+			})
+		}
+		return r
+	}
+	r := build()
+	var a, b bytes.Buffer
+	if err := r.WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("two exports of one recorder differ:\n%s\n%s", a.Bytes(), b.Bytes())
+	}
+	var c bytes.Buffer
+	if err := build().WriteJSON(&c); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), c.Bytes()) {
+		t.Fatalf("exports of identically built recorders differ:\n%s\n%s", a.Bytes(), c.Bytes())
+	}
+
+	// CSV export shares the column-order guarantee (insertion order of
+	// sorted per-row keys), so it must be byte-stable too.
+	var d, e bytes.Buffer
+	if err := r.WriteCSV(&d); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().WriteCSV(&e); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(d.Bytes(), e.Bytes()) {
+		t.Fatalf("CSV exports differ:\n%s\n%s", d.Bytes(), e.Bytes())
+	}
+}

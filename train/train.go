@@ -370,7 +370,7 @@ func (t *Trainer) Fit(ctx context.Context, trainSet, testSet *data.Dataset, epoc
 			}
 		}
 		perm := trainSet.Perm(t.rng)
-		start := time.Now()
+		start := time.Now() //lint:allow(determinism) epoch wall-clock for Report.TrainDuration; never feeds the training math
 		var trainLoss, trainAcc float64
 		var err error
 		if t.sgd != nil {
@@ -378,7 +378,7 @@ func (t *Trainer) Fit(ctx context.Context, trainSet, testSet *data.Dataset, epoc
 		} else {
 			trainLoss, trainAcc, err = core.RunEpoch(ctx, t.eng, trainSet, perm, t.o.aug, t.rng, sink)
 		}
-		elapsed := time.Since(start)
+		elapsed := time.Since(start) //lint:allow(determinism) epoch timing for Report.TrainDuration only
 		rep.TrainDuration += elapsed
 		if err != nil {
 			// Cancelled mid-epoch: abandon the in-flight samples and unwind
