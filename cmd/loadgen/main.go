@@ -1,0 +1,379 @@
+// Command loadgen drives cmd/serve and reports latency quantiles and
+// saturation throughput as a repro/bench/v1 artifact (BENCH_serve.json,
+// DESIGN.md §12).
+//
+// Two load models:
+//
+//   - closed loop: -conc workers each keep exactly one request outstanding
+//     (-n requests total). Sweeping -sweep concurrencies finds the
+//     saturation throughput — the knee where more offered concurrency stops
+//     buying samples/sec.
+//   - open loop: -rate requests/sec are dispatched on a fixed schedule
+//     regardless of completions for -dur, which is what exposes queueing
+//     delay under overload (closed loops self-throttle and hide it).
+//
+// Usage:
+//
+//	go run ./cmd/loadgen [flags]
+//
+//	-addr localhost:8097   target server
+//	-model resnet          input shape: resnet ([3,8,8]) or mlp ([48])
+//	-n 256                 closed-loop requests per sweep point
+//	-sweep 1,2,4,8         closed-loop concurrency sweep
+//	-rate 0                open-loop request rate (0 = closed loop only)
+//	-dur 3s                open-loop duration
+//	-out BENCH_serve.json  artifact path ("" = report only)
+//	-wait 10s              readiness wait on /healthz
+//	-seed 1                input-generator seed
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// benchResult mirrors cmd/bench's Result (schema repro/bench/v1), plus the
+// latency-quantile fields the benchschema analyzer validates.
+type benchResult struct {
+	Name          string  `json:"name"`
+	Workers       int     `json:"workers"`
+	Replicas      int     `json:"replicas,omitempty"`
+	Iters         int     `json:"iters"`
+	NsPerOp       float64 `json:"ns_per_op"`
+	AllocsPerOp   int64   `json:"allocs_per_op"`
+	BytesPerOp    int64   `json:"bytes_per_op"`
+	SamplesPerSec float64 `json:"samples_per_sec,omitempty"`
+	P50Ms         float64 `json:"p50_ms,omitempty"`
+	P99Ms         float64 `json:"p99_ms,omitempty"`
+}
+
+// benchFile mirrors cmd/bench's File.
+type benchFile struct {
+	Schema     string        `json:"schema"`
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	GoVersion  string        `json:"go_version"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Generated  time.Time     `json:"generated"`
+	Note       string        `json:"note,omitempty"`
+	Current    []benchResult `json:"current"`
+}
+
+// runStats aggregates one load run.
+type runStats struct {
+	completed, failed int
+	elapsed           time.Duration
+	latencies         []time.Duration
+}
+
+func (r *runStats) quantile(q float64) float64 {
+	if len(r.latencies) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), r.latencies...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	pos := q * float64(len(s)-1)
+	lo := int(pos)
+	v := float64(s[lo])
+	if lo+1 < len(s) {
+		v += (pos - float64(lo)) * float64(s[lo+1]-s[lo])
+	}
+	return v / float64(time.Millisecond)
+}
+
+func (r *runStats) throughput() float64 {
+	if r.elapsed <= 0 {
+		return 0
+	}
+	return float64(r.completed) / r.elapsed.Seconds()
+}
+
+func (r *runStats) meanNs() float64 {
+	if len(r.latencies) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, l := range r.latencies {
+		sum += l
+	}
+	return float64(sum) / float64(len(r.latencies))
+}
+
+// client issues predict requests with pre-generated random inputs.
+type client struct {
+	url    string
+	bodies [][]byte
+	http   *http.Client
+}
+
+func newClient(addr, model string, seed int64) (*client, error) {
+	var sample int
+	switch model {
+	case "resnet":
+		sample = 3 * 8 * 8
+	case "mlp":
+		sample = 48
+	default:
+		return nil, fmt.Errorf("unknown -model %q (want resnet or mlp)", model)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	bodies := make([][]byte, 16)
+	for i := range bodies {
+		in := make([]float64, sample)
+		for j := range in {
+			in[j] = rng.NormFloat64()
+		}
+		b, err := json.Marshal(map[string]any{"input": in})
+		if err != nil {
+			return nil, err
+		}
+		bodies[i] = b
+	}
+	return &client{
+		url:    "http://" + addr + "/v1/predict",
+		bodies: bodies,
+		http:   &http.Client{Timeout: 30 * time.Second},
+	}, nil
+}
+
+// do issues one request and returns its latency.
+func (c *client) do(i int) (time.Duration, error) {
+	start := time.Now()
+	resp, err := c.http.Post(c.url, "application/json", bytes.NewReader(c.bodies[i%len(c.bodies)]))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Class int `json:"class"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return time.Since(start), nil
+}
+
+// closedLoop runs n requests across conc workers, one outstanding each.
+func closedLoop(c *client, n, conc int) *runStats {
+	var (
+		mu    sync.Mutex
+		stats runStats
+		next  int
+		wg    sync.WaitGroup
+	)
+	start := time.Now()
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				if next >= n {
+					mu.Unlock()
+					return
+				}
+				i := next
+				next++
+				mu.Unlock()
+				lat, err := c.do(i)
+				mu.Lock()
+				if err != nil {
+					stats.failed++
+				} else {
+					stats.completed++
+					stats.latencies = append(stats.latencies, lat)
+				}
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	stats.elapsed = time.Since(start)
+	return &stats
+}
+
+// openLoop dispatches requests at a fixed rate for dur, regardless of how
+// fast they complete.
+func openLoop(c *client, rate float64, dur time.Duration) *runStats {
+	var (
+		mu    sync.Mutex
+		stats runStats
+		wg    sync.WaitGroup
+	)
+	interval := time.Duration(float64(time.Second) / rate)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	deadline := time.After(dur)
+	start := time.Now()
+	i := 0
+loop:
+	for {
+		select {
+		case <-ticker.C:
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				lat, err := c.do(i)
+				mu.Lock()
+				defer mu.Unlock()
+				if err != nil {
+					stats.failed++
+					return
+				}
+				stats.completed++
+				stats.latencies = append(stats.latencies, lat)
+			}(i)
+			i++
+		case <-deadline:
+			break loop
+		}
+	}
+	wg.Wait()
+	stats.elapsed = time.Since(start)
+	return &stats
+}
+
+// waitReady polls /healthz until the server answers or the budget expires.
+func waitReady(addr string, budget time.Duration) error {
+	url := "http://" + addr + "/healthz"
+	deadline := time.Now().Add(budget)
+	for {
+		resp, err := http.Get(url)
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("server at %s not ready within %s", addr, budget)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+func main() {
+	addr := flag.String("addr", "localhost:8097", "target server address")
+	model := flag.String("model", "resnet", "input shape: resnet or mlp")
+	n := flag.Int("n", 256, "closed-loop requests per sweep point")
+	sweep := flag.String("sweep", "1,2,4,8", "closed-loop concurrency sweep")
+	rate := flag.Float64("rate", 0, "open-loop request rate per second (0 = closed loop only)")
+	dur := flag.Duration("dur", 3*time.Second, "open-loop duration")
+	out := flag.String("out", "BENCH_serve.json", "bench artifact path (empty = report only)")
+	wait := flag.Duration("wait", 10*time.Second, "readiness wait on /healthz")
+	seed := flag.Int64("seed", 1, "input-generator seed")
+	flag.Parse()
+
+	if err := run(*addr, *model, *sweep, *out, *n, *rate, *dur, *wait, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, model, sweep, out string, n int, rate float64, dur, wait time.Duration, seed int64) error {
+	c, err := newClient(addr, model, seed)
+	if err != nil {
+		return err
+	}
+	if err := waitReady(addr, wait); err != nil {
+		return err
+	}
+
+	var concs []int
+	for _, f := range strings.Split(sweep, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || v <= 0 {
+			return fmt.Errorf("bad -sweep entry %q", f)
+		}
+		concs = append(concs, v)
+	}
+
+	var results []benchResult
+	var failures int
+	saturation := 0.0
+	for _, conc := range concs {
+		st := closedLoop(c, n, conc)
+		failures += st.failed
+		if tp := st.throughput(); tp > saturation {
+			saturation = tp
+		}
+		r := benchResult{
+			Name:          fmt.Sprintf("serve/closed/c%d", conc),
+			Workers:       conc,
+			Iters:         st.completed,
+			NsPerOp:       st.meanNs(),
+			SamplesPerSec: st.throughput(),
+			P50Ms:         st.quantile(0.50),
+			P99Ms:         st.quantile(0.99),
+		}
+		results = append(results, r)
+		fmt.Printf("%-18s %6d ok %3d fail  %8.1f req/s  p50 %7.3fms  p99 %7.3fms\n",
+			r.Name, st.completed, st.failed, r.SamplesPerSec, r.P50Ms, r.P99Ms)
+	}
+	if saturation > 0 {
+		results = append(results, benchResult{
+			Name:          "serve/saturation",
+			Workers:       concs[len(concs)-1],
+			Iters:         n * len(concs),
+			NsPerOp:       float64(time.Second) / saturation,
+			SamplesPerSec: saturation,
+		})
+		fmt.Printf("%-18s %33.1f req/s (max over sweep)\n", "serve/saturation", saturation)
+	}
+
+	if rate > 0 {
+		st := openLoop(c, rate, dur)
+		failures += st.failed
+		r := benchResult{
+			Name:          fmt.Sprintf("serve/open/r%d", int(rate)),
+			Workers:       1,
+			Iters:         st.completed,
+			NsPerOp:       st.meanNs(),
+			SamplesPerSec: st.throughput(),
+			P50Ms:         st.quantile(0.50),
+			P99Ms:         st.quantile(0.99),
+		}
+		results = append(results, r)
+		fmt.Printf("%-18s %6d ok %3d fail  %8.1f req/s  p50 %7.3fms  p99 %7.3fms\n",
+			r.Name, st.completed, st.failed, r.SamplesPerSec, r.P50Ms, r.P99Ms)
+	}
+
+	if out != "" {
+		f := benchFile{
+			Schema:     "repro/bench/v1",
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+			GoVersion:  runtime.Version(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			Generated:  time.Now().UTC(),
+			Note:       fmt.Sprintf("cmd/loadgen against cmd/serve (model=%s, n=%d per point)", model, n),
+			Current:    results,
+		}
+		data, err := json.MarshalIndent(f, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Println("loadgen: wrote", out)
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d request(s) failed", failures)
+	}
+	return nil
+}

@@ -35,6 +35,10 @@ type benchResult struct {
 	AllocsPerOp   int64   `json:"allocs_per_op"`
 	BytesPerOp    int64   `json:"bytes_per_op"`
 	SamplesPerSec float64 `json:"samples_per_sec,omitempty"`
+	// Latency quantiles (milliseconds) reported by serving benchmarks
+	// (cmd/loadgen). Zero when the producer measures throughput only.
+	P50Ms float64 `json:"p50_ms,omitempty"`
+	P99Ms float64 `json:"p99_ms,omitempty"`
 }
 
 // benchFile mirrors cmd/bench.File (schema repro/bench/v1).
@@ -133,6 +137,12 @@ func validateBenchFile(f *benchFile, isPrevious bool) []string {
 		}
 		if r.SamplesPerSec < 0 {
 			at("samples_per_sec %v, want >= 0", r.SamplesPerSec)
+		}
+		if r.P50Ms < 0 || r.P99Ms < 0 {
+			at("negative latency quantile (p50_ms %v, p99_ms %v)", r.P50Ms, r.P99Ms)
+		}
+		if r.P50Ms > 0 && r.P99Ms > 0 && r.P50Ms > r.P99Ms {
+			at("p50_ms %v exceeds p99_ms %v", r.P50Ms, r.P99Ms)
 		}
 	}
 	if f.Previous != nil {

@@ -129,6 +129,8 @@ func TestGoldenBenchSchema(t *testing.T) {
 		"iters 0",
 		"ns_per_op 0",
 		"negative allocs_per_op",
+		"negative latency quantile",
+		"p50_ms 9.5 exceeds p99_ms 2",
 		"duplicate name",
 		"unknown field",
 	}

@@ -25,6 +25,10 @@ var goroutineFiles = map[[2]string]bool{
 	{"internal/core", "parallel.go"}:   true, // lockstep engine workers
 	{"internal/core", "async.go"}:      true, // async engine stage loops
 	{"internal/core", "cluster.go"}:    true, // per-replica round dispatch
+	{"internal/core", "infer.go"}:      true, // inference pipeline stage loops
+	{"internal/serve", "server.go"}:    true, // admission batcher loop
+	{"cmd/serve", "main.go"}:           true, // HTTP listener + signal wait
+	{"cmd/loadgen", "main.go"}:         true, // load-generator client workers
 }
 
 func runGoroutineBudget(pass *Pass) {

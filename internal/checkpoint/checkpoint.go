@@ -261,6 +261,31 @@ func restoreWeights(st *State, net *nn.Network) error {
 	return nil
 }
 
+// RestoreForward loads only the weights of a snapshot into net — the
+// read-only view an inference engine needs. It accepts every checkpoint
+// version (v1 single-optimizer, v2 pipeline, v3 cluster: the top-level
+// Weights always mirror the canonical replica) and never touches optimizer
+// or schedule state.
+func RestoreForward(st *State, net *nn.Network) error {
+	if err := checkVersion(st.Version); err != nil {
+		return err
+	}
+	return restoreWeights(st, net)
+}
+
+// LoadForward reads a snapshot of any supported version from path and
+// restores only its weights into net (see RestoreForward).
+func LoadForward(path string, net *nn.Network) (*State, error) {
+	st, err := readFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := RestoreForward(st, net); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
 // Restore loads a State into a network (and optionally optimizer
 // velocities). Every network parameter must be present with matching size.
 func Restore(st *State, net *nn.Network, opt *optim.Momentum) error {

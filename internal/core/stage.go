@@ -3,6 +3,7 @@ package core
 import (
 	"repro/internal/nn"
 	"repro/internal/optim"
+	"repro/internal/tensor"
 )
 
 // This file holds the engine-independent per-stage compute: the forward and
@@ -49,34 +50,57 @@ func bwdHorizonFor(mit Mitigation, i int) float64 {
 	return 0
 }
 
+// forwardUnder is the single forward primitive every engine drives: it runs
+// one stage's Forward, optionally under a temporarily installed read-only
+// weight view (prediction or stashed weights), and hands back the output
+// packet plus the stage context. The view is installed by pointer-swapping
+// parameter storage and restored before returning, so the stage's parameters
+// are never mutated — forward compute is a pure function of (weights, input)
+// regardless of which view it reads.
+func forwardUnder(s nn.Stage, params []*nn.Param, view [][]float64, p *nn.Packet, ar *tensor.Arena, par *tensor.Parallel) (*nn.Packet, any) {
+	if len(view) == 0 || len(params) == 0 {
+		return s.Forward(p, ar, par)
+	}
+	old := swapIn(params, view)
+	out, ctx := s.Forward(p, ar, par)
+	swapIn(params, old)
+	return out, ctx
+}
+
+// forwardInfer is the standalone forward-only path: it runs the stage's
+// Forward and immediately releases the context — no FIFO push, no gradient,
+// no optimizer. Retained activations flow straight back into the stage's
+// arena via Stage.ReleaseCtx, so a forward-only pipeline holds no
+// per-inflight state beyond the packet itself. The inference engines
+// (infer.go) drive all their compute through this.
+func forwardInfer(s nn.Stage, p *nn.Packet, ar *tensor.Arena, par *tensor.Parallel) *nn.Packet {
+	out, ctx := s.Forward(p, ar, par)
+	s.ReleaseCtx(ctx, ar)
+	return out
+}
+
 // runForward performs the stage's forward transformation for one sample
 // under the mitigation's prediction/stashing rules, pushes the sample's
 // context onto the stage FIFO, and returns the output packet. It touches
 // only stage-local state. With a non-nil arena the input packet is consumed
 // and (usually) returned as the output packet.
 func (st *stageState) runForward(in *inflight, mit Mitigation, horizon float64, form optim.LWPForm) *nn.Packet {
-	var usedWeights [][]float64
+	var usedWeights, view [][]float64
 	if horizon > 0 && len(st.params) > 0 {
-		pred := make([][]float64, len(st.params))
+		view = make([][]float64, len(st.params))
 		for j, p := range st.params {
-			pred[j] = st.opt.Predict(p, form, horizon)
+			view[j] = st.opt.Predict(p, form, horizon)
 		}
-		old := swapIn(st.params, pred)
-		out, ctx := st.stage.Forward(in.packet, st.arena, st.par)
-		swapIn(st.params, old)
 		if mit.WeightStash {
-			usedWeights = pred
+			usedWeights = view
 		}
-		st.push(ctx, usedWeights, in.id)
-		return out
-	}
-	if mit.WeightStash && len(st.params) > 0 {
+	} else if mit.WeightStash && len(st.params) > 0 {
 		usedWeights = make([][]float64, len(st.params))
 		for j, p := range st.params {
 			usedWeights[j] = p.Snapshot()
 		}
 	}
-	out, ctx := st.stage.Forward(in.packet, st.arena, st.par)
+	out, ctx := forwardUnder(st.stage, st.params, view, in.packet, st.arena, st.par)
 	st.push(ctx, usedWeights, in.id)
 	return out
 }

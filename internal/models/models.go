@@ -68,6 +68,17 @@ func (b *blockStart) Backward(dp *nn.Packet, ctx any, ar *tensor.Arena, par *ten
 	return out
 }
 
+// ReleaseCtx implements nn.Stage.
+func (b *blockStart) ReleaseCtx(ctx any, ar *tensor.Arena) {
+	c := ctx.(*blockStartCtx)
+	b.layers.ReleaseCtx(c.layerCtx, ar)
+	b.push.ReleaseCtx(c.pushCtx, ar)
+	if ar != nil {
+		c.pushCtx, c.layerCtx = nil, nil
+		b.ctxFree = append(b.ctxFree, c)
+	}
+}
+
 // Params implements nn.Stage.
 func (b *blockStart) Params() []*nn.Param { return b.layers.Params() }
 

@@ -126,6 +126,12 @@ func (f *FRN) Backward(dz *tensor.Tensor, ctx any, ar *tensor.Arena, par *tensor
 	return dx
 }
 
+// ReleaseCtx implements Layer.
+func (f *FRN) ReleaseCtx(ctx any, ar *tensor.Arena) {
+	cc := ctx.(*frnCtx)
+	ar.Put(cc.xhat, cc.y)
+}
+
 // Params implements Layer.
 func (f *FRN) Params() []*Param { return []*Param{f.Gamma, f.Beta, f.Tau} }
 
@@ -239,6 +245,14 @@ func (c *WSConv2D) Backward(dy *tensor.Tensor, ctx any, ar *tensor.Arena, par *t
 	ar.Put(dy, dWhat, cc.what)
 	ar.Put(inner.cols...)
 	return dx
+}
+
+// ReleaseCtx implements Layer.
+func (c *WSConv2D) ReleaseCtx(ctx any, ar *tensor.Arena) {
+	cc := ctx.(*wsConvCtx)
+	inner := cc.convCtx.(*convCtx)
+	ar.Put(cc.what)
+	ar.Put(inner.cols...)
 }
 
 // Params implements Layer.

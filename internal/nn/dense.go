@@ -69,6 +69,11 @@ func (d *Dense) Backward(dy *tensor.Tensor, ctx any, ar *tensor.Arena, par *tens
 	return dx
 }
 
+// ReleaseCtx implements Layer.
+func (d *Dense) ReleaseCtx(ctx any, ar *tensor.Arena) {
+	ar.Put(ctx.(*tensor.Tensor))
+}
+
 // Params implements Layer.
 func (d *Dense) Params() []*Param {
 	if d.Bias == nil {
@@ -141,6 +146,15 @@ func (c *Conv2D) Backward(dy *tensor.Tensor, ctx any, ar *tensor.Arena, par *ten
 		c.ctxFree = append(c.ctxFree, cc)
 	}
 	return dx
+}
+
+// ReleaseCtx implements Layer.
+func (c *Conv2D) ReleaseCtx(ctx any, ar *tensor.Arena) {
+	cc := ctx.(*convCtx)
+	ar.Put(cc.cols...)
+	if ar != nil {
+		c.ctxFree = append(c.ctxFree, cc)
+	}
 }
 
 // Params implements Layer.

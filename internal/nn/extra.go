@@ -72,6 +72,16 @@ func (d *Dropout) Backward(dy *tensor.Tensor, ctx any, ar *tensor.Arena, par *te
 	return dx
 }
 
+// ReleaseCtx implements Layer.
+func (d *Dropout) ReleaseCtx(ctx any, ar *tensor.Arena) {
+	if ctx == nil {
+		return
+	}
+	if ar != nil {
+		d.maskFree = append(d.maskFree, ctx.([]bool))
+	}
+}
+
 // Params implements Layer.
 func (d *Dropout) Params() []*Param { return nil }
 
@@ -189,6 +199,11 @@ func (o *OnlineNorm) Backward(dy *tensor.Tensor, ctx any, ar *tensor.Arena, par 
 	return dx
 }
 
+// ReleaseCtx implements Layer.
+func (o *OnlineNorm) ReleaseCtx(ctx any, ar *tensor.Arena) {
+	ar.Put(ctx.(*onlineNormCtx).xhat)
+}
+
 // Params implements Layer.
 func (o *OnlineNorm) Params() []*Param { return []*Param{o.Gamma, o.Beta} }
 
@@ -236,6 +251,11 @@ func (l *ScaleLayer) Backward(dy *tensor.Tensor, ctx any, ar *tensor.Arena, par 
 	}
 	ar.Put(dy, x)
 	return dx
+}
+
+// ReleaseCtx implements Layer.
+func (l *ScaleLayer) ReleaseCtx(ctx any, ar *tensor.Arena) {
+	ar.Put(ctx.(*tensor.Tensor))
 }
 
 // Params implements Layer.

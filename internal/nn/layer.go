@@ -21,10 +21,17 @@ import (
 // ever recycled or reused and the layer behaves exactly like the pre-arena
 // implementation, which is what evaluation and the unpooled reference
 // trainers use.
+// ReleaseCtx is the forward-only alternative to Backward: it recycles
+// everything a Forward context retains (held activations into ar, pooled
+// context structs back onto the layer's free lists) without computing any
+// gradient. Inference pipelines call it right after consuming a stage's
+// output so contexts never accumulate. It must accept a nil ctx and, like
+// Backward, must not touch free lists when ar == nil.
 type Layer interface {
 	Name() string
 	Forward(x *tensor.Tensor, ar *tensor.Arena, par *tensor.Parallel) (y *tensor.Tensor, ctx any)
 	Backward(dy *tensor.Tensor, ctx any, ar *tensor.Arena, par *tensor.Parallel) (dx *tensor.Tensor)
+	ReleaseCtx(ctx any, ar *tensor.Arena)
 	Params() []*Param
 }
 
@@ -62,6 +69,11 @@ func (ReLU) Backward(dy *tensor.Tensor, ctx any, ar *tensor.Arena, par *tensor.P
 	return dx
 }
 
+// ReleaseCtx implements Layer.
+func (ReLU) ReleaseCtx(ctx any, ar *tensor.Arena) {
+	ar.Put(ctx.(*tensor.Tensor))
+}
+
 // Params implements Layer.
 func (ReLU) Params() []*Param { return nil }
 
@@ -96,6 +108,13 @@ func (l *Flatten) Backward(dy *tensor.Tensor, ctx any, ar *tensor.Arena, par *te
 		l.ctxFree = append(l.ctxFree, ctx)
 	}
 	return dx
+}
+
+// ReleaseCtx implements Layer.
+func (l *Flatten) ReleaseCtx(ctx any, ar *tensor.Arena) {
+	if ar != nil {
+		l.ctxFree = append(l.ctxFree, ctx)
+	}
 }
 
 // Params implements Layer.
@@ -147,6 +166,13 @@ func (m *MaxPool2D) Backward(dy *tensor.Tensor, ctx any, ar *tensor.Arena, par *
 	return dx
 }
 
+// ReleaseCtx implements Layer.
+func (m *MaxPool2D) ReleaseCtx(ctx any, ar *tensor.Arena) {
+	if ar != nil {
+		m.ctxFree = append(m.ctxFree, ctx.(*maxPoolCtx))
+	}
+}
+
 // Params implements Layer.
 func (m *MaxPool2D) Params() []*Param { return nil }
 
@@ -183,6 +209,13 @@ func (l *GlobalAvgPool) Backward(dy *tensor.Tensor, ctx any, ar *tensor.Arena, p
 	return dx
 }
 
+// ReleaseCtx implements Layer.
+func (l *GlobalAvgPool) ReleaseCtx(ctx any, ar *tensor.Arena) {
+	if ar != nil {
+		l.ctxFree = append(l.ctxFree, ctx)
+	}
+}
+
 // Params implements Layer.
 func (*GlobalAvgPool) Params() []*Param { return nil }
 
@@ -201,6 +234,9 @@ func (Identity) Forward(x *tensor.Tensor, _ *tensor.Arena, par *tensor.Parallel)
 func (Identity) Backward(dy *tensor.Tensor, _ any, _ *tensor.Arena, par *tensor.Parallel) *tensor.Tensor {
 	return dy
 }
+
+// ReleaseCtx implements Layer.
+func (Identity) ReleaseCtx(any, *tensor.Arena) {}
 
 // Params implements Layer.
 func (Identity) Params() []*Param { return nil }

@@ -145,6 +145,16 @@ func (g *GroupNorm) Backward(dy *tensor.Tensor, ctx any, ar *tensor.Arena, par *
 	return dx
 }
 
+// ReleaseCtx implements Layer.
+func (g *GroupNorm) ReleaseCtx(ctx any, ar *tensor.Arena) {
+	cc := ctx.(*groupNormCtx)
+	ar.Put(cc.xhat)
+	if ar != nil {
+		cc.xhat = nil
+		g.ctxFree = append(g.ctxFree, cc)
+	}
+}
+
 // Params implements Layer.
 func (g *GroupNorm) Params() []*Param { return []*Param{g.Gamma, g.Beta} }
 
@@ -244,6 +254,16 @@ func (l *LayerNorm) Backward(dy *tensor.Tensor, ctx any, ar *tensor.Arena, par *
 		l.ctxFree = append(l.ctxFree, cc)
 	}
 	return dx
+}
+
+// ReleaseCtx implements Layer.
+func (l *LayerNorm) ReleaseCtx(ctx any, ar *tensor.Arena) {
+	cc := ctx.(*layerNormCtx)
+	ar.Put(cc.xhat)
+	if ar != nil {
+		cc.xhat = nil
+		l.ctxFree = append(l.ctxFree, cc)
+	}
 }
 
 // Params implements Layer.
@@ -379,6 +399,16 @@ func (b *BatchNorm2D) Backward(dy *tensor.Tensor, ctx any, ar *tensor.Arena, par
 		b.ctxFree = append(b.ctxFree, cc)
 	}
 	return dx
+}
+
+// ReleaseCtx implements Layer.
+func (b *BatchNorm2D) ReleaseCtx(ctx any, ar *tensor.Arena) {
+	cc := ctx.(*batchNormCtx)
+	ar.Put(cc.xhat)
+	if ar != nil {
+		cc.xhat = nil
+		b.ctxFree = append(b.ctxFree, cc)
+	}
 }
 
 // Params implements Layer.

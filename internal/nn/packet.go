@@ -37,10 +37,17 @@ func (p *Packet) clone() *Packet {
 // packet moves out (the input Packet struct may be reused as the output),
 // and context buffers are recycled into ar at Backward. With ar == nil
 // nothing is reused and the input packet is never mutated.
+// ReleaseCtx mirrors Layer.ReleaseCtx at stage granularity: it recycles a
+// Forward context without running Backward, so forward-only pipelines (the
+// inference engine) release per-sample state as soon as the next stage has
+// consumed the packet. Skip activations pushed onto the packet are NOT part
+// of the context — they travel with the packet and are consumed by the
+// matching AddSkip stage downstream.
 type Stage interface {
 	Name() string
 	Forward(p *Packet, ar *tensor.Arena, par *tensor.Parallel) (*Packet, any)
 	Backward(dp *Packet, ctx any, ar *tensor.Arena, par *tensor.Parallel) *Packet
+	ReleaseCtx(ctx any, ar *tensor.Arena)
 	Params() []*Param
 }
 
@@ -105,6 +112,20 @@ func (s *LayerStage) Backward(dp *Packet, ctx any, ar *tensor.Arena, par *tensor
 	dq := dp.clone()
 	dq.X = dx
 	return dq
+}
+
+// ReleaseCtx implements Stage.
+func (s *LayerStage) ReleaseCtx(ctx any, ar *tensor.Arena) {
+	ctxs := ctx.([]any)
+	for i, l := range s.Layers {
+		l.ReleaseCtx(ctxs[i], ar)
+	}
+	if ar != nil {
+		for i := range ctxs {
+			ctxs[i] = nil
+		}
+		s.ctxsFree = append(s.ctxsFree, ctx)
+	}
 }
 
 // Params implements Stage.
@@ -240,6 +261,14 @@ func (s *PushSkip) Backward(dp *Packet, ctx any, ar *tensor.Arena, par *tensor.P
 	return dq
 }
 
+// ReleaseCtx implements Stage. The pushed skip tensor lives on the packet,
+// not in the context, so only the pooled shape box is recycled here.
+func (s *PushSkip) ReleaseCtx(ctx any, ar *tensor.Arena) {
+	if ar != nil {
+		s.ctxFree = append(s.ctxFree, ctx)
+	}
+}
+
 // Params implements Stage.
 func (s *PushSkip) Params() []*Param { return nil }
 
@@ -291,6 +320,9 @@ func (s *AddSkip) Backward(dp *Packet, _ any, ar *tensor.Arena, par *tensor.Para
 	dq.Skips = append(dq.Skips, dp.X)
 	return dq
 }
+
+// ReleaseCtx implements Stage.
+func (s *AddSkip) ReleaseCtx(any, *tensor.Arena) {}
 
 // Params implements Stage.
 func (s *AddSkip) Params() []*Param { return nil }
@@ -346,6 +378,20 @@ func (f *FusedStage) Backward(dp *Packet, ctx any, ar *tensor.Arena, par *tensor
 		f.ctxsFree = append(f.ctxsFree, ctx)
 	}
 	return dp
+}
+
+// ReleaseCtx implements Stage.
+func (f *FusedStage) ReleaseCtx(ctx any, ar *tensor.Arena) {
+	ctxs := ctx.([]any)
+	for i, s := range f.Stages {
+		s.ReleaseCtx(ctxs[i], ar)
+	}
+	if ar != nil {
+		for i := range ctxs {
+			ctxs[i] = nil
+		}
+		f.ctxsFree = append(f.ctxsFree, ctx)
+	}
 }
 
 // Params implements Stage.

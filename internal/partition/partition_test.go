@@ -214,6 +214,11 @@ func (c *countingStage) Backward(dp *nn.Packet, ctx any, ar *tensor.Arena, par *
 	return c.inner.Backward(dp, ctx, ar, par)
 }
 
+func (c *countingStage) ReleaseCtx(ctx any, ar *tensor.Arena) {
+	c.outstanding--
+	c.inner.ReleaseCtx(ctx, ar)
+}
+
 // TestEstimateCostsReleasesContexts is the regression test for the probe
 // leak: EstimateCosts used to drop every Forward context on the floor,
 // leaving one sample permanently in flight per stage. The Layer/Stage
