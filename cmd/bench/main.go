@@ -6,10 +6,13 @@
 //
 // writes BENCH_kernels.json (tensor-kernel microbenchmarks: reference
 // scalar vs blocked vs blocked+workers) and BENCH_engines.json (streaming
-// samples/sec per engine at the machine's worker budget). Passing -prev
-// with an earlier BENCH_engines.json carries its "current" block forward as
-// "previous", recording a before/after pair. The schema is documented in
-// DESIGN.md §9.
+// samples/sec per engine at the machine's worker budget, including _busidle
+// rows that guard the metrics-bus overhead with no subscribers attached).
+// Passing -prev with an earlier BENCH_engines.json carries its "current"
+// block forward as "previous", recording a before/after pair. The schema is
+// documented in DESIGN.md §9. Every run also extends LINEAGE_bench.json, a
+// content-addressed provenance graph linking the environment config to each
+// artifact written (DESIGN.md §13).
 package main
 
 import (
@@ -26,6 +29,8 @@ import (
 	"repro/internal/data"
 	"repro/internal/models"
 	"repro/internal/nn"
+	"repro/internal/obs"
+	"repro/internal/obs/lineage"
 	syncpol "repro/internal/sync"
 	"repro/internal/tensor"
 )
@@ -190,18 +195,36 @@ func fill(t *tensor.Tensor, seed int64) {
 
 // engineBenches streams samples through each PB engine on the RN20-mini
 // pipeline with the machine's cores as worker budget — the same workload as
-// BenchmarkEngine_* in internal/core.
+// BenchmarkEngine_* in internal/core. The _busidle rows repeat seq and async
+// with a metrics bus attached but no subscribers: the overhead guard for the
+// emit fast path (DESIGN.md §13), read against their plain counterparts.
 func engineBenches() []Result {
 	var out []Result
-	for _, kind := range []string{"seq", "lockstep", "async"} {
-		kind := kind
-		record(&out, "Engine_"+kind, runtime.GOMAXPROCS(0), func(bb *testing.B) {
+	specs := []struct {
+		kind    string
+		busIdle bool
+	}{
+		{"seq", false}, {"lockstep", false}, {"async", false},
+		{"seq", true}, {"async", true},
+	}
+	for _, spec := range specs {
+		spec := spec
+		name := "Engine_" + spec.kind
+		if spec.busIdle {
+			name += "_busidle"
+		}
+		record(&out, name, runtime.GOMAXPROCS(0), func(bb *testing.B) {
 			imgs := data.CIFAR10Like(8, 64, 0, 1)
 			train, _ := data.GenerateImages(imgs)
 			net := models.ResNet(models.MiniResNet(20, 4, 8, 10, 1))
 			cfg := core.ScaledConfig(0.05, 0.9, 32, 1)
 			cfg.Workers = runtime.GOMAXPROCS(0)
-			eng, err := core.NewEngine(kind, net, cfg)
+			if spec.busIdle {
+				bus := obs.NewBus()
+				defer bus.Close()
+				cfg.Obs = bus
+			}
+			eng, err := core.NewEngine(spec.kind, net, cfg)
 			if err != nil {
 				panic(err)
 			}
@@ -327,6 +350,40 @@ func loadPrev(path string) *File {
 	return &f
 }
 
+// recordLineage extends LINEAGE_bench.json next to the artifacts: a config
+// node for this invocation's environment, and one content-addressed artifact
+// node per BENCH file written, so benchmark outputs join the same provenance
+// graph that training and serve runs record (DESIGN.md §13).
+func recordLineage(outDir, note string, artifacts []string) error {
+	path := filepath.Join(outDir, "LINEAGE_bench.json")
+	g, err := lineage.Load(path)
+	if err != nil {
+		return err
+	}
+	attrs := map[string]string{
+		"goos":       runtime.GOOS,
+		"goarch":     runtime.GOARCH,
+		"go_version": runtime.Version(),
+		"gomaxprocs": fmt.Sprintf("%d", runtime.GOMAXPROCS(0)),
+	}
+	if note != "" {
+		attrs["note"] = note
+	}
+	cfgID := g.Add(lineage.KindConfig, "bench", attrs)
+	for _, a := range artifacts {
+		h, err := lineage.FileHash(a)
+		if err != nil {
+			return err
+		}
+		g.Add(lineage.KindArtifact, filepath.Base(a), map[string]string{"sha256": h}, cfgID)
+	}
+	if err := g.Write(path); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
 func main() {
 	out := flag.String("out", ".", "directory for BENCH_kernels.json / BENCH_engines.json / BENCH_cluster.json")
 	prev := flag.String("prev", "", "earlier BENCH_engines.json whose results become the new file's previous block")
@@ -335,20 +392,31 @@ func main() {
 	kernelsOnly := flag.Bool("kernels-only", false, "skip the engine and cluster benchmarks")
 	flag.Parse()
 
+	var artifacts []string
+	write := func(name string, f *File) {
+		path := filepath.Join(*out, name)
+		writeFile(path, f)
+		artifacts = append(artifacts, path)
+	}
+
 	kf := newFile(*note)
 	kf.Current = kernelBenches()
-	writeFile(filepath.Join(*out, "BENCH_kernels.json"), kf)
+	write("BENCH_kernels.json", kf)
 
-	if *kernelsOnly {
-		return
+	if !*kernelsOnly {
+		ef := newFile(*note)
+		ef.Current = engineBenches()
+		ef.Previous = loadPrev(*prev)
+		write("BENCH_engines.json", ef)
+
+		cf := newFile(*note)
+		cf.Current = clusterBenches()
+		cf.Previous = loadPrev(*prevCluster)
+		write("BENCH_cluster.json", cf)
 	}
-	ef := newFile(*note)
-	ef.Current = engineBenches()
-	ef.Previous = loadPrev(*prev)
-	writeFile(filepath.Join(*out, "BENCH_engines.json"), ef)
 
-	cf := newFile(*note)
-	cf.Current = clusterBenches()
-	cf.Previous = loadPrev(*prevCluster)
-	writeFile(filepath.Join(*out, "BENCH_cluster.json"), cf)
+	if err := recordLineage(*out, *note, artifacts); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: lineage: %v\n", err)
+		os.Exit(1)
+	}
 }

@@ -11,12 +11,16 @@
 //	pbtrain -model rn20 -method pb -engine async   # free-running pipeline
 //	pbtrain -model rn20 -checkpoint rn20.ckpt      # save a resumable snapshot
 //	pbtrain -model rn20 -resume rn20.ckpt          # continue from it
+//	pbtrain -model rn20 -obs :9090                 # live /metrics + /events
+//	pbtrain -model rn20 -lineage LINEAGE_run.json  # record run provenance
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"slices"
 	"strings"
@@ -25,6 +29,7 @@ import (
 	"repro/internal/data"
 	"repro/internal/models"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/optim"
 	"repro/internal/partition"
 	syncpol "repro/internal/sync"
@@ -76,6 +81,8 @@ func main() {
 	syncName := flag.String("sync", "none", "cluster weight-sync policy: none | avg-every-<k> | sync-grad (needs -replicas)")
 	ckpt := flag.String("checkpoint", "", "save a resumable pipeline snapshot to this file after the final epoch")
 	resume := flag.String("resume", "", "resume weights/optimizer/schedule from this snapshot before training")
+	obsAddr := flag.String("obs", "", "serve live observability (GET /metrics, GET /events) on this address while training")
+	linPath := flag.String("lineage", "", "record run lineage (config → checkpoints → run) to this JSON file")
 	flag.Parse()
 
 	// Validate every selector up front: an unknown model, method or engine
@@ -216,6 +223,27 @@ func main() {
 			train.OnCheckpoint(func(e train.CheckpointEvent) {
 				fmt.Printf("saved checkpoint to %s\n", e.Path)
 			}))
+	}
+	if *linPath != "" {
+		opts = append(opts, train.WithLineage(*linPath))
+	}
+	if *obsAddr != "" {
+		// Observability sidecar: bind first so a bad address fails loudly
+		// before training starts, then serve /metrics and /events for the
+		// run's lifetime. The bus outlives Fit so late scrapes still see the
+		// final drain summary.
+		bus := obs.NewBus()
+		defer bus.Close()
+		agg := obs.NewAggregator(bus)
+		defer agg.Close()
+		ln, err := net.Listen("tcp", *obsAddr)
+		if err != nil {
+			fail("-obs %s: %v", *obsAddr, err)
+		}
+		defer ln.Close()
+		fmt.Printf("observability on http://%s (GET /metrics, GET /events)\n", ln.Addr())
+		go func() { _ = http.Serve(ln, obs.Handler(bus, agg)) }()
+		opts = append(opts, train.WithObserver(bus))
 	}
 
 	tr := train.New(build, opts...)

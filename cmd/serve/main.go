@@ -18,6 +18,12 @@
 //	-window 2ms         per-request batching deadline budget
 //	-queue 64           admission queue capacity
 //	-seed 1             builder seed (initial weights until a swap)
+//	-lineage path       record serve lineage (checkpoint → serve run) to this
+//	                    JSON file; joins the training run's graph when they
+//	                    share the checkpoint file
+//
+// The handler also exposes GET /metrics (bus aggregator snapshot) and GET
+// /events (live SSE stream): engine and admission events share one bus.
 package main
 
 import (
@@ -28,11 +34,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
 	"repro/internal/models"
 	"repro/internal/nn"
+	"repro/internal/obs"
+	"repro/internal/obs/lineage"
 	"repro/internal/serve"
 	"repro/train"
 )
@@ -77,30 +86,77 @@ func main() {
 	window := flag.Duration("window", 2*time.Millisecond, "batching deadline budget")
 	queue := flag.Int("queue", 64, "admission queue capacity")
 	seed := flag.Int64("seed", 1, "builder seed")
+	linPath := flag.String("lineage", "", "record serve lineage to this JSON file")
 	flag.Parse()
 
-	if err := run(*addr, *model, *ckpt, *inferKind, *replicas, *kernelWorkers, *batch, *window, *queue, *seed); err != nil {
+	if err := run(*addr, *model, *ckpt, *inferKind, *linPath, *replicas, *kernelWorkers, *batch, *window, *queue, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "serve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, model, ckpt, inferKind string, replicas, kernelWorkers, batch int, window time.Duration, queue int, seed int64) error {
+// recordLineage extends the lineage graph at linPath with this serve run:
+// the loaded checkpoint's content-addressed node (joining an existing node
+// if a training run already minted one for the same bytes) and a serve run
+// node pointing at it.
+func recordLineage(linPath, ckpt, model, addr string) error {
+	g, err := lineage.Load(linPath)
+	if err != nil {
+		return err
+	}
+	var parents []string
+	if ckpt != "" {
+		h, err := lineage.FileHash(ckpt)
+		if err != nil {
+			return err
+		}
+		// Reuse the training run's checkpoint node when the graph holds one
+		// for these bytes; otherwise mint a parentless one.
+		ckptID := ""
+		for _, n := range g.Nodes {
+			if n.Kind == lineage.KindCheckpoint && n.Attrs["sha256"] == h {
+				ckptID = n.ID
+				break
+			}
+		}
+		if ckptID == "" {
+			ckptID = g.Add(lineage.KindCheckpoint, filepath.Base(ckpt), map[string]string{"sha256": h})
+		}
+		parents = append(parents, ckptID)
+	}
+	g.Add(lineage.KindRun, "serve", map[string]string{"model": model, "addr": addr}, parents...)
+	return g.Write(linPath)
+}
+
+func run(addr, model, ckpt, inferKind, linPath string, replicas, kernelWorkers, batch int, window time.Duration, queue int, seed int64) error {
 	spec, err := modelFor(model)
 	if err != nil {
 		return err
 	}
+	// One bus for the whole process: the inference engine's per-stage events
+	// and the admission tier's batching/latency events interleave on the
+	// stream /metrics and /events serve.
+	bus := obs.NewBus()
+	defer bus.Close()
 	backend, err := train.NewServer(spec.build, train.ServerConfig{
 		Engine:        inferKind,
 		Replicas:      replicas,
 		KernelWorkers: kernelWorkers,
 		Seed:          seed,
 		Checkpoint:    ckpt,
+		Obs:           bus,
 	})
 	if err != nil {
 		return err
 	}
 	defer backend.Close()
+
+	if linPath != "" {
+		if err := recordLineage(linPath, ckpt, model, addr); err != nil {
+			return fmt.Errorf("lineage: %w", err)
+		}
+		fmt.Printf("serve: lineage recorded to %s\n", linPath)
+	}
 
 	srv, err := serve.New(serve.Config{
 		Backend:     backend,
@@ -108,6 +164,7 @@ func run(addr, model, ckpt, inferKind string, replicas, kernelWorkers, batch int
 		MaxBatch:    batch,
 		BatchWindow: window,
 		QueueCap:    queue,
+		Bus:         bus,
 	})
 	if err != nil {
 		return err

@@ -26,8 +26,10 @@ var goroutineFiles = map[[2]string]bool{
 	{"internal/core", "async.go"}:      true, // async engine stage loops
 	{"internal/core", "cluster.go"}:    true, // per-replica round dispatch
 	{"internal/core", "infer.go"}:      true, // inference pipeline stage loops
+	{"internal/obs", "bus.go"}:         true, // metrics-bus pump (fan-out loop)
 	{"internal/serve", "server.go"}:    true, // admission batcher loop
 	{"cmd/serve", "main.go"}:           true, // HTTP listener + signal wait
+	{"cmd/pbtrain", "main.go"}:         true, // -obs observability HTTP listener
 	{"cmd/loadgen", "main.go"}:         true, // load-generator client workers
 }
 

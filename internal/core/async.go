@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/optim"
 	"repro/internal/tensor"
 )
@@ -62,6 +63,17 @@ type asyncStage struct {
 	// busyNs accumulates time spent inside Forward/Backward/update, for the
 	// measured utilization.
 	busyNs int64
+}
+
+// emitObs publishes the stage's cumulative busy time and current forward
+// queue depth onto the bus. Called only from the stage's own goroutine
+// (single-producer ring); a nil producer discards.
+func (st *asyncStage) emitObs() {
+	if st.obs == nil {
+		return
+	}
+	st.obs.Emit(obs.Event{Kind: obs.KindStageBusy, Stage: st.idx, Count: st.busyNs})
+	st.obs.Emit(obs.Event{Kind: obs.KindQueueDepth, Stage: st.idx, Count: int64(len(st.fwdIn))})
 }
 
 // AsyncPBTrainer is the free-running concurrent engine for fine-grained
@@ -129,6 +141,8 @@ type AsyncPBTrainer struct {
 	running bool
 	started time.Time
 	wallNs  int64
+	// obsDrv is the driver-side producer for Config.Obs (nil without a bus).
+	obsDrv *obs.Producer
 }
 
 // NewAsyncPBTrainer builds the engine around the same per-stage state as
@@ -173,6 +187,9 @@ func NewAsyncPBTrainer(net *nn.Network, cfg Config, mode AsyncMode) *AsyncPBTrai
 	// becomes per-stage kernel workers, front-loaded onto the early stages,
 	// whose kernels dominate the uneven per-stage FLOPs (workers.go).
 	t.pars = attachPerStageKernelWorkers(inner.stages, cfg.Workers)
+	// Per-stage producers were attached by newPBTrainer; the driver emits
+	// through its own ring.
+	t.obsDrv = driverProducer(cfg.Obs)
 	for i := range t.stages {
 		t.wg.Add(1)
 		if mode == ModeLockstep {
@@ -332,7 +349,9 @@ func (t *AsyncPBTrainer) Submit(ctx context.Context, x *tensor.Tensor, label int
 				t.lastPush = t.step
 				t.step++
 			}
-			return t.harvest(rs), nil
+			rs = t.harvest(rs)
+			t.emitDriver(rs)
+			return rs, nil
 		case r := <-t.resCh:
 			// Harvesting while blocked keeps the last stage from wedging on
 			// a full result queue.
@@ -403,7 +422,19 @@ func (t *AsyncPBTrainer) Drain(ctx context.Context) ([]*Result, error) {
 		t.wallNs += time.Since(t.started).Nanoseconds() //lint:allow(determinism) wall-clock accounting for Stats.Utilization only
 		t.running = false
 	}
+	t.emitDriver(rs)
+	emitDrainSummary(t.obsDrv, t.Stats())
 	return rs, nil
+}
+
+// emitDriver publishes the driver-side view — harvested completions and the
+// engine-level queue depth — after a Submit or Drain.
+func (t *AsyncPBTrainer) emitDriver(rs []*Result) {
+	if t.obsDrv == nil {
+		return
+	}
+	emitResults(t.obsDrv, int(t.completed.Load()), rs)
+	t.obsDrv.Emit(obs.Event{Kind: obs.KindQueueDepth, Stage: -1, Count: int64(t.Outstanding())})
 }
 
 // Close terminates the stage goroutines. Idempotent; in-flight samples are
@@ -573,7 +604,8 @@ func (t *AsyncPBTrainer) freeForward(i int, in *inflight) bool {
 	out := st.runForward(in, t.Cfg.Mitigation, horizon, form)
 	if !last {
 		st.busyNs += time.Since(t0).Nanoseconds() //lint:allow(determinism) busy-time accounting only
-		in.packet = out                           // reuse the inflight wrapper for the next hop
+		st.emitObs()
+		in.packet = out // reuse the inflight wrapper for the next hop
 		select {
 		case t.stages[i+1].fwdIn <- in:
 			return true
@@ -583,6 +615,7 @@ func (t *AsyncPBTrainer) freeForward(i int, in *inflight) bool {
 	}
 	res, dx := t.lossBackward(i, in, out, t.freeLR(i))
 	st.busyNs += time.Since(t0).Nanoseconds() //lint:allow(determinism) busy-time accounting only
+	st.emitObs()
 	// The result must be published before the gradient is released
 	// upstream: completion (stage 0's update) happens-after the gradient
 	// hops, so a Drain that observes completion is then guaranteed to find
@@ -612,6 +645,7 @@ func (t *AsyncPBTrainer) freeBackward(i int, g *nn.Packet) bool {
 	t0 := time.Now() //lint:allow(determinism) busy-time accounting for Stats.Utilization; never feeds the training math
 	dx := st.runBackward(g, t.Cfg.Mitigation, bwdHorizonFor(t.Cfg.Mitigation, i), t.freeLR(i))
 	st.busyNs += time.Since(t0).Nanoseconds() //lint:allow(determinism) busy-time accounting only
+	st.emitObs()
 	if i == 0 {
 		t.retireInput(st, dx)
 		t.complete()
@@ -679,6 +713,7 @@ func (t *AsyncPBTrainer) workerLock(i int) {
 			// makes a post-Drain Stats read race-free: trailing empty drain
 			// rounds may still be in flight then.
 			st.busyNs += time.Since(t0).Nanoseconds() //lint:allow(determinism) busy-time accounting only
+			st.emitObs()
 		}
 		if !last {
 			select {

@@ -7,6 +7,7 @@ import (
 	"repro/internal/data"
 	"repro/internal/models"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	syncpol "repro/internal/sync"
 )
 
@@ -74,8 +75,11 @@ func BenchmarkSGDBatch(b *testing.B) {
 // 31-stage RN20-mini pipeline and reports training throughput and the
 // engine's utilization measure (DESIGN.md §4 / engine table). The async
 // engine must beat the barrier engines on samples/sec while keeping its
-// observed staleness within D_s per stage.
-func benchEngine(b *testing.B, kind string) {
+// observed staleness within D_s per stage. busIdle attaches a metrics bus
+// with no subscribers — the emit fast path (nil check + one atomic load) —
+// so the _BusIdle rows pin the bus-enabled-but-unwatched overhead at ~zero
+// against their plain counterparts.
+func benchEngine(b *testing.B, kind string, busIdle bool) {
 	b.Helper()
 	imgs := data.CIFAR10Like(8, 64, 0, 1)
 	train, _ := data.GenerateImages(imgs)
@@ -84,6 +88,11 @@ func benchEngine(b *testing.B, kind string) {
 	// Budget the machine's cores; the engine splits them between stage
 	// concurrency and intra-kernel workers (results are unaffected).
 	cfg.Workers = runtime.GOMAXPROCS(0)
+	if busIdle {
+		bus := obs.NewBus()
+		defer bus.Close()
+		cfg.Obs = bus
+	}
 	eng, err := NewEngine(kind, net, cfg)
 	if err != nil {
 		b.Fatal(err)
@@ -113,9 +122,11 @@ func benchEngine(b *testing.B, kind string) {
 	b.ReportMetric(eng.Stats().Utilization, "utilization")
 }
 
-func BenchmarkEngine_Seq(b *testing.B)      { benchEngine(b, "seq") }
-func BenchmarkEngine_Lockstep(b *testing.B) { benchEngine(b, "lockstep") }
-func BenchmarkEngine_Async(b *testing.B)    { benchEngine(b, "async") }
+func BenchmarkEngine_Seq(b *testing.B)          { benchEngine(b, "seq", false) }
+func BenchmarkEngine_Lockstep(b *testing.B)     { benchEngine(b, "lockstep", false) }
+func BenchmarkEngine_Async(b *testing.B)        { benchEngine(b, "async", false) }
+func BenchmarkEngine_SeqBusIdle(b *testing.B)   { benchEngine(b, "seq", true) }
+func BenchmarkEngine_AsyncBusIdle(b *testing.B) { benchEngine(b, "async", true) }
 
 // benchCluster streams b.N samples through a replicated-pipeline cluster on
 // the RN20-mini workload at a fixed total kernel-worker budget, isolating

@@ -6,6 +6,7 @@ import (
 	stdsync "sync"
 
 	"repro/internal/nn"
+	obspkg "repro/internal/obs"
 	"repro/internal/optim"
 	syncpol "repro/internal/sync"
 	"repro/internal/tensor"
@@ -112,6 +113,13 @@ type Cluster struct {
 	reducer  *gradReducer
 	stepped  []steppedEngine
 	roundBuf []pendingSample
+
+	// obs is the cluster's driver-side producer for Config.Obs. The cluster
+	// emits at the driver level only (released results, global queue depth,
+	// sync clock, drain summary); the replica engines are built with Obs
+	// stripped, since their per-stage emits would interleave R replicas'
+	// stage indices onto one stream indistinguishably.
+	obs *obspkg.Producer
 }
 
 // NewCluster builds a cluster over the given replica networks. The networks
@@ -145,10 +153,12 @@ func NewCluster(nets []*nn.Network, cfg Config, cc ClusterConfig) (*Cluster, err
 		ids:     make([][]int, r),
 		pending: map[int]*Result{},
 	}
+	c.obs = driverProducer(cfg.Obs)
 	shares := replicaShares(cfg.Workers, r)
 	for i, net := range nets {
 		rcfg := cfg
 		rcfg.Workers = shares[i]
+		rcfg.Obs = nil // cluster emits driver-level only (see Cluster.obs)
 		eng, err := NewEngine(cc.Engine, net, rcfg)
 		if err != nil {
 			c.Close()
@@ -375,7 +385,18 @@ func (c *Cluster) Submit(ctx context.Context, x *tensor.Tensor, label int) ([]*R
 		}
 		c.runSync()
 	}
+	c.emitDriver(out)
 	return out, nil
+}
+
+// emitDriver publishes the cluster's driver-side view — released results and
+// the global in-flight count — after a Submit or Drain.
+func (c *Cluster) emitDriver(rs []*Result) {
+	if c.obs == nil {
+		return
+	}
+	emitResults(c.obs, c.nextOut, rs)
+	c.obs.Emit(obspkg.Event{Kind: obspkg.KindQueueDepth, Stage: -1, Count: int64(c.submitted - c.nextOut)})
 }
 
 // runSync executes the policy's sync on the quiesced replicas and advances
@@ -386,6 +407,7 @@ func (c *Cluster) runSync() {
 	c.policy.Sync(c.views)
 	c.syncs++
 	c.lastSync = c.submitted
+	c.obs.Emit(obspkg.Event{Kind: obspkg.KindSyncClock, Stage: -1, Count: int64(c.syncs)})
 	if c.reducer != nil {
 		c.reducer.realign()
 	}
@@ -422,6 +444,8 @@ func (c *Cluster) Drain(ctx context.Context) ([]*Result, error) {
 	if len(c.engines) > 1 && c.policy.SyncOnDrain() && c.submitted > c.lastSync {
 		c.runSync()
 	}
+	c.emitDriver(out)
+	emitDrainSummary(c.obs, c.Stats())
 	return out, nil
 }
 

@@ -19,6 +19,7 @@
 package core
 
 import (
+	"repro/internal/obs"
 	"repro/internal/optim"
 	"repro/internal/sched"
 )
@@ -153,6 +154,12 @@ type Config struct {
 	// stages (see kernelShares). 0 or 1 disables intra-kernel parallelism.
 	// Results are bit-identical at every setting (DESIGN.md §9).
 	Workers int
+	// Obs, when non-nil, is the metrics bus the engine emits observability
+	// events onto (queue depth, staleness, busy time, completions, drain
+	// summaries — see internal/obs and DESIGN.md §13). Events never feed the
+	// training math: a bus-enabled run is bit-identical to a bus-disabled
+	// one. Nil disables emission at the cost of one pointer check per site.
+	Obs *obs.Bus
 }
 
 // ScaledConfig builds a Config from reference hyperparameters tuned at

@@ -171,8 +171,10 @@ func (t *PBTrainer) Submit(ctx context.Context, x *tensor.Tensor, label int) ([]
 	}
 	t.Push(x, label)
 	if r := t.Step(); r != nil {
+		t.emitDriver([]*Result{r})
 		return []*Result{r}, nil
 	}
+	t.emitDriver(nil)
 	return nil, nil
 }
 
@@ -187,8 +189,10 @@ func (t *ParallelPBTrainer) Submit(ctx context.Context, x *tensor.Tensor, label 
 	}
 	t.Push(x, label)
 	if r := t.Step(); r != nil {
+		t.inner.emitDriver([]*Result{r})
 		return []*Result{r}, nil
 	}
+	t.inner.emitDriver(nil)
 	return nil, nil
 }
 

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/tensor"
 )
 
@@ -105,6 +106,10 @@ type InferConfig struct {
 	// Unpooled disables arena pooling (the allocate-everything reference
 	// path, bit-identical to the pooled one).
 	Unpooled bool
+	// Obs, when non-nil, is the metrics bus the engine emits per-stage queue
+	// depth and lifetime completion events onto (internal/obs). Emission
+	// never blocks a stage and never changes the computed logits.
+	Obs *obs.Bus
 }
 
 // InferEngine is the forward-only serving surface. Infer runs one input
@@ -284,6 +289,9 @@ type inferStage struct {
 	arena  *tensor.Arena
 	par    *tensor.Parallel
 	in     chan *inferFlight
+	// obs, when non-nil, receives the stage's queue-depth events (and, at
+	// the last stage, completion events). Stage-goroutine only.
+	obs *obs.Producer
 }
 
 // install points the stage's parameters at the flight's weight view. The
@@ -342,6 +350,9 @@ func newPipelinedInfer(nets []*nn.Network, cfg InferConfig) (InferEngine, error)
 				par:    par,
 				in:     make(chan *inferFlight, 1),
 			}
+			if cfg.Obs != nil {
+				stages[i].obs = cfg.Obs.Producer(obsRingCap)
+			}
 		}
 		e.reps = append(e.reps, stages)
 	}
@@ -364,6 +375,9 @@ func (e *pipelinedInfer) stageLoop(stages []*inferStage, st *inferStage) {
 	for {
 		select {
 		case f := <-st.in:
+			if st.obs != nil {
+				st.obs.Emit(obs.Event{Kind: obs.KindQueueDepth, Stage: st.idx, Count: int64(len(st.in))})
+			}
 			st.install(f.ws)
 			out := forwardInfer(st.stage, f.p, st.arena, st.par)
 			if !last {
@@ -388,7 +402,10 @@ func (e *pipelinedInfer) stageLoop(stages []*inferStage, st *inferStage) {
 			logits.CopyFrom(out.X)
 			st.arena.Put(out.X)
 			f.ws.release()
-			e.completed.Add(1)
+			done := e.completed.Add(1)
+			if st.obs != nil {
+				st.obs.Emit(obs.Event{Kind: obs.KindInferDone, Stage: -1, Count: done})
+			}
 			select {
 			case f.out <- logits:
 			case <-e.stop:
@@ -478,6 +495,9 @@ type directReplica struct {
 	cur    *WeightSet
 	arena  *tensor.Arena
 	par    *tensor.Parallel
+	// obs receives completion events; emits happen under mu, so the replica
+	// lock serializes the single-producer ring.
+	obs *obs.Producer
 }
 
 // directInfer runs the whole forward pass inline in the calling goroutine,
@@ -503,6 +523,9 @@ func newDirectInfer(nets []*nn.Network, cfg InferConfig) (InferEngine, error) {
 		rep := &directReplica{par: tensor.NewParallel(repBudget[r])}
 		if !cfg.Unpooled {
 			rep.arena = tensor.NewArena()
+		}
+		if cfg.Obs != nil {
+			rep.obs = cfg.Obs.Producer(obsRingCap)
 		}
 		if rep.par != nil {
 			e.pars = append(e.pars, rep.par)
@@ -549,7 +572,10 @@ func (e *directInfer) Infer(ctx context.Context, x *tensor.Tensor) (*tensor.Tens
 	logits := tensor.New(p.X.Shape...)
 	logits.CopyFrom(p.X)
 	rep.arena.Put(p.X)
-	e.completed.Add(1)
+	done := e.completed.Add(1)
+	if rep.obs != nil {
+		rep.obs.Emit(obs.Event{Kind: obs.KindInferDone, Stage: -1, Count: done})
+	}
 	return logits, nil
 }
 

@@ -198,6 +198,8 @@ func (t *ParallelPBTrainer) Drain(ctx context.Context) ([]*Result, error) {
 			rs = append(rs, r)
 		}
 	}
+	t.inner.emitDriver(rs)
+	emitDrainSummary(t.inner.obs, t.Stats())
 	return rs, nil
 }
 

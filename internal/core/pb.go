@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/data"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/optim"
 	"repro/internal/tensor"
 )
@@ -55,6 +56,11 @@ type stageState struct {
 	// labelBuf backs the one-element label slice of the loss head, so the
 	// hot path does not allocate it per sample.
 	labelBuf [1]int
+	// obs, when non-nil, receives the stage's observability events (per-
+	// backward staleness; the async engine adds busy time and queue depth).
+	// Only the goroutine driving the stage emits — one producer ring per
+	// stage keeps the bus topology single-producer (obs.go).
+	obs *obs.Producer
 }
 
 // inflight is a sample travelling forward through the pipeline.
@@ -95,6 +101,8 @@ type PBTrainer struct {
 	// inputFree holds input tensors retired by stage 0's backward pass, for
 	// reuse by InputBuffer (bounded by maxFreeInputs).
 	inputFree []*tensor.Tensor
+	// obs is the driver-side producer for Config.Obs (nil without a bus).
+	obs *obs.Producer
 	// pars are the kernel-worker groups this trainer owns (closed by Close).
 	pars []*tensor.Parallel
 }
@@ -142,6 +150,8 @@ func newPBTrainer(net *nn.Network, cfg Config) *PBTrainer {
 	}
 	t.fwd = make([]*inflight, s)
 	t.bwd = make([]*nn.Packet, s)
+	attachStageObs(cfg.Obs, t.stages)
+	t.obs = driverProducer(cfg.Obs)
 	return t
 }
 
@@ -362,7 +372,19 @@ func (t *PBTrainer) Drain(ctx context.Context) ([]*Result, error) {
 			rs = append(rs, r)
 		}
 	}
+	t.emitDriver(rs)
+	emitDrainSummary(t.obs, t.Stats())
 	return rs, nil
+}
+
+// emitDriver publishes the driver-side view — completed samples and the
+// engine-level queue depth — after a Submit or Drain.
+func (t *PBTrainer) emitDriver(rs []*Result) {
+	if t.obs == nil {
+		return
+	}
+	emitResults(t.obs, t.completed, rs)
+	t.obs.Emit(obs.Event{Kind: obs.KindQueueDepth, Stage: -1, Count: int64(t.outstanding)})
 }
 
 // TrainEpoch feeds one epoch of the dataset (in the order of perm, or

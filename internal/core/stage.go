@@ -2,6 +2,7 @@ package core
 
 import (
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/optim"
 	"repro/internal/tensor"
 )
@@ -130,8 +131,12 @@ func (st *stageState) runBackward(dIn *nn.Packet, mit Mitigation, bwdHorizon, lr
 	default:
 		dx = st.stage.Backward(dIn, c.ctx, st.arena, st.par)
 	}
-	if gap := st.updates - c.fwdUpdates; gap > st.maxObserved {
+	gap := st.updates - c.fwdUpdates
+	if gap > st.maxObserved {
 		st.maxObserved = gap
+	}
+	if st.obs != nil {
+		st.obs.Emit(obs.Event{Kind: obs.KindStaleness, Stage: st.idx, Count: int64(gap)})
 	}
 	if len(st.params) > 0 {
 		if g := mit.GradShrink; g > 0 {

@@ -7,12 +7,14 @@ import (
 	"math"
 	"math/rand"
 	"runtime"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/metrics"
 	"repro/internal/models"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/optim"
 	"repro/train"
 )
@@ -155,6 +157,12 @@ func Table6LWPForms(w io.Writer, s Scale) {
 // training throughput, each engine's utilization measure, and the maximum
 // observed gradient staleness against the analytic bound D_0 = 2(S−1) —
 // the async engine must stay within the bound (DESIGN.md, engine table).
+//
+// All numbers come off the metrics bus: each run attaches an obs.Aggregator
+// (train.WithObserver), streams live mid-epoch rate lines from windowed
+// snapshots, and fills the final table from the engine's drain summary —
+// the same KindEngineStats/KindStaleness stream /metrics serves, so the CLI
+// exercises the one accounting path instead of duplicating it.
 func EngineThroughput(w io.Writer, s Scale) {
 	trainSet, _, _ := cifarTask(s, 111)
 	build := func(seed int64) *nn.Network {
@@ -165,23 +173,54 @@ func EngineThroughput(w io.Writer, s Scale) {
 		stages, trainSet.Len(), s.Name, runtime.GOMAXPROCS(0))
 	tab := metrics.NewTable("ENGINE", "SAMPLES/SEC", "UTILIZATION", "MAX STALENESS", "BOUND 2(S-1)")
 	for _, kind := range []string{"seq", "lockstep", "async"} {
+		bus := obs.NewBus()
+		agg := obs.NewAggregator(bus)
+		// Live feed: a windowed-rate line at each quarter of the epoch.
+		quarter := trainSet.Len() / 4
 		// Budget the machine's cores to each engine; the split between stage
 		// concurrency and intra-kernel workers is the engine's (DESIGN.md §9)
 		// and never changes results.
 		tr := train.New(build, train.WithEngine(kind), train.WithSeed(1),
-			train.WithKernelWorkers(runtime.GOMAXPROCS(0)))
-		rep, err := tr.Fit(context.Background(), trainSet, nil, 1)
-		if err != nil {
+			train.WithKernelWorkers(runtime.GOMAXPROCS(0)),
+			train.WithObserver(bus),
+			train.OnSampleDone(func(ev train.SampleEvent) {
+				if quarter > 0 && ev.Completed%quarter == 0 {
+					snap := agg.Snapshot()
+					fmt.Fprintf(w, "  %-14s %5d samples  %8.0f samples/sec (live)\n",
+						kind, ev.Completed, snap.SamplesPerSec)
+				}
+			}))
+		if _, err := tr.Fit(context.Background(), trainSet, nil, 1); err != nil {
 			panic(err)
 		}
+		snap := waitEngineStats(agg)
+		var maxStale int64
+		if n := len(snap.StalenessHist); n > 0 {
+			maxStale = snap.StalenessHist[n-1].Delay
+		}
 		tab.AddRow(kind,
-			fmt.Sprintf("%.0f", float64(rep.Samples)/rep.TrainDuration.Seconds()),
-			fmt.Sprintf("%.3f", rep.Utilization),
-			rep.MaxStaleness, 2*(stages-1))
+			fmt.Sprintf("%.0f", snap.LifetimeRate),
+			fmt.Sprintf("%.3f", snap.EngineUtilization),
+			maxStale, 2*(stages-1))
 		tr.Close()
+		agg.Close()
+		bus.Close()
 	}
 	fmt.Fprint(w, tab.String())
 	fmt.Fprintln(w, "utilization: seq/lockstep count full worker-steps; async measures busy time on the available cores")
+}
+
+// waitEngineStats polls the aggregator until the engine's drain summary has
+// fanned out (the bus pump is asynchronous), bounded at five seconds.
+func waitEngineStats(agg *obs.Aggregator) obs.Snapshot {
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		snap := agg.Snapshot()
+		if snap.HasEngineStats || time.Now().After(deadline) {
+			return snap
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
 }
 
 // ClusterThroughput measures the replicated-pipeline scaling axis: RN20-mini

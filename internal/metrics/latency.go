@@ -103,7 +103,9 @@ func quantileSorted(s []float64, q float64) float64 {
 }
 
 // Gauge is a concurrency-safe level indicator (e.g. admission-queue depth)
-// that tracks the current level and the high-water mark.
+// that tracks the current level and the high-water mark. Invariants: the
+// level never goes negative (Dec clamps at zero) and Max is monotone
+// non-decreasing over the gauge's lifetime.
 type Gauge struct {
 	mu       sync.Mutex
 	cur, max int64
@@ -119,10 +121,14 @@ func (g *Gauge) Inc() {
 	g.mu.Unlock()
 }
 
-// Dec lowers the level by one.
+// Dec lowers the level by one, clamping at zero: an unmatched Dec (e.g.
+// double-accounting on a shutdown path) must not drive the level negative
+// and corrupt depth reporting.
 func (g *Gauge) Dec() {
 	g.mu.Lock()
-	g.cur--
+	if g.cur > 0 {
+		g.cur--
+	}
 	g.mu.Unlock()
 }
 

@@ -66,6 +66,72 @@ func TestGauge(t *testing.T) {
 	}
 }
 
+// TestGaugeDecClampsAtZero: an unmatched Dec must not drive the level
+// negative, and a later Inc counts up from zero, not from a hidden deficit.
+func TestGaugeDecClampsAtZero(t *testing.T) {
+	var g Gauge
+	g.Dec()
+	g.Dec()
+	if got := g.Level(); got != 0 {
+		t.Fatalf("Level after unmatched Dec = %d, want 0", got)
+	}
+	g.Inc()
+	if got, max := g.Level(), g.Max(); got != 1 || max != 1 {
+		t.Fatalf("Level/Max after clamp+Inc = %d/%d, want 1/1", got, max)
+	}
+}
+
+// TestGaugeMaxMonotonicConcurrent samples Max while goroutines interleave
+// Inc/Dec: every sample must be no smaller than the previous one, and the
+// final Max must cover the final level and stay within the total Inc count.
+func TestGaugeMaxMonotonicConcurrent(t *testing.T) {
+	var g Gauge
+	const workers, iters = 8, 200
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	var monotone sync.WaitGroup
+	monotone.Add(1)
+	go func() {
+		defer monotone.Done()
+		prev := int64(0)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			m := g.Max()
+			if m < prev {
+				t.Errorf("Max went backwards: %d after %d", m, prev)
+				return
+			}
+			prev = m
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				g.Inc()
+				if i%3 == 0 {
+					g.Dec() // occasional unmatched Dec exercises the clamp
+				}
+				g.Dec()
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	monotone.Wait()
+	if lvl := g.Level(); lvl != 0 {
+		t.Fatalf("final Level = %d, want 0", lvl)
+	}
+	if m := g.Max(); m < 1 || m > workers*iters {
+		t.Fatalf("final Max = %d, want within [1, %d]", m, workers*iters)
+	}
+}
+
 // TestInstrumentsConcurrent exercises both instruments from many goroutines;
 // the -race run is the assertion.
 func TestInstrumentsConcurrent(t *testing.T) {

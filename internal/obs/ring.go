@@ -1,0 +1,118 @@
+package obs
+
+import "sync/atomic"
+
+// ring is a bounded lock-free queue of Events with drop-oldest overflow:
+// when a push finds the ring full it discards the oldest queued event (and
+// counts it) instead of blocking or failing. The implementation is the
+// classic bounded queue with a per-slot sequence number (Vyukov): every slot
+// access is ordered by an atomic load/store of the slot's seq, so readers
+// never observe a half-written Event and the race detector sees a clean
+// happens-before edge on every hand-off.
+//
+// The intended topology is one ring per instrument with the owning goroutine
+// as the only pusher (single-producer) and the bus pump as consumer — but
+// both ends are CAS-based, so the occasional second participant (a pusher
+// evicting the oldest slot races the pump popping it) is safe.
+type ring struct {
+	mask  uint64
+	slots []slot
+	head  atomic.Uint64 // next push position
+	tail  atomic.Uint64 // next pop position
+	drops atomic.Uint64 // events evicted by drop-oldest
+}
+
+type slot struct {
+	seq atomic.Uint64
+	ev  Event
+}
+
+// newRing builds a ring with capacity rounded up to a power of two
+// (minimum 64, maximum 65536).
+func newRing(capacity int) *ring {
+	n := 64
+	for n < capacity && n < 1<<16 {
+		n <<= 1
+	}
+	r := &ring{mask: uint64(n - 1), slots: make([]slot, n)}
+	for i := range r.slots {
+		r.slots[i].seq.Store(uint64(i))
+	}
+	return r
+}
+
+// push enqueues ev, evicting the oldest event when the ring is full. It
+// never blocks: every loop iteration either claims a slot, evicts a slot, or
+// observes another participant's progress.
+func (r *ring) push(ev Event) {
+	for {
+		pos := r.head.Load()
+		s := &r.slots[pos&r.mask]
+		seq := s.seq.Load()
+		switch {
+		case seq == pos:
+			// Free slot at this lap: claim it, write, publish.
+			if r.head.CompareAndSwap(pos, pos+1) {
+				s.ev = ev
+				s.seq.Store(pos + 1)
+				return
+			}
+		case seq < pos:
+			// Full: the slot still holds last lap's event. Evict the oldest
+			// and retry; the pop may race the consumer, in which case the
+			// consumer's progress freed a slot anyway.
+			if _, ok := r.pop(); ok {
+				r.drops.Add(1)
+			}
+		default:
+			// Another pusher claimed this position and has not finished
+			// writing; reload head and move on.
+		}
+	}
+}
+
+// pop dequeues the oldest event, reporting false on an empty ring.
+func (r *ring) pop() (Event, bool) {
+	for {
+		pos := r.tail.Load()
+		s := &r.slots[pos&r.mask]
+		seq := s.seq.Load()
+		switch {
+		case seq == pos+1:
+			// Published and unconsumed: claim it.
+			if r.tail.CompareAndSwap(pos, pos+1) {
+				ev := s.ev
+				// Free the slot for the pusher's next lap.
+				s.seq.Store(pos + uint64(len(r.slots)))
+				return ev, true
+			}
+		case seq <= pos:
+			// Slot not yet published at this lap — but only report empty if
+			// tail was current (a racing pop may have advanced it).
+			if r.tail.Load() == pos {
+				return Event{}, false
+			}
+		default:
+			// seq > pos+1: a racing pop consumed this lap already; reload.
+		}
+	}
+}
+
+// dropped returns the number of events evicted by drop-oldest pushes.
+func (r *ring) dropped() uint64 { return r.drops.Load() }
+
+// size reports the queued-event count. It is a racy snapshot under a
+// concurrent pusher (which is fine: the pump uses it only to plan a sweep,
+// and anything pushed after the snapshot is picked up by the next pass).
+func (r *ring) size() uint64 {
+	h := r.head.Load()
+	t := r.tail.Load()
+	if h <= t {
+		return 0
+	}
+	n := h - t
+	if max := uint64(len(r.slots)); n > max {
+		n = max
+	}
+	return n
+}

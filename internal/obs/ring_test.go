@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestRingFIFO(t *testing.T) {
+	r := newRing(64)
+	for i := 0; i < 10; i++ {
+		r.push(Event{Kind: KindSampleDone, Count: int64(i)})
+	}
+	for i := 0; i < 10; i++ {
+		ev, ok := r.pop()
+		if !ok {
+			t.Fatalf("pop %d: empty", i)
+		}
+		if ev.Count != int64(i) {
+			t.Fatalf("pop %d: got %d", i, ev.Count)
+		}
+	}
+	if _, ok := r.pop(); ok {
+		t.Fatal("pop on empty ring succeeded")
+	}
+}
+
+func TestRingDropOldest(t *testing.T) {
+	r := newRing(64) // rounds to capacity 64
+	n := len(r.slots)
+	for i := 0; i < n+17; i++ {
+		r.push(Event{Count: int64(i)})
+	}
+	if got := r.dropped(); got != 17 {
+		t.Fatalf("dropped = %d, want 17", got)
+	}
+	// The survivors are the newest n, still in order.
+	ev, ok := r.pop()
+	if !ok || ev.Count != 17 {
+		t.Fatalf("first survivor = %v (ok=%v), want Count=17", ev, ok)
+	}
+	seen := 1
+	for {
+		ev, ok := r.pop()
+		if !ok {
+			break
+		}
+		seen++
+		if ev.Count <= 16 {
+			t.Fatalf("dropped event %d resurfaced", ev.Count)
+		}
+	}
+	if seen != n {
+		t.Fatalf("retained %d events, want %d", seen, n)
+	}
+}
+
+func TestRingCapacityRounding(t *testing.T) {
+	for _, tc := range []struct{ ask, want int }{{0, 64}, {1, 64}, {64, 64}, {65, 128}, {1000, 1024}, {1 << 20, 1 << 16}} {
+		if got := len(newRing(tc.ask).slots); got != tc.want {
+			t.Fatalf("newRing(%d) capacity = %d, want %d", tc.ask, got, tc.want)
+		}
+	}
+}
+
+// TestRingConcurrent exercises the producer/consumer hand-off (and the
+// drop-oldest eviction path, which makes the producer a second consumer)
+// under the race detector.
+func TestRingConcurrent(t *testing.T) {
+	r := newRing(64)
+	const n = 20000
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			r.push(Event{Kind: KindSampleDone, Count: int64(i)})
+		}
+	}()
+	var got int
+	var last int64 = -1
+	for got+int(r.dropped()) < n {
+		ev, ok := r.pop()
+		if !ok {
+			continue
+		}
+		got++
+		if ev.Count <= last {
+			t.Fatalf("out-of-order delivery: %d after %d", ev.Count, last)
+		}
+		last = ev.Count
+	}
+	wg.Wait()
+	// Drain the tail: events pushed after the loop's last accounting read.
+	for {
+		ev, ok := r.pop()
+		if !ok {
+			break
+		}
+		got++
+		if ev.Count <= last {
+			t.Fatalf("out-of-order delivery: %d after %d", ev.Count, last)
+		}
+		last = ev.Count
+	}
+	if total := got + int(r.dropped()); total != n {
+		t.Fatalf("received %d + dropped %d != pushed %d", got, r.dropped(), n)
+	}
+}

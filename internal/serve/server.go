@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/tensor"
 	"repro/train"
 )
@@ -47,6 +48,13 @@ type Config struct {
 	// QueueCap bounds the admission queue; requests beyond it are rejected
 	// with 503 rather than queued without bound (default 64).
 	QueueCap int
+	// Bus is the metrics bus the batcher publishes to (micro-batch sizes,
+	// request latencies, admission-queue depth) and the /metrics + /events
+	// endpoints read from. Nil makes the server create and own one — pass a
+	// bus explicitly to share it with the inference engine
+	// (train.ServerConfig.Obs) so engine and admission events interleave on
+	// one stream.
+	Bus *obs.Bus
 }
 
 // request is one admitted sample waiting for a batch slot.
@@ -102,6 +110,16 @@ type Server struct {
 	admitMu  sync.RWMutex
 	draining bool
 	shutOnce sync.Once
+	busOnce  sync.Once
+
+	// bus carries the serving tier's event stream; ownBus records whether
+	// Shutdown must close it. agg folds the stream for /metrics; prod is the
+	// batcher goroutine's producer (single-producer ring — only batchLoop
+	// and its callees emit through it).
+	bus    *obs.Bus
+	ownBus bool
+	agg    *obs.Aggregator
+	prod   *obs.Producer
 
 	latency      *metrics.LatencyHist
 	depth        *metrics.Gauge
@@ -145,6 +163,13 @@ func New(cfg Config) (*Server, error) {
 		latency: metrics.NewLatencyHist(0),
 		depth:   &metrics.Gauge{},
 	}
+	s.bus = cfg.Bus
+	if s.bus == nil {
+		s.bus = obs.NewBus()
+		s.ownBus = true
+	}
+	s.agg = obs.NewAggregator(s.bus)
+	s.prod = s.bus.Producer(512)
 	s.wg.Add(1)
 	go s.batchLoop()
 	return s, nil
@@ -235,6 +260,8 @@ func (s *Server) fill(batch *[]*request) {
 func (s *Server) runBatch(batch []*request) {
 	s.batches.Add(1)
 	s.batchSamples.Add(int64(len(batch)))
+	s.prod.Emit(obs.Event{Kind: obs.KindBatch, Stage: -1, Count: int64(len(batch))})
+	s.prod.Emit(obs.Event{Kind: obs.KindQueueDepth, Stage: -1, Count: s.depth.Level()})
 	shape := append([]int{len(batch)}, s.cfg.InputShape...)
 	x := tensor.New(shape...)
 	for i, r := range batch {
@@ -264,7 +291,9 @@ func (s *Server) answer(r *request, resp response) {
 		return
 	}
 	s.completed.Add(1)
-	s.latency.Observe(float64(time.Since(r.enq)) / float64(time.Millisecond))
+	ms := float64(time.Since(r.enq)) / float64(time.Millisecond)
+	s.latency.Observe(ms)
+	s.prod.Emit(obs.Event{Kind: obs.KindLatency, Stage: -1, Value: ms})
 }
 
 // softmax returns the row's probabilities and argmax, numerically stable.
@@ -301,6 +330,15 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	done := make(chan struct{})
 	go func() {
 		s.wg.Wait()
+		// The batcher has exited, so the producer is quiet: detach the
+		// aggregator and, when this server owns the bus, close it (ending
+		// any live /events streams). A shared bus stays open for its owner.
+		s.busOnce.Do(func() {
+			s.agg.Close()
+			if s.ownBus {
+				s.bus.Close()
+			}
+		})
 		close(done)
 	}()
 	select {
@@ -338,12 +376,20 @@ func (s *Server) Stats() Stats {
 //	POST /v1/predict  {"input":[...]}   → {"class":c,"probs":[...]}
 //	POST /v1/swap     {"path":"ck.gob"} → {"swapped":true,...}
 //	GET  /v1/stats                      → Stats
-//	GET  /healthz                       → ok
+//	GET  /metrics     → obs.Snapshot (the bus aggregator's fold)
+//	GET  /events      → live SSE stream of the bus (drop-oldest per client)
+//	GET  /healthz     → ok
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/predict", s.handlePredict)
 	mux.HandleFunc("/v1/swap", s.handleSwap)
 	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		obs.ServeMetrics(w, req, s.agg)
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, req *http.Request) {
+		obs.ServeEvents(w, req, s.bus)
+	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})

@@ -1,0 +1,94 @@
+package train
+
+import (
+	"fmt"
+	"path/filepath"
+
+	"repro/internal/obs/lineage"
+)
+
+// Lineage recording (WithLineage): the Trainer keeps an in-memory lineage
+// graph — one content-addressed config node for its hyperparameters, a
+// checkpoint node per WithCheckpointEvery save (keyed by the snapshot file's
+// sha256, so any other run touching the same file mints the same node), and
+// one run node per Fit — and merges it into the file at the configured path
+// after every checkpoint save and every completed Fit. Merging through
+// lineage.Load keeps graphs from concurrent or earlier runs intact.
+
+// initLineage builds the graph and config node on first Fit.
+func (t *Trainer) initLineage() {
+	if t.o.lineagePath == "" || t.lin != nil {
+		return
+	}
+	attrs := map[string]string{
+		"engine":       t.o.engine,
+		"seed":         fmt.Sprint(t.o.seed),
+		"eta":          fmt.Sprint(t.o.ref.Eta),
+		"momentum":     fmt.Sprint(t.o.ref.Momentum),
+		"weight_decay": fmt.Sprint(t.o.ref.WeightDecay),
+		"ref_batch":    fmt.Sprint(t.o.ref.RefBatch),
+		"mitigation":   t.o.mit.Name(),
+	}
+	if t.o.sgdm {
+		attrs["engine"] = "sgdm"
+	}
+	if t.o.workers > 0 {
+		attrs["workers"] = fmt.Sprint(t.o.workers)
+	}
+	if t.o.kernelWorkers > 0 {
+		attrs["kernel_workers"] = fmt.Sprint(t.o.kernelWorkers)
+	}
+	if t.o.replicas > 0 {
+		attrs["replicas"] = fmt.Sprint(t.o.replicas)
+		attrs["sync"] = t.o.policy.Name()
+	}
+	t.lin = lineage.New()
+	t.linConfig = t.lin.Add(lineage.KindConfig, "trainer-config", attrs)
+}
+
+// recordLineageCheckpoint adds a checkpoint node for the snapshot just
+// written to path and flushes the graph. The node's identity is the file's
+// content hash, so a serving run loading the same snapshot joins this graph.
+func (t *Trainer) recordLineageCheckpoint(path string) error {
+	if t.lin == nil {
+		return nil
+	}
+	h, err := lineage.FileHash(path)
+	if err != nil {
+		return fmt.Errorf("train: lineage: %w", err)
+	}
+	id := t.lin.Add(lineage.KindCheckpoint, filepath.Base(path),
+		map[string]string{"sha256": h}, t.linConfig)
+	t.linCkpts = append(t.linCkpts, id)
+	return t.flushLineage()
+}
+
+// recordLineageRun adds the run node for one completed Fit (parents: config
+// plus every checkpoint saved so far) and flushes the graph.
+func (t *Trainer) recordLineageRun(rep Report) error {
+	if t.lin == nil {
+		return nil
+	}
+	attrs := map[string]string{
+		"epochs":  fmt.Sprint(t.epochs),
+		"samples": fmt.Sprint(t.completed),
+		"stages":  fmt.Sprint(rep.Stages),
+	}
+	parents := append([]string{t.linConfig}, t.linCkpts...)
+	t.lin.Add(lineage.KindRun, "fit", attrs, parents...)
+	return t.flushLineage()
+}
+
+// flushLineage merges the in-memory graph into the lineage file (load →
+// merge → atomic rewrite), preserving nodes minted by other runs.
+func (t *Trainer) flushLineage() error {
+	g, err := lineage.Load(t.o.lineagePath)
+	if err != nil {
+		return fmt.Errorf("train: lineage: %w", err)
+	}
+	g.Merge(t.lin)
+	if err := g.Write(t.o.lineagePath); err != nil {
+		return fmt.Errorf("train: lineage: %w", err)
+	}
+	return nil
+}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/data"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	syncpol "repro/internal/sync"
 )
@@ -42,6 +43,8 @@ type options struct {
 	sgdm          bool
 	aug           data.Augmenter
 	evalBatch     int
+	obsBus        *obs.Bus
+	lineagePath   string
 
 	onSample []func(SampleEvent)
 	onEpoch  []func(EpochEvent)
@@ -204,6 +207,35 @@ func WithSGDM() Option {
 // A nil augmenter is the same as not setting one.
 func WithAugment(aug data.Augmenter) Option {
 	return func(o *options) { o.aug = aug }
+}
+
+// WithObserver attaches a metrics bus (obs.NewBus) to the run: the engine
+// emits its per-stage queue depths, staleness observations, busy-time
+// accounting and drain summaries onto it, and the Trainer adds a KindEpoch
+// event after every epoch. The caller owns the bus — subscribe an
+// obs.Aggregator or mount obs.Handler for /metrics and /events, and Close it
+// after the Trainer. Observation is passive: a run with a bus attached is
+// bit-identical to one without (core.TestObsDoesNotPerturbTraining).
+func WithObserver(bus *obs.Bus) Option {
+	return func(o *options) { o.obsBus = bus }
+}
+
+// WithLineage records run lineage to the JSON graph at path
+// (obs/lineage.Graph; created on first write, merged into on later ones): a
+// content-addressed config node for this Trainer's hyperparameters, a
+// checkpoint node (keyed by the snapshot file's sha256) for every
+// WithCheckpointEvery save, and a run node per Fit linking config →
+// checkpoints. Graphs from separate runs sharing a checkpoint file join on
+// the identical checkpoint node, so a serving run's lineage can be traced
+// back to the training run that produced its weights.
+func WithLineage(path string) Option {
+	return func(o *options) {
+		if path == "" {
+			o.errs = append(o.errs, fmt.Errorf("train: lineage path is empty"))
+			return
+		}
+		o.lineagePath = path
+	}
 }
 
 // OnSampleDone registers a callback streaming every completed training

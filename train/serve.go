@@ -8,6 +8,7 @@ import (
 	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/tensor"
 )
 
@@ -38,6 +39,11 @@ type ServerConfig struct {
 	// Checkpoint, when non-empty, is loaded (any version v1–v3) before the
 	// server accepts requests.
 	Checkpoint string
+	// Obs, when non-nil, attaches the metrics bus to the inference engine:
+	// per-stage queue depths and lifetime completion counters stream onto it
+	// (see train.WithObserver for the training-side equivalent). The caller
+	// owns the bus.
+	Obs *obs.Bus
 }
 
 // Server is the forward-only serving facade over a Builder.
@@ -87,6 +93,7 @@ func NewServer(build Builder, cfg ServerConfig) (*Server, error) {
 	eng, err := core.NewInferEngine(cfg.Engine, nets, core.InferConfig{
 		Workers:  cfg.KernelWorkers,
 		Unpooled: cfg.Unpooled,
+		Obs:      cfg.Obs,
 	})
 	if err != nil {
 		return nil, err

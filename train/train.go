@@ -35,6 +35,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/nn"
+	"repro/internal/obs"
+	"repro/internal/obs/lineage"
 	"repro/internal/partition"
 	"repro/internal/sched"
 )
@@ -60,6 +62,17 @@ type Trainer struct {
 	// resume holds a snapshot loaded before the first Fit, applied once the
 	// engine exists.
 	resume *checkpoint.State
+
+	// obsDrv is the Trainer's own bus producer (KindEpoch events); nil
+	// without WithObserver. Emits happen only on the Fit goroutine, keeping
+	// the ring single-producer.
+	obsDrv *obs.Producer
+
+	// lineage state (WithLineage): the in-memory graph, its config node ID,
+	// and the checkpoint node IDs minted so far (see train/lineage.go).
+	lin       *lineage.Graph
+	linConfig string
+	linCkpts  []string
 
 	closed    bool
 	epochs    int // lifetime epochs completed
@@ -195,6 +208,7 @@ func (t *Trainer) ensureBuilt(trainSet *data.Dataset, epochs int) error {
 		cfg.Mitigation = t.o.mit
 		cfg.Unpooled = t.o.unpooled
 		cfg.Workers = t.o.kernelWorkers
+		cfg.Obs = t.o.obsBus
 		// Each replica sees ~1/R of the stream, so the default MultiStep
 		// decay is sized in per-replica updates.
 		perReplica := (n + t.o.replicas - 1) / t.o.replicas
@@ -212,6 +226,7 @@ func (t *Trainer) ensureBuilt(trainSet *data.Dataset, epochs int) error {
 		cfg.Mitigation = t.o.mit
 		cfg.Unpooled = t.o.unpooled
 		cfg.Workers = t.o.kernelWorkers
+		cfg.Obs = t.o.obsBus
 		cfg.Schedule = t.scheduleOr(cfg.LR, n*epochs)
 		eng, err := core.NewEngine(t.o.engine, net, cfg)
 		if err != nil {
@@ -221,6 +236,11 @@ func (t *Trainer) ensureBuilt(trainSet *data.Dataset, epochs int) error {
 	}
 	t.net = net
 	t.built = true
+	if t.o.obsBus != nil {
+		// Shallow ring: the Trainer emits only one KindEpoch per epoch.
+		t.obsDrv = t.o.obsBus.Producer(64)
+	}
+	t.initLineage()
 	if t.resume != nil {
 		st := t.resume
 		t.resume = nil
@@ -393,6 +413,9 @@ func (t *Trainer) Fit(ctx context.Context, trainSet, testSet *data.Dataset, epoc
 		t.epochs++
 		rep.Epochs++
 		rep.TrainLoss, rep.TrainAcc = trainLoss, trainAcc
+		if t.obsDrv != nil {
+			t.obsDrv.Emit(obs.Event{Kind: obs.KindEpoch, Stage: -1, Count: int64(t.epochs), Value: trainLoss})
+		}
 
 		valLoss, valAcc, hasVal := eval()
 		if hasVal {
@@ -417,6 +440,9 @@ func (t *Trainer) Fit(ctx context.Context, trainSet, testSet *data.Dataset, epoc
 			if err := t.Checkpoint(t.o.ckptPath); err != nil {
 				return rep, err
 			}
+			if err := t.recordLineageCheckpoint(t.o.ckptPath); err != nil {
+				return rep, err
+			}
 			for _, fn := range t.o.onCkpt {
 				fn(CheckpointEvent{Epoch: t.epochs, Path: t.o.ckptPath})
 			}
@@ -436,6 +462,9 @@ func (t *Trainer) Fit(ctx context.Context, trainSet, testSet *data.Dataset, epoc
 		rep.ObservedDelays = append([]int(nil), t.eng.ObservedDelays()...)
 		rep.Replicas = st.Replicas
 		rep.Syncs = st.Syncs
+	}
+	if err := t.recordLineageRun(rep); err != nil {
+		return rep, err
 	}
 	return rep, nil
 }
