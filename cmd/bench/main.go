@@ -16,15 +16,14 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"runtime"
 	"testing"
-	"time"
 
+	"repro/internal/benchfmt"
 	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/models"
@@ -35,48 +34,10 @@ import (
 	"repro/internal/tensor"
 )
 
-// Result is one benchmark record of the BENCH_*.json schema (v1).
-type Result struct {
-	Name          string  `json:"name"`
-	Workers       int     `json:"workers"`
-	Replicas      int     `json:"replicas,omitempty"` // cluster benches only
-	Iters         int     `json:"iters"`
-	NsPerOp       float64 `json:"ns_per_op"`
-	AllocsPerOp   int64   `json:"allocs_per_op"`
-	BytesPerOp    int64   `json:"bytes_per_op"`
-	SamplesPerSec float64 `json:"samples_per_sec,omitempty"` // engines only
-}
-
-// File is the top-level BENCH_*.json schema (v1): environment, the run's
-// results, and optionally the previous run's results for a before/after.
-type File struct {
-	Schema     string    `json:"schema"`
-	GOOS       string    `json:"goos"`
-	GOARCH     string    `json:"goarch"`
-	GoVersion  string    `json:"go_version"`
-	GOMAXPROCS int       `json:"gomaxprocs"`
-	Generated  time.Time `json:"generated"`
-	Note       string    `json:"note,omitempty"`
-	Current    []Result  `json:"current"`
-	Previous   *File     `json:"previous,omitempty"`
-}
-
-func newFile(note string) *File {
-	return &File{
-		Schema:     "repro/bench/v1",
-		GOOS:       runtime.GOOS,
-		GOARCH:     runtime.GOARCH,
-		GoVersion:  runtime.Version(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Generated:  time.Now().UTC(),
-		Note:       note,
-	}
-}
-
 // record runs one benchmark body under testing.Benchmark and appends it.
-func record(out *[]Result, name string, workers int, body func(b *testing.B)) {
+func record(out *[]benchfmt.Result, name string, workers int, body func(b *testing.B)) {
 	r := testing.Benchmark(body)
-	res := Result{
+	res := benchfmt.Result{
 		Name:        name,
 		Workers:     workers,
 		Iters:       r.N,
@@ -98,8 +59,8 @@ func record(out *[]Result, name string, workers int, body func(b *testing.B)) {
 // kernelBenches measures the GEMM and conv kernels: the reference scalar
 // forms, the blocked serial forms (nil group), and the blocked forms on a
 // full-machine worker group.
-func kernelBenches() []Result {
-	var out []Result
+func kernelBenches() []benchfmt.Result {
+	var out []benchfmt.Result
 	par := tensor.NewParallel(runtime.GOMAXPROCS(0))
 	defer par.Close()
 	groups := []struct {
@@ -198,8 +159,8 @@ func fill(t *tensor.Tensor, seed int64) {
 // BenchmarkEngine_* in internal/core. The _busidle rows repeat seq and async
 // with a metrics bus attached but no subscribers: the overhead guard for the
 // emit fast path (DESIGN.md §13), read against their plain counterparts.
-func engineBenches() []Result {
-	var out []Result
+func engineBenches() []benchfmt.Result {
+	var out []benchfmt.Result
 	specs := []struct {
 		kind    string
 		busIdle bool
@@ -257,8 +218,8 @@ func engineBenches() []Result {
 // round-robin and split the same budget. Free-running async replicas under
 // the "none" and "avg-every-64" policies measure the throughput path;
 // sync-grad (stepped, barrier per update) measures the coordination cost.
-func clusterBenches() []Result {
-	var out []Result
+func clusterBenches() []benchfmt.Result {
+	var out []benchfmt.Result
 	budget := runtime.GOMAXPROCS(0)
 	specs := []struct {
 		r      int
@@ -319,35 +280,21 @@ func clusterBenches() []Result {
 	return out
 }
 
-func writeFile(path string, f *File) {
-	data, err := json.MarshalIndent(f, "", "  ")
-	if err != nil {
-		panic(err)
-	}
-	data = append(data, '\n')
-	if err := os.WriteFile(path, data, 0o644); err != nil {
+func writeFile(path string, f *benchfmt.File) {
+	if err := f.Write(path); err != nil {
 		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s\n", path)
 }
 
-func loadPrev(path string) *File {
-	if path == "" {
-		return nil
-	}
-	data, err := os.ReadFile(path)
+func loadPrev(path string) *benchfmt.File {
+	f, err := benchfmt.LoadPrevious(path)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bench: -prev %s: %v\n", path, err)
 		os.Exit(1)
 	}
-	var f File
-	if err := json.Unmarshal(data, &f); err != nil {
-		fmt.Fprintf(os.Stderr, "bench: -prev %s: %v\n", path, err)
-		os.Exit(1)
-	}
-	f.Previous = nil // keep one level of history, not a chain
-	return &f
+	return f
 }
 
 // recordLineage extends LINEAGE_bench.json next to the artifacts: a config
@@ -393,23 +340,23 @@ func main() {
 	flag.Parse()
 
 	var artifacts []string
-	write := func(name string, f *File) {
+	write := func(name string, f *benchfmt.File) {
 		path := filepath.Join(*out, name)
 		writeFile(path, f)
 		artifacts = append(artifacts, path)
 	}
 
-	kf := newFile(*note)
+	kf := benchfmt.New(*note)
 	kf.Current = kernelBenches()
 	write("BENCH_kernels.json", kf)
 
 	if !*kernelsOnly {
-		ef := newFile(*note)
+		ef := benchfmt.New(*note)
 		ef.Current = engineBenches()
 		ef.Previous = loadPrev(*prev)
 		write("BENCH_engines.json", ef)
 
-		cf := newFile(*note)
+		cf := benchfmt.New(*note)
 		cf.Current = clusterBenches()
 		cf.Previous = loadPrev(*prevCluster)
 		write("BENCH_cluster.json", cf)

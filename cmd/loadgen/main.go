@@ -25,6 +25,13 @@
 //	-out BENCH_serve.json  artifact path ("" = report only)
 //	-wait 10s              readiness wait on /healthz
 //	-seed 1                input-generator seed
+//	-retry 0               503-retry budget per request (see below)
+//
+// With -retry n, a request rejected with 503 is retried up to n times: the
+// client sleeps for the server's Retry-After header (the serving tier derives
+// it from its live queue depth) when present, and otherwise falls back to
+// capped exponential backoff (10ms·2^attempt, capped at 1s). Retried
+// latencies include the backoff — the client-observed cost of overload.
 package main
 
 import (
@@ -32,43 +39,18 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"net/http"
 	"os"
-	"runtime"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/benchfmt"
 )
-
-// benchResult mirrors cmd/bench's Result (schema repro/bench/v1), plus the
-// latency-quantile fields the benchschema analyzer validates.
-type benchResult struct {
-	Name          string  `json:"name"`
-	Workers       int     `json:"workers"`
-	Replicas      int     `json:"replicas,omitempty"`
-	Iters         int     `json:"iters"`
-	NsPerOp       float64 `json:"ns_per_op"`
-	AllocsPerOp   int64   `json:"allocs_per_op"`
-	BytesPerOp    int64   `json:"bytes_per_op"`
-	SamplesPerSec float64 `json:"samples_per_sec,omitempty"`
-	P50Ms         float64 `json:"p50_ms,omitempty"`
-	P99Ms         float64 `json:"p99_ms,omitempty"`
-}
-
-// benchFile mirrors cmd/bench's File.
-type benchFile struct {
-	Schema     string        `json:"schema"`
-	GOOS       string        `json:"goos"`
-	GOARCH     string        `json:"goarch"`
-	GoVersion  string        `json:"go_version"`
-	GOMAXPROCS int           `json:"gomaxprocs"`
-	Generated  time.Time     `json:"generated"`
-	Note       string        `json:"note,omitempty"`
-	Current    []benchResult `json:"current"`
-}
 
 // runStats aggregates one load run.
 type runStats struct {
@@ -112,9 +94,10 @@ func (r *runStats) meanNs() float64 {
 
 // client issues predict requests with pre-generated random inputs.
 type client struct {
-	url    string
-	bodies [][]byte
-	http   *http.Client
+	url     string
+	bodies  [][]byte
+	http    *http.Client
+	retries int // extra attempts after a 503 rejection
 }
 
 func newClient(addr, model string, seed int64) (*client, error) {
@@ -147,24 +130,53 @@ func newClient(addr, model string, seed int64) (*client, error) {
 	}, nil
 }
 
-// do issues one request and returns its latency.
+// do issues one request and returns its latency, retrying 503 rejections up
+// to c.retries times. Each retry waits for the server's Retry-After header
+// when the rejection carries one, else for capped exponential backoff; the
+// returned latency spans first attempt to final answer, so retried requests
+// report the client-observed cost of overload, backoff included.
 func (c *client) do(i int) (time.Duration, error) {
 	start := time.Now()
-	resp, err := c.http.Post(c.url, "application/json", bytes.NewReader(c.bodies[i%len(c.bodies)]))
-	if err != nil {
-		return 0, err
+	for attempt := 0; ; attempt++ {
+		resp, err := c.http.Post(c.url, "application/json", bytes.NewReader(c.bodies[i%len(c.bodies)]))
+		if err != nil {
+			return 0, err
+		}
+		if resp.StatusCode == http.StatusServiceUnavailable && attempt < c.retries {
+			after := resp.Header.Get("Retry-After")
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			time.Sleep(backoff(after, attempt))
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			return 0, fmt.Errorf("status %d", resp.StatusCode)
+		}
+		var out struct {
+			Class int `json:"class"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&out)
+		resp.Body.Close()
+		if err != nil {
+			return 0, err
+		}
+		return time.Since(start), nil
 	}
-	defer resp.Body.Close()
-	var out struct {
-		Class int `json:"class"`
+}
+
+// backoff picks the wait before a 503 retry: the server's Retry-After
+// seconds when present and sane, else 10ms·2^attempt capped at 1s.
+func backoff(retryAfter string, attempt int) time.Duration {
+	if secs, err := strconv.Atoi(strings.TrimSpace(retryAfter)); err == nil && secs > 0 {
+		return time.Duration(secs) * time.Second
 	}
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		return 0, err
+	d := 10 * time.Millisecond << attempt
+	if d > time.Second {
+		d = time.Second
 	}
-	if resp.StatusCode != http.StatusOK {
-		return 0, fmt.Errorf("status %d", resp.StatusCode)
-	}
-	return time.Since(start), nil
+	return d
 }
 
 // closedLoop runs n requests across conc workers, one outstanding each.
@@ -276,19 +288,25 @@ func main() {
 	out := flag.String("out", "BENCH_serve.json", "bench artifact path (empty = report only)")
 	wait := flag.Duration("wait", 10*time.Second, "readiness wait on /healthz")
 	seed := flag.Int64("seed", 1, "input-generator seed")
+	retry := flag.Int("retry", 0, "extra attempts after a 503 rejection (honors Retry-After, else capped exponential backoff)")
 	flag.Parse()
 
-	if err := run(*addr, *model, *sweep, *out, *n, *rate, *dur, *wait, *seed); err != nil {
+	if *retry < 0 {
+		fmt.Fprintln(os.Stderr, "loadgen: -retry must be ≥ 0")
+		os.Exit(1)
+	}
+	if err := run(*addr, *model, *sweep, *out, *n, *retry, *rate, *dur, *wait, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, model, sweep, out string, n int, rate float64, dur, wait time.Duration, seed int64) error {
+func run(addr, model, sweep, out string, n, retry int, rate float64, dur, wait time.Duration, seed int64) error {
 	c, err := newClient(addr, model, seed)
 	if err != nil {
 		return err
 	}
+	c.retries = retry
 	if err := waitReady(addr, wait); err != nil {
 		return err
 	}
@@ -302,7 +320,7 @@ func run(addr, model, sweep, out string, n int, rate float64, dur, wait time.Dur
 		concs = append(concs, v)
 	}
 
-	var results []benchResult
+	var results []benchfmt.Result
 	var failures int
 	saturation := 0.0
 	for _, conc := range concs {
@@ -311,7 +329,7 @@ func run(addr, model, sweep, out string, n int, rate float64, dur, wait time.Dur
 		if tp := st.throughput(); tp > saturation {
 			saturation = tp
 		}
-		r := benchResult{
+		r := benchfmt.Result{
 			Name:          fmt.Sprintf("serve/closed/c%d", conc),
 			Workers:       conc,
 			Iters:         st.completed,
@@ -325,7 +343,7 @@ func run(addr, model, sweep, out string, n int, rate float64, dur, wait time.Dur
 			r.Name, st.completed, st.failed, r.SamplesPerSec, r.P50Ms, r.P99Ms)
 	}
 	if saturation > 0 {
-		results = append(results, benchResult{
+		results = append(results, benchfmt.Result{
 			Name:          "serve/saturation",
 			Workers:       concs[len(concs)-1],
 			Iters:         n * len(concs),
@@ -338,7 +356,7 @@ func run(addr, model, sweep, out string, n int, rate float64, dur, wait time.Dur
 	if rate > 0 {
 		st := openLoop(c, rate, dur)
 		failures += st.failed
-		r := benchResult{
+		r := benchfmt.Result{
 			Name:          fmt.Sprintf("serve/open/r%d", int(rate)),
 			Workers:       1,
 			Iters:         st.completed,
@@ -353,21 +371,9 @@ func run(addr, model, sweep, out string, n int, rate float64, dur, wait time.Dur
 	}
 
 	if out != "" {
-		f := benchFile{
-			Schema:     "repro/bench/v1",
-			GOOS:       runtime.GOOS,
-			GOARCH:     runtime.GOARCH,
-			GoVersion:  runtime.Version(),
-			GOMAXPROCS: runtime.GOMAXPROCS(0),
-			Generated:  time.Now().UTC(),
-			Note:       fmt.Sprintf("cmd/loadgen against cmd/serve (model=%s, n=%d per point)", model, n),
-			Current:    results,
-		}
-		data, err := json.MarshalIndent(f, "", "  ")
-		if err != nil {
-			return err
-		}
-		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		f := benchfmt.New(fmt.Sprintf("cmd/loadgen against cmd/serve (model=%s, n=%d per point)", model, n))
+		f.Current = results
+		if err := f.Write(out); err != nil {
 			return err
 		}
 		fmt.Println("loadgen: wrote", out)

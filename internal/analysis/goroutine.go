@@ -31,6 +31,11 @@ var goroutineFiles = map[[2]string]bool{
 	{"cmd/serve", "main.go"}:           true, // HTTP listener + signal wait
 	{"cmd/pbtrain", "main.go"}:         true, // -obs observability HTTP listener
 	{"cmd/loadgen", "main.go"}:         true, // load-generator client workers
+	// internal/chaos is deliberately absent: the chaos scenario layer spawns
+	// ZERO goroutines. Schedule.Delay is a pure function evaluated on the
+	// engines' existing stage goroutines, and Runner drives the cluster from
+	// its caller's goroutine — fault injection adds no concurrency surface of
+	// its own (DESIGN.md §14). This analyzer enforces that.
 }
 
 func runGoroutineBudget(pass *Pass) {

@@ -1,0 +1,91 @@
+// Package benchfmt is the single definition of the repro/bench/v1 artifact
+// schema (DESIGN.md §9): the Result/File shapes that cmd/bench, cmd/loadgen
+// and the chaos experiment runner all write, and that the repolint
+// benchschema analyzer validates. The analyzer keeps its own mirror of these
+// shapes on purpose — a shared definition would let a schema drift pass its
+// own check — so changes here must land in analysis/benchschema.go too.
+package benchfmt
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+)
+
+// Schema is the artifact schema identifier every BENCH_*.json carries.
+const Schema = "repro/bench/v1"
+
+// Result is one benchmark record.
+type Result struct {
+	Name          string  `json:"name"`
+	Workers       int     `json:"workers"`
+	Replicas      int     `json:"replicas,omitempty"` // cluster/chaos rows only
+	Iters         int     `json:"iters"`
+	NsPerOp       float64 `json:"ns_per_op"`
+	AllocsPerOp   int64   `json:"allocs_per_op"`
+	BytesPerOp    int64   `json:"bytes_per_op"`
+	SamplesPerSec float64 `json:"samples_per_sec,omitempty"` // streaming rows only
+	P50Ms         float64 `json:"p50_ms,omitempty"`          // latency rows only
+	P99Ms         float64 `json:"p99_ms,omitempty"`
+}
+
+// File is the top-level BENCH_*.json shape: environment, the run's results,
+// and optionally the previous run's results for a before/after pair.
+type File struct {
+	Schema     string    `json:"schema"`
+	GOOS       string    `json:"goos"`
+	GOARCH     string    `json:"goarch"`
+	GoVersion  string    `json:"go_version"`
+	GOMAXPROCS int       `json:"gomaxprocs"`
+	Generated  time.Time `json:"generated"`
+	Note       string    `json:"note,omitempty"`
+	Current    []Result  `json:"current"`
+	Previous   *File     `json:"previous,omitempty"`
+}
+
+// New stamps a File with the current environment and UTC time.
+func New(note string) *File {
+	return &File{
+		Schema:     Schema,
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Generated:  time.Now().UTC(),
+		Note:       note,
+	}
+}
+
+// Write marshals the file (indented, trailing newline — the committed-artifact
+// convention) to path.
+func (f *File) Write(path string) error {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return fmt.Errorf("benchfmt: %w", err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("benchfmt: %w", err)
+	}
+	return nil
+}
+
+// LoadPrevious reads an earlier artifact for use as a File.Previous block,
+// truncating its own history so files keep one level of before/after, not a
+// chain. An empty path returns nil (no previous).
+func LoadPrevious(path string) (*File, error) {
+	if path == "" {
+		return nil, nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("benchfmt: %w", err)
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("benchfmt: %s: %w", path, err)
+	}
+	f.Previous = nil
+	return &f, nil
+}

@@ -454,6 +454,34 @@ func RestoreCluster(st *State, ct ClusterTrainer) error {
 	return nil
 }
 
+// ReplicaPipeline extracts replica i of a cluster snapshot as a standalone
+// single-pipeline snapshot (restorable with RestorePipeline): the replica's
+// weights, per-stage optimizer state and schedule position, with the cluster
+// envelope dropped. This is the elastic-downsize bridge — a replica leaving a
+// cluster carries its full training state, so a fresh smaller cluster (or a
+// bare engine) seeded from it continues exactly where that replica stood.
+// The returned State aliases st's buffers; restores only read them.
+func ReplicaPipeline(st *State, i int) (*State, error) {
+	if err := checkVersion(st.Version); err != nil {
+		return nil, err
+	}
+	cs := st.Cluster
+	if cs == nil {
+		return nil, fmt.Errorf("checkpoint: snapshot has no cluster state (version %d single-pipeline snapshot?)", st.Version)
+	}
+	if i < 0 || i >= len(cs.Replicas) {
+		return nil, fmt.Errorf("checkpoint: replica %d out of range [0,%d)", i, len(cs.Replicas))
+	}
+	rs := cs.Replicas[i]
+	return &State{
+		Version: st.Version,
+		Step:    rs.Step,
+		Weights: rs.Weights,
+		Stages:  rs.Stages,
+		Meta:    st.Meta,
+	}, nil
+}
+
 // Write encodes a State to w.
 func Write(w io.Writer, st *State) error {
 	return gob.NewEncoder(w).Encode(st)

@@ -127,6 +127,10 @@ type AsyncPBTrainer struct {
 	// Driver-local bookkeeping (single-goroutine).
 	submitted int
 	nextID    int
+	// admitDeferred counts Submits that had to wait for the pipeline to fall
+	// back under Cfg.AdmitBound before admitting (bounded-staleness
+	// admission; free mode only).
+	admitDeferred int
 	// step and lastPush drive the deterministic drain in lockstep mode:
 	// step counts tokens issued to stage 0 (≡ PBTrainer pipeline steps) and
 	// lastPush is the step of the most recent real sample. A sample pushed
@@ -334,14 +338,33 @@ func (t *AsyncPBTrainer) Submit(ctx context.Context, x *tensor.Tensor, label int
 		t.started = time.Now() //lint:allow(determinism) wall-clock start for measured utilization; never feeds the training math
 		t.running = true
 	}
-	in := &inflight{packet: nn.NewPacket(x), label: label, id: t.nextID}
-	t.nextID++
-	t.submitted++
 	var done <-chan struct{}
 	if ctx != nil {
 		done = ctx.Done()
 	}
 	var rs []*Result
+	if b := t.Cfg.AdmitBound; b > 0 && t.Mode == ModeFree && t.Outstanding() >= b {
+		// Bounded-staleness admission: a straggling pipeline has backed up to
+		// the caller's staleness bound, so stop admitting and harvest
+		// completions until it falls back under. The saturated depth is
+		// published so degradation is visible live on the bus. Lockstep mode
+		// is exempt: its pipeline only advances on driver tokens, so gating
+		// admission there would deadlock the drain.
+		t.admitDeferred++
+		t.emitDriver(nil)
+		for t.Outstanding() >= b {
+			select {
+			case r := <-t.resCh:
+				rs = append(rs, r)
+			case <-t.donePing:
+			case <-done:
+				return t.harvest(rs), ctx.Err()
+			}
+		}
+	}
+	in := &inflight{packet: nn.NewPacket(x), label: label, id: t.nextID}
+	t.nextID++
+	t.submitted++
 	for {
 		select {
 		case t.stages[0].fwdIn <- in:
@@ -462,9 +485,10 @@ func (t *AsyncPBTrainer) Close() {
 // valid with the pipeline quiesced.
 func (t *AsyncPBTrainer) Stats() Stats {
 	s := Stats{
-		Stages:    len(t.stages),
-		Submitted: t.submitted,
-		Completed: int(t.completed.Load()),
+		Stages:        len(t.stages),
+		Submitted:     t.submitted,
+		Completed:     int(t.completed.Load()),
+		AdmitDeferred: t.admitDeferred,
 	}
 	if t.Mode == ModeLockstep {
 		s.Steps = t.step
@@ -599,6 +623,9 @@ func (t *AsyncPBTrainer) workerFree(i int) {
 func (t *AsyncPBTrainer) freeForward(i int, in *inflight) bool {
 	st := t.stages[i]
 	last := i == len(t.stages)-1
+	// Injected stalls sit outside the busy window: a straggling stage reads
+	// as idle, lowering measured utilization, never inflating it.
+	st.stall(false)
 	t0 := time.Now() //lint:allow(determinism) busy-time accounting for Stats.Utilization; never feeds the training math
 	horizon, form := fwdHorizonFor(t.Cfg.Mitigation, len(t.stages), i, st.delay)
 	out := st.runForward(in, t.Cfg.Mitigation, horizon, form)
@@ -642,6 +669,7 @@ func (t *AsyncPBTrainer) freeForward(i int, in *inflight) bool {
 // upstream. Returns false when the engine is stopping.
 func (t *AsyncPBTrainer) freeBackward(i int, g *nn.Packet) bool {
 	st := t.stages[i]
+	st.stall(true)
 	t0 := time.Now() //lint:allow(determinism) busy-time accounting for Stats.Utilization; never feeds the training math
 	dx := st.runBackward(g, t.Cfg.Mitigation, bwdHorizonFor(t.Cfg.Mitigation, i), t.freeLR(i))
 	st.busyNs += time.Since(t0).Nanoseconds() //lint:allow(determinism) busy-time accounting only
@@ -689,6 +717,12 @@ func (t *AsyncPBTrainer) workerLock(i int) {
 		var res *Result
 		var dx *nn.Packet
 		didBwd := false
+		if in != nil {
+			st.stall(false)
+		}
+		if g != nil {
+			st.stall(true)
+		}
 		t0 := time.Now() //lint:allow(determinism) busy-time accounting for Stats.Utilization; never feeds the training math
 		if in != nil {
 			horizon, form := fwdHorizonFor(t.Cfg.Mitigation, s, i, st.delay)

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	stdsync "sync"
+	"time"
 
 	"repro/internal/nn"
 	obspkg "repro/internal/obs"
@@ -89,6 +90,13 @@ type pendingSample struct {
 type Cluster struct {
 	cfg    Config
 	policy syncpol.Policy
+	// engineName is the inner-engine selector, kept so elastic joins
+	// (AddReplica) build the same engine kind as the founders.
+	engineName string
+	// nextIdentity numbers replicas for fault injection: each replica's
+	// ChaosPoint.Replica is its join-order identity, stable across removals
+	// (slot indices shift when a replica leaves; identities never do).
+	nextIdentity int
 
 	nets    []*nn.Network
 	engines []replicaView
@@ -147,54 +155,112 @@ func NewCluster(nets []*nn.Network, cfg Config, cc ClusterConfig) (*Cluster, err
 	}
 
 	c := &Cluster{
-		cfg:     cfg,
-		policy:  policy,
-		nets:    nets,
-		ids:     make([][]int, r),
-		pending: map[int]*Result{},
+		cfg:        cfg,
+		policy:     policy,
+		engineName: cc.Engine,
+		nets:       nets,
+		ids:        make([][]int, r),
+		pending:    map[int]*Result{},
 	}
 	c.obs = driverProducer(cfg.Obs)
 	shares := replicaShares(cfg.Workers, r)
 	for i, net := range nets {
-		rcfg := cfg
-		rcfg.Workers = shares[i]
-		rcfg.Obs = nil // cluster emits driver-level only (see Cluster.obs)
-		eng, err := NewEngine(cc.Engine, net, rcfg)
+		rv, err := c.buildReplica(net, shares[i])
 		if err != nil {
 			c.Close()
 			return nil, err
 		}
-		rv, ok := eng.(replicaView)
-		if !ok {
-			eng.Close()
-			c.Close()
-			return nil, fmt.Errorf("core: engine %q cannot join a cluster (no stage-state access)", cc.Engine)
-		}
 		c.engines = append(c.engines, rv)
 		c.views = append(c.views, rv)
 	}
-	if policy.GradReduce() && r > 1 {
-		// With one replica the mean gradient is the gradient itself, so the
-		// reduction harness (and its stepped-engine requirement) only
-		// engages at R > 1 — Cluster(R=1) stays a transparent wrapper for
-		// every engine under every policy.
-		for _, e := range c.engines {
-			se, ok := e.(steppedEngine)
-			if !ok {
-				c.Close()
-				return nil, fmt.Errorf("core: policy %q averages per-update gradients and needs a stepped engine (seq|lockstep), not %q",
-					policy.Name(), cc.Engine)
-			}
-			c.stepped = append(c.stepped, se)
-		}
-		c.reducer = newGradReducer(c.engines)
-		for ri, e := range c.engines {
-			for _, ss := range engineStages(e) {
-				ss.reduce = c.reducer.hook(ri)
-			}
-		}
+	if err := c.installReducer(); err != nil {
+		c.Close()
+		return nil, err
 	}
 	return c, nil
+}
+
+// buildReplica constructs one inner engine over net with the given kernel-
+// worker share. The replica's Obs is stripped (the cluster emits driver-level
+// only) and its fault-injection hook is wrapped so ChaosPoint.Replica carries
+// the replica's join-order identity.
+func (c *Cluster) buildReplica(net *nn.Network, workers int) (replicaView, error) {
+	rcfg := c.cfg
+	rcfg.Workers = workers
+	rcfg.Obs = nil // cluster emits driver-level only (see Cluster.obs)
+	if outer := c.cfg.StageDelay; outer != nil {
+		id := c.nextIdentity
+		rcfg.StageDelay = func(p ChaosPoint) time.Duration {
+			p.Replica = id
+			return outer(p)
+		}
+	}
+	c.nextIdentity++
+	eng, err := NewEngine(c.engineName, net, rcfg)
+	if err != nil {
+		return nil, err
+	}
+	rv, ok := eng.(replicaView)
+	if !ok {
+		eng.Close()
+		return nil, fmt.Errorf("core: engine %q cannot join a cluster (no stage-state access)", c.engineName)
+	}
+	return rv, nil
+}
+
+// installReducer (re)builds the sync-grad gradient-reduction harness for the
+// current replica set, or tears it down when the policy doesn't reduce or a
+// single replica remains. With one replica the mean gradient is the gradient
+// itself, so the harness (and its stepped-engine requirement) only engages at
+// R > 1 — Cluster(R=1) stays a transparent wrapper for every engine under
+// every policy. The barrier bookkeeping resumes from the engines' per-stage
+// update counters, which are aligned whenever this runs (fresh construction,
+// or a membership change on a drained-and-synced cluster).
+func (c *Cluster) installReducer() error {
+	for _, e := range c.engines {
+		for _, ss := range engineStages(e) {
+			ss.reduce = nil
+		}
+	}
+	c.reducer = nil
+	c.stepped = nil
+	if !c.policy.GradReduce() || len(c.engines) < 2 {
+		return nil
+	}
+	for _, e := range c.engines {
+		se, ok := e.(steppedEngine)
+		if !ok {
+			return fmt.Errorf("core: policy %q averages per-update gradients and needs a stepped engine (seq|lockstep), not %q",
+				c.policy.Name(), c.engineName)
+		}
+		c.stepped = append(c.stepped, se)
+	}
+	c.reducer = newGradReducer(c.engines)
+	for ri, e := range c.engines {
+		for _, ss := range engineStages(e) {
+			ss.reduce = c.reducer.hook(ri)
+		}
+	}
+	c.realignReducerCounters()
+	return nil
+}
+
+// realignReducerCounters resumes the reduction-barrier bookkeeping from the
+// engines' per-stage update counters: counts from stage 0 (the per-replica
+// update targets) and each slot's next update index from replica 0. Valid
+// whenever the replicas are counter-aligned — fresh construction, a restored
+// checkpoint (whose drain broadcast aligned every replica), or a membership
+// change at a sync boundary.
+func (c *Cluster) realignReducerCounters() {
+	if c.reducer == nil {
+		return
+	}
+	for r := range c.reducer.counts {
+		c.reducer.counts[r] = c.engines[r].StageUpdates(0)
+	}
+	for s := range c.reducer.slots {
+		c.reducer.slots[s].done = c.engines[0].StageUpdates(s)
+	}
 }
 
 // validateReplicaNets checks that every replica network has the same pipeline
@@ -239,6 +305,92 @@ func engineStages(e Engine) []*stageState {
 		return t.inner.stages
 	}
 	return nil
+}
+
+// ---- elastic membership ----
+
+// checkQuiesced verifies the cluster is fully drained — no buffered round,
+// no in-flight samples, no unreleased results. Membership changes require a
+// quiesced cluster so the shard routing can re-partition at a clean sample
+// boundary; callers Drain first.
+func (c *Cluster) checkQuiesced(op string) error {
+	if c.closed {
+		return fmt.Errorf("core: %s on a closed cluster", op)
+	}
+	if len(c.roundBuf) > 0 {
+		return fmt.Errorf("core: %s with %d samples buffered for the next sync-grad round (Drain first)", op, len(c.roundBuf))
+	}
+	for r, in := range c.ids {
+		if len(in) > 0 {
+			return fmt.Errorf("core: %s with %d samples in flight on replica %d (Drain first)", op, len(in), r)
+		}
+	}
+	if len(c.pending) > 0 {
+		return fmt.Errorf("core: %s with %d results unreleased (Drain first)", op, len(c.pending))
+	}
+	return nil
+}
+
+// RemoveReplica removes replica slot i from a quiesced cluster: its engine is
+// closed, its network detached, and the survivors continue with their state
+// untouched. The shard routing re-partitions from the current cursor on —
+// sample g ≥ submitted routes to surviving slot g mod (R−1), exactly
+// data.ShardTail over the survivors — and the change point is a sync boundary
+// (membershipChanged). Removing the last replica is refused: a cluster always
+// has a canonical network.
+func (c *Cluster) RemoveReplica(i int) error {
+	if err := c.checkQuiesced("RemoveReplica"); err != nil {
+		return err
+	}
+	if i < 0 || i >= len(c.engines) {
+		return fmt.Errorf("core: RemoveReplica(%d) out of range [0,%d)", i, len(c.engines))
+	}
+	if len(c.engines) == 1 {
+		return fmt.Errorf("core: RemoveReplica(%d) would leave an empty cluster", i)
+	}
+	c.engines[i].Close()
+	c.nets = append(c.nets[:i], c.nets[i+1:]...)
+	c.engines = append(c.engines[:i], c.engines[i+1:]...)
+	c.views = append(c.views[:i], c.views[i+1:]...)
+	c.ids = append(c.ids[:i], c.ids[i+1:]...)
+	return c.membershipChanged()
+}
+
+// AddReplica joins a new replica over net to a quiesced cluster. The joiner
+// is built as the same engine kind as the founders, receives the (R+1)-way
+// worker share of the newest slot, and adopts the canonical replica's full
+// training state (weights, optimizer state, update counters — sync.AlignTo),
+// so it participates in the very next round without perturbing its peers.
+// The shard routing re-partitions from the current cursor on and the change
+// point is a sync boundary (membershipChanged).
+func (c *Cluster) AddReplica(net *nn.Network) error {
+	if err := c.checkQuiesced("AddReplica"); err != nil {
+		return err
+	}
+	if err := validateReplicaNets(append(append([]*nn.Network(nil), c.nets...), net)); err != nil {
+		return err
+	}
+	shares := replicaShares(c.cfg.Workers, len(c.engines)+1)
+	rv, err := c.buildReplica(net, shares[len(c.engines)])
+	if err != nil {
+		return err
+	}
+	c.nets = append(c.nets, net)
+	c.engines = append(c.engines, rv)
+	c.views = append(c.views, rv)
+	c.ids = append(c.ids, nil)
+	syncpol.AlignTo(c.views, 0, len(c.views)-1)
+	return c.membershipChanged()
+}
+
+// membershipChanged finalizes a replica-set change: the change point is a
+// sync boundary (the periodic-sync cadence restarts from the current cursor —
+// the pre-change interval position is not carried across a re-partition) and
+// the gradient-reduction harness is rebuilt for the new replica set, resuming
+// its barrier bookkeeping from the (aligned) engine update counters.
+func (c *Cluster) membershipChanged() error {
+	c.lastSync = c.submitted
+	return c.installReducer()
 }
 
 // Replicas returns R.
@@ -292,6 +444,7 @@ func (c *Cluster) Stats() Stats {
 		s.Submitted += es.Submitted
 		s.Completed += es.Completed
 		s.Steps += es.Steps
+		s.AdmitDeferred += es.AdmitDeferred
 		util += es.Utilization
 		if es.MaxObservedDelay > s.MaxObservedDelay {
 			s.MaxObservedDelay = es.MaxObservedDelay
@@ -555,19 +708,11 @@ func (c *Cluster) SetClusterCursor(submitted, syncs, lastSync int) {
 	c.syncs = syncs
 	c.lastSync = lastSync
 	c.nextOut = submitted
-	if c.reducer != nil {
-		// Resume the per-replica update targets from the restored update
-		// counters (a checkpoint is taken on a drained cluster, whose drain
-		// broadcast aligned every replica to the tail owner — so counters,
-		// not raw sample counts, are the ground truth).
-		for r := range c.reducer.counts {
-			c.reducer.counts[r] = c.engines[r].StageUpdates(0)
-		}
-		// The reduction slots continue at each stage's next update index.
-		for s := range c.reducer.slots {
-			c.reducer.slots[s].done = c.engines[0].StageUpdates(s)
-		}
-	}
+	// Resume the barrier bookkeeping from the restored update counters (a
+	// checkpoint is taken on a drained cluster, whose drain broadcast aligned
+	// every replica to the tail owner — so counters, not raw sample counts,
+	// are the ground truth).
+	c.realignReducerCounters()
 }
 
 // ---- sync-grad gradient reduction ----

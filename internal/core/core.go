@@ -19,6 +19,8 @@
 package core
 
 import (
+	"time"
+
 	"repro/internal/obs"
 	"repro/internal/optim"
 	"repro/internal/sched"
@@ -160,6 +162,40 @@ type Config struct {
 	// training math: a bus-enabled run is bit-identical to a bus-disabled
 	// one. Nil disables emission at the cost of one pointer check per site.
 	Obs *obs.Bus
+	// StageDelay, when non-nil, is the fault-injection hook (internal/chaos,
+	// DESIGN.md §14): it is consulted before every stage forward/backward
+	// compute and a positive return stalls that stage's worker for the
+	// duration. The stall is wall-clock only — it is applied outside the
+	// busy-time accounting windows and never feeds the training math, so a
+	// chaos-enabled run of a deterministic engine is bit-identical to a
+	// chaos-disabled one (TestStageDelayDoesNotPerturbTraining). The hook may
+	// be called from several stage goroutines concurrently and must be
+	// re-entrant; decisions should key on the ChaosPoint (never wall-clock)
+	// to stay reproducible.
+	StageDelay func(ChaosPoint) time.Duration
+	// AdmitBound, when positive, bounds the free-running async engine's
+	// in-flight samples: Submit stops admitting new samples (harvesting
+	// completions instead) while Outstanding() ≥ AdmitBound, so a straggling
+	// pipeline back-pressures the driver at a staleness bound of the caller's
+	// choice instead of queueing without limit. Deferred admissions are
+	// counted in Stats.AdmitDeferred and visible live as driver-level
+	// queue_depth events. The stepped engines admit one sample per step and
+	// ignore the bound.
+	AdmitBound int
+}
+
+// ChaosPoint identifies one stage-compute event for the Config.StageDelay
+// fault-injection hook: which replica (-1 outside a cluster — the cluster
+// rewrites it when building replica engines), which stage, the stage's
+// applied-update counter at the point of the call, and whether the stall
+// precedes the forward or the backward transformation. Keying injection
+// decisions on these coordinates (rather than wall-clock) is what makes a
+// chaos schedule reproducible run-to-run.
+type ChaosPoint struct {
+	Replica  int
+	Stage    int
+	Update   int
+	Backward bool
 }
 
 // ScaledConfig builds a Config from reference hyperparameters tuned at

@@ -83,6 +83,10 @@ type Stats struct {
 	// Syncs counts completed weight-synchronization operations (cluster
 	// engine only).
 	Syncs int
+	// AdmitDeferred counts Submits the free-running async engine deferred at
+	// the bounded-staleness admission gate (Config.AdmitBound; clusters sum
+	// their replicas'). Engines without the gate report 0.
+	AdmitDeferred int
 }
 
 // EngineFactory constructs an engine over a staged network. Factories are

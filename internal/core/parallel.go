@@ -102,6 +102,7 @@ func (t *ParallelPBTrainer) forwardStage(i int) {
 	}
 	t.inner.fwd[i] = nil
 	st := t.inner.stages[i]
+	st.stall(false)
 	horizon, form := t.inner.forwardHorizon(i)
 	out := st.runForward(in, t.inner.Cfg.Mitigation, horizon, form)
 	if i < len(t.inner.stages)-1 {
@@ -128,6 +129,7 @@ func (t *ParallelPBTrainer) backwardStage(i int) {
 		return
 	}
 	st := t.inner.stages[i]
+	st.stall(true)
 	dx := st.runBackward(dIn, t.inner.Cfg.Mitigation,
 		t.inner.backwardHorizon(i), t.inner.Cfg.lrAt(t.inner.updateStep))
 	if i == 0 {

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"math/rand"
+	"time"
 
 	"repro/internal/data"
 	"repro/internal/nn"
@@ -61,6 +62,9 @@ type stageState struct {
 	// Only the goroutine driving the stage emits — one producer ring per
 	// stage keeps the bus topology single-producer (obs.go).
 	obs *obs.Producer
+	// chaos, when non-nil, is Config.StageDelay: the fault-injection hook
+	// consulted (via stall) before each forward/backward transformation.
+	chaos func(ChaosPoint) time.Duration
 }
 
 // inflight is a sample travelling forward through the pipeline.
@@ -128,7 +132,7 @@ func newPBTrainer(net *nn.Network, cfg Config) *PBTrainer {
 	delays := StageDelays(s)
 	t := &PBTrainer{Net: net, Cfg: cfg}
 	for i, st := range net.Stages {
-		ss := &stageState{stage: st, params: st.Params(), delay: delays[i], idx: i}
+		ss := &stageState{stage: st, params: st.Params(), delay: delays[i], idx: i, chaos: cfg.StageDelay}
 		if !cfg.Unpooled {
 			ss.arena = tensor.NewArena()
 		}
@@ -276,6 +280,7 @@ func (t *PBTrainer) Step() *Result {
 		}
 		t.fwd[i] = nil
 		st := t.stages[i]
+		st.stall(false)
 		horizon, form := t.forwardHorizon(i)
 		out := st.runForward(in, t.Cfg.Mitigation, horizon, form)
 		if i < s-1 {
@@ -308,6 +313,7 @@ func (t *PBTrainer) Step() *Result {
 			continue
 		}
 		st := t.stages[i]
+		st.stall(true)
 		dx := st.runBackward(dIn, t.Cfg.Mitigation, t.backwardHorizon(i), t.Cfg.lrAt(t.updateStep))
 		if i == 0 {
 			t.outstanding--

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"time"
+
 	"repro/internal/nn"
 	"repro/internal/obs"
 	"repro/internal/optim"
@@ -66,6 +68,23 @@ func forwardUnder(s nn.Stage, params []*nn.Param, view [][]float64, p *nn.Packet
 	out, ctx := s.Forward(p, ar, par)
 	swapIn(params, old)
 	return out, ctx
+}
+
+// stall consults the fault-injection hook (Config.StageDelay) before a stage
+// transformation and sleeps out any injected straggle. Engines call it from
+// the goroutine driving the stage, outside their busy-time accounting
+// windows, so injected stalls read as idle time (lower utilization) rather
+// than compute. Replica is reported as -1; the cluster's per-replica hook
+// wrapper rewrites it (see NewCluster). The stall never touches stage state,
+// so the weight trajectory is unchanged.
+func (st *stageState) stall(backward bool) {
+	if st.chaos == nil {
+		return
+	}
+	p := ChaosPoint{Replica: -1, Stage: st.idx, Update: st.updates, Backward: backward}
+	if d := st.chaos(p); d > 0 {
+		time.Sleep(d)
+	}
 }
 
 // forwardInfer is the standalone forward-only path: it runs the stage's

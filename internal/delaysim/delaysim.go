@@ -30,11 +30,21 @@ type Config struct {
 	// Delay is the constant gradient delay D in updates applied to every
 	// layer.
 	Delay int
-	// JitterDelay, when positive, turns the constant delay into a random
-	// one uniform on [0, 2·Delay] (resampled per batch, reordering-free:
-	// the queue pops in FIFO order but the *effective* queue length varies).
-	// This simulates asynchronous SGD, the extension the paper sketches at
-	// the end of Appendix G.2. JitterSeed seeds the delay stream.
+	// JitterDelay turns the constant delay into a random one uniform on
+	// [0, 2·Delay] (resampled per batch, reordering-free: the queue pops in
+	// FIFO order but the *effective* queue length varies). This simulates
+	// asynchronous SGD, the extension the paper sketches at the end of
+	// Appendix G.2. It requires Delay ≥ 1 — jitter around a zero delay has
+	// no distribution to draw from — and New panics otherwise.
+	//
+	// Determinism contract: the jitter stream is rand.New(JitterSeed+1),
+	// consumed exactly once per target-queue-length decision (one decision
+	// per batch, in submission order, plus the drains a larger target
+	// defers). No other consumer touches the stream, so a fixed (Delay,
+	// JitterSeed, batch sequence) triple replays the identical effective
+	// delay sequence — the same contract internal/chaos keeps with its
+	// hash-derived jitter, kept here with a sequential PRNG because the
+	// simulator is single-threaded by construction.
 	JitterDelay bool
 	JitterSeed  int64
 	// UseAdam replaces SGDM with Adam (no SC/LWP — Section 5 discusses
@@ -102,8 +112,14 @@ type Trainer struct {
 }
 
 // New builds a delayed trainer. Spike-compensation coefficients are fixed
-// from the configured delay.
+// from the configured delay. A JitterDelay config with Delay < 1 is a
+// programming error (the uniform [0, 2·Delay] draw is degenerate at 0 and
+// panics inside rand.Intn for negative delays, many batches in): New
+// rejects it up front.
 func New(net *nn.Network, cfg Config) *Trainer {
+	if cfg.JitterDelay && cfg.Delay < 1 {
+		panic("delaysim: JitterDelay requires Delay ≥ 1 (jitter draws uniform on [0, 2·Delay])")
+	}
 	if cfg.BatchSize <= 0 {
 		cfg.BatchSize = 1
 	}

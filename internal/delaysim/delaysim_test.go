@@ -193,20 +193,44 @@ func TestJitterDelaySimulatesASGD(t *testing.T) {
 	}
 }
 
-func TestJitterZeroDelayIsExactSGD(t *testing.T) {
-	// Delay 0 with jitter draws from [0,0]: still plain SGD.
+func TestJitterRequiresPositiveDelay(t *testing.T) {
+	// JitterDelay draws uniform on [0, 2·Delay]: a zero or negative delay is
+	// degenerate (and Intn would panic mid-epoch for negative ones), so New
+	// must reject the config up front, not many batches in.
 	seed := int64(58)
+	net := models.DeepMLP(8, 10, 2, 4, seed)
+	for _, d := range []int{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("JitterDelay with Delay=%d accepted", d)
+				}
+			}()
+			New(net, Config{Delay: d, JitterDelay: true, LR: 0.05, Momentum: 0.9, BatchSize: 8})
+		}()
+	}
+}
+
+func TestJitterStreamDeterministic(t *testing.T) {
+	// The documented contract: one jitter draw per batch in submission
+	// order, stream seeded from JitterSeed alone — so a fixed (Delay,
+	// JitterSeed, batch sequence) replays identical weights.
+	seed := int64(61)
 	train, _ := blobTask(seed)
-	netA := models.DeepMLP(8, 10, 2, 4, seed)
-	netB := models.DeepMLP(8, 10, 2, 4, seed)
-	simA := New(netA, Config{Delay: 0, JitterDelay: true, LR: 0.05, Momentum: 0.9, BatchSize: 8})
-	simB := New(netB, Config{Delay: 0, LR: 0.05, Momentum: 0.9, BatchSize: 8})
-	simA.TrainEpoch(train, nil, nil, nil)
-	simB.TrainEpoch(train, nil, nil, nil)
-	pa, pb := netA.Params(), netB.Params()
-	for i := range pa {
-		if !pa[i].W.AllClose(pb[i].W, 1e-12) {
-			t.Fatal("zero-delay jitter deviates from constant zero delay")
+	run := func() [][]float64 {
+		net := models.DeepMLP(8, 10, 2, 4, seed)
+		sim := New(net, Config{Delay: 3, JitterDelay: true, JitterSeed: 9,
+			LR: 0.05, Momentum: 0.9, BatchSize: 8})
+		sim.TrainEpoch(train, nil, nil, nil)
+		sim.Drain()
+		return net.SnapshotWeights()
+	}
+	a, b := run(), run()
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatal("identical jitter config produced different weights")
+			}
 		}
 	}
 }

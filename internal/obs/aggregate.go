@@ -36,6 +36,7 @@ type Aggregator struct {
 	batchSum  int64
 	inferDone int64
 	epoch     int64
+	faults    int64
 	latency   *latencyRing
 	// previous-snapshot anchors for windowed rates
 	prevAt        time.Time
@@ -154,6 +155,8 @@ func (a *Aggregator) fold(ev Event) {
 		a.inferDone = ev.Count
 	case KindEpoch:
 		a.epoch = ev.Count
+	case KindFault:
+		a.faults++
 	}
 }
 
@@ -230,6 +233,8 @@ type Snapshot struct {
 	InferDone int64 `json:"infer_done"`
 	// Epoch is the last completed training epoch.
 	Epoch int64 `json:"epoch"`
+	// Faults counts injected/survived chaos events (KindFault).
+	Faults int64 `json:"faults"`
 }
 
 // Snapshot returns the current folded view (the pump folds events in as
@@ -256,6 +261,7 @@ func (a *Aggregator) snapshotLocked() Snapshot {
 		Batches:           a.batches,
 		InferDone:         a.inferDone,
 		Epoch:             a.epoch,
+		Faults:            a.faults,
 		LatencyCount:      a.latency.count,
 		LatencyP50:        a.latency.quantile(0.5),
 		LatencyP99:        a.latency.quantile(0.99),

@@ -65,6 +65,11 @@ const (
 	// KindEpoch reports a completed training epoch: Count is the 1-based
 	// epoch, Value the epoch's mean training loss.
 	KindEpoch
+	// KindFault reports one injected or survived chaos event (internal/chaos):
+	// Replica/Stage locate it (-1 = not applicable), Count is the fault code
+	// (chaos.FaultKind, or 0 for a membership change), Value the global sample
+	// cursor at which it fired.
+	KindFault
 )
 
 // kindNames is indexed by Kind; the zero entry is the invalid marker.
@@ -80,6 +85,7 @@ var kindNames = [...]string{
 	"latency",
 	"infer_done",
 	"epoch",
+	"fault",
 }
 
 // String names the kind (stable identifiers used on the wire).

@@ -415,6 +415,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, req *http.Request) {
 	r := &request{x: in.Input, resp: make(chan response, 1), enq: time.Now()}
 	if !s.enqueue(r) {
 		s.rejected.Add(1)
+		w.Header().Set("Retry-After", fmt.Sprint(s.retryAfterSeconds()))
 		http.Error(w, "overloaded: admission queue full or draining", http.StatusServiceUnavailable)
 		return
 	}
@@ -429,6 +430,22 @@ func (s *Server) handlePredict(w http.ResponseWriter, req *http.Request) {
 		// The client is gone; the batcher still answers into the buffered
 		// channel, so nothing wedges and the request counts as completed.
 	}
+}
+
+// retryAfterSeconds estimates when a rejected client should retry: the
+// current queue depth takes about depth/MaxBatch batches to clear, each at
+// worst one BatchWindow apart, rounded up to whole seconds (the header's
+// unit) with a floor of 1 so clients never busy-retry. A drain-time
+// rejection uses the same estimate — the queue it reports is the backlog
+// the flush still has to answer.
+func (s *Server) retryAfterSeconds() int {
+	depth := s.depth.Level()
+	batches := (depth + int64(s.cfg.MaxBatch) - 1) / int64(s.cfg.MaxBatch)
+	secs := int(math.Ceil(time.Duration(batches * int64(s.cfg.BatchWindow)).Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
 }
 
 func (s *Server) handleSwap(w http.ResponseWriter, req *http.Request) {

@@ -397,3 +397,44 @@ func TestSwapEndpointUnderLoad(t *testing.T) {
 		t.Fatalf("bad swap path: status %d, want 422", resp.StatusCode)
 	}
 }
+
+// TestRejectSetsRetryAfter pins the 503 contract: a rejected request carries
+// a Retry-After header derived from the live queue depth — the backlog's
+// worst-case clearing time in whole seconds, never below one.
+func TestRejectSetsRetryAfter(t *testing.T) {
+	s := &Server{
+		cfg:    Config{QueueCap: 1, MaxBatch: 2, BatchWindow: 2 * time.Second},
+		sample: 8,
+		queue:  make(chan *request, 1),
+		depth:  &metrics.Gauge{},
+	}
+	post := func() *httptest.ResponseRecorder {
+		w := httptest.NewRecorder()
+		req := httptest.NewRequest(http.MethodPost, "/v1/predict", predictBody(t, testInput(3)))
+		s.handlePredict(w, req)
+		return w
+	}
+	// Fill the queue, then pile up depth as if five requests were backed up:
+	// ceil(5/2) batches × 2s window = 6s.
+	if !s.enqueue(&request{resp: make(chan response, 1), enq: time.Now()}) {
+		t.Fatal("first enqueue rejected")
+	}
+	for i := 0; i < 4; i++ {
+		s.depth.Inc()
+	}
+	w := post()
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", w.Code)
+	}
+	if got := w.Header().Get("Retry-After"); got != "6" {
+		t.Fatalf("Retry-After %q, want \"6\" (5 deep, 2-deep batches, 2s window)", got)
+	}
+	// The floor: an empty-depth rejection (draining) still says at least 1s.
+	s.draining = true
+	for i := 0; i < 5; i++ {
+		s.depth.Dec()
+	}
+	if got := post().Header().Get("Retry-After"); got != "1" {
+		t.Fatalf("Retry-After %q, want \"1\" floor", got)
+	}
+}

@@ -233,27 +233,36 @@ func AverageState(replicas []Replica) {
 // tracked previous weights and per-stage update counters — into every other
 // replica, leaving all replicas bit-identical to the source.
 func Broadcast(replicas []Replica, from int) {
-	if len(replicas) < 2 {
+	for r := range replicas {
+		if r != from {
+			AlignTo(replicas, from, r)
+		}
+	}
+}
+
+// AlignTo copies replica from's full training state onto replica to only,
+// leaving every other replica untouched. It is the elastic-join alignment
+// (core.Cluster.AddReplica): a replica joining a running cluster adopts the
+// canonical replica's weights, optimizer state and update counters without
+// disturbing its peers — a full Broadcast would overwrite them, which is
+// wrong under policies whose replicas legitimately diverge between syncs
+// (avg-every-k, none).
+func AlignTo(replicas []Replica, from, to int) {
+	if from == to {
 		return
 	}
-	src := replicas[from]
+	src, dst := replicas[from], replicas[to]
 	for s := 0; s < src.NumStages(); s++ {
 		params := src.StageParams(s)
 		opt := src.StageOptimizer(s)
-		for r := range replicas {
-			if r == from {
-				continue
-			}
-			dst := replicas[r]
-			dstParams := dst.StageParams(s)
-			dstOpt := dst.StageOptimizer(s)
-			for j, p := range params {
-				q := dstParams[j]
-				copy(q.W.Data, p.W.Data)
-				vel, prev := opt.Gather(p)
-				dstOpt.Scatter(q, vel, prev)
-			}
-			dst.SetStageUpdates(s, src.StageUpdates(s))
+		dstParams := dst.StageParams(s)
+		dstOpt := dst.StageOptimizer(s)
+		for j, p := range params {
+			q := dstParams[j]
+			copy(q.W.Data, p.W.Data)
+			vel, prev := opt.Gather(p)
+			dstOpt.Scatter(q, vel, prev)
 		}
+		dst.SetStageUpdates(s, src.StageUpdates(s))
 	}
 }

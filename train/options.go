@@ -2,6 +2,7 @@ package train
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/data"
@@ -39,6 +40,8 @@ type options struct {
 	ckptEvery     int
 	ckptPath      string
 	unpooled      bool
+	stageDelay    func(core.ChaosPoint) time.Duration
+	admitBound    int
 	seed          int64
 	sgdm          bool
 	aug           data.Augmenter
@@ -186,6 +189,36 @@ func WithCheckpointEvery(n int, path string) Option {
 // compare against.
 func WithUnpooled() Option {
 	return func(o *options) { o.unpooled = true }
+}
+
+// WithStageDelay installs a chaos stall hook on the pipelined engines: fn is
+// consulted at every stage visit (forward and backward) with the visit's
+// ChaosPoint and the stage sleeps for the returned duration before computing.
+// Under WithReplicas the cluster stamps each replica's join-order identity
+// into ChaosPoint.Replica; single-engine runs see Replica = -1. Stalls are
+// pure wall-clock — they shift timing and the free-running engine's race
+// outcomes, but never the arithmetic, so the deterministic engines stay
+// bit-identical under any hook (chaos.Schedule.Delay is the intended fn; see
+// DESIGN.md §14). Ignored by the SGDM reference. A nil fn disables stalls.
+func WithStageDelay(fn func(core.ChaosPoint) time.Duration) Option {
+	return func(o *options) { o.stageDelay = fn }
+}
+
+// WithAdmitBound caps the free-running async engine's in-flight samples at n:
+// once n submissions are unfinished, Submit blocks (bounded-staleness
+// admission) until one completes, emitting staleness/queue-depth events on
+// the observer bus and counting the deferral in Stats().AdmitDeferred. Only
+// the "async" engine's free mode enforces the bound — the stepped engines
+// already bound staleness structurally and ignore it. Zero (the default)
+// means unbounded.
+func WithAdmitBound(n int) Option {
+	return func(o *options) {
+		if n < 0 {
+			o.errs = append(o.errs, fmt.Errorf("train: admit bound %d, want ≥ 0", n))
+			return
+		}
+		o.admitBound = n
+	}
 }
 
 // WithSeed sets the run seed: the Builder is invoked with it, and the

@@ -209,6 +209,8 @@ func (t *Trainer) ensureBuilt(trainSet *data.Dataset, epochs int) error {
 		cfg.Unpooled = t.o.unpooled
 		cfg.Workers = t.o.kernelWorkers
 		cfg.Obs = t.o.obsBus
+		cfg.StageDelay = t.o.stageDelay
+		cfg.AdmitBound = t.o.admitBound
 		// Each replica sees ~1/R of the stream, so the default MultiStep
 		// decay is sized in per-replica updates.
 		perReplica := (n + t.o.replicas - 1) / t.o.replicas
@@ -227,6 +229,8 @@ func (t *Trainer) ensureBuilt(trainSet *data.Dataset, epochs int) error {
 		cfg.Unpooled = t.o.unpooled
 		cfg.Workers = t.o.kernelWorkers
 		cfg.Obs = t.o.obsBus
+		cfg.StageDelay = t.o.stageDelay
+		cfg.AdmitBound = t.o.admitBound
 		cfg.Schedule = t.scheduleOr(cfg.LR, n*epochs)
 		eng, err := core.NewEngine(t.o.engine, net, cfg)
 		if err != nil {
