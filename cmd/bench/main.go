@@ -58,7 +58,10 @@ func record(out *[]benchfmt.Result, name string, workers int, body func(b *testi
 
 // kernelBenches measures the GEMM and conv kernels: the reference scalar
 // forms, the blocked serial forms (nil group), and the blocked forms on a
-// full-machine worker group.
+// full-machine worker group — the full family at f64 and again at f32
+// (family names gain a "-f32" suffix; every row also carries the schema's
+// dtype field). The f64 rows keep their historical names, so before/after
+// comparisons against pre-dtype artifacts stay name-stable.
 func kernelBenches() []benchfmt.Result {
 	var out []benchfmt.Result
 	par := tensor.NewParallel(runtime.GOMAXPROCS(0))
@@ -68,77 +71,102 @@ func kernelBenches() []benchfmt.Result {
 		p   *tensor.Parallel
 	}{{"blocked", nil}, {fmt.Sprintf("workers%d", par.Workers()), par}}
 
-	mk := func(m, k, n int, seed int64) (a, b, dst *tensor.Tensor) {
-		a, b, dst = tensor.New(m, k), tensor.New(k, n), tensor.New(m, n)
-		fill(a, seed)
-		fill(b, seed+1)
-		return
-	}
-	// 64³ square GEMM: the conv-backward shape class.
-	a, b, dst := mk(64, 64, 64, 1)
-	record(&out, "MatMul64/reference", 1, func(bb *testing.B) {
-		bb.ReportAllocs()
-		for i := 0; i < bb.N; i++ {
-			tensor.MatMulInto(dst, a, b)
+	for _, dt := range []tensor.DType{tensor.F64, tensor.F32} {
+		dt := dt
+		suffix := ""
+		if dt == tensor.F32 {
+			suffix = "-f32"
 		}
-	})
-	for _, g := range groups {
-		g := g
-		record(&out, "MatMul64/"+g.tag, g.p.Workers(), func(bb *testing.B) {
+		// record stamps no dtype; tag each row after the fact (like the
+		// cluster benches do for Replicas).
+		stamp := func() { out[len(out)-1].DType = dt.String() }
+		mk := func(m, k, n int, seed int64) (a, b, dst *tensor.Tensor) {
+			a, b, dst = tensor.New(m, k), tensor.New(k, n), tensor.New(m, n)
+			fill(a, seed)
+			fill(b, seed+1)
+			// Operands are filled at f64 and cast, so both dtype runs
+			// measure over the same value stream.
+			return a.ConvertTo(dt), b.ConvertTo(dt), dst.ConvertTo(dt)
+		}
+		// 64³ square GEMM: the conv-backward shape class.
+		a, b, dst := mk(64, 64, 64, 1)
+		record(&out, "MatMul64"+suffix+"/reference", 1, func(bb *testing.B) {
 			bb.ReportAllocs()
 			for i := 0; i < bb.N; i++ {
-				g.p.MatMulInto(dst, a, b)
+				tensor.MatMulInto(dst, a, b)
 			}
 		})
-	}
-	// Row-vector a·bᵀ: the batch-size-one dense-forward shape class.
-	xv, wv, yv := tensor.New(1, 256), tensor.New(256, 256), tensor.New(1, 256)
-	fill(xv, 3)
-	fill(wv, 4)
-	record(&out, "DenseFwd1x256/reference", 1, func(bb *testing.B) {
-		bb.ReportAllocs()
-		for i := 0; i < bb.N; i++ {
-			tensor.MatMulTransBInto(yv, xv, wv)
+		stamp()
+		for _, g := range groups {
+			g := g
+			record(&out, "MatMul64"+suffix+"/"+g.tag, g.p.Workers(), func(bb *testing.B) {
+				bb.ReportAllocs()
+				for i := 0; i < bb.N; i++ {
+					g.p.MatMulInto(dst, a, b)
+				}
+			})
+			stamp()
 		}
-	})
-	for _, g := range groups {
-		g := g
-		record(&out, "DenseFwd1x256/"+g.tag, g.p.Workers(), func(bb *testing.B) {
+		// Row-vector a·bᵀ: the batch-size-one dense-forward shape class.
+		xv, wv, yv := mk(1, 256, 256, 3)
+		record(&out, "DenseFwd1x256"+suffix+"/reference", 1, func(bb *testing.B) {
 			bb.ReportAllocs()
 			for i := 0; i < bb.N; i++ {
-				g.p.MatMulTransBInto(yv, xv, wv)
+				tensor.MatMulTransBInto(yv, xv, wv)
 			}
 		})
-	}
-	// Conv forward+backward, ResNet-block geometry: scalar reference vs the
-	// fused blocked path, both on an arena so only the kernels differ.
-	x, w := tensor.New(1, 8, 16, 16), tensor.New(8, 8, 3, 3)
-	fill(x, 5)
-	fill(w, 6)
-	refAr := tensor.NewArena()
-	refDw := tensor.New(8, 8, 3, 3)
-	record(&out, "Conv8x16x16/reference", 1, func(bb *testing.B) {
-		bb.ReportAllocs()
-		for i := 0; i < bb.N; i++ {
-			y, cols := tensor.Conv2DForwardArena(refAr, x, w, nil, 1, 1, nil)
-			dx := tensor.Conv2DBackwardArena(refAr, y, w, cols, refDw, nil, x.Shape, 1, 1)
-			refAr.Put(y, dx)
-			refAr.Put(cols...)
+		stamp()
+		for _, g := range groups {
+			g := g
+			record(&out, "DenseFwd1x256"+suffix+"/"+g.tag, g.p.Workers(), func(bb *testing.B) {
+				bb.ReportAllocs()
+				for i := 0; i < bb.N; i++ {
+					g.p.MatMulTransBInto(yv, xv, wv)
+				}
+			})
+			stamp()
 		}
-	})
-	for _, g := range groups {
-		g := g
-		ar := tensor.NewArena()
-		dw := tensor.New(8, 8, 3, 3)
-		record(&out, "Conv8x16x16/fused-"+g.tag, g.p.Workers(), func(bb *testing.B) {
+		// Conv forward+backward, ResNet-block geometry: scalar reference vs
+		// the fused blocked path, both on an arena so only the kernels
+		// differ.
+		x, w := tensor.New(1, 8, 16, 16), tensor.New(8, 8, 3, 3)
+		fill(x, 5)
+		fill(w, 6)
+		x, w = x.ConvertTo(dt), w.ConvertTo(dt)
+		refAr := tensor.NewArena()
+		refDw := tensor.NewDT(dt, 8, 8, 3, 3)
+		record(&out, "Conv8x16x16"+suffix+"/reference", 1, func(bb *testing.B) {
 			bb.ReportAllocs()
+			// Carry the cols slice across iterations — a nil colsBuf grows
+			// a fresh 1-element slice per pass (the old stray 1 alloc/op
+			// row).
+			var colsBuf []*tensor.Tensor
 			for i := 0; i < bb.N; i++ {
-				y, cols := g.p.ConvForward(ar, x, w, nil, 1, 1, nil)
-				dx := g.p.ConvBackward(ar, y, w, cols, dw, nil, x.Shape, 1, 1)
-				ar.Put(y, dx)
-				ar.Put(cols...)
+				y, cols := tensor.Conv2DForwardArena(refAr, x, w, nil, 1, 1, colsBuf)
+				dx := tensor.Conv2DBackwardArena(refAr, y, w, cols, refDw, nil, x.Shape, 1, 1)
+				refAr.Put(y, dx)
+				refAr.Put(cols...)
+				colsBuf = cols
 			}
 		})
+		stamp()
+		for _, g := range groups {
+			g := g
+			ar := tensor.NewArena()
+			dw := tensor.NewDT(dt, 8, 8, 3, 3)
+			record(&out, "Conv8x16x16"+suffix+"/fused-"+g.tag, g.p.Workers(), func(bb *testing.B) {
+				bb.ReportAllocs()
+				var colsBuf []*tensor.Tensor
+				for i := 0; i < bb.N; i++ {
+					y, cols := g.p.ConvForward(ar, x, w, nil, 1, 1, colsBuf)
+					dx := g.p.ConvBackward(ar, y, w, cols, dw, nil, x.Shape, 1, 1)
+					ar.Put(y, dx)
+					ar.Put(cols...)
+					colsBuf = cols
+				}
+			})
+			stamp()
+		}
 	}
 	return out
 }

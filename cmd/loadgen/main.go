@@ -26,6 +26,9 @@
 //	-wait 10s              readiness wait on /healthz
 //	-seed 1                input-generator seed
 //	-retry 0               503-retry budget per request (see below)
+//	-dtype ""              dtype the target server was started with (f64 or
+//	                       f32; stamps rows, and f32 rows use the serve-f32
+//	                       name family so both sweeps can share an artifact)
 //
 // With -retry n, a request rejected with 503 is retried up to n times: the
 // client sleeps for the server's Retry-After header (the serving tier derives
@@ -289,19 +292,24 @@ func main() {
 	wait := flag.Duration("wait", 10*time.Second, "readiness wait on /healthz")
 	seed := flag.Int64("seed", 1, "input-generator seed")
 	retry := flag.Int("retry", 0, "extra attempts after a 503 rejection (honors Retry-After, else capped exponential backoff)")
+	dtype := flag.String("dtype", "", "dtype the target server was started with (-dtype on cmd/serve); stamps rows and suffixes f32 row names")
 	flag.Parse()
 
 	if *retry < 0 {
 		fmt.Fprintln(os.Stderr, "loadgen: -retry must be ≥ 0")
 		os.Exit(1)
 	}
-	if err := run(*addr, *model, *sweep, *out, *n, *retry, *rate, *dur, *wait, *seed); err != nil {
+	if *dtype != "" && *dtype != "f64" && *dtype != "f32" {
+		fmt.Fprintln(os.Stderr, "loadgen: -dtype must be f64 or f32")
+		os.Exit(1)
+	}
+	if err := run(*addr, *model, *sweep, *out, *dtype, *n, *retry, *rate, *dur, *wait, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, model, sweep, out string, n, retry int, rate float64, dur, wait time.Duration, seed int64) error {
+func run(addr, model, sweep, out, dtype string, n, retry int, rate float64, dur, wait time.Duration, seed int64) error {
 	c, err := newClient(addr, model, seed)
 	if err != nil {
 		return err
@@ -320,6 +328,13 @@ func run(addr, model, sweep, out string, n, retry int, rate float64, dur, wait t
 		concs = append(concs, v)
 	}
 
+	// The serving dtype is a server-side property; the stamp records which
+	// path the measured server ran, and f32 rows get their own name family
+	// so both sweeps can share an artifact without colliding.
+	family := "serve"
+	if dtype == "f32" {
+		family = "serve-f32"
+	}
 	var results []benchfmt.Result
 	var failures int
 	saturation := 0.0
@@ -330,7 +345,8 @@ func run(addr, model, sweep, out string, n, retry int, rate float64, dur, wait t
 			saturation = tp
 		}
 		r := benchfmt.Result{
-			Name:          fmt.Sprintf("serve/closed/c%d", conc),
+			Name:          fmt.Sprintf("%s/closed/c%d", family, conc),
+			DType:         dtype,
 			Workers:       conc,
 			Iters:         st.completed,
 			NsPerOp:       st.meanNs(),
@@ -344,20 +360,22 @@ func run(addr, model, sweep, out string, n, retry int, rate float64, dur, wait t
 	}
 	if saturation > 0 {
 		results = append(results, benchfmt.Result{
-			Name:          "serve/saturation",
+			Name:          family + "/saturation",
+			DType:         dtype,
 			Workers:       concs[len(concs)-1],
 			Iters:         n * len(concs),
 			NsPerOp:       float64(time.Second) / saturation,
 			SamplesPerSec: saturation,
 		})
-		fmt.Printf("%-18s %33.1f req/s (max over sweep)\n", "serve/saturation", saturation)
+		fmt.Printf("%-18s %33.1f req/s (max over sweep)\n", family+"/saturation", saturation)
 	}
 
 	if rate > 0 {
 		st := openLoop(c, rate, dur)
 		failures += st.failed
 		r := benchfmt.Result{
-			Name:          fmt.Sprintf("serve/open/r%d", int(rate)),
+			Name:          fmt.Sprintf("%s/open/r%d", family, int(rate)),
+			DType:         dtype,
 			Workers:       1,
 			Iters:         st.completed,
 			NsPerOp:       st.meanNs(),

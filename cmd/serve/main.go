@@ -18,6 +18,8 @@
 //	-window 2ms         per-request batching deadline budget
 //	-queue 64           admission queue capacity
 //	-seed 1             builder seed (initial weights until a swap)
+//	-dtype f64          serving dtype: f64 (bit-exact oracle) or f32 (SIMD
+//	                    kernels; checkpoints narrow once at load)
 //	-lineage path       record serve lineage (checkpoint → serve run) to this
 //	                    JSON file; joins the training run's graph when they
 //	                    share the checkpoint file
@@ -43,6 +45,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/obs/lineage"
 	"repro/internal/serve"
+	"repro/internal/tensor"
 	"repro/train"
 )
 
@@ -86,10 +89,11 @@ func main() {
 	window := flag.Duration("window", 2*time.Millisecond, "batching deadline budget")
 	queue := flag.Int("queue", 64, "admission queue capacity")
 	seed := flag.Int64("seed", 1, "builder seed")
+	dtype := flag.String("dtype", "f64", "serving dtype: f64 (bit-exact oracle) or f32 (SIMD kernels)")
 	linPath := flag.String("lineage", "", "record serve lineage to this JSON file")
 	flag.Parse()
 
-	if err := run(*addr, *model, *ckpt, *inferKind, *linPath, *replicas, *kernelWorkers, *batch, *window, *queue, *seed); err != nil {
+	if err := run(*addr, *model, *ckpt, *inferKind, *dtype, *linPath, *replicas, *kernelWorkers, *batch, *window, *queue, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "serve:", err)
 		os.Exit(1)
 	}
@@ -128,8 +132,12 @@ func recordLineage(linPath, ckpt, model, addr string) error {
 	return g.Write(linPath)
 }
 
-func run(addr, model, ckpt, inferKind, linPath string, replicas, kernelWorkers, batch int, window time.Duration, queue int, seed int64) error {
+func run(addr, model, ckpt, inferKind, dtype, linPath string, replicas, kernelWorkers, batch int, window time.Duration, queue int, seed int64) error {
 	spec, err := modelFor(model)
+	if err != nil {
+		return err
+	}
+	dt, err := tensor.ParseDType(dtype)
 	if err != nil {
 		return err
 	}
@@ -145,6 +153,7 @@ func run(addr, model, ckpt, inferKind, linPath string, replicas, kernelWorkers, 
 		Seed:          seed,
 		Checkpoint:    ckpt,
 		Obs:           bus,
+		DType:         dt,
 	})
 	if err != nil {
 		return err

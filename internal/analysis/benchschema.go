@@ -27,9 +27,12 @@ var BenchSchema = &Analyzer{
 
 // benchResult mirrors cmd/bench.Result (schema repro/bench/v1).
 type benchResult struct {
-	Name          string  `json:"name"`
-	Workers       int     `json:"workers"`
-	Replicas      int     `json:"replicas,omitempty"`
+	Name     string `json:"name"`
+	Workers  int    `json:"workers"`
+	Replicas int    `json:"replicas,omitempty"`
+	// DType is the kernel dtype of the row ("f32"/"f64"); absent on rows
+	// from before the dtype axis existed, which implies f64.
+	DType         string  `json:"dtype,omitempty"`
 	Iters         int     `json:"iters"`
 	NsPerOp       float64 `json:"ns_per_op"`
 	AllocsPerOp   int64   `json:"allocs_per_op"`
@@ -125,6 +128,9 @@ func validateBenchFile(f *benchFile, isPrevious bool) []string {
 		}
 		if r.Replicas < 0 {
 			at("replicas %d, want >= 0", r.Replicas)
+		}
+		if r.DType != "" && r.DType != "f32" && r.DType != "f64" {
+			at("dtype %q, want f32 or f64 (or absent)", r.DType)
 		}
 		if r.Iters < 1 {
 			at("iters %d, want >= 1", r.Iters)

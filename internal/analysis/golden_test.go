@@ -131,6 +131,7 @@ func TestGoldenBenchSchema(t *testing.T) {
 		"negative allocs_per_op",
 		"negative latency quantile",
 		"p50_ms 9.5 exceeds p99_ms 2",
+		`dtype "float32", want f32 or f64`,
 		"duplicate name",
 		"unknown field",
 	}

@@ -22,6 +22,7 @@ type Result struct {
 	Name          string  `json:"name"`
 	Workers       int     `json:"workers"`
 	Replicas      int     `json:"replicas,omitempty"` // cluster/chaos rows only
+	DType         string  `json:"dtype,omitempty"`    // "f32"/"f64"; absent = f64 (pre-dtype rows)
 	Iters         int     `json:"iters"`
 	NsPerOp       float64 `json:"ns_per_op"`
 	AllocsPerOp   int64   `json:"allocs_per_op"`

@@ -114,6 +114,9 @@ type AsyncPBTrainer struct {
 	// doesn't collect them, stage 0 recycles the buffers into its own arena
 	// instead.
 	inputFree chan *tensor.Tensor
+	// dtype caches the network's parameter dtype for InputBuffer;
+	// Network.DType walks the parameter list and would allocate per sample.
+	dtype tensor.DType
 	// completed counts samples whose final (stage-0) update has been
 	// applied; donePing wakes a Drain waiting on it.
 	completed atomic.Int64
@@ -162,6 +165,7 @@ func NewAsyncPBTrainer(net *nn.Network, cfg Config, mode AsyncMode) *AsyncPBTrai
 		inputFree: make(chan *tensor.Tensor, maxFreeInputs),
 		donePing:  make(chan struct{}, 1),
 		stop:      make(chan struct{}),
+		dtype:     inner.dtype,
 	}
 	for i, st := range inner.stages {
 		as := &asyncStage{stageState: st}
@@ -307,16 +311,17 @@ func (t *AsyncPBTrainer) InputBuffer(shape ...int) *tensor.Tensor {
 	for _, d := range shape {
 		n *= d
 	}
+	dt := t.dtype
 	for {
 		select {
 		case x := <-t.inputFree:
-			if len(x.Data) == n {
+			if x.Size() == n && x.DType() == dt {
 				x.SetShape(shape...)
 				return x
 			}
 			// Stale shape (workload changed); drop and keep looking.
 		default:
-			return tensor.New(shape...)
+			return tensor.NewDT(dt, shape...)
 		}
 	}
 }

@@ -153,6 +153,9 @@ func NewCluster(nets []*nn.Network, cfg Config, cc ClusterConfig) (*Cluster, err
 	if err := validateReplicaNets(nets); err != nil {
 		return nil, err
 	}
+	if nets[0].DType() != tensor.F64 {
+		return nil, fmt.Errorf("core: cluster training is f64-only (replica sync averages f64 buffers), got %s nets", nets[0].DType())
+	}
 
 	c := &Cluster{
 		cfg:        cfg,
@@ -284,6 +287,10 @@ func validateReplicaNets(nets []*nn.Network) error {
 				if p.Name != ps0[j].Name || p.W.Size() != ps0[j].W.Size() {
 					return fmt.Errorf("core: cluster replica %d stage %d param %q/%d mismatches replica 0's %q/%d",
 						r, s, p.Name, p.W.Size(), ps0[j].Name, ps0[j].W.Size())
+				}
+				if p.DType() != ps0[j].DType() {
+					return fmt.Errorf("core: cluster replica %d param %q is %s, replica 0 is %s",
+						r, p.Name, p.DType(), ps0[j].DType())
 				}
 				if prev, dup := seen[p]; dup {
 					return fmt.Errorf("core: replicas %d and %d share parameter %q — replicas need their own weight copies (clone with shared init, don't alias)", prev, r, p.Name)

@@ -273,8 +273,9 @@ func RunEpoch(ctx context.Context, e Engine, ds *data.Dataset, perm []int, aug d
 		}
 		// The engine owns each submitted tensor; InputBuffer hands back
 		// retired ones, so the steady-state loop allocates no inputs.
+		// SetFloat64s converts at the boundary when the engine runs at f32.
 		x := e.InputBuffer(shape...)
-		copy(x.Data, sample)
+		x.SetFloat64s(0, sample)
 		rs, serr := e.Submit(ctx, x, ds.Labels[idx])
 		record(rs)
 		if serr != nil {

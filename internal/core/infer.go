@@ -31,21 +31,38 @@ var ErrInferClosed = errors.New("core: infer engine closed")
 // slot) still pin the set, which is what the hot-swap leak tests assert on.
 type WeightSet struct {
 	names [][]string
-	datas [][][]float64
-	refs  atomic.Int64
+	dtype tensor.DType
+	// Exactly one of datas/datas32 is populated, matching dtype.
+	datas   [][][]float64
+	datas32 [][][]float32
+	refs    atomic.Int64
 }
 
-// CaptureWeights deep-copies net's current weights into a WeightSet. The
-// source network is not retained; mutating it later does not affect the set.
+// CaptureWeights deep-copies net's current weights into a WeightSet at the
+// network's own dtype. The source network is not retained; mutating it later
+// does not affect the set.
 func CaptureWeights(net *nn.Network) *WeightSet {
 	n := net.NumStages()
 	ws := &WeightSet{
 		names: make([][]string, n),
-		datas: make([][][]float64, n),
+		dtype: net.DType(),
+	}
+	if ws.dtype == tensor.F32 {
+		ws.datas32 = make([][][]float32, n)
+	} else {
+		ws.datas = make([][][]float64, n)
 	}
 	for s := 0; s < n; s++ {
 		ps := net.StageParams(s)
 		ws.names[s] = make([]string, len(ps))
+		if ws.dtype == tensor.F32 {
+			ws.datas32[s] = make([][]float32, len(ps))
+			for j, p := range ps {
+				ws.names[s][j] = p.Name
+				ws.datas32[s][j] = append([]float32(nil), p.W.Data32()...)
+			}
+			continue
+		}
 		ws.datas[s] = make([][]float64, len(ps))
 		for j, p := range ps {
 			ws.names[s][j] = p.Name
@@ -53,6 +70,20 @@ func CaptureWeights(net *nn.Network) *WeightSet {
 		}
 	}
 	return ws
+}
+
+// DType reports the element type the set's weights are stored at.
+func (ws *WeightSet) DType() tensor.DType { return ws.dtype }
+
+// stageCount returns the number of stages the set covers.
+func (ws *WeightSet) stageCount() int { return len(ws.names) }
+
+// paramLen returns the value count of stage s's parameter j.
+func (ws *WeightSet) paramLen(s, j int) int {
+	if ws.dtype == tensor.F32 {
+		return len(ws.datas32[s][j])
+	}
+	return len(ws.datas[s][j])
 }
 
 func (ws *WeightSet) retain() { ws.refs.Add(1) }
@@ -68,21 +99,25 @@ func (ws *WeightSet) release() {
 // every request admitted under it has completed.
 func (ws *WeightSet) InUse() int64 { return ws.refs.Load() }
 
-// matches validates the set against an expected per-stage parameter layout.
-func (ws *WeightSet) matches(names [][]string, sizes [][]int) error {
-	if len(ws.datas) != len(names) {
-		return fmt.Errorf("core: weight set has %d stages, want %d", len(ws.datas), len(names))
+// matches validates the set against an expected per-stage parameter layout
+// and dtype.
+func (ws *WeightSet) matches(names [][]string, sizes [][]int, dt tensor.DType) error {
+	if ws.dtype != dt {
+		return fmt.Errorf("core: weight set dtype %s, engine runs %s", ws.dtype, dt)
+	}
+	if ws.stageCount() != len(names) {
+		return fmt.Errorf("core: weight set has %d stages, want %d", ws.stageCount(), len(names))
 	}
 	for s := range names {
-		if len(ws.datas[s]) != len(names[s]) {
-			return fmt.Errorf("core: weight set stage %d has %d params, want %d", s, len(ws.datas[s]), len(names[s]))
+		if len(ws.names[s]) != len(names[s]) {
+			return fmt.Errorf("core: weight set stage %d has %d params, want %d", s, len(ws.names[s]), len(names[s]))
 		}
 		for j := range names[s] {
 			if ws.names[s][j] != names[s][j] {
 				return fmt.Errorf("core: weight set stage %d param %d is %q, want %q", s, j, ws.names[s][j], names[s][j])
 			}
-			if len(ws.datas[s][j]) != sizes[s][j] {
-				return fmt.Errorf("core: weight set param %q has %d values, want %d", ws.names[s][j], len(ws.datas[s][j]), sizes[s][j])
+			if ws.paramLen(s, j) != sizes[s][j] {
+				return fmt.Errorf("core: weight set param %q has %d values, want %d", ws.names[s][j], ws.paramLen(s, j), sizes[s][j])
 			}
 		}
 	}
@@ -190,10 +225,11 @@ func init() {
 // weight set and the request counters.
 type inferBase struct {
 	weights atomic.Pointer[WeightSet]
-	// names/sizes are the pipeline's expected parameter layout, captured at
-	// construction and used to validate swapped-in sets.
+	// names/sizes/dtype are the pipeline's expected parameter layout, captured
+	// at construction and used to validate swapped-in sets.
 	names [][]string
 	sizes [][]int
+	dtype tensor.DType
 
 	submitted atomic.Int64
 	completed atomic.Int64
@@ -211,6 +247,7 @@ func (b *inferBase) initBase(nets []*nn.Network) error {
 	}
 	net := nets[0]
 	n := net.NumStages()
+	b.dtype = net.DType()
 	b.names = make([][]string, n)
 	b.sizes = make([][]int, n)
 	for s := 0; s < n; s++ {
@@ -244,7 +281,7 @@ func (b *inferBase) acquire() *WeightSet {
 
 // swap validates and atomically publishes ws, returning the displaced set.
 func (b *inferBase) swap(ws *WeightSet) (*WeightSet, error) {
-	if err := ws.matches(b.names, b.sizes); err != nil {
+	if err := ws.matches(b.names, b.sizes, b.dtype); err != nil {
 		return nil, err
 	}
 	ws.retain()
@@ -301,11 +338,24 @@ func (st *inferStage) install(ws *WeightSet) {
 	if ws == st.cur {
 		return
 	}
-	view := ws.datas[st.idx]
-	for j, p := range st.params {
+	installStageWeights(ws, st.idx, st.params)
+	st.cur = ws
+}
+
+// installStageWeights pointer-swaps stage idx's parameters onto ws's storage,
+// dispatching on the set's dtype.
+func installStageWeights(ws *WeightSet, idx int, params []*nn.Param) {
+	if ws.dtype == tensor.F32 {
+		view := ws.datas32[idx]
+		for j, p := range params {
+			p.SwapData32(view[j])
+		}
+		return
+	}
+	view := ws.datas[idx]
+	for j, p := range params {
 		p.SwapData(view[j])
 	}
-	st.cur = ws
 }
 
 // pipelinedInfer is the forward-only pipelined engine: one goroutine per
@@ -398,7 +448,7 @@ func (e *pipelinedInfer) stageLoop(stages []*inferStage, st *inferStage) {
 			// settled — weight pin released, completion counted — before the
 			// response is delivered, so a client that has its logits always
 			// observes the counters and reference counts already up to date.
-			logits := tensor.New(out.X.Shape...)
+			logits := tensor.NewDT(out.X.DType(), out.X.Shape...)
 			logits.CopyFrom(out.X)
 			st.arena.Put(out.X)
 			f.ws.release()
@@ -421,6 +471,7 @@ func (e *pipelinedInfer) stageLoop(stages []*inferStage, st *inferStage) {
 // but the flight still completes inside the pipeline (its resources are
 // released there), so cancellation never wedges a stage.
 func (e *pipelinedInfer) Infer(ctx context.Context, x *tensor.Tensor) (*tensor.Tensor, error) {
+	x = x.ConvertTo(e.dtype) // feeders supply f64; identity when dtypes match
 	ws := e.acquire()
 	f := &inferFlight{p: nn.NewPacket(x), ws: ws, out: make(chan *tensor.Tensor, 1)}
 	rep := e.reps[int(e.next.Add(1)-1)%len(e.reps)]
@@ -547,6 +598,7 @@ func (e *directInfer) Infer(ctx context.Context, x *tensor.Tensor) (*tensor.Tens
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	x = x.ConvertTo(e.dtype) // feeders supply f64; identity when dtypes match
 	ws := e.acquire()
 	defer ws.release()
 	rep := e.reps[int(e.next.Add(1)-1)%len(e.reps)]
@@ -555,10 +607,7 @@ func (e *directInfer) Infer(ctx context.Context, x *tensor.Tensor) (*tensor.Tens
 	e.submitted.Add(1)
 	if ws != rep.cur {
 		for s, ps := range rep.params {
-			view := ws.datas[s]
-			for j, p := range ps {
-				p.SwapData(view[j])
-			}
+			installStageWeights(ws, s, ps)
 		}
 		rep.cur = ws
 	}
@@ -569,7 +618,7 @@ func (e *directInfer) Infer(ctx context.Context, x *tensor.Tensor) (*tensor.Tens
 	if len(p.Skips) != 0 {
 		panic("core: infer pipeline finished with a non-empty skip stack")
 	}
-	logits := tensor.New(p.X.Shape...)
+	logits := tensor.NewDT(p.X.DType(), p.X.Shape...)
 	logits.CopyFrom(p.X)
 	rep.arena.Put(p.X)
 	done := e.completed.Add(1)

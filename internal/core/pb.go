@@ -105,6 +105,10 @@ type PBTrainer struct {
 	// inputFree holds input tensors retired by stage 0's backward pass, for
 	// reuse by InputBuffer (bounded by maxFreeInputs).
 	inputFree []*tensor.Tensor
+	// dtype is the network's parameter dtype, cached at construction:
+	// InputBuffer runs once per sample and Network.DType walks the parameter
+	// list, which would allocate on the steady-state feeding path.
+	dtype tensor.DType
 	// obs is the driver-side producer for Config.Obs (nil without a bus).
 	obs *obs.Producer
 	// pars are the kernel-worker groups this trainer owns (closed by Close).
@@ -130,7 +134,7 @@ func NewPBTrainer(net *nn.Network, cfg Config) *PBTrainer {
 func newPBTrainer(net *nn.Network, cfg Config) *PBTrainer {
 	s := net.NumStages()
 	delays := StageDelays(s)
-	t := &PBTrainer{Net: net, Cfg: cfg}
+	t := &PBTrainer{Net: net, Cfg: cfg, dtype: net.DType()}
 	for i, st := range net.Stages {
 		ss := &stageState{stage: st, params: st.Params(), delay: delays[i], idx: i, chaos: cfg.StageDelay}
 		if !cfg.Unpooled {
@@ -200,11 +204,12 @@ func (t *PBTrainer) Push(x *tensor.Tensor, label int) {
 // InputBuffer returns a tensor of the given shape for the next Push/Submit,
 // reusing a retired input buffer when one is available.
 func (t *PBTrainer) InputBuffer(shape ...int) *tensor.Tensor {
-	return takeInput(&t.inputFree, shape)
+	return takeInput(&t.inputFree, t.dtype, shape)
 }
 
-// takeInput pops a recycled input of matching size from free, or allocates.
-func takeInput(free *[]*tensor.Tensor, shape []int) *tensor.Tensor {
+// takeInput pops a recycled input of matching size and dtype from free, or
+// allocates at the engine's dtype.
+func takeInput(free *[]*tensor.Tensor, dt tensor.DType, shape []int) *tensor.Tensor {
 	n := 1
 	for _, d := range shape {
 		n *= d
@@ -214,12 +219,12 @@ func takeInput(free *[]*tensor.Tensor, shape []int) *tensor.Tensor {
 		x := l[len(l)-1]
 		l[len(l)-1] = nil
 		*free = l[:len(l)-1]
-		if len(x.Data) == n {
+		if x.Size() == n && x.DType() == dt {
 			x.SetShape(shape...)
 			return x
 		}
 	}
-	return tensor.New(shape...)
+	return tensor.NewDT(dt, shape...)
 }
 
 // recycleInput stores a retired input tensor for reuse, dropping it when the

@@ -20,7 +20,9 @@ func feedHalves(e Engine, train *data.Dataset, compare func(point string)) {
 	feed := func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			x := e.InputBuffer(shape...)
-			copy(x.Data, train.Samples[i])
+			// SetFloat64s converts at the boundary when the engine runs f32
+			// (a plain copy for f64 engines).
+			x.SetFloat64s(0, train.Samples[i])
 			submit(e, x, train.Labels[i])
 		}
 		drain(e)
@@ -134,28 +136,38 @@ func TestLayerSteadyStateAllocs(t *testing.T) {
 		{"relu", nn.ReLU{}, []int{1, 64}},
 		{"groupnorm", nn.NewGroupNorm("gn", 4, 2), []int{1, 4, 6, 6}},
 	}
-	// Each case runs serially and through a kernel-worker group: parallel
-	// dispatch must add zero steady-state allocations (pre-spawned workers,
-	// no per-call channel or closure churn).
+	// Each case runs serially and through a kernel-worker group, at both
+	// dtypes: parallel dispatch and the f32 kernel set must add zero
+	// steady-state allocations (pre-spawned workers, no per-call channel,
+	// closure or job-boxing churn).
 	par := tensor.NewParallel(2)
 	defer par.Close()
 	for _, c := range cases {
-		for _, p := range []*tensor.Parallel{nil, par} {
-			ar := tensor.NewArena()
-			run := func() {
-				x := ar.Get(c.shape...)
-				y, ctx := c.layer.Forward(x, ar, p)
-				dy := ar.Get(y.Shape...)
-				ar.Put(y)
-				dx := c.layer.Backward(dy, ctx, ar, p)
-				ar.Put(dx)
+		for _, dt := range []tensor.DType{tensor.F64, tensor.F32} {
+			layer := c.layer
+			if dt == tensor.F32 {
+				for _, p := range layer.Params() {
+					p.W = p.W.ConvertTo(tensor.F32)
+					p.G = tensor.NewDT(tensor.F32, p.G.Shape...)
+				}
 			}
-			for i := 0; i < 3; i++ {
-				run() // warm the arena and context pools
-			}
-			if allocs := testing.AllocsPerRun(20, run); allocs > 0 {
-				t.Errorf("%s (workers=%d): %v allocs per forward+backward, want 0",
-					c.name, p.Workers(), allocs)
+			for _, p := range []*tensor.Parallel{nil, par} {
+				ar := tensor.NewArena()
+				run := func() {
+					x := ar.GetDT(dt, c.shape...)
+					y, ctx := layer.Forward(x, ar, p)
+					dy := ar.GetDT(dt, y.Shape...)
+					ar.Put(y)
+					dx := layer.Backward(dy, ctx, ar, p)
+					ar.Put(dx)
+				}
+				for i := 0; i < 3; i++ {
+					run() // warm the arena and context pools
+				}
+				if allocs := testing.AllocsPerRun(20, run); allocs > 0 {
+					t.Errorf("%s (%s, workers=%d): %v allocs per forward+backward, want 0",
+						c.name, dt, p.Workers(), allocs)
+				}
 			}
 		}
 	}

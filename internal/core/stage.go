@@ -180,7 +180,7 @@ func (st *stageState) runBackward(dIn *nn.Packet, mit Mitigation, bwdHorizon, lr
 // own backward pass.
 func (st *stageState) runLossHead(head nn.SoftmaxCrossEntropy, out *nn.Packet, label int) (loss float64, correct bool, grad *nn.Packet) {
 	st.labelBuf[0] = label
-	dl := st.arena.Get(out.X.Shape...)
+	dl := st.arena.GetDT(out.X.DType(), out.X.Shape...)
 	loss = head.LossInto(dl, out.X, st.labelBuf[:])
 	correct = nn.Accuracy(out.X, st.labelBuf[:]) == 1
 	st.arena.Put(out.X)

@@ -47,6 +47,7 @@ func (f *FRN) Forward(x *tensor.Tensor, ar *tensor.Arena, par *tensor.Parallel) 
 	if len(x.Shape) != 4 || x.Shape[1] != f.C {
 		panic(fmt.Sprintf("nn: FRN %s input %v, want [N,%d,H,W]", f.nameText, x.Shape, f.C))
 	}
+	requireF64(f.nameText, x)
 	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
 	m := h * w
 	// Fully overwritten below, so plain (unzeroed) Gets suffice.
@@ -198,6 +199,7 @@ func (c *WSConv2D) standardize(ar *tensor.Arena) (*tensor.Tensor, []float64) {
 
 // Forward implements Layer.
 func (c *WSConv2D) Forward(x *tensor.Tensor, ar *tensor.Arena, par *tensor.Parallel) (*tensor.Tensor, any) {
+	requireF64(c.nameText, x)
 	what, inv := c.standardize(ar)
 	var b *tensor.Tensor
 	if c.Bias != nil {

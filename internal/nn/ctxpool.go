@@ -60,6 +60,16 @@ func popShapeBox(ar *tensor.Arena, free *[]any, n int) (any, []int) {
 	return s, s
 }
 
+// requireF64 rejects non-f64 activations for layers outside the f32 path
+// (the experimental normalizers, dropout, weight standardization —
+// DESIGN.md §15 scopes f32 to the serving/training core). Failing loudly
+// here beats the silent zero output a nil Data loop would produce.
+func requireF64(name string, x *tensor.Tensor) {
+	if x.DType() != tensor.F64 {
+		panic("nn: " + name + " is f64-only; f32 models must not include it")
+	}
+}
+
 // resize returns a slice of length n, reusing s's storage when possible.
 func resize[T any](s []T, n int) []T {
 	if cap(s) >= n {

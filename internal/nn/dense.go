@@ -35,13 +35,23 @@ func (d *Dense) Forward(x *tensor.Tensor, ar *tensor.Arena, par *tensor.Parallel
 		panic(fmt.Sprintf("nn: dense %s input %v, want [N,%d]", d.nameText, x.Shape, d.In))
 	}
 	n := x.Shape[0]
-	y := ar.Get(n, d.Out)
+	y := ar.GetDT(x.DType(), n, d.Out)
 	par.MatMulTransBInto(y, x, d.Weight.W) // [N,In]·[Out,In]ᵀ = [N,Out]
 	if d.Bias != nil {
-		for s := 0; s < n; s++ {
-			row := y.Data[s*d.Out : (s+1)*d.Out]
-			for j := 0; j < d.Out; j++ {
-				row[j] += d.Bias.W.Data[j]
+		if x.DType() == tensor.F32 {
+			yd, bd := y.Data32(), d.Bias.W.Data32()
+			for s := 0; s < n; s++ {
+				row := yd[s*d.Out : (s+1)*d.Out]
+				for j := 0; j < d.Out; j++ {
+					row[j] += bd[j]
+				}
+			}
+		} else {
+			for s := 0; s < n; s++ {
+				row := y.Data[s*d.Out : (s+1)*d.Out]
+				for j := 0; j < d.Out; j++ {
+					row[j] += d.Bias.W.Data[j]
+				}
 			}
 		}
 	}
@@ -55,15 +65,25 @@ func (d *Dense) Backward(dy *tensor.Tensor, ctx any, ar *tensor.Arena, par *tens
 	par.MatMulTransAAccInto(d.Weight.G, dy, x)
 	if d.Bias != nil {
 		n := dy.Shape[0]
-		for s := 0; s < n; s++ {
-			row := dy.Data[s*d.Out : (s+1)*d.Out]
-			for j := 0; j < d.Out; j++ {
-				d.Bias.G.Data[j] += row[j]
+		if dy.DType() == tensor.F32 {
+			dyd, gd := dy.Data32(), d.Bias.G.Data32()
+			for s := 0; s < n; s++ {
+				row := dyd[s*d.Out : (s+1)*d.Out]
+				for j := 0; j < d.Out; j++ {
+					gd[j] += row[j]
+				}
+			}
+		} else {
+			for s := 0; s < n; s++ {
+				row := dy.Data[s*d.Out : (s+1)*d.Out]
+				for j := 0; j < d.Out; j++ {
+					d.Bias.G.Data[j] += row[j]
+				}
 			}
 		}
 	}
 	// dx = dy·W → [N, In]
-	dx := ar.Get(dy.Shape[0], d.In)
+	dx := ar.GetDT(dy.DType(), dy.Shape[0], d.In)
 	par.MatMulInto(dx, dy, d.Weight.W)
 	ar.Put(dy, x)
 	return dx

@@ -34,6 +34,7 @@ func (d *Dropout) Forward(x *tensor.Tensor, ar *tensor.Arena, par *tensor.Parall
 	if !d.Training || d.P == 0 {
 		return x, nil
 	}
+	requireF64(d.nameText, x)
 	y := ar.Get(x.Shape...)
 	mask := resize(popSlice(ar, &d.maskFree), x.Size())
 	scale := 1 / (1 - d.P)
@@ -128,6 +129,7 @@ func (o *OnlineNorm) Name() string { return o.nameText }
 
 // Forward implements Layer.
 func (o *OnlineNorm) Forward(x *tensor.Tensor, ar *tensor.Arena, par *tensor.Parallel) (*tensor.Tensor, any) {
+	requireF64(o.nameText, x)
 	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
 	m := n * h * w
 	y := ar.Get(x.Shape...)
@@ -228,6 +230,7 @@ func (l *ScaleLayer) Name() string { return l.nameText }
 
 // Forward implements Layer; the context is the input.
 func (l *ScaleLayer) Forward(x *tensor.Tensor, ar *tensor.Arena, par *tensor.Parallel) (*tensor.Tensor, any) {
+	requireF64(l.nameText, x)
 	y := ar.Get(x.Shape...)
 	s := l.S.W.Data[0]
 	for i, v := range x.Data {

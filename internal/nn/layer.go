@@ -43,7 +43,18 @@ func (ReLU) Name() string { return "relu" }
 
 // Forward implements Layer. The context is the input (its sign is the mask).
 func (ReLU) Forward(x *tensor.Tensor, ar *tensor.Arena, par *tensor.Parallel) (*tensor.Tensor, any) {
-	y := ar.Get(x.Shape...)
+	y := ar.GetDT(x.DType(), x.Shape...)
+	if x.DType() == tensor.F32 {
+		yd := y.Data32()
+		for i, v := range x.Data32() {
+			if v > 0 {
+				yd[i] = v
+			} else {
+				yd[i] = 0
+			}
+		}
+		return y, x
+	}
 	for i, v := range x.Data {
 		if v > 0 {
 			y.Data[i] = v
@@ -57,7 +68,19 @@ func (ReLU) Forward(x *tensor.Tensor, ar *tensor.Arena, par *tensor.Parallel) (*
 // Backward implements Layer.
 func (ReLU) Backward(dy *tensor.Tensor, ctx any, ar *tensor.Arena, par *tensor.Parallel) *tensor.Tensor {
 	x := ctx.(*tensor.Tensor)
-	dx := ar.Get(dy.Shape...)
+	dx := ar.GetDT(dy.DType(), dy.Shape...)
+	if dy.DType() == tensor.F32 {
+		xd, dxd := x.Data32(), dx.Data32()
+		for i, v := range dy.Data32() {
+			if xd[i] > 0 {
+				dxd[i] = v
+			} else {
+				dxd[i] = 0
+			}
+		}
+		ar.Put(dy, x)
+		return dx
+	}
 	for i, v := range dy.Data {
 		if x.Data[i] > 0 {
 			dx.Data[i] = v
@@ -90,7 +113,7 @@ func (*Flatten) Name() string { return "flatten" }
 func (l *Flatten) Forward(x *tensor.Tensor, ar *tensor.Arena, par *tensor.Parallel) (*tensor.Tensor, any) {
 	n := x.Shape[0]
 	f := x.Size() / n
-	y := ar.Get(n, f)
+	y := ar.GetDT(x.DType(), n, f)
 	y.CopyFrom(x)
 	ctxBox, shape := popShapeBox(ar, &l.ctxFree, len(x.Shape))
 	copy(shape, x.Shape)
@@ -101,7 +124,7 @@ func (l *Flatten) Forward(x *tensor.Tensor, ar *tensor.Arena, par *tensor.Parall
 // Backward implements Layer.
 func (l *Flatten) Backward(dy *tensor.Tensor, ctx any, ar *tensor.Arena, par *tensor.Parallel) *tensor.Tensor {
 	shape := ctx.([]int)
-	dx := ar.Get(shape...)
+	dx := ar.GetDT(dy.DType(), shape...)
 	dx.CopyFrom(dy)
 	ar.Put(dy)
 	if ar != nil {
@@ -148,7 +171,7 @@ func (m *MaxPool2D) Forward(x *tensor.Tensor, ar *tensor.Arena, par *tensor.Para
 	cc.argmax = resize(cc.argmax, n*c*oh*ow)
 	cc.xShape = resize(cc.xShape, 4)
 	copy(cc.xShape, x.Shape)
-	y := ar.Get(n, c, oh, ow)
+	y := ar.GetDT(x.DType(), n, c, oh, ow)
 	tensor.MaxPool2DForwardInto(y, cc.argmax, x, m.K, m.Stride)
 	ar.Put(x)
 	return y, cc
@@ -157,7 +180,7 @@ func (m *MaxPool2D) Forward(x *tensor.Tensor, ar *tensor.Arena, par *tensor.Para
 // Backward implements Layer.
 func (m *MaxPool2D) Backward(dy *tensor.Tensor, ctx any, ar *tensor.Arena, par *tensor.Parallel) *tensor.Tensor {
 	cc := ctx.(*maxPoolCtx)
-	dx := ar.Get(cc.xShape...)
+	dx := ar.GetDT(dy.DType(), cc.xShape...)
 	tensor.MaxPool2DBackwardInto(dx, dy, cc.argmax)
 	ar.Put(dy)
 	if ar != nil {
@@ -192,7 +215,7 @@ func (l *GlobalAvgPool) Forward(x *tensor.Tensor, ar *tensor.Arena, par *tensor.
 	}
 	ctxBox, shape := popShapeBox(ar, &l.ctxFree, len(x.Shape))
 	copy(shape, x.Shape)
-	y := ar.Get(x.Shape[0], x.Shape[1])
+	y := ar.GetDT(x.DType(), x.Shape[0], x.Shape[1])
 	tensor.GlobalAvgPoolForwardInto(y, x)
 	ar.Put(x)
 	return y, ctxBox
@@ -200,7 +223,7 @@ func (l *GlobalAvgPool) Forward(x *tensor.Tensor, ar *tensor.Arena, par *tensor.
 
 // Backward implements Layer.
 func (l *GlobalAvgPool) Backward(dy *tensor.Tensor, ctx any, ar *tensor.Arena, par *tensor.Parallel) *tensor.Tensor {
-	dx := ar.Get(ctx.([]int)...)
+	dx := ar.GetDT(dy.DType(), ctx.([]int)...)
 	tensor.GlobalAvgPoolBackwardInto(dx, dy)
 	ar.Put(dy)
 	if ar != nil {

@@ -14,7 +14,7 @@ type SoftmaxCrossEntropy struct{}
 // Loss returns the mean loss and dL/dlogits for logits [N,K] and labels of
 // length N.
 func (s SoftmaxCrossEntropy) Loss(logits *tensor.Tensor, labels []int) (float64, *tensor.Tensor) {
-	dl := tensor.New(logits.Shape[0], logits.Shape[1])
+	dl := tensor.NewDT(logits.DType(), logits.Shape[0], logits.Shape[1])
 	return s.LossInto(dl, logits, labels), dl
 }
 
@@ -27,6 +27,9 @@ func (SoftmaxCrossEntropy) LossInto(dl, logits *tensor.Tensor, labels []int) flo
 	}
 	if dl.Size() != n*k {
 		panic("nn: SoftmaxCrossEntropy gradient size mismatch")
+	}
+	if logits.DType() == tensor.F32 {
+		return lossInto32(dl, logits, labels, n, k)
 	}
 	total := 0.0
 	for s := 0; s < n; s++ {
@@ -52,6 +55,39 @@ func (SoftmaxCrossEntropy) LossInto(dl, logits *tensor.Tensor, labels []int) flo
 	return total / float64(n)
 }
 
+// lossInto32 is the float32 loss head. The softmax itself — exp, log, the
+// probability normalization — runs in float64 on cast logits (the transcendental
+// chain is where f32 error compounds); only the stored gradient rounds to
+// float32. dl must be f32 of the logits' shape.
+func lossInto32(dl, logits *tensor.Tensor, labels []int, n, k int) float64 {
+	if dl.DType() != tensor.F32 {
+		panic("nn: SoftmaxCrossEntropy gradient dtype mismatch")
+	}
+	ld, dld := logits.Data32(), dl.Data32()
+	total := 0.0
+	for s := 0; s < n; s++ {
+		row := ld[s*k : (s+1)*k]
+		maxv := float64(row[0])
+		for _, v := range row {
+			if float64(v) > maxv {
+				maxv = float64(v)
+			}
+		}
+		sum := 0.0
+		for _, v := range row {
+			sum += math.Exp(float64(v) - maxv)
+		}
+		logSum := math.Log(sum) + maxv
+		total += logSum - float64(row[labels[s]])
+		for j := 0; j < k; j++ {
+			p := math.Exp(float64(row[j])-maxv) / sum
+			dld[s*k+j] = float32(p / float64(n))
+		}
+		dld[s*k+labels[s]] -= float32(1.0 / float64(n))
+	}
+	return total / float64(n)
+}
+
 // Accuracy returns the number of rows whose argmax equals the label.
 func Accuracy(logits *tensor.Tensor, labels []int) int {
 	correct := 0
@@ -71,6 +107,9 @@ type MSE struct{}
 func (MSE) Loss(y, t *tensor.Tensor) (float64, *tensor.Tensor) {
 	if y.Size() != t.Size() {
 		panic("nn: MSE size mismatch")
+	}
+	if y.DType() != tensor.F64 || t.DType() != tensor.F64 {
+		panic("nn: MSE is f64-only")
 	}
 	dl := tensor.New(y.Shape...)
 	total := 0.0

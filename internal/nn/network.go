@@ -29,6 +29,28 @@ func (n *Network) Params() []*Param {
 // StageParams returns the parameters of stage s.
 func (n *Network) StageParams(s int) []*Param { return n.Stages[s].Params() }
 
+// DType reports the parameter dtype (F64 for a parameter-free network).
+func (n *Network) DType() tensor.DType {
+	if ps := n.Params(); len(ps) > 0 {
+		return ps[0].DType()
+	}
+	return tensor.F64
+}
+
+// ConvertTo converts every parameter to dt in place: weights by direct value
+// cast, gradient accumulators reset to zero at the new dtype. Networks are
+// always built (and initialized) at f64 and converted afterwards, so an f32
+// model is the deterministic rounding of its f64 twin (DESIGN.md §15).
+func (n *Network) ConvertTo(dt tensor.DType) {
+	for _, p := range n.Params() {
+		if p.W.DType() == dt {
+			continue
+		}
+		p.W = p.W.ConvertTo(dt)
+		p.G = tensor.NewDT(dt, p.G.Shape...)
+	}
+}
+
 // ZeroGrad clears every parameter gradient.
 func (n *Network) ZeroGrad() {
 	for _, p := range n.Params() {
@@ -41,6 +63,9 @@ func (n *Network) ZeroGrad() {
 // what evaluation and the reference trainers need: the caller keeps
 // ownership of x and of the returned logits.
 func (n *Network) Forward(x *tensor.Tensor) (*tensor.Tensor, []any) {
+	// Feeders supply float64 batches; convert at the boundary when the
+	// network itself runs at another dtype (identity otherwise).
+	x = x.ConvertTo(n.DType())
 	p := NewPacket(x)
 	ctxs := make([]any, len(n.Stages))
 	for i, s := range n.Stages {

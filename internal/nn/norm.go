@@ -63,6 +63,9 @@ func (g *GroupNorm) Forward(x *tensor.Tensor, ar *tensor.Arena, par *tensor.Para
 	if len(x.Shape) != 4 || x.Shape[1] != g.C {
 		panic(fmt.Sprintf("nn: groupnorm %s input %v, want [N,%d,H,W]", g.nameText, x.Shape, g.C))
 	}
+	if x.DType() == tensor.F32 {
+		return g.forward32(x, ar)
+	}
 	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
 	cg := c / g.Groups
 	m := cg * h * w
@@ -107,6 +110,9 @@ func (g *GroupNorm) Forward(x *tensor.Tensor, ar *tensor.Arena, par *tensor.Para
 // Backward implements Layer.
 func (g *GroupNorm) Backward(dy *tensor.Tensor, ctx any, ar *tensor.Arena, par *tensor.Parallel) *tensor.Tensor {
 	cc := ctx.(*groupNormCtx)
+	if dy.DType() == tensor.F32 {
+		return g.backward32(dy, cc, ar)
+	}
 	n, c, h, w := cc.xShape[0], cc.xShape[1], cc.xShape[2], cc.xShape[3]
 	cg := c / g.Groups
 	m := cg * h * w
@@ -191,6 +197,9 @@ func (l *LayerNorm) Forward(x *tensor.Tensor, ar *tensor.Arena, par *tensor.Para
 	if len(x.Shape) != 2 || x.Shape[1] != l.F {
 		panic(fmt.Sprintf("nn: layernorm %s input %v, want [N,%d]", l.nameText, x.Shape, l.F))
 	}
+	if x.DType() == tensor.F32 {
+		return l.forward32(x, ar)
+	}
 	n, f := x.Shape[0], x.Shape[1]
 	y := ar.Get(n, f)
 	cc := popCtx(ar, &l.ctxFree)
@@ -227,6 +236,9 @@ func (l *LayerNorm) Forward(x *tensor.Tensor, ar *tensor.Arena, par *tensor.Para
 // Backward implements Layer.
 func (l *LayerNorm) Backward(dy *tensor.Tensor, ctx any, ar *tensor.Arena, par *tensor.Parallel) *tensor.Tensor {
 	cc := ctx.(*layerNormCtx)
+	if dy.DType() == tensor.F32 {
+		return l.backward32(dy, cc, ar)
+	}
 	n, f := dy.Shape[0], dy.Shape[1]
 	dx := ar.Get(n, f)
 	for s := 0; s < n; s++ {
@@ -313,6 +325,9 @@ func (b *BatchNorm2D) Forward(x *tensor.Tensor, ar *tensor.Arena, par *tensor.Pa
 	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
 	if c != b.C {
 		panic(fmt.Sprintf("nn: batchnorm %s input %v, want C=%d", b.nameText, x.Shape, b.C))
+	}
+	if x.DType() != tensor.F64 {
+		panic("nn: batchnorm " + b.nameText + " is the f64 reference layer; use GroupNorm for f32 models")
 	}
 	m := n * h * w
 	y := ar.Get(x.Shape...)

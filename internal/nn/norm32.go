@@ -1,0 +1,171 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Float32 bodies of GroupNorm and LayerNorm. Following DESIGN.md §15, the
+// group/row statistics (mean, variance, and the backward reduction sums)
+// accumulate in float64 — the reductions span up to cg·H·W elements and are
+// the numerically fragile part — while the per-element normalize/scale work
+// and the stored xhat stay float32. invStd is kept at float64 in the shared
+// context, exactly as on the f64 path.
+
+func (g *GroupNorm) forward32(x *tensor.Tensor, ar *tensor.Arena) (*tensor.Tensor, any) {
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	cg := c / g.Groups
+	m := cg * h * w
+	y := ar.GetDT(tensor.F32, x.Shape...)
+	cc := popCtx(ar, &g.ctxFree)
+	if cc == nil {
+		cc = &groupNormCtx{}
+	}
+	cc.xhat = ar.GetDT(tensor.F32, x.Shape...)
+	cc.invStd = resize(cc.invStd, n*g.Groups)
+	cc.xShape = resize(cc.xShape, 4)
+	copy(cc.xShape, x.Shape)
+	xd, yd, xhd := x.Data32(), y.Data32(), cc.xhat.Data32()
+	gw, bw := g.Gamma.W.Data32(), g.Beta.W.Data32()
+	for s := 0; s < n; s++ {
+		for gr := 0; gr < g.Groups; gr++ {
+			base := (s*c + gr*cg) * h * w
+			seg := xd[base : base+m]
+			mu := 0.0
+			for _, v := range seg {
+				mu += float64(v)
+			}
+			mu /= float64(m)
+			va := 0.0
+			for _, v := range seg {
+				d := float64(v) - mu
+				va += d * d
+			}
+			va /= float64(m)
+			is := 1.0 / math.Sqrt(va+normEps)
+			cc.invStd[s*g.Groups+gr] = is
+			mu32, is32 := float32(mu), float32(is)
+			for i, v := range seg {
+				xh := (v - mu32) * is32
+				xhd[base+i] = xh
+				ch := gr*cg + i/(h*w)
+				yd[base+i] = gw[ch]*xh + bw[ch]
+			}
+		}
+	}
+	ar.Put(x)
+	return y, cc
+}
+
+func (g *GroupNorm) backward32(dy *tensor.Tensor, cc *groupNormCtx, ar *tensor.Arena) *tensor.Tensor {
+	n, c, h, w := cc.xShape[0], cc.xShape[1], cc.xShape[2], cc.xShape[3]
+	cg := c / g.Groups
+	m := cg * h * w
+	dx := ar.GetDT(tensor.F32, cc.xShape...)
+	dyd, xhd, dxd := dy.Data32(), cc.xhat.Data32(), dx.Data32()
+	gw := g.Gamma.W.Data32()
+	gg, bg := g.Gamma.G.Data32(), g.Beta.G.Data32()
+	for s := 0; s < n; s++ {
+		for gr := 0; gr < g.Groups; gr++ {
+			base := (s*c + gr*cg) * h * w
+			sumDxh, sumDxhXh := 0.0, 0.0
+			for i := 0; i < m; i++ {
+				ch := gr*cg + i/(h*w)
+				d := dyd[base+i]
+				xh := xhd[base+i]
+				gg[ch] += d * xh
+				bg[ch] += d
+				dxh := d * gw[ch]
+				sumDxh += float64(dxh)
+				sumDxhXh += float64(dxh) * float64(xh)
+			}
+			meanDxh := float32(sumDxh / float64(m))
+			meanDxhXh := float32(sumDxhXh / float64(m))
+			is := float32(cc.invStd[s*g.Groups+gr])
+			for i := 0; i < m; i++ {
+				ch := gr*cg + i/(h*w)
+				dxh := dyd[base+i] * gw[ch]
+				xh := xhd[base+i]
+				dxd[base+i] = is * (dxh - meanDxh - xh*meanDxhXh)
+			}
+		}
+	}
+	ar.Put(dy, cc.xhat)
+	if ar != nil {
+		cc.xhat = nil
+		g.ctxFree = append(g.ctxFree, cc)
+	}
+	return dx
+}
+
+func (l *LayerNorm) forward32(x *tensor.Tensor, ar *tensor.Arena) (*tensor.Tensor, any) {
+	n, f := x.Shape[0], x.Shape[1]
+	y := ar.GetDT(tensor.F32, n, f)
+	cc := popCtx(ar, &l.ctxFree)
+	if cc == nil {
+		cc = &layerNormCtx{}
+	}
+	cc.xhat = ar.GetDT(tensor.F32, n, f)
+	cc.invStd = resize(cc.invStd, n)
+	xd, yd, xhd := x.Data32(), y.Data32(), cc.xhat.Data32()
+	gw, bw := l.Gamma.W.Data32(), l.Beta.W.Data32()
+	for s := 0; s < n; s++ {
+		seg := xd[s*f : (s+1)*f]
+		mu := 0.0
+		for _, v := range seg {
+			mu += float64(v)
+		}
+		mu /= float64(f)
+		va := 0.0
+		for _, v := range seg {
+			d := float64(v) - mu
+			va += d * d
+		}
+		va /= float64(f)
+		is := 1.0 / math.Sqrt(va+normEps)
+		cc.invStd[s] = is
+		mu32, is32 := float32(mu), float32(is)
+		for i, v := range seg {
+			xh := (v - mu32) * is32
+			xhd[s*f+i] = xh
+			yd[s*f+i] = gw[i]*xh + bw[i]
+		}
+	}
+	ar.Put(x)
+	return y, cc
+}
+
+func (l *LayerNorm) backward32(dy *tensor.Tensor, cc *layerNormCtx, ar *tensor.Arena) *tensor.Tensor {
+	n, f := dy.Shape[0], dy.Shape[1]
+	dx := ar.GetDT(tensor.F32, n, f)
+	dyd, xhd, dxd := dy.Data32(), cc.xhat.Data32(), dx.Data32()
+	gw := l.Gamma.W.Data32()
+	gg, bg := l.Gamma.G.Data32(), l.Beta.G.Data32()
+	for s := 0; s < n; s++ {
+		sumDxh, sumDxhXh := 0.0, 0.0
+		for i := 0; i < f; i++ {
+			d := dyd[s*f+i]
+			xh := xhd[s*f+i]
+			gg[i] += d * xh
+			bg[i] += d
+			dxh := d * gw[i]
+			sumDxh += float64(dxh)
+			sumDxhXh += float64(dxh) * float64(xh)
+		}
+		meanDxh := float32(sumDxh / float64(f))
+		meanDxhXh := float32(sumDxhXh / float64(f))
+		is := float32(cc.invStd[s])
+		for i := 0; i < f; i++ {
+			dxh := dyd[s*f+i] * gw[i]
+			xh := xhd[s*f+i]
+			dxd[s*f+i] = is * (dxh - meanDxh - xh*meanDxhXh)
+		}
+	}
+	ar.Put(dy, cc.xhat)
+	if ar != nil {
+		cc.xhat = nil
+		l.ctxFree = append(l.ctxFree, cc)
+	}
+	return dx
+}

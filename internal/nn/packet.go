@@ -165,14 +165,21 @@ type DownsampleShortcut struct {
 func (d DownsampleShortcut) Apply(x *tensor.Tensor, ar *tensor.Arena) *tensor.Tensor {
 	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
 	oh, ow := h/2, w/2
-	p := ar.Get(n, c, oh, ow)
+	p := ar.GetDT(x.DType(), n, c, oh, ow)
 	tensor.AvgPool2DForwardInto(p, x, 2)
 	if c == d.OutC {
 		return p
 	}
-	y := ar.GetZeroed(n, d.OutC, oh, ow)
-	for s := 0; s < n; s++ {
-		copy(y.Data[s*d.OutC*oh*ow:s*d.OutC*oh*ow+c*oh*ow], p.Data[s*c*oh*ow:(s+1)*c*oh*ow])
+	y := ar.GetZeroedDT(x.DType(), n, d.OutC, oh, ow)
+	if x.DType() == tensor.F32 {
+		yd, pd := y.Data32(), p.Data32()
+		for s := 0; s < n; s++ {
+			copy(yd[s*d.OutC*oh*ow:s*d.OutC*oh*ow+c*oh*ow], pd[s*c*oh*ow:(s+1)*c*oh*ow])
+		}
+	} else {
+		for s := 0; s < n; s++ {
+			copy(y.Data[s*d.OutC*oh*ow:s*d.OutC*oh*ow+c*oh*ow], p.Data[s*c*oh*ow:(s+1)*c*oh*ow])
+		}
 	}
 	ar.Put(p)
 	return y
@@ -183,11 +190,18 @@ func (d DownsampleShortcut) Grad(dy *tensor.Tensor, xShape []int, ar *tensor.Are
 	n, c := xShape[0], xShape[1]
 	oh, ow := xShape[2]/2, xShape[3]/2
 	// Strip the zero-padded channels, then run the pooling adjoint.
-	dp := ar.Get(n, c, oh, ow)
-	for s := 0; s < n; s++ {
-		copy(dp.Data[s*c*oh*ow:(s+1)*c*oh*ow], dy.Data[s*d.OutC*oh*ow:s*d.OutC*oh*ow+c*oh*ow])
+	dp := ar.GetDT(dy.DType(), n, c, oh, ow)
+	if dy.DType() == tensor.F32 {
+		dpd, dyd := dp.Data32(), dy.Data32()
+		for s := 0; s < n; s++ {
+			copy(dpd[s*c*oh*ow:(s+1)*c*oh*ow], dyd[s*d.OutC*oh*ow:s*d.OutC*oh*ow+c*oh*ow])
+		}
+	} else {
+		for s := 0; s < n; s++ {
+			copy(dp.Data[s*c*oh*ow:(s+1)*c*oh*ow], dy.Data[s*d.OutC*oh*ow:s*d.OutC*oh*ow+c*oh*ow])
+		}
 	}
-	dx := ar.Get(xShape...)
+	dx := ar.GetDT(dy.DType(), xShape...)
 	tensor.AvgPool2DBackwardInto(dx, dp, 2)
 	ar.Put(dp)
 	return dx
@@ -219,7 +233,7 @@ func (s *PushSkip) Forward(p *Packet, ar *tensor.Arena, par *tensor.Parallel) (*
 	if ar != nil && skip == p.X {
 		// Identity shortcuts alias the main path; copy so every tensor in
 		// the pipeline has exactly one owner (DESIGN.md §7).
-		c := ar.Get(p.X.Shape...)
+		c := ar.GetDT(p.X.DType(), p.X.Shape...)
 		c.CopyFrom(p.X)
 		skip = c
 	}
@@ -293,9 +307,16 @@ func (s *AddSkip) Forward(p *Packet, ar *tensor.Arena, par *tensor.Parallel) (*P
 	if !p.X.SameShape(top) {
 		panic(fmt.Sprintf("nn: AddSkip shape mismatch %v + %v", p.X.Shape, top.Shape))
 	}
-	y := ar.Get(p.X.Shape...)
-	for i, v := range p.X.Data {
-		y.Data[i] = v + top.Data[i]
+	y := ar.GetDT(p.X.DType(), p.X.Shape...)
+	if p.X.DType() == tensor.F32 {
+		yd, td := y.Data32(), top.Data32()
+		for i, v := range p.X.Data32() {
+			yd[i] = v + td[i]
+		}
+	} else {
+		for i, v := range p.X.Data {
+			y.Data[i] = v + top.Data[i]
+		}
 	}
 	ar.Put(p.X, top)
 	if ar != nil {
@@ -311,7 +332,7 @@ func (s *AddSkip) Backward(dp *Packet, _ any, ar *tensor.Arena, par *tensor.Para
 	if ar != nil {
 		// Copy the gradient for the skip branch so the two paths do not
 		// alias (each will be consumed — and recycled — independently).
-		c := ar.Get(dp.X.Shape...)
+		c := ar.GetDT(dp.X.DType(), dp.X.Shape...)
 		c.CopyFrom(dp.X)
 		dp.Skips = append(dp.Skips, c)
 		return dp

@@ -15,35 +15,61 @@ type Param struct {
 	G    *tensor.Tensor
 }
 
-// NewParam allocates a parameter and matching zero gradient.
+// NewParam allocates a parameter and matching zero gradient (same dtype as
+// the weights).
 func NewParam(name string, w *tensor.Tensor) *Param {
-	return &Param{Name: name, W: w, G: tensor.New(w.Shape...)}
+	return &Param{Name: name, W: w, G: tensor.NewDT(w.DType(), w.Shape...)}
 }
 
-// Snapshot returns a copy of the current weight data.
+// DType reports the parameter's element type.
+func (p *Param) DType() tensor.DType { return p.W.DType() }
+
+// Snapshot returns a copy of the current weight data as float64 — the
+// canonical exchange format regardless of the parameter's dtype, so
+// checkpoints, weight-sync policies and eval snapshots work unchanged for
+// f32 models (f32→f64 is exact).
 func (p *Param) Snapshot() []float64 {
-	s := make([]float64, len(p.W.Data))
-	copy(s, p.W.Data)
-	return s
+	return p.W.Float64s(make([]float64, 0, p.W.Size()))
 }
 
-// SetData copies data into the weight tensor. Lengths must match.
+// SetData copies float64 data into the weight tensor, converting to the
+// parameter's dtype. Lengths must match. For f32 parameters each value is
+// the direct float32 cast — this is where checkpoint.LoadForward's f64→f32
+// conversion happens.
 func (p *Param) SetData(data []float64) {
-	if len(data) != len(p.W.Data) {
+	if len(data) != p.W.Size() {
 		panic("nn: SetData length mismatch for " + p.Name)
 	}
-	copy(p.W.Data, data)
+	p.W.SetFloat64s(0, data)
 }
 
 // SwapData exchanges the underlying weight storage with data and returns the
 // previous storage. This is how the engine runs a forward pass under
-// predicted or stashed weights without copying twice.
+// predicted or stashed weights without copying twice. f64 parameters only —
+// f32 installs go through SwapData32.
 func (p *Param) SwapData(data []float64) []float64 {
+	if p.W.DType() != tensor.F64 {
+		panic("nn: SwapData on non-f64 param " + p.Name)
+	}
 	if len(data) != len(p.W.Data) {
 		panic("nn: SwapData length mismatch for " + p.Name)
 	}
 	old := p.W.Data
 	p.W.Data = data
+	return old
+}
+
+// SwapData32 is SwapData for f32 parameters — the install primitive of the
+// f32 inference WeightSets.
+func (p *Param) SwapData32(data []float32) []float32 {
+	if p.W.DType() != tensor.F32 {
+		panic("nn: SwapData32 on non-f32 param " + p.Name)
+	}
+	old := p.W.Data32()
+	if len(data) != len(old) {
+		panic("nn: SwapData32 length mismatch for " + p.Name)
+	}
+	p.W.SetData32(data)
 	return old
 }
 

@@ -10,6 +10,7 @@ import (
 	"math"
 
 	"repro/internal/nn"
+	"repro/internal/tensor"
 )
 
 // Scale applies the hyperparameter scaling rule of Eq. 9 (after Chiley et
@@ -161,6 +162,13 @@ func (o *Momentum) Scatter(p *nn.Param, vel, prev []float64) {
 func (o *Momentum) Step(params []*nn.Param) {
 	for _, p := range params {
 		v := o.Vel(p)
+		if p.DType() == tensor.F32 {
+			if o.TrackPrev {
+				panic("optim: TrackPrev (weight prediction) is f64-only; f32 training excludes delay mitigations")
+			}
+			o.step32(p, v)
+			continue
+		}
 		if o.TrackPrev {
 			prev, ok := o.prevMap[p]
 			if !ok {
@@ -179,6 +187,23 @@ func (o *Momentum) Step(params []*nn.Param) {
 			w[i] -= o.LR * (o.A*v[i] + o.B*gi)
 			g[i] = 0
 		}
+	}
+}
+
+// step32 updates one f32 parameter. Velocity stays float64 — master-precision
+// optimizer state: each weight is widened to f64, updated there, and rounded
+// exactly once on the write back, so a step loses precision only at the final
+// store (the standard mixed-precision recipe).
+func (o *Momentum) step32(p *nn.Param, v []float64) {
+	w, g := p.W.Data32(), p.G.Data32()
+	for i := range w {
+		gi := float64(g[i])
+		if o.WeightDecay != 0 {
+			gi += o.WeightDecay * float64(w[i])
+		}
+		v[i] = o.M*v[i] + gi
+		w[i] = float32(float64(w[i]) - o.LR*(o.A*v[i]+o.B*gi))
+		g[i] = 0
 	}
 }
 
@@ -231,6 +256,9 @@ func (o *Momentum) Predict(p *nn.Param, form LWPForm, t float64) []float64 {
 	if t == 0 {
 		return p.Snapshot()
 	}
+	if p.DType() != tensor.F64 {
+		panic("optim: weight prediction is f64-only for " + p.Name)
+	}
 	switch form {
 	case LWPWeight:
 		return PredictWeightForm(p.W.Data, o.Prev(p), t)
@@ -269,6 +297,9 @@ func (o *Adam) Step(params []*nn.Param) {
 	bc1 := 1 - math.Pow(o.Beta1, float64(o.t))
 	bc2 := 1 - math.Pow(o.Beta2, float64(o.t))
 	for _, p := range params {
+		if p.DType() != tensor.F64 {
+			panic("optim: Adam is f64-only for " + p.Name)
+		}
 		m, ok := o.m[p]
 		if !ok {
 			m = make([]float64, p.W.Size())

@@ -275,8 +275,14 @@ func (s *Server) runBatch(batch []*request) {
 		return
 	}
 	k := y.Shape[len(y.Shape)-1]
+	logits := y.Data
+	if y.DType() != tensor.F64 {
+		// f32 backends return logits at the serving dtype; widen once per
+		// batch for the f64 softmax/argmax below.
+		logits = y.Float64s(make([]float64, 0, y.Size()))
+	}
 	for i, r := range batch {
-		row := y.Data[i*k : (i+1)*k]
+		row := logits[i*k : (i+1)*k]
 		probs, class := softmax(row)
 		s.answer(r, response{class: class, probs: probs})
 	}

@@ -1,0 +1,61 @@
+//go:build amd64.v3
+
+#include "textflag.h"
+
+// func axpy4x2(c0, c1, b0, b1, b2, b3 *float32, a *[8]float32, n int)
+//
+// AVX2 2-row x 4-p panel accumulation; see axpy_amd64v3.go for the contract.
+// Y8-Y11 broadcast the four row-0 coefficients, Y12-Y15 the four row-1
+// coefficients; each 8-column step streams the four b-rows once and feeds
+// both output rows. Multiplies and adds stay separate (VMULPS + VADDPS, no
+// FMA) so every element matches Go's separately rounded scalar arithmetic.
+// Requires n > 0 and n%8 == 0.
+TEXT ·axpy4x2(SB), NOSPLIT, $0-72
+	MOVQ c0+0(FP), DI
+	MOVQ c1+8(FP), SI
+	MOVQ b0+16(FP), R8
+	MOVQ b1+24(FP), R9
+	MOVQ b2+32(FP), R10
+	MOVQ b3+40(FP), R11
+	MOVQ a+48(FP), AX
+	MOVQ n+56(FP), DX
+	VBROADCASTSS 0(AX), Y8
+	VBROADCASTSS 4(AX), Y9
+	VBROADCASTSS 8(AX), Y10
+	VBROADCASTSS 12(AX), Y11
+	VBROADCASTSS 16(AX), Y12
+	VBROADCASTSS 20(AX), Y13
+	VBROADCASTSS 24(AX), Y14
+	VBROADCASTSS 28(AX), Y15
+	XORQ BX, BX
+
+loop:
+	VMOVUPS (R8)(BX*4), Y0
+	VMOVUPS (R9)(BX*4), Y1
+	VMOVUPS (R10)(BX*4), Y2
+	VMOVUPS (R11)(BX*4), Y3
+	VMOVUPS (DI)(BX*4), Y4
+	VMOVUPS (SI)(BX*4), Y5
+	VMULPS  Y0, Y8, Y6
+	VADDPS  Y6, Y4, Y4
+	VMULPS  Y0, Y12, Y7
+	VADDPS  Y7, Y5, Y5
+	VMULPS  Y1, Y9, Y6
+	VADDPS  Y6, Y4, Y4
+	VMULPS  Y1, Y13, Y7
+	VADDPS  Y7, Y5, Y5
+	VMULPS  Y2, Y10, Y6
+	VADDPS  Y6, Y4, Y4
+	VMULPS  Y2, Y14, Y7
+	VADDPS  Y7, Y5, Y5
+	VMULPS  Y3, Y11, Y6
+	VADDPS  Y6, Y4, Y4
+	VMULPS  Y3, Y15, Y7
+	VADDPS  Y7, Y5, Y5
+	VMOVUPS Y4, (DI)(BX*4)
+	VMOVUPS Y5, (SI)(BX*4)
+	ADDQ $8, BX
+	CMPQ BX, DX
+	JLT  loop
+	VZEROUPPER
+	RET

@@ -114,11 +114,16 @@ func BenchmarkConvFusedForwardBackward(b *testing.B) {
 	ar := NewArena()
 	dw := New(8, 8, 3, 3)
 	var p *Parallel // serial blocked path; cmd/bench covers worker groups
+	// Carry the cols slice across iterations: a nil colsBuf makes ConvForward
+	// grow a fresh 1-element slice every pass — the stray 1 alloc/op the
+	// kernel bench rows used to show.
+	var colsBuf []*Tensor
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		y, cols := p.ConvForward(ar, x, w, nil, 1, 1, nil)
+		y, cols := p.ConvForward(ar, x, w, nil, 1, 1, colsBuf)
 		dx := p.ConvBackward(ar, y, w, cols, dw, nil, x.Shape, 1, 1)
 		ar.Put(y, dx)
 		ar.Put(cols...)
+		colsBuf = cols
 	}
 }

@@ -1,0 +1,214 @@
+package tensor
+
+// This file holds the float32 twins of the blocked tile kernels in
+// blocked.go. The loop structure, tiling and per-element ascending-p
+// summation order are identical to the float64 kernels, so every tile stays
+// bit-identical to the float32 reference kernels in kernels32.go — the same
+// determinism contract (DESIGN.md §9, §15) at the narrower dtype.
+//
+// The one structural addition is the axpy4x2 fast path in mmTileAcc32's
+// 2-row × 4-p block: when the build carries the amd64.v3 tag, the inner
+// column loop runs as an AVX2 microkernel over the 8-wide-aligned prefix of
+// the tile width. The microkernel vectorizes ACROSS output columns only —
+// each output element still receives its four products in the same ascending
+// p-order, via separate VMULPS/VADDPS (never FMA) matching Go's separately
+// rounded multiply and add — so the asm path is bit-identical to the scalar
+// path, and the build tag can change speed but never results
+// (TestAxpyMatchesScalar enforces this on v3 builds).
+
+// mmTile32 computes dst[i0:i1, j0:j1] = a·b for row-major a [m,k], b [k,n].
+func mmTile32(dst, a, b []float32, k, n, i0, i1, j0, j1 int) {
+	for i := i0; i < i1; i++ {
+		zeroSlice32(dst[i*n+j0 : i*n+j1])
+	}
+	mmTileAcc32(dst, a, b, k, n, i0, i1, j0, j1)
+}
+
+// mmTileAcc32 computes dst[i0:i1, j0:j1] += a·b; see mmTileAcc for the
+// blocking scheme and the file comment for the vector fast path.
+func mmTileAcc32(dst, a, b []float32, k, n, i0, i1, j0, j1 int) {
+	i := i0
+	for ; i+2 <= i1; i += 2 {
+		arow0 := a[i*k : (i+1)*k]
+		arow1 := a[(i+1)*k : (i+2)*k]
+		crow0 := dst[i*n+j0 : i*n+j1]
+		crow1 := dst[(i+1)*n+j0 : (i+1)*n+j1]
+		p := 0
+		for ; p+4 <= k; p += 4 {
+			a00, a01, a02, a03 := arow0[p], arow0[p+1], arow0[p+2], arow0[p+3]
+			a10, a11, a12, a13 := arow1[p], arow1[p+1], arow1[p+2], arow1[p+3]
+			b0 := b[p*n+j0 : p*n+j1]
+			b1 := b[(p+1)*n+j0 : (p+1)*n+j1]
+			b2 := b[(p+2)*n+j0 : (p+2)*n+j1]
+			b3 := b[(p+3)*n+j0 : (p+3)*n+j1]
+			jj := 0
+			if haveAxpy {
+				if wv := len(b0) &^ 7; wv >= 8 {
+					coef := [8]float32{a00, a01, a02, a03, a10, a11, a12, a13}
+					axpy4x2(&crow0[0], &crow1[0], &b0[0], &b1[0], &b2[0], &b3[0], &coef, wv)
+					jj = wv
+				}
+			}
+			for ; jj < len(b0); jj++ {
+				bv := b0[jj]
+				s0, s1 := crow0[jj], crow1[jj]
+				s0 += a00 * bv
+				s1 += a10 * bv
+				bv1 := b1[jj]
+				s0 += a01 * bv1
+				s1 += a11 * bv1
+				bv2 := b2[jj]
+				s0 += a02 * bv2
+				s1 += a12 * bv2
+				bv3 := b3[jj]
+				s0 += a03 * bv3
+				s1 += a13 * bv3
+				crow0[jj] = s0
+				crow1[jj] = s1
+			}
+		}
+		for ; p < k; p++ {
+			av0, av1 := arow0[p], arow1[p]
+			brow := b[p*n+j0 : p*n+j1]
+			for jj, bv := range brow {
+				crow0[jj] += av0 * bv
+				crow1[jj] += av1 * bv
+			}
+		}
+	}
+	for ; i < i1; i++ {
+		arow := a[i*k : (i+1)*k]
+		crow := dst[i*n+j0 : i*n+j1]
+		p := 0
+		for ; p+4 <= k; p += 4 {
+			a0, a1, a2, a3 := arow[p], arow[p+1], arow[p+2], arow[p+3]
+			b0 := b[p*n+j0 : p*n+j1]
+			b1 := b[(p+1)*n+j0 : (p+1)*n+j1]
+			b2 := b[(p+2)*n+j0 : (p+2)*n+j1]
+			b3 := b[(p+3)*n+j0 : (p+3)*n+j1]
+			for jj, bv := range b0 {
+				s := crow[jj]
+				s += a0 * bv
+				s += a1 * b1[jj]
+				s += a2 * b2[jj]
+				s += a3 * b3[jj]
+				crow[jj] = s
+			}
+		}
+		for ; p < k; p++ {
+			av := arow[p]
+			brow := b[p*n+j0 : p*n+j1]
+			for jj, bv := range brow {
+				crow[jj] += av * bv
+			}
+		}
+	}
+}
+
+// mmTATile32 computes dst[i0:i1, j0:j1] = aᵀ·b for a [k,m], b [k,n].
+func mmTATile32(dst, a, b []float32, k, m, n, i0, i1, j0, j1 int) {
+	for i := i0; i < i1; i++ {
+		zeroSlice32(dst[i*n+j0 : i*n+j1])
+	}
+	mmTATileAcc32(dst, a, b, k, m, n, i0, i1, j0, j1)
+}
+
+// mmTATileAcc32 computes dst[i0:i1, j0:j1] += aᵀ·b; see mmTATileAcc.
+func mmTATileAcc32(dst, a, b []float32, k, m, n, i0, i1, j0, j1 int) {
+	p := 0
+	for ; p+4 <= k; p += 4 {
+		a0 := a[p*m : (p+1)*m]
+		a1 := a[(p+1)*m : (p+2)*m]
+		a2 := a[(p+2)*m : (p+3)*m]
+		a3 := a[(p+3)*m : (p+4)*m]
+		b0 := b[p*n+j0 : p*n+j1]
+		b1 := b[(p+1)*n+j0 : (p+1)*n+j1]
+		b2 := b[(p+2)*n+j0 : (p+2)*n+j1]
+		b3 := b[(p+3)*n+j0 : (p+3)*n+j1]
+		for i := i0; i < i1; i++ {
+			av0, av1, av2, av3 := a0[i], a1[i], a2[i], a3[i]
+			crow := dst[i*n+j0 : i*n+j1]
+			for jj, bv := range b0 {
+				s := crow[jj]
+				s += av0 * bv
+				s += av1 * b1[jj]
+				s += av2 * b2[jj]
+				s += av3 * b3[jj]
+				crow[jj] = s
+			}
+		}
+	}
+	for ; p < k; p++ {
+		arow := a[p*m : (p+1)*m]
+		brow := b[p*n+j0 : p*n+j1]
+		for i := i0; i < i1; i++ {
+			av := arow[i]
+			crow := dst[i*n+j0 : i*n+j1]
+			for jj, bv := range brow {
+				crow[jj] += av * bv
+			}
+		}
+	}
+}
+
+// mmTBTile32 computes dst[i0:i1, j0:j1] = a·bᵀ (or += with acc) for a [m,k],
+// b [n,k]; see mmTBTile.
+func mmTBTile32(dst, a, b []float32, k, n, i0, i1, j0, j1 int, acc bool) {
+	for i := i0; i < i1; i++ {
+		arow := a[i*k : (i+1)*k]
+		crow := dst[i*n : (i+1)*n]
+		j := j0
+		for ; j+2 <= j1; j += 2 {
+			br0 := b[j*k : (j+1)*k]
+			br1 := b[(j+1)*k : (j+2)*k]
+			var s0, s1 float32
+			for p, av := range arow {
+				s0 += av * br0[p]
+				s1 += av * br1[p]
+			}
+			if acc {
+				crow[j] += s0
+				crow[j+1] += s1
+			} else {
+				crow[j] = s0
+				crow[j+1] = s1
+			}
+		}
+		for ; j < j1; j++ {
+			brow := b[j*k : (j+1)*k]
+			var s float32
+			for p, av := range arow {
+				s += av * brow[p]
+			}
+			if acc {
+				crow[j] += s
+			} else {
+				crow[j] = s
+			}
+		}
+	}
+}
+
+// im2colRange32 is im2colRange at float32: it unfolds channel ch of plane xc
+// into the matching column stripe of cols for output rows [oi0, oi1).
+// Padding positions must already be zero in the stripe.
+func im2colRange32(cols, xc []float32, ch, h, w, kh, kw, stride, pad, oh, ow, oi0, oi1 int) {
+	for ki := 0; ki < kh; ki++ {
+		for kj := 0; kj < kw; kj++ {
+			rowBase := ((ch*kh+ki)*kw + kj) * oh * ow
+			for oi := oi0; oi < oi1; oi++ {
+				ii := oi*stride + ki - pad
+				if ii < 0 || ii >= h {
+					continue
+				}
+				for oj := 0; oj < ow; oj++ {
+					jj := oj*stride + kj - pad
+					if jj < 0 || jj >= w {
+						continue
+					}
+					cols[rowBase+oi*ow+oj] = xc[ii*w+jj]
+				}
+			}
+		}
+	}
+}

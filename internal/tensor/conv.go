@@ -77,6 +77,14 @@ func Im2ColInto(dst, x *Tensor, kh, kw, stride, pad int) {
 		// (oh−1)·stride+kh ≤ h), so the memset would be pure waste.
 		dst.Zero()
 	}
+	if dst.dtype == F32 {
+		checkSameDType("Im2ColInto", F32, x)
+		for ch := 0; ch < c; ch++ {
+			im2colSlice32(dst.data32, x.data32[ch*h*w:(ch+1)*h*w], ch, h, w, kh, kw, stride, pad, oh, ow)
+		}
+		return
+	}
+	checkSameDType("Im2ColInto", F64, x)
 	for ch := 0; ch < c; ch++ {
 		im2colSlice(dst.Data, x.Data[ch*h*w:(ch+1)*h*w], ch, h, w, kh, kw, stride, pad, oh, ow)
 	}
@@ -91,7 +99,7 @@ func Im2Col(x *Tensor, kh, kw, stride, pad int) *Tensor {
 	}
 	c, h, w := x.Shape[0], x.Shape[1], x.Shape[2]
 	oh, ow := ConvOut(h, kh, stride, pad), ConvOut(w, kw, stride, pad)
-	cols := New(c*kh*kw, oh*ow)
+	cols := NewDT(x.dtype, c*kh*kw, oh*ow)
 	Im2ColInto(cols, x, kh, kw, stride, pad)
 	return cols
 }
@@ -109,6 +117,14 @@ func Col2ImInto(dst, cols *Tensor, c, h, w, kh, kw, stride, pad int) {
 		panic(fmt.Sprintf("tensor: Col2ImInto dst %v, want [%d,%d,%d]", dst.Shape, c, h, w))
 	}
 	dst.Zero()
+	if dst.dtype == F32 {
+		checkSameDType("Col2ImInto", F32, cols)
+		for ch := 0; ch < c; ch++ {
+			col2imSlice32(dst.data32[ch*h*w:(ch+1)*h*w], cols.data32, ch, h, w, kh, kw, stride, pad, oh, ow)
+		}
+		return
+	}
+	checkSameDType("Col2ImInto", F64, cols)
 	for ch := 0; ch < c; ch++ {
 		col2imSlice(dst.Data[ch*h*w:(ch+1)*h*w], cols.Data, ch, h, w, kh, kw, stride, pad, oh, ow)
 	}
@@ -118,7 +134,7 @@ func Col2ImInto(dst, cols *Tensor, c, h, w, kh, kw, stride, pad int) {
 // accumulating overlapping contributions. It is the adjoint of Im2Col and is
 // used to compute input gradients of a convolution.
 func Col2Im(cols *Tensor, c, h, w, kh, kw, stride, pad int) *Tensor {
-	x := New(c, h, w)
+	x := NewDT(cols.dtype, c, h, w)
 	Col2ImInto(x, cols, c, h, w, kh, kw, stride, pad)
 	return x
 }
@@ -134,6 +150,9 @@ func Col2Im(cols *Tensor, c, h, w, kh, kw, stride, pad int) *Tensor {
 func Conv2DForwardArena(ar *Arena, x, w, b *Tensor, stride, pad int, colsBuf []*Tensor) (y *Tensor, cols []*Tensor) {
 	if len(x.Shape) != 4 || len(w.Shape) != 4 || x.Shape[1] != w.Shape[1] {
 		panic(fmt.Sprintf("tensor: Conv2DForward shapes x=%v w=%v", x.Shape, w.Shape))
+	}
+	if x.dtype == F32 {
+		return conv2DForwardArena32(ar, x, w, b, stride, pad, colsBuf)
 	}
 	n, c, h, wd := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
 	f, kh, kw := w.Shape[0], w.Shape[2], w.Shape[3]
@@ -176,6 +195,9 @@ func Conv2DForward(x, w, b *Tensor, stride, pad int) (y *Tensor, cols []*Tensor)
 // db [F] (db may be nil). Scratch buffers are drawn from and returned to ar.
 // The caller keeps ownership of dy and cols.
 func Conv2DBackwardArena(ar *Arena, dy, w *Tensor, cols []*Tensor, dw, db *Tensor, xShape []int, stride, pad int) (dx *Tensor) {
+	if dy.dtype == F32 {
+		return conv2DBackwardArena32(ar, dy, w, cols, dw, db, xShape, stride, pad)
+	}
 	n, c, h, wd := xShape[0], xShape[1], xShape[2], xShape[3]
 	f, kh, kw := w.Shape[0], w.Shape[2], w.Shape[3]
 	oh, ow := ConvOut(h, kh, stride, pad), ConvOut(wd, kw, stride, pad)
@@ -221,7 +243,9 @@ func Conv2DNaive(x, w, b *Tensor, stride, pad int) *Tensor {
 	n, c, h, wd := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
 	f, kh, kw := w.Shape[0], w.Shape[2], w.Shape[3]
 	oh, ow := ConvOut(h, kh, stride, pad), ConvOut(wd, kw, stride, pad)
-	y := New(n, f, oh, ow)
+	// Accumulation runs in float64 for both dtypes; as a test-only oracle
+	// the naive path trades bit-level dtype purity for one obvious loop.
+	y := NewDT(x.dtype, n, f, oh, ow)
 	for s := 0; s < n; s++ {
 		for ff := 0; ff < f; ff++ {
 			for oi := 0; oi < oh; oi++ {

@@ -1,0 +1,125 @@
+package tensor
+
+// Float32 twins of the im2col/col2im/convolution kernels in conv.go, with
+// identical loop structure and accumulation order (see kernels32.go). The
+// public entry points in conv.go dispatch here on DType.
+
+// im2colSlice32 unfolds one channel plane xc [h,w] into the rows of cols
+// that correspond to channel ch. cols must be pre-zeroed when pad > 0.
+func im2colSlice32(cols, xc []float32, ch, h, w, kh, kw, stride, pad, oh, ow int) {
+	for ki := 0; ki < kh; ki++ {
+		for kj := 0; kj < kw; kj++ {
+			rowBase := ((ch*kh+ki)*kw + kj) * oh * ow
+			for oi := 0; oi < oh; oi++ {
+				ii := oi*stride + ki - pad
+				if ii < 0 || ii >= h {
+					continue
+				}
+				for oj := 0; oj < ow; oj++ {
+					jj := oj*stride + kj - pad
+					if jj < 0 || jj >= w {
+						continue
+					}
+					cols[rowBase+oi*ow+oj] = xc[ii*w+jj]
+				}
+			}
+		}
+	}
+}
+
+// col2imSlice32 folds channel ch's rows of cols back into the plane xc [h,w],
+// accumulating overlapping contributions. xc must be pre-zeroed.
+func col2imSlice32(xc, cols []float32, ch, h, w, kh, kw, stride, pad, oh, ow int) {
+	for ki := 0; ki < kh; ki++ {
+		for kj := 0; kj < kw; kj++ {
+			rowBase := ((ch*kh+ki)*kw + kj) * oh * ow
+			for oi := 0; oi < oh; oi++ {
+				ii := oi*stride + ki - pad
+				if ii < 0 || ii >= h {
+					continue
+				}
+				for oj := 0; oj < ow; oj++ {
+					jj := oj*stride + kj - pad
+					if jj < 0 || jj >= w {
+						continue
+					}
+					xc[ii*w+jj] += cols[rowBase+oi*ow+oj]
+				}
+			}
+		}
+	}
+}
+
+// conv2DForwardArena32 is the float32 body of Conv2DForwardArena.
+func conv2DForwardArena32(ar *Arena, x, w, b *Tensor, stride, pad int, colsBuf []*Tensor) (y *Tensor, cols []*Tensor) {
+	checkSameDType("Conv2DForward", F32, x, w)
+	if b != nil {
+		checkSameDType("Conv2DForward", F32, b)
+	}
+	n, c, h, wd := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	f, kh, kw := w.Shape[0], w.Shape[2], w.Shape[3]
+	oh, ow := ConvOut(h, kh, stride, pad), ConvOut(wd, kw, stride, pad)
+	y = ar.GetDT(F32, n, f, oh, ow)
+	cols = colsBuf[:0]
+	for s := 0; s < n; s++ {
+		col := ar.GetDT(F32, c*kh*kw, oh*ow)
+		if pad > 0 {
+			col.Zero() // see Im2ColInto: pad-0 geometry covers every element
+		}
+		for ch := 0; ch < c; ch++ {
+			base := (s*c + ch) * h * wd
+			im2colSlice32(col.data32, x.data32[base:base+h*wd], ch, h, wd, kh, kw, stride, pad, oh, ow)
+		}
+		cols = append(cols, col)
+		matMulSlices32(y.data32[s*f*oh*ow:(s+1)*f*oh*ow], w.data32, col.data32, f, c*kh*kw, oh*ow)
+		if b != nil {
+			for ff := 0; ff < f; ff++ {
+				bias := b.data32[ff]
+				row := y.data32[s*f*oh*ow+ff*oh*ow : s*f*oh*ow+(ff+1)*oh*ow]
+				for k := range row {
+					row[k] += bias
+				}
+			}
+		}
+	}
+	return y, cols
+}
+
+// conv2DBackwardArena32 is the float32 body of Conv2DBackwardArena. The
+// per-filter bias-gradient sum runs in float32 in the same ascending order
+// as the f64 kernel.
+func conv2DBackwardArena32(ar *Arena, dy, w *Tensor, cols []*Tensor, dw, db *Tensor, xShape []int, stride, pad int) (dx *Tensor) {
+	checkSameDType("Conv2DBackward", F32, dy, w, dw)
+	if db != nil {
+		checkSameDType("Conv2DBackward", F32, db)
+	}
+	n, c, h, wd := xShape[0], xShape[1], xShape[2], xShape[3]
+	f, kh, kw := w.Shape[0], w.Shape[2], w.Shape[3]
+	oh, ow := ConvOut(h, kh, stride, pad), ConvOut(wd, kw, stride, pad)
+	fan := c * kh * kw
+	dx = ar.GetDT(F32, n, c, h, wd)
+	dcols := ar.GetDT(F32, fan, oh*ow)
+	for s := 0; s < n; s++ {
+		dys := dy.data32[s*f*oh*ow : (s+1)*f*oh*ow]
+		matMulTransBSlicesAcc32(dw.data32, dys, cols[s].data32, f, oh*ow, fan)
+		if db != nil {
+			for ff := 0; ff < f; ff++ {
+				var sum float32
+				for _, v := range dys[ff*oh*ow : (ff+1)*oh*ow] {
+					sum += v
+				}
+				db.data32[ff] += sum
+			}
+		}
+		matMulTransASlices32(dcols.data32, w.data32, dys, f, fan, oh*ow)
+		dxs := dx.data32[s*c*h*wd : (s+1)*c*h*wd]
+		for i := range dxs {
+			dxs[i] = 0
+		}
+		for ch := 0; ch < c; ch++ {
+			col2imSlice32(dxs[ch*h*wd:(ch+1)*h*wd], dcols.data32, ch, h, wd, kh, kw, stride, pad, oh, ow)
+		}
+	}
+	ar.Put(dcols)
+	return dx
+}

@@ -1,0 +1,122 @@
+package tensor
+
+import "unsafe"
+
+// This file holds the float32 scalar reference kernels. Each is a line-for-
+// line twin of the float64 kernel of the same base name in tensor.go, with
+// the identical loop structure and summation order (ascending p for every
+// output element — DESIGN.md §15). They are the oracle for the blocked f32
+// kernels in blocked32.go and for the AVX microkernel in axpy_amd64v3.s;
+// the float64 kernels remain the cross-dtype oracle via relative-error
+// tolerance.
+
+// f32PtrMod64 returns the address of s's first element modulo 64 (0 for an
+// empty slice) — the alignment probe behind alignedF32 and the layout tests.
+func f32PtrMod64(s []float32) int {
+	if len(s) == 0 {
+		return 0
+	}
+	return int(uintptr(unsafe.Pointer(&s[0])) & 63)
+}
+
+// sliceFrom rebuilds a length-n slice over the panel a microkernel receives
+// as a raw pointer (the pure-Go axpy4x2 stub and its tests).
+func sliceFrom(p *float32, n int) []float32 {
+	return unsafe.Slice(p, n)
+}
+
+// zeroSlice32 is zeroSlice at float32.
+func zeroSlice32(s []float32) {
+	for i := range s {
+		s[i] = 0
+	}
+}
+
+// matMulSlices32 computes dst = a·b over raw row-major float32 slices
+// (a [m,k], b [k,n], dst [m,n]), fully overwriting dst. Like matMulSlices
+// there is no zero-operand short-circuit: 0·NaN and 0·Inf must propagate.
+func matMulSlices32(dst, a, b []float32, m, k, n int) {
+	for i := 0; i < m; i++ {
+		arow := a[i*k : (i+1)*k]
+		crow := dst[i*n : (i+1)*n]
+		for j := range crow {
+			crow[j] = 0
+		}
+		for p := 0; p < k; p++ {
+			av := arow[p]
+			brow := b[p*n : (p+1)*n]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+}
+
+// matMulTransASlices32 computes dst = aᵀ·b over raw float32 slices
+// (a [k,m], b [k,n], dst [m,n]), fully overwriting dst.
+func matMulTransASlices32(dst, a, b []float32, k, m, n int) {
+	for i := range dst[:m*n] {
+		dst[i] = 0
+	}
+	for p := 0; p < k; p++ {
+		arow := a[p*m : (p+1)*m]
+		brow := b[p*n : (p+1)*n]
+		for i := 0; i < m; i++ {
+			av := arow[i]
+			crow := dst[i*n : (i+1)*n]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+}
+
+// matMulTransASlicesAcc32 computes dst += aᵀ·b over raw float32 slices
+// (a [k,m], b [k,n], dst [m,n]), accumulating into dst.
+func matMulTransASlicesAcc32(dst, a, b []float32, k, m, n int) {
+	for p := 0; p < k; p++ {
+		arow := a[p*m : (p+1)*m]
+		brow := b[p*n : (p+1)*n]
+		for i := 0; i < m; i++ {
+			av := arow[i]
+			crow := dst[i*n : (i+1)*n]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+}
+
+// matMulTransBSlices32 computes dst = a·bᵀ over raw float32 slices
+// (a [m,k], b [n,k], dst [m,n]), fully overwriting dst.
+func matMulTransBSlices32(dst, a, b []float32, m, k, n int) {
+	for i := 0; i < m; i++ {
+		arow := a[i*k : (i+1)*k]
+		crow := dst[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			brow := b[j*k : (j+1)*k]
+			var s float32
+			for p, av := range arow {
+				s += av * brow[p]
+			}
+			crow[j] = s
+		}
+	}
+}
+
+// matMulTransBSlicesAcc32 computes dst += a·bᵀ over raw float32 slices; like
+// the f64 twin each dot product is computed separately and added once.
+func matMulTransBSlicesAcc32(dst, a, b []float32, m, k, n int) {
+	for i := 0; i < m; i++ {
+		arow := a[i*k : (i+1)*k]
+		crow := dst[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			brow := b[j*k : (j+1)*k]
+			var s float32
+			for p, av := range arow {
+				s += av * brow[p]
+			}
+			crow[j] += s
+		}
+	}
+}

@@ -147,18 +147,27 @@ type job struct {
 	kind      jobKind
 	units     int
 	splitCols bool
+	// f32 selects the float32 kernel set; exactly one of the slice groups is
+	// populated per dispatch (see parallel32.go for the f32 bodies).
+	f32       bool
 	dst, a, b []float64
 	m, k, n   int
 	// Convolution geometry (im2col/col2im/fused kinds).
 	src                                  []float64 // input image plane(s)
 	bias                                 []float64 // nil for no bias
 	c, h, w, kh, kw, stride, pad, oh, ow int
+	// Float32 twins of the slice operands.
+	dst32, a32, b32, src32, bias32 []float32
 }
 
 // runJob executes units [u0, u1) of a job. It is the single dispatch point
 // for both the caller (worker 0) and the spawned workers.
 func runJob(j *job, u0, u1 int) {
 	if u0 >= u1 {
+		return
+	}
+	if j.f32 {
+		runJob32(j, u0, u1)
 		return
 	}
 	switch j.kind {
@@ -264,7 +273,8 @@ func (p *Parallel) MatMulInto(dst, a, b *Tensor) {
 	}
 	m, k, n := a.Shape[0], a.Shape[1], b.Shape[1]
 	checkDst("MatMulInto", dst, m, n)
-	j := job{kind: jobMM, dst: dst.Data, a: a.Data, b: b.Data, m: m, k: k, n: n}
+	j := job{kind: jobMM, m: m, k: k, n: n}
+	j = j.bound(dst, a, b, "MatMulInto")
 	if j.splitCols = gemmSplitCols(m, n); j.splitCols {
 		j.units = n
 	} else {
@@ -281,7 +291,8 @@ func (p *Parallel) MatMulTransAInto(dst, a, b *Tensor) {
 	}
 	k, m, n := a.Shape[0], a.Shape[1], b.Shape[1]
 	checkDst("MatMulTransAInto", dst, m, n)
-	j := job{kind: jobMMTA, dst: dst.Data, a: a.Data, b: b.Data, m: m, k: k, n: n}
+	j := job{kind: jobMMTA, m: m, k: k, n: n}
+	j = j.bound(dst, a, b, "MatMulTransAInto")
 	if j.splitCols = gemmSplitCols(m, n); j.splitCols {
 		j.units = n
 	} else {
@@ -298,7 +309,8 @@ func (p *Parallel) MatMulTransAAccInto(dst, a, b *Tensor) {
 	}
 	k, m, n := a.Shape[0], a.Shape[1], b.Shape[1]
 	checkDst("MatMulTransAAccInto", dst, m, n)
-	j := job{kind: jobMMTAAcc, dst: dst.Data, a: a.Data, b: b.Data, m: m, k: k, n: n}
+	j := job{kind: jobMMTAAcc, m: m, k: k, n: n}
+	j = j.bound(dst, a, b, "MatMulTransAAccInto")
 	if j.splitCols = gemmSplitCols(m, n); j.splitCols {
 		j.units = n
 	} else {
@@ -315,7 +327,8 @@ func (p *Parallel) MatMulTransBInto(dst, a, b *Tensor) {
 	}
 	m, k, n := a.Shape[0], a.Shape[1], b.Shape[0]
 	checkDst("MatMulTransBInto", dst, m, n)
-	j := job{kind: jobMMTB, dst: dst.Data, a: a.Data, b: b.Data, m: m, k: k, n: n}
+	j := job{kind: jobMMTB, m: m, k: k, n: n}
+	j = j.bound(dst, a, b, "MatMulTransBInto")
 	if j.splitCols = gemmSplitCols(m, n); j.splitCols {
 		j.units = n
 	} else {
@@ -333,8 +346,16 @@ func (p *Parallel) Im2ColInto(dst, x *Tensor, kh, kw, stride, pad int) {
 	c, h, w := x.Shape[0], x.Shape[1], x.Shape[2]
 	oh, ow := ConvOut(h, kh, stride, pad), ConvOut(w, kw, stride, pad)
 	checkDst("Im2ColInto", dst, c*kh*kw, oh*ow)
-	p.run(c*kh*kw*oh*ow, job{kind: jobIm2Col, units: c, dst: dst.Data, src: x.Data,
-		c: c, h: h, w: w, kh: kh, kw: kw, stride: stride, pad: pad, oh: oh, ow: ow})
+	j := job{kind: jobIm2Col, units: c,
+		c: c, h: h, w: w, kh: kh, kw: kw, stride: stride, pad: pad, oh: oh, ow: ow}
+	if dst.dtype == F32 {
+		checkSameDType("Im2ColInto", F32, x)
+		j.f32, j.dst32, j.src32 = true, dst.data32, x.data32
+	} else {
+		checkSameDType("Im2ColInto", F64, x)
+		j.dst, j.src = dst.Data, x.Data
+	}
+	p.run(c*kh*kw*oh*ow, j)
 }
 
 // Col2ImInto folds cols back into dst [C,H,W] like the package-level
@@ -348,8 +369,16 @@ func (p *Parallel) Col2ImInto(dst, cols *Tensor, c, h, w, kh, kw, stride, pad in
 	if len(dst.Shape) != 3 || dst.Shape[0] != c || dst.Shape[1] != h || dst.Shape[2] != w {
 		panic(fmt.Sprintf("tensor: Col2ImInto dst %v, want [%d,%d,%d]", dst.Shape, c, h, w))
 	}
-	p.run(c*kh*kw*oh*ow, job{kind: jobCol2Im, units: c, dst: dst.Data, a: cols.Data,
-		c: c, h: h, w: w, kh: kh, kw: kw, stride: stride, pad: pad, oh: oh, ow: ow})
+	j := job{kind: jobCol2Im, units: c,
+		c: c, h: h, w: w, kh: kh, kw: kw, stride: stride, pad: pad, oh: oh, ow: ow}
+	if dst.dtype == F32 {
+		checkSameDType("Col2ImInto", F32, cols)
+		j.f32, j.dst32, j.a32 = true, dst.data32, cols.data32
+	} else {
+		checkSameDType("Col2ImInto", F64, cols)
+		j.dst, j.a = dst.Data, cols.Data
+	}
+	p.run(c*kh*kw*oh*ow, j)
 }
 
 // ConvForward is the fused, parallel form of Conv2DForwardArena: per sample
@@ -360,6 +389,9 @@ func (p *Parallel) Col2ImInto(dst, cols *Tensor, c, h, w, kh, kw, stride, pad in
 func (p *Parallel) ConvForward(ar *Arena, x, w, b *Tensor, stride, pad int, colsBuf []*Tensor) (y *Tensor, cols []*Tensor) {
 	if len(x.Shape) != 4 || len(w.Shape) != 4 || x.Shape[1] != w.Shape[1] {
 		panic(fmt.Sprintf("tensor: Conv2DForward shapes x=%v w=%v", x.Shape, w.Shape))
+	}
+	if x.dtype == F32 {
+		return p.convForward32(ar, x, w, b, stride, pad, colsBuf)
 	}
 	n, c, h, wd := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
 	f, kh, kw := w.Shape[0], w.Shape[2], w.Shape[3]
@@ -388,6 +420,9 @@ func (p *Parallel) ConvForward(ar *Arena, x, w, b *Tensor, stride, pad int, cols
 // Buffer semantics and results are identical to Conv2DBackwardArena at any
 // worker count.
 func (p *Parallel) ConvBackward(ar *Arena, dy, w *Tensor, cols []*Tensor, dw, db *Tensor, xShape []int, stride, pad int) (dx *Tensor) {
+	if dy.dtype == F32 {
+		return p.convBackward32(ar, dy, w, cols, dw, db, xShape, stride, pad)
+	}
 	n, c, h, wd := xShape[0], xShape[1], xShape[2], xShape[3]
 	f, kh, kw := w.Shape[0], w.Shape[2], w.Shape[3]
 	oh, ow := ConvOut(h, kh, stride, pad), ConvOut(wd, kw, stride, pad)

@@ -1,0 +1,173 @@
+package tensor
+
+import "fmt"
+
+// Float32 bodies of the Parallel kernel dispatch. The partitioning, unit
+// spaces and determinism contract are exactly those of the f64 jobs in
+// parallel.go: each output element is owned by one worker and accumulated in
+// ascending p-order, so results are bit-identical to the f32 reference
+// kernels at any worker count.
+
+// bound returns j with its operand slices filled for dst's dtype, after
+// validating that a and b match it. GEMM-shaped jobs only; conv jobs bind
+// their operands inline. Value receiver and result on purpose: a pointer
+// receiver would make the caller's stack-local job escape, putting one heap
+// allocation back on every kernel dispatch.
+func (j job) bound(dst, a, b *Tensor, op string) job {
+	if dst.dtype == F32 {
+		checkSameDType(op, F32, a, b)
+		j.f32, j.dst32, j.a32, j.b32 = true, dst.data32, a.data32, b.data32
+		return j
+	}
+	checkSameDType(op, F64, a, b)
+	j.dst, j.a, j.b = dst.Data, a.Data, b.Data
+	return j
+}
+
+// runJob32 executes units [u0, u1) of a float32 job; the twin of runJob's
+// switch with the f32 tile kernels.
+func runJob32(j *job, u0, u1 int) {
+	switch j.kind {
+	case jobMM:
+		if j.splitCols {
+			mmTile32(j.dst32, j.a32, j.b32, j.k, j.n, 0, j.m, u0, u1)
+		} else {
+			mmTile32(j.dst32, j.a32, j.b32, j.k, j.n, u0, u1, 0, j.n)
+		}
+	case jobMMTA:
+		if j.splitCols {
+			mmTATile32(j.dst32, j.a32, j.b32, j.k, j.m, j.n, 0, j.m, u0, u1)
+		} else {
+			mmTATile32(j.dst32, j.a32, j.b32, j.k, j.m, j.n, u0, u1, 0, j.n)
+		}
+	case jobMMTAAcc:
+		if j.splitCols {
+			mmTATileAcc32(j.dst32, j.a32, j.b32, j.k, j.m, j.n, 0, j.m, u0, u1)
+		} else {
+			mmTATileAcc32(j.dst32, j.a32, j.b32, j.k, j.m, j.n, u0, u1, 0, j.n)
+		}
+	case jobMMTB:
+		if j.splitCols {
+			mmTBTile32(j.dst32, j.a32, j.b32, j.k, j.n, 0, j.m, u0, u1, false)
+		} else {
+			mmTBTile32(j.dst32, j.a32, j.b32, j.k, j.n, u0, u1, 0, j.n, false)
+		}
+	case jobMMTBAcc:
+		if j.splitCols {
+			mmTBTile32(j.dst32, j.a32, j.b32, j.k, j.n, 0, j.m, u0, u1, true)
+		} else {
+			mmTBTile32(j.dst32, j.a32, j.b32, j.k, j.n, u0, u1, 0, j.n, true)
+		}
+	case jobIm2Col:
+		for ch := u0; ch < u1; ch++ {
+			if j.pad > 0 {
+				base := ch * j.kh * j.kw * j.oh * j.ow
+				zeroSlice32(j.dst32[base : base+j.kh*j.kw*j.oh*j.ow])
+			}
+			im2colRange32(j.dst32, j.src32[ch*j.h*j.w:(ch+1)*j.h*j.w], ch,
+				j.h, j.w, j.kh, j.kw, j.stride, j.pad, j.oh, j.ow, 0, j.oh)
+		}
+	case jobCol2Im:
+		for ch := u0; ch < u1; ch++ {
+			plane := j.dst32[ch*j.h*j.w : (ch+1)*j.h*j.w]
+			zeroSlice32(plane)
+			col2imSlice32(plane, j.a32, ch, j.h, j.w, j.kh, j.kw, j.stride, j.pad, j.oh, j.ow)
+		}
+	case jobConvFwd:
+		convFwdRange32(j, u0, u1)
+	}
+}
+
+// convFwdRange32 is convFwdRange at float32: the fused zero + im2col + GEMM
+// + bias panel over output rows [o0, o1).
+func convFwdRange32(j *job, o0, o1 int) {
+	fan := j.c * j.kh * j.kw
+	ohow := j.oh * j.ow
+	j0, j1 := o0*j.ow, o1*j.ow
+	if j.pad > 0 {
+		for r := 0; r < fan; r++ {
+			zeroSlice32(j.b32[r*ohow+j0 : r*ohow+j1])
+		}
+	}
+	for ch := 0; ch < j.c; ch++ {
+		im2colRange32(j.b32, j.src32[ch*j.h*j.w:(ch+1)*j.h*j.w], ch,
+			j.h, j.w, j.kh, j.kw, j.stride, j.pad, j.oh, j.ow, o0, o1)
+	}
+	mmTile32(j.dst32, j.a32, j.b32, fan, ohow, 0, j.m, j0, j1)
+	if j.bias32 != nil {
+		for ff := 0; ff < j.m; ff++ {
+			bias := j.bias32[ff]
+			row := j.dst32[ff*ohow+j0 : ff*ohow+j1]
+			for i := range row {
+				row[i] += bias
+			}
+		}
+	}
+}
+
+// convForward32 is the float32 body of Parallel.ConvForward.
+func (p *Parallel) convForward32(ar *Arena, x, w, b *Tensor, stride, pad int, colsBuf []*Tensor) (y *Tensor, cols []*Tensor) {
+	checkSameDType("ConvForward", F32, x, w)
+	if b != nil {
+		checkSameDType("ConvForward", F32, b)
+	}
+	n, c, h, wd := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	f, kh, kw := w.Shape[0], w.Shape[2], w.Shape[3]
+	oh, ow := ConvOut(h, kh, stride, pad), ConvOut(wd, kw, stride, pad)
+	fan := c * kh * kw
+	y = ar.GetDT(F32, n, f, oh, ow)
+	cols = colsBuf[:0]
+	var bias []float32
+	if b != nil {
+		bias = b.data32
+	}
+	for s := 0; s < n; s++ {
+		col := ar.GetDT(F32, fan, oh*ow)
+		cols = append(cols, col)
+		p.run(f*fan*oh*ow, job{kind: jobConvFwd, units: oh, f32: true,
+			dst32: y.data32[s*f*oh*ow : (s+1)*f*oh*ow], a32: w.data32, b32: col.data32,
+			src32: x.data32[s*c*h*wd : (s+1)*c*h*wd], bias32: bias, m: f,
+			c: c, h: h, w: wd, kh: kh, kw: kw, stride: stride, pad: pad, oh: oh, ow: ow})
+	}
+	return y, cols
+}
+
+// convBackward32 is the float32 body of Parallel.ConvBackward; the bias
+// gradient sums in float32 in the same ascending order as the serial kernel.
+func (p *Parallel) convBackward32(ar *Arena, dy, w *Tensor, cols []*Tensor, dw, db *Tensor, xShape []int, stride, pad int) (dx *Tensor) {
+	checkSameDType("ConvBackward", F32, dy, w, dw)
+	if db != nil {
+		checkSameDType("ConvBackward", F32, db)
+	}
+	n, c, h, wd := xShape[0], xShape[1], xShape[2], xShape[3]
+	f, kh, kw := w.Shape[0], w.Shape[2], w.Shape[3]
+	oh, ow := ConvOut(h, kh, stride, pad), ConvOut(wd, kw, stride, pad)
+	fan := c * kh * kw
+	ohow := oh * ow
+	dx = ar.GetDT(F32, n, c, h, wd)
+	dcols := ar.GetDT(F32, fan, ohow)
+	for s := 0; s < n; s++ {
+		if cols[s].dtype != F32 {
+			panic(fmt.Sprintf("tensor: ConvBackward cols[%d] is %s, want f32", s, cols[s].dtype))
+		}
+		dys := dy.data32[s*f*ohow : (s+1)*f*ohow]
+		p.run(f*ohow*fan, job{kind: jobMMTBAcc, units: f, f32: true,
+			dst32: dw.data32, a32: dys, b32: cols[s].data32, m: f, k: ohow, n: fan})
+		if db != nil {
+			for ff := 0; ff < f; ff++ {
+				var sum float32
+				for _, v := range dys[ff*ohow : (ff+1)*ohow] {
+					sum += v
+				}
+				db.data32[ff] += sum
+			}
+		}
+		p.run(f*fan*ohow, job{kind: jobMMTA, units: fan, f32: true,
+			dst32: dcols.data32, a32: w.data32, b32: dys, m: fan, k: f, n: ohow})
+		p.run(fan*ohow, job{kind: jobCol2Im, units: c, f32: true,
+			dst32: dx.data32[s*c*h*wd : (s+1)*c*h*wd], a32: dcols.data32,
+			c: c, h: h, w: wd, kh: kh, kw: kw, stride: stride, pad: pad, oh: oh, ow: ow})
+	}
+	ar.Put(dcols)
+	return dx
+}

@@ -23,6 +23,11 @@ func MaxPool2DForwardInto(y *Tensor, argmax []int, x *Tensor, k, stride int) {
 	if len(argmax) != n*c*oh*ow {
 		panic(fmt.Sprintf("tensor: MaxPool2DForwardInto argmax len %d, want %d", len(argmax), n*c*oh*ow))
 	}
+	if y.dtype == F32 {
+		maxPool2DForwardInto32(y, argmax, x, k, stride)
+		return
+	}
+	checkSameDType("MaxPool2DForwardInto", F64, x)
 	oi := 0
 	for s := 0; s < n; s++ {
 		for ch := 0; ch < c; ch++ {
@@ -59,7 +64,7 @@ func MaxPool2DForward(x *Tensor, k, stride int) (y *Tensor, argmax []int) {
 	check4D("MaxPool2D", x)
 	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
 	oh, ow := ConvOut(h, k, stride, 0), ConvOut(w, k, stride, 0)
-	y = New(n, c, oh, ow)
+	y = NewDT(x.dtype, n, c, oh, ow)
 	argmax = make([]int, n*c*oh*ow)
 	MaxPool2DForwardInto(y, argmax, x, k, stride)
 	return y, argmax
@@ -72,6 +77,11 @@ func MaxPool2DBackwardInto(dx, dy *Tensor, argmax []int) {
 		panic(fmt.Sprintf("tensor: MaxPool2DBackwardInto dy size %d, argmax len %d", dy.Size(), len(argmax)))
 	}
 	dx.Zero()
+	if dx.dtype == F32 {
+		maxPool2DBackwardInto32(dx, dy, argmax)
+		return
+	}
+	checkSameDType("MaxPool2DBackwardInto", F64, dy)
 	for i, idx := range argmax {
 		dx.Data[idx] += dy.Data[i]
 	}
@@ -80,7 +90,7 @@ func MaxPool2DBackwardInto(dx, dy *Tensor, argmax []int) {
 // MaxPool2DBackward routes dy back to the argmax positions recorded by the
 // forward pass, producing dx with the given input shape.
 func MaxPool2DBackward(dy *Tensor, argmax []int, xShape []int) *Tensor {
-	dx := New(xShape...)
+	dx := NewDT(dy.dtype, xShape...)
 	MaxPool2DBackwardInto(dx, dy, argmax)
 	return dx
 }
@@ -91,6 +101,11 @@ func GlobalAvgPoolForwardInto(y, x *Tensor) {
 	check4D("GlobalAvgPool", x)
 	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
 	checkDst("GlobalAvgPoolForwardInto", y, n, c)
+	if y.dtype == F32 {
+		globalAvgPoolForwardInto32(y, x)
+		return
+	}
+	checkSameDType("GlobalAvgPoolForwardInto", F64, x)
 	hw := float64(h * w)
 	for s := 0; s < n; s++ {
 		for ch := 0; ch < c; ch++ {
@@ -107,7 +122,7 @@ func GlobalAvgPoolForwardInto(y, x *Tensor) {
 // GlobalAvgPoolForward reduces x [N,C,H,W] to [N,C] by spatial averaging.
 func GlobalAvgPoolForward(x *Tensor) *Tensor {
 	check4D("GlobalAvgPool", x)
-	y := New(x.Shape[0], x.Shape[1])
+	y := NewDT(x.dtype, x.Shape[0], x.Shape[1])
 	GlobalAvgPoolForwardInto(y, x)
 	return y
 }
@@ -120,6 +135,11 @@ func GlobalAvgPoolBackwardInto(dx, dy *Tensor) {
 	if dy.Size() != n*c {
 		panic(fmt.Sprintf("tensor: GlobalAvgPoolBackwardInto dy %v, want %d elements for dx %v", dy.Shape, n*c, dx.Shape))
 	}
+	if dx.dtype == F32 {
+		globalAvgPoolBackwardInto32(dx, dy)
+		return
+	}
+	checkSameDType("GlobalAvgPoolBackwardInto", F64, dy)
 	hw := float64(h * w)
 	for s := 0; s < n; s++ {
 		for ch := 0; ch < c; ch++ {
@@ -135,7 +155,7 @@ func GlobalAvgPoolBackwardInto(dx, dy *Tensor) {
 // GlobalAvgPoolBackward spreads dy [N,C] uniformly over the spatial positions
 // of the input shape [N,C,H,W].
 func GlobalAvgPoolBackward(dy *Tensor, xShape []int) *Tensor {
-	dx := New(xShape...)
+	dx := NewDT(dy.dtype, xShape...)
 	GlobalAvgPoolBackwardInto(dx, dy)
 	return dx
 }
@@ -160,6 +180,11 @@ func AvgPool2DForwardInto(y, x *Tensor, k int) {
 	if len(y.Shape) != 4 || y.Shape[0] != n || y.Shape[1] != c || y.Shape[2] != oh || y.Shape[3] != ow {
 		panic(fmt.Sprintf("tensor: AvgPool2DForwardInto dst %v, want [%d,%d,%d,%d]", y.Shape, n, c, oh, ow))
 	}
+	if y.dtype == F32 {
+		avgPool2DForwardInto32(y, x, k)
+		return
+	}
+	checkSameDType("AvgPool2DForwardInto", F64, x)
 	kk := float64(k * k)
 	for s := 0; s < n; s++ {
 		for ch := 0; ch < c; ch++ {
@@ -187,7 +212,7 @@ func AvgPool2DForward(x *Tensor, k int) *Tensor {
 	check4D("AvgPool2D", x)
 	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
 	checkAvgPool("AvgPool2DForward", h, w, k)
-	y := New(n, c, h/k, w/k)
+	y := NewDT(x.dtype, n, c, h/k, w/k)
 	AvgPool2DForwardInto(y, x, k)
 	return y
 }
@@ -202,6 +227,11 @@ func AvgPool2DBackwardInto(dx, dy *Tensor, k int) {
 	if dy.Size() != n*c*oh*ow {
 		panic(fmt.Sprintf("tensor: AvgPool2DBackwardInto dy %v, want %d elements for dx %v pool %d", dy.Shape, n*c*oh*ow, dx.Shape, k))
 	}
+	if dx.dtype == F32 {
+		avgPool2DBackwardInto32(dx, dy, k)
+		return
+	}
+	checkSameDType("AvgPool2DBackwardInto", F64, dy)
 	kk := float64(k * k)
 	for s := 0; s < n; s++ {
 		for ch := 0; ch < c; ch++ {
@@ -223,7 +253,7 @@ func AvgPool2DBackwardInto(dx, dy *Tensor, k int) {
 
 // AvgPool2DBackward is the adjoint of AvgPool2DForward.
 func AvgPool2DBackward(dy *Tensor, xShape []int, k int) *Tensor {
-	dx := New(xShape...)
+	dx := NewDT(dy.dtype, xShape...)
 	AvgPool2DBackwardInto(dx, dy, k)
 	return dx
 }

@@ -1,0 +1,134 @@
+package tensor
+
+// Float32 twins of the pooling kernels in pool.go, identical in structure
+// and scan order (same argmax tie-breaking, same division placement). The
+// public Into-forms in pool.go dispatch here on DType.
+
+// maxPool2DForwardInto32 is the float32 body of MaxPool2DForwardInto; shape
+// checks already ran in the dispatcher.
+func maxPool2DForwardInto32(y *Tensor, argmax []int, x *Tensor, k, stride int) {
+	checkSameDType("MaxPool2DForwardInto", F32, x)
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	oh, ow := ConvOut(h, k, stride, 0), ConvOut(w, k, stride, 0)
+	oi := 0
+	for s := 0; s < n; s++ {
+		for ch := 0; ch < c; ch++ {
+			base := (s*c + ch) * h * w
+			for i := 0; i < oh; i++ {
+				for j := 0; j < ow; j++ {
+					best := -1
+					var bv float32
+					for ki := 0; ki < k; ki++ {
+						for kj := 0; kj < k; kj++ {
+							ii, jj := i*stride+ki, j*stride+kj
+							if ii >= h || jj >= w {
+								continue
+							}
+							idx := base + ii*w + jj
+							if best == -1 || x.data32[idx] > bv {
+								best, bv = idx, x.data32[idx]
+							}
+						}
+					}
+					y.data32[oi] = bv
+					argmax[oi] = best
+					oi++
+				}
+			}
+		}
+	}
+}
+
+// maxPool2DBackwardInto32 is the float32 body of MaxPool2DBackwardInto;
+// dx was already zeroed by the dispatcher.
+func maxPool2DBackwardInto32(dx, dy *Tensor, argmax []int) {
+	checkSameDType("MaxPool2DBackwardInto", F32, dy)
+	for i, idx := range argmax {
+		dx.data32[idx] += dy.data32[i]
+	}
+}
+
+// globalAvgPoolForwardInto32 is the float32 body of GlobalAvgPoolForwardInto.
+// The spatial sum accumulates in float32 in scan order; the divide happens
+// once per channel, exactly like the f64 kernel.
+func globalAvgPoolForwardInto32(y, x *Tensor) {
+	checkSameDType("GlobalAvgPoolForwardInto", F32, x)
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	hw := float32(h * w)
+	for s := 0; s < n; s++ {
+		for ch := 0; ch < c; ch++ {
+			base := (s*c + ch) * h * w
+			var sum float32
+			for k := 0; k < h*w; k++ {
+				sum += x.data32[base+k]
+			}
+			y.data32[s*c+ch] = sum / hw
+		}
+	}
+}
+
+// globalAvgPoolBackwardInto32 is the float32 body of
+// GlobalAvgPoolBackwardInto.
+func globalAvgPoolBackwardInto32(dx, dy *Tensor) {
+	checkSameDType("GlobalAvgPoolBackwardInto", F32, dy)
+	n, c, h, w := dx.Shape[0], dx.Shape[1], dx.Shape[2], dx.Shape[3]
+	hw := float32(h * w)
+	for s := 0; s < n; s++ {
+		for ch := 0; ch < c; ch++ {
+			g := dy.data32[s*c+ch] / hw
+			base := (s*c + ch) * h * w
+			for k := 0; k < h*w; k++ {
+				dx.data32[base+k] = g
+			}
+		}
+	}
+}
+
+// avgPool2DForwardInto32 is the float32 body of AvgPool2DForwardInto.
+func avgPool2DForwardInto32(y, x *Tensor, k int) {
+	checkSameDType("AvgPool2DForwardInto", F32, x)
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	oh, ow := h/k, w/k
+	kk := float32(k * k)
+	for s := 0; s < n; s++ {
+		for ch := 0; ch < c; ch++ {
+			base := (s*c + ch) * h * w
+			obase := (s*c + ch) * oh * ow
+			for i := 0; i < oh; i++ {
+				for j := 0; j < ow; j++ {
+					var sum float32
+					for ki := 0; ki < k; ki++ {
+						for kj := 0; kj < k; kj++ {
+							sum += x.data32[base+(i*k+ki)*w+(j*k+kj)]
+						}
+					}
+					y.data32[obase+i*ow+j] = sum / kk
+				}
+			}
+		}
+	}
+}
+
+// avgPool2DBackwardInto32 is the float32 body of AvgPool2DBackwardInto.
+func avgPool2DBackwardInto32(dx, dy *Tensor, k int) {
+	checkSameDType("AvgPool2DBackwardInto", F32, dy)
+	n, c, h, w := dx.Shape[0], dx.Shape[1], dx.Shape[2], dx.Shape[3]
+	oh, ow := h/k, w/k
+	kk := float32(k * k)
+	for s := 0; s < n; s++ {
+		for ch := 0; ch < c; ch++ {
+			base := (s*c + ch) * h * w
+			obase := (s*c + ch) * oh * ow
+			for i := 0; i < oh; i++ {
+				for j := 0; j < ow; j++ {
+					g := dy.data32[obase+i*ow+j] / kk
+					for ki := 0; ki < k; ki++ {
+						for kj := 0; kj < k; kj++ {
+							dx.data32[base+(i*k+ki)*w+(j*k+kj)] = g
+						}
+					}
+				}
+			}
+		}
+	}
+}

@@ -11,11 +11,18 @@ import (
 	"math"
 )
 
-// Tensor is a dense, row-major float64 tensor.
-// The zero value is not usable; construct with New or FromSlice.
+// Tensor is a dense, row-major tensor. The default element type is float64
+// (Data); F32 tensors built with New32/NewDT store float32 in data32 instead
+// and leave Data nil. Exactly one of the two backing slices is non-nil.
+// The zero value is not usable; construct with New, New32 or FromSlice.
 type Tensor struct {
 	Shape []int
 	Data  []float64
+	// data32 is the float32 storage of F32 tensors (see dtype.go); accessed
+	// via Data32. Kept unexported so the float64 field layout and every
+	// existing call site stay untouched.
+	data32 []float32
+	dtype  DType
 	// poolable marks tensors handed out by an Arena; only those are ever
 	// recycled by Arena.Put (see arena.go).
 	poolable bool
@@ -61,7 +68,12 @@ func FromSlice(data []float64, shape ...int) *Tensor {
 }
 
 // Size returns the total number of elements.
-func (t *Tensor) Size() int { return len(t.Data) }
+func (t *Tensor) Size() int {
+	if t.dtype == F32 {
+		return len(t.data32)
+	}
+	return len(t.Data)
+}
 
 // NumDims returns the number of dimensions.
 func (t *Tensor) NumDims() int { return len(t.Shape) }
@@ -84,13 +96,28 @@ func (t *Tensor) SameShape(o *Tensor) bool {
 
 // Clone returns a deep copy of t.
 func (t *Tensor) Clone() *Tensor {
+	if t.dtype == F32 {
+		c := New32(t.Shape...)
+		copy(c.data32, t.data32)
+		return c
+	}
 	c := New(t.Shape...)
 	copy(c.Data, t.Data)
 	return c
 }
 
-// CopyFrom copies o's data into t. Shapes must have equal sizes.
+// CopyFrom copies o's data into t. Shapes must have equal sizes and dtypes
+// must match.
 func (t *Tensor) CopyFrom(o *Tensor) {
+	if t.dtype == F32 {
+		checkSameDType("CopyFrom", F32, o)
+		if len(t.data32) != len(o.data32) {
+			panic(fmt.Sprintf("tensor: CopyFrom size mismatch %v vs %v", t.Shape, o.Shape))
+		}
+		copy(t.data32, o.data32)
+		return
+	}
+	checkSameDType("CopyFrom", F64, o)
 	if len(t.Data) != len(o.Data) {
 		panic(fmt.Sprintf("tensor: CopyFrom size mismatch %v vs %v", t.Shape, o.Shape))
 	}
@@ -104,23 +131,36 @@ func (t *Tensor) Reshape(shape ...int) *Tensor {
 	for _, d := range shape {
 		n *= d
 	}
-	if n != len(t.Data) {
+	if n != t.Size() {
 		panic(fmt.Sprintf("tensor: cannot reshape %v to %v", t.Shape, shape))
 	}
 	s := make([]int, len(shape))
 	copy(s, shape)
-	return &Tensor{Shape: s, Data: t.Data}
+	return &Tensor{Shape: s, Data: t.Data, data32: t.data32, dtype: t.dtype}
 }
 
 // Zero sets all elements to zero.
 func (t *Tensor) Zero() {
+	if t.dtype == F32 {
+		for i := range t.data32 {
+			t.data32[i] = 0
+		}
+		return
+	}
 	for i := range t.Data {
 		t.Data[i] = 0
 	}
 }
 
-// Fill sets all elements to v.
+// Fill sets all elements to v (converted to t's dtype).
 func (t *Tensor) Fill(v float64) {
+	if t.dtype == F32 {
+		v32 := float32(v)
+		for i := range t.data32 {
+			t.data32[i] = v32
+		}
+		return
+	}
 	for i := range t.Data {
 		t.Data[i] = v
 	}
@@ -141,14 +181,37 @@ func (t *Tensor) offset(idx []int) int {
 	return off
 }
 
-// At returns the element at the given multi-dimensional index.
-func (t *Tensor) At(idx ...int) float64 { return t.Data[t.offset(idx)] }
+// At returns the element at the given multi-dimensional index (converted to
+// float64 for F32 tensors).
+func (t *Tensor) At(idx ...int) float64 {
+	if t.dtype == F32 {
+		return float64(t.data32[t.offset(idx)])
+	}
+	return t.Data[t.offset(idx)]
+}
 
-// Set stores v at the given multi-dimensional index.
-func (t *Tensor) Set(v float64, idx ...int) { t.Data[t.offset(idx)] = v }
+// Set stores v at the given multi-dimensional index (converted to t's dtype).
+func (t *Tensor) Set(v float64, idx ...int) {
+	if t.dtype == F32 {
+		t.data32[t.offset(idx)] = float32(v)
+		return
+	}
+	t.Data[t.offset(idx)] = v
+}
 
 // Add adds o element-wise into t (t += o).
 func (t *Tensor) Add(o *Tensor) {
+	if t.dtype == F32 {
+		checkSameDType("Add", F32, o)
+		if len(t.data32) != len(o.data32) {
+			panic("tensor: Add size mismatch")
+		}
+		for i, v := range o.data32 {
+			t.data32[i] += v
+		}
+		return
+	}
+	checkSameDType("Add", F64, o)
 	if len(t.Data) != len(o.Data) {
 		panic("tensor: Add size mismatch")
 	}
@@ -159,6 +222,17 @@ func (t *Tensor) Add(o *Tensor) {
 
 // Sub subtracts o element-wise from t (t -= o).
 func (t *Tensor) Sub(o *Tensor) {
+	if t.dtype == F32 {
+		checkSameDType("Sub", F32, o)
+		if len(t.data32) != len(o.data32) {
+			panic("tensor: Sub size mismatch")
+		}
+		for i, v := range o.data32 {
+			t.data32[i] -= v
+		}
+		return
+	}
+	checkSameDType("Sub", F64, o)
 	if len(t.Data) != len(o.Data) {
 		panic("tensor: Sub size mismatch")
 	}
@@ -167,8 +241,21 @@ func (t *Tensor) Sub(o *Tensor) {
 	}
 }
 
-// AddScaled performs t += alpha*o.
+// AddScaled performs t += alpha*o. For F32 tensors alpha is rounded to
+// float32 once, then the multiply-add runs entirely in float32.
 func (t *Tensor) AddScaled(o *Tensor, alpha float64) {
+	if t.dtype == F32 {
+		checkSameDType("AddScaled", F32, o)
+		if len(t.data32) != len(o.data32) {
+			panic("tensor: AddScaled size mismatch")
+		}
+		a32 := float32(alpha)
+		for i, v := range o.data32 {
+			t.data32[i] += a32 * v
+		}
+		return
+	}
+	checkSameDType("AddScaled", F64, o)
 	if len(t.Data) != len(o.Data) {
 		panic("tensor: AddScaled size mismatch")
 	}
@@ -177,8 +264,16 @@ func (t *Tensor) AddScaled(o *Tensor, alpha float64) {
 	}
 }
 
-// Scale multiplies every element by alpha.
+// Scale multiplies every element by alpha (rounded to float32 once for F32
+// tensors).
 func (t *Tensor) Scale(alpha float64) {
+	if t.dtype == F32 {
+		a32 := float32(alpha)
+		for i := range t.data32 {
+			t.data32[i] *= a32
+		}
+		return
+	}
 	for i := range t.Data {
 		t.Data[i] *= alpha
 	}
@@ -186,6 +281,17 @@ func (t *Tensor) Scale(alpha float64) {
 
 // Hadamard performs element-wise multiplication t *= o.
 func (t *Tensor) Hadamard(o *Tensor) {
+	if t.dtype == F32 {
+		checkSameDType("Hadamard", F32, o)
+		if len(t.data32) != len(o.data32) {
+			panic("tensor: Hadamard size mismatch")
+		}
+		for i, v := range o.data32 {
+			t.data32[i] *= v
+		}
+		return
+	}
+	checkSameDType("Hadamard", F64, o)
 	if len(t.Data) != len(o.Data) {
 		panic("tensor: Hadamard size mismatch")
 	}
@@ -194,9 +300,16 @@ func (t *Tensor) Hadamard(o *Tensor) {
 	}
 }
 
-// Sum returns the sum of all elements.
+// Sum returns the sum of all elements. F32 tensors accumulate in float64
+// (exact for any realistic tensor size) in flat index order.
 func (t *Tensor) Sum() float64 {
 	s := 0.0
+	if t.dtype == F32 {
+		for _, v := range t.data32 {
+			s += float64(v)
+		}
+		return s
+	}
 	for _, v := range t.Data {
 		s += v
 	}
@@ -204,11 +317,19 @@ func (t *Tensor) Sum() float64 {
 }
 
 // Mean returns the arithmetic mean of all elements.
-func (t *Tensor) Mean() float64 { return t.Sum() / float64(len(t.Data)) }
+func (t *Tensor) Mean() float64 { return t.Sum() / float64(t.Size()) }
 
 // MaxAbs returns the maximum absolute element value.
 func (t *Tensor) MaxAbs() float64 {
 	m := 0.0
+	if t.dtype == F32 {
+		for _, v := range t.data32 {
+			if a := math.Abs(float64(v)); a > m {
+				m = a
+			}
+		}
+		return m
+	}
 	for _, v := range t.Data {
 		if a := math.Abs(v); a > m {
 			m = a
@@ -217,19 +338,35 @@ func (t *Tensor) MaxAbs() float64 {
 	return m
 }
 
-// Norm2 returns the Euclidean norm of the flattened tensor.
+// Norm2 returns the Euclidean norm of the flattened tensor (float64
+// accumulation for both dtypes).
 func (t *Tensor) Norm2() float64 {
 	s := 0.0
+	if t.dtype == F32 {
+		for _, v := range t.data32 {
+			s += float64(v) * float64(v)
+		}
+		return math.Sqrt(s)
+	}
 	for _, v := range t.Data {
 		s += v * v
 	}
 	return math.Sqrt(s)
 }
 
-// AllClose reports whether every element of t is within tol of o.
+// AllClose reports whether every element of t is within tol of o. The
+// tensors must share a dtype; the comparison runs in float64.
 func (t *Tensor) AllClose(o *Tensor, tol float64) bool {
-	if len(t.Data) != len(o.Data) {
+	if t.dtype != o.dtype || t.Size() != o.Size() {
 		return false
+	}
+	if t.dtype == F32 {
+		for i, v := range t.data32 {
+			if math.Abs(float64(v)-float64(o.data32[i])) > tol {
+				return false
+			}
+		}
+		return true
 	}
 	for i, v := range t.Data {
 		if math.Abs(v-o.Data[i]) > tol {
@@ -246,6 +383,16 @@ func (t *Tensor) ArgMaxRow(n int) int {
 		panic("tensor: ArgMaxRow requires a 2-D tensor")
 	}
 	f := t.Shape[1]
+	if t.dtype == F32 {
+		row := t.data32[n*f : (n+1)*f]
+		best, bi := row[0], 0
+		for i, v := range row {
+			if v > best {
+				best, bi = v, i
+			}
+		}
+		return bi
+	}
 	row := t.Data[n*f : (n+1)*f]
 	best, bi := row[0], 0
 	for i, v := range row {
@@ -364,6 +511,12 @@ func MatMulInto(dst, a, b *Tensor) {
 	}
 	m, k, n := a.Shape[0], a.Shape[1], b.Shape[1]
 	checkDst("MatMulInto", dst, m, n)
+	if dst.dtype == F32 {
+		checkSameDType("MatMulInto", F32, a, b)
+		matMulSlices32(dst.data32, a.data32, b.data32, m, k, n)
+		return
+	}
+	checkSameDType("MatMulInto", F64, a, b)
 	matMulSlices(dst.Data, a.Data, b.Data, m, k, n)
 }
 
@@ -375,6 +528,12 @@ func MatMulTransAInto(dst, a, b *Tensor) {
 	}
 	k, m, n := a.Shape[0], a.Shape[1], b.Shape[1]
 	checkDst("MatMulTransAInto", dst, m, n)
+	if dst.dtype == F32 {
+		checkSameDType("MatMulTransAInto", F32, a, b)
+		matMulTransASlices32(dst.data32, a.data32, b.data32, k, m, n)
+		return
+	}
+	checkSameDType("MatMulTransAInto", F64, a, b)
 	matMulTransASlices(dst.Data, a.Data, b.Data, k, m, n)
 }
 
@@ -387,6 +546,12 @@ func MatMulTransAAccInto(dst, a, b *Tensor) {
 	}
 	k, m, n := a.Shape[0], a.Shape[1], b.Shape[1]
 	checkDst("MatMulTransAAccInto", dst, m, n)
+	if dst.dtype == F32 {
+		checkSameDType("MatMulTransAAccInto", F32, a, b)
+		matMulTransASlicesAcc32(dst.data32, a.data32, b.data32, k, m, n)
+		return
+	}
+	checkSameDType("MatMulTransAAccInto", F64, a, b)
 	matMulTransASlicesAcc(dst.Data, a.Data, b.Data, k, m, n)
 }
 
@@ -398,6 +563,12 @@ func MatMulTransBInto(dst, a, b *Tensor) {
 	}
 	m, k, n := a.Shape[0], a.Shape[1], b.Shape[0]
 	checkDst("MatMulTransBInto", dst, m, n)
+	if dst.dtype == F32 {
+		checkSameDType("MatMulTransBInto", F32, a, b)
+		matMulTransBSlices32(dst.data32, a.data32, b.data32, m, k, n)
+		return
+	}
+	checkSameDType("MatMulTransBInto", F64, a, b)
 	matMulTransBSlices(dst.Data, a.Data, b.Data, m, k, n)
 }
 
@@ -407,7 +578,7 @@ func MatMul(a, b *Tensor) *Tensor {
 	if len(a.Shape) != 2 || len(b.Shape) != 2 || a.Shape[1] != b.Shape[0] {
 		panic(fmt.Sprintf("tensor: MatMul shape mismatch %v x %v", a.Shape, b.Shape))
 	}
-	c := New(a.Shape[0], b.Shape[1])
+	c := NewDT(a.dtype, a.Shape[0], b.Shape[1])
 	MatMulInto(c, a, b)
 	return c
 }
@@ -417,7 +588,7 @@ func MatMulTransA(a, b *Tensor) *Tensor {
 	if len(a.Shape) != 2 || len(b.Shape) != 2 || a.Shape[0] != b.Shape[0] {
 		panic(fmt.Sprintf("tensor: MatMulTransA shape mismatch %v x %v", a.Shape, b.Shape))
 	}
-	c := New(a.Shape[1], b.Shape[1])
+	c := NewDT(a.dtype, a.Shape[1], b.Shape[1])
 	MatMulTransAInto(c, a, b)
 	return c
 }
@@ -427,7 +598,7 @@ func MatMulTransB(a, b *Tensor) *Tensor {
 	if len(a.Shape) != 2 || len(b.Shape) != 2 || a.Shape[1] != b.Shape[1] {
 		panic(fmt.Sprintf("tensor: MatMulTransB shape mismatch %v x %v", a.Shape, b.Shape))
 	}
-	c := New(a.Shape[0], b.Shape[0])
+	c := NewDT(a.dtype, a.Shape[0], b.Shape[0])
 	MatMulTransBInto(c, a, b)
 	return c
 }
@@ -438,7 +609,15 @@ func Transpose(a *Tensor) *Tensor {
 		panic("tensor: Transpose requires a 2-D tensor")
 	}
 	m, n := a.Shape[0], a.Shape[1]
-	c := New(n, m)
+	c := NewDT(a.dtype, n, m)
+	if a.dtype == F32 {
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				c.data32[j*m+i] = a.data32[i*n+j]
+			}
+		}
+		return c
+	}
 	for i := 0; i < m; i++ {
 		for j := 0; j < n; j++ {
 			c.Data[j*m+i] = a.Data[i*n+j]

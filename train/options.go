@@ -9,6 +9,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/sched"
 	syncpol "repro/internal/sync"
+	"repro/internal/tensor"
 )
 
 // RefHyper are reference hyperparameters in the style of He et al. (2016a):
@@ -44,6 +45,7 @@ type options struct {
 	admitBound    int
 	seed          int64
 	sgdm          bool
+	dtype         tensor.DType
 	aug           data.Augmenter
 	evalBatch     int
 	obsBus        *obs.Bus
@@ -234,6 +236,28 @@ func WithSeed(seed int64) Option {
 // per-sample hooks do not fire (the reference trainer reports per batch).
 func WithSGDM() Option {
 	return func(o *options) { o.sgdm = true }
+}
+
+// WithDType selects the parameter/compute dtype for the trained network.
+// The default, tensor.F64, is the repo's bit-exact oracle path. tensor.F32
+// converts the freshly built (f64-initialized) network to float32 before
+// training: weights are the deterministic float32 cast of the f64 twin's
+// initial weights, kernels run the f32 SIMD path, and the Momentum optimizer
+// keeps f64 velocities with one rounding per step (DESIGN.md §15).
+//
+// f32 training is restricted to the plain pipelined engines: the SGDM
+// reference, WithReplicas clusters and every delay mitigation stay f64-only
+// (they exchange or predict weights through f64 master buffers), and Fit
+// reports an error for those combinations. Checkpoints remain canonical f64
+// — saving an f32 run widens, resuming narrows per value.
+func WithDType(dt tensor.DType) Option {
+	return func(o *options) {
+		if dt != tensor.F64 && dt != tensor.F32 {
+			o.errs = append(o.errs, fmt.Errorf("train: unknown dtype %v, want tensor.F64 or tensor.F32", dt))
+			return
+		}
+		o.dtype = dt
+	}
 }
 
 // WithAugment applies a data augmentation policy to every training sample.

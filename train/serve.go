@@ -44,6 +44,13 @@ type ServerConfig struct {
 	// (see train.WithObserver for the training-side equivalent). The caller
 	// owns the bus.
 	Obs *obs.Bus
+	// DType selects the serving dtype: tensor.F64 (zero value, the bit-exact
+	// oracle) or tensor.F32 (SIMD kernel path). Checkpoints stay canonical
+	// f64 on disk; an f32 server narrows each value once at load
+	// (Param.SetData), so the published weights are the deterministic
+	// float32 cast of the snapshot. Inputs of either dtype are accepted and
+	// converted at admission; logits come back at the serving dtype.
+	DType tensor.DType
 }
 
 // Server is the forward-only serving facade over a Builder.
@@ -76,6 +83,9 @@ func NewServer(build Builder, cfg ServerConfig) (*Server, error) {
 		}
 		return net, nil
 	}
+	if cfg.DType != tensor.F64 && cfg.DType != tensor.F32 {
+		return nil, errors.New("train: ServerConfig.DType must be tensor.F64 or tensor.F32")
+	}
 	loader, err := buildOne()
 	if err != nil {
 		return nil, err
@@ -88,8 +98,13 @@ func NewServer(build Builder, cfg ServerConfig) (*Server, error) {
 			return nil, err
 		}
 		ni.RestoreWeights(snap)
+		ni.ConvertTo(cfg.DType)
 		nets[i] = ni
 	}
+	// The loader holds the engine dtype too: checkpoint restores narrow each
+	// f64 value through Param.SetData, so CaptureWeights publishes f32 sets
+	// directly.
+	loader.ConvertTo(cfg.DType)
 	eng, err := core.NewInferEngine(cfg.Engine, nets, core.InferConfig{
 		Workers:  cfg.KernelWorkers,
 		Unpooled: cfg.Unpooled,

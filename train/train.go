@@ -39,6 +39,7 @@ import (
 	"repro/internal/obs/lineage"
 	"repro/internal/partition"
 	"repro/internal/sched"
+	"repro/internal/tensor"
 )
 
 // Builder constructs a fresh network for a seed. The Trainer invokes it
@@ -151,6 +152,20 @@ func (t *Trainer) ensureBuilt(trainSet *data.Dataset, epochs int) error {
 	if t.o.sgdm && t.o.replicas > 0 {
 		return errors.New("train: WithReplicas replicates the PB pipeline; the SGDM reference has none (drop WithReplicas or the pipeline options)")
 	}
+	if t.o.dtype == tensor.F32 {
+		// f32 training rides the plain pipelined engines. The f64-only
+		// combinations are exactly the ones that exchange or predict weights
+		// through float64 master buffers; refuse them here rather than let
+		// the optim/nn guards panic mid-epoch.
+		switch {
+		case t.o.sgdm:
+			return errors.New("train: WithDType(f32) needs a pipelined engine; the SGDM reference is the f64 oracle")
+		case t.o.replicas > 0:
+			return errors.New("train: WithDType(f32) excludes WithReplicas (replica weight sync averages f64 buffers)")
+		case t.o.mit.LWP || t.o.mit.SpecTrain || t.o.mit.WeightStash:
+			return errors.New("train: WithDType(f32) excludes weight prediction and stashing (f64-only master weights); SC and GradShrink remain available")
+		}
+	}
 	buildOne := func() (*nn.Network, error) {
 		net := t.build(t.o.seed)
 		if net == nil {
@@ -162,6 +177,12 @@ func (t *Trainer) ensureBuilt(trainSet *data.Dataset, epochs int) error {
 			}
 			inShape := append([]int{1}, trainSet.Shape...)
 			net, _ = partition.Balance(net, inShape, t.o.workers)
+		}
+		// Networks are always built (and partition-balanced) at f64 — the
+		// initializers draw f64 streams — then converted, so an f32 model is
+		// the deterministic float32 cast of its f64 twin (DESIGN.md §15).
+		if t.o.dtype == tensor.F32 {
+			net.ConvertTo(tensor.F32)
 		}
 		return net, nil
 	}
